@@ -1,0 +1,147 @@
+// Ablation A1 — how much of the Fig. 1 heuristic is the cell ORDER?
+//
+// The algorithm has two parts: (1) sequence cells by non-increasing
+// expected number of sought devices, (2) DP the split into d rounds
+// (Lemma 4.7, optimal for ANY fixed order). The approximation guarantee
+// is proved about the combination; this ablation runs the SAME DP over
+// different orders to isolate the ordering's contribution:
+//   * paper order (non-increasing weight),
+//   * reversed order (the adversarial worst case of the family),
+//   * random orders (mean over 20 shuffles),
+//   * single-device-optimal order of the heaviest device only.
+// Expectation: the DP alone cannot rescue a bad order — the paper order
+// should win across families, with large margins on skewed instances.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "prob/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace confcall;
+
+core::Instance make_instance(int family, std::size_t m, std::size_t c,
+                             std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    switch (family) {
+      case 0:
+        rows.push_back(prob::zipf_vector(c, 1.4, rng));
+        break;
+      case 1:
+        rows.push_back(prob::peaked_vector(c, 0.7, rng));
+        break;
+      case 2:
+        rows.push_back(prob::dirichlet_vector(c, 0.4, rng));
+        break;
+      default:
+        rows.push_back(prob::geometric_vector(c, 0.8, rng));
+        break;
+    }
+  }
+  return core::Instance::from_rows(rows);
+}
+
+const char* kFamilyNames[] = {"zipf(1.4)", "peaked(0.7)", "dirichlet(0.4)",
+                              "geom(0.8)"};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCells = 20;
+  constexpr std::size_t kDevices = 3;
+  constexpr std::size_t kRounds = 4;
+  constexpr int kInstances = 20;
+
+  std::cout << "A1: Lemma 4.7 DP over different cell orders (m = "
+            << kDevices << ", c = " << kCells << ", d = " << kRounds
+            << ", mean over " << kInstances << " instances)\n\n";
+
+  support::TextTable table({"family", "paper order", "reversed", "random",
+                            "heaviest-device order", "exact OPT (c=8)"});
+  table.set_align(0, support::Align::kLeft);
+  bool paper_always_best = true;
+  for (int family = 0; family < 4; ++family) {
+    prob::RunningStats paper, reversed, random_mean, heaviest;
+    for (int k = 0; k < kInstances; ++k) {
+      const auto instance =
+          make_instance(family, kDevices, kCells, 100 * family + k);
+      const auto order = core::greedy_cell_order(instance);
+      paper.add(core::plan_dp_over_order(instance, order, kRounds)
+                    .expected_paging);
+
+      auto rev = order;
+      std::reverse(rev.begin(), rev.end());
+      reversed.add(core::plan_dp_over_order(instance, rev, kRounds)
+                       .expected_paging);
+
+      prob::Rng rng(7000 + k);
+      prob::RunningStats shuffles;
+      for (int s = 0; s < 20; ++s) {
+        auto shuffled = order;
+        rng.shuffle(shuffled);
+        shuffles.add(core::plan_dp_over_order(instance, shuffled, kRounds)
+                         .expected_paging);
+      }
+      random_mean.add(shuffles.mean());
+
+      // Order by the single heaviest device's probabilities only (what a
+      // system reusing the m = 1 machinery naively would do).
+      std::size_t heavy = 0;
+      double heavy_mass = -1.0;
+      for (std::size_t i = 0; i < kDevices; ++i) {
+        double top = 0.0;
+        for (std::size_t j = 0; j < kCells; ++j) {
+          top = std::max(top, instance.prob(static_cast<core::DeviceId>(i),
+                                            static_cast<core::CellId>(j)));
+        }
+        if (top > heavy_mass) {
+          heavy_mass = top;
+          heavy = i;
+        }
+      }
+      std::vector<core::CellId> by_device(kCells);
+      std::iota(by_device.begin(), by_device.end(), core::CellId{0});
+      std::stable_sort(by_device.begin(), by_device.end(),
+                       [&](core::CellId a, core::CellId b) {
+                         return instance.prob(
+                                    static_cast<core::DeviceId>(heavy), a) >
+                                instance.prob(
+                                    static_cast<core::DeviceId>(heavy), b);
+                       });
+      heaviest.add(core::plan_dp_over_order(instance, by_device, kRounds)
+                       .expected_paging);
+    }
+    paper_always_best &= paper.mean() <= reversed.mean() + 1e-9 &&
+                         paper.mean() <= random_mean.mean() + 1e-9;
+
+    // Exact reference at a solvable size.
+    prob::RunningStats opt;
+    for (int k = 0; k < 10; ++k) {
+      const auto small = make_instance(family, kDevices, 8, 500 + k);
+      opt.add(core::solve_branch_and_bound(small, 3).expected_paging /
+              core::plan_greedy(small, 3).expected_paging);
+    }
+    table.add_row({
+        kFamilyNames[family],
+        support::TextTable::fmt(paper.mean(), 3),
+        support::TextTable::fmt(reversed.mean(), 3),
+        support::TextTable::fmt(random_mean.mean(), 3),
+        support::TextTable::fmt(heaviest.mean(), 3),
+        "OPT/greedy=" + support::TextTable::fmt(opt.mean(), 4),
+    });
+  }
+  std::cout << table;
+  std::cout << "\npaper order beats reversed and random everywhere: "
+            << (paper_always_best ? "YES" : "NO (UNEXPECTED)")
+            << "\nReading: the DP is order-optimal but cannot rescue a bad "
+               "order; the weight\nordering is what earns Theorem 4.8.\n";
+  return paper_always_best ? 0 : 1;
+}

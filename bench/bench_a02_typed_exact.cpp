@@ -1,0 +1,140 @@
+// Ablation A2 — the Section 5 approximation-scheme idea, operationalized.
+//
+// Paper (Section 5): "we assume that the set of probabilities ... can be
+// covered by a constant number of real intervals of constant length. This
+// allows us to search the space of solutions exhaustively in polynomial
+// time." With T distinct probability columns the typed solver enumerates
+// prod_t C(n_t + d - 1, d - 1) compositions instead of d^c ordered
+// partitions. This harness shows:
+//   (a) agreement with brute force where both run,
+//   (b) node counts: compositions vs d^c as c grows (T fixed),
+//   (c) exact optima at sizes brute force cannot touch, and the greedy
+//       heuristic's true ratio against them.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/exact.h"
+#include "core/scheme.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace confcall;
+
+/// A T-type instance: cells carry one of T probability levels per device,
+/// multiplicities as equal as possible.
+core::Instance typed_instance(std::size_t m, std::size_t c, std::size_t T) {
+  std::vector<double> level(T);
+  double total = 0.0;
+  for (std::size_t t = 0; t < T; ++t) {
+    level[t] = static_cast<double>(T - t);  // weights T, T-1, ..., 1
+  }
+  std::vector<double> row(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    row[j] = level[j % T];
+    total += row[j];
+  }
+  for (double& p : row) p /= total;
+  std::vector<prob::ProbabilityVector> rows(m, row);
+  return core::Instance::from_rows(rows);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A2: typed exact search vs brute force (m = 2, d = 3, "
+               "T = 3 column types)\n\n";
+
+  support::TextTable agree({"c", "d^c leaves", "typed nodes", "typed EP",
+                            "brute EP", "agree"});
+  bool all_agree = true;
+  for (const std::size_t c : {6u, 9u, 12u}) {
+    const core::Instance instance = typed_instance(2, c, 3);
+    const auto typed = core::solve_exact_typed(instance, 3);
+    const auto brute = core::solve_exact(instance, 3);
+    const bool same =
+        std::abs(typed.expected_paging - brute.expected_paging) < 1e-9;
+    all_agree &= same;
+    agree.add_row({
+        support::TextTable::fmt(c),
+        support::TextTable::fmt(
+            static_cast<std::size_t>(std::pow(3.0, c))),
+        support::TextTable::fmt(typed.nodes_explored),
+        support::TextTable::fmt(typed.expected_paging, 6),
+        support::TextTable::fmt(brute.expected_paging, 6),
+        same ? "yes" : "NO",
+    });
+  }
+  std::cout << agree;
+
+  std::cout << "\nExact optima beyond the brute-force wall (T = 2, d = 3), "
+               "and the heuristic's true ratio:\n\n";
+  support::TextTable scale({"c", "typed nodes", "time (ms)", "exact OPT",
+                            "greedy EP", "greedy/OPT"});
+  for (const std::size_t c : {24u, 48u, 96u, 192u}) {
+    const core::Instance instance = typed_instance(2, c, 2);
+    const auto start = std::chrono::steady_clock::now();
+    const auto typed = core::solve_exact_typed(instance, 3,
+                                               core::Objective::all_of(),
+                                               200'000'000);
+    const double ms =
+        1000.0 * std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    const double greedy = core::plan_greedy(instance, 3).expected_paging;
+    scale.add_row({
+        support::TextTable::fmt(c),
+        support::TextTable::fmt(typed.nodes_explored),
+        support::TextTable::fmt(ms, 1),
+        support::TextTable::fmt(typed.expected_paging, 4),
+        support::TextTable::fmt(greedy, 4),
+        support::TextTable::fmt(greedy / typed.expected_paging, 6),
+    });
+  }
+  std::cout << scale;
+
+  // The full Section 5 scheme on ARBITRARY instances: quantize to L
+  // levels, solve the typed instance exactly, pay the plan on the
+  // original. Sweep L to show the cost/accuracy dial.
+  std::cout << "\nQuantize-then-solve scheme on random instances "
+               "(m = 2, c = 10, d = 3, mean of 15):\n\n";
+  support::TextTable scheme_table({"levels", "columns after quantize",
+                                   "scheme EP", "exact OPT", "greedy EP"});
+  for (const std::size_t levels : {1u, 2u, 4u, 16u}) {
+    double scheme_total = 0.0;
+    double opt_total = 0.0;
+    double greedy_total = 0.0;
+    double columns_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      prob::Rng rng(700 + seed);
+      std::vector<prob::ProbabilityVector> rows = {
+          prob::dirichlet_vector(10, 0.6, rng),
+          prob::dirichlet_vector(10, 0.6, rng)};
+      const core::Instance instance = core::Instance::from_rows(rows);
+      const auto scheme = core::plan_quantized_exact(instance, 3, levels);
+      scheme_total += scheme.expected_paging;
+      columns_total += static_cast<double>(scheme.distinct_columns);
+      opt_total += core::solve_branch_and_bound(instance, 3).expected_paging;
+      greedy_total += core::plan_greedy(instance, 3).expected_paging;
+    }
+    scheme_table.add_row({
+        support::TextTable::fmt(levels),
+        support::TextTable::fmt(columns_total / 15.0, 1),
+        support::TextTable::fmt(scheme_total / 15.0, 4),
+        support::TextTable::fmt(opt_total / 15.0, 4),
+        support::TextTable::fmt(greedy_total / 15.0, 4),
+    });
+  }
+  std::cout << scheme_table;
+
+  std::cout << "\ntyped solver agrees with brute force everywhere: "
+            << (all_agree ? "YES" : "NO (BUG)")
+            << "\nReading: with constantly many probability values the "
+               "search space is polynomial\n(paper Section 5); the greedy "
+               "heuristic is near-optimal on such instances.\n";
+  return all_agree ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Experiment E3 — the Section 4.3 lower-bound instance.
+//
+// Paper claim: on the instance with m = 2, c = 8, d = 2,
+//   p1 = (2/7, 1/7, 1/7, 1/7, 1/7, 1/7, 0, 0),
+//   p2 = (0, 1/7, 1/7, 1/7, 1/7, 1/7, 1/7, 1/7),
+// the optimal strategy pages cells 2..6 first with EP = 317/49, while the
+// heuristic pages cells 1..5 with EP = 320/49 — performance ratio 320/317.
+// An epsilon-perturbation forces the same choice under any tie-breaking.
+//
+// This harness reproduces all of it, in exact rational arithmetic.
+#include <cstdio>
+#include <iostream>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "prob/rational.h"
+#include "support/table.h"
+
+int main() {
+  using namespace confcall;
+  using prob::Rational;
+
+  std::cout << "E3: Section 4.3 hard instance (m=2, c=8, d=2)\n\n";
+
+  const core::RationalInstance exact = core::hard_instance_8cells_exact();
+  const core::Instance instance = core::hard_instance_8cells();
+
+  const auto optimum = core::solve_exact_d2_exact(exact);
+  const core::PlanResult greedy = core::plan_greedy(instance, 2);
+  // Exact EP of the greedy strategy.
+  const Rational greedy_exact =
+      core::expected_paging_exact(exact, greedy.strategy);
+
+  support::TextTable table(
+      {"strategy", "first-round cells", "EP (exact)", "EP (double)"});
+  table.set_align(0, support::Align::kLeft);
+  table.set_align(1, support::Align::kLeft);
+  auto cells_text = [](const std::vector<core::CellId>& cells) {
+    std::string text;
+    for (const auto cell : cells) {
+      if (!text.empty()) text += ',';
+      text += std::to_string(cell + 1);  // paper is 1-based
+    }
+    return text;
+  };
+  table.add_row({"optimal (exhaustive)", cells_text(optimum.first_round),
+                 optimum.expected_paging.to_string(),
+                 support::TextTable::fmt(optimum.expected_paging.to_double(),
+                                         6)});
+  table.add_row({"heuristic (Fig. 1)", cells_text(greedy.strategy.group(0)),
+                 greedy_exact.to_string(),
+                 support::TextTable::fmt(greedy.expected_paging, 6)});
+  std::cout << table;
+
+  const Rational ratio = greedy_exact / optimum.expected_paging;
+  std::cout << "\nperformance ratio: " << ratio.to_string() << " = "
+            << ratio.to_double() << " (paper: 320/317 = "
+            << 320.0 / 317.0 << ")\n";
+
+  std::cout << "\nepsilon-perturbed variant (forces the heuristic's choice "
+               "under any tie-break):\n";
+  support::TextTable perturbed({"epsilon", "greedy EP", "optimal EP",
+                                "ratio"});
+  for (const double eps : {1e-3, 1e-6, 1e-9}) {
+    const core::Instance p = core::hard_instance_8cells_perturbed(eps);
+    const double g = core::plan_greedy(p, 2).expected_paging;
+    const double o = core::solve_exact_d2(p).expected_paging;
+    perturbed.add_row({
+        support::TextTable::fmt(eps, 9),
+        support::TextTable::fmt(g, 6),
+        support::TextTable::fmt(o, 6),
+        support::TextTable::fmt(g / o, 6),
+    });
+  }
+  std::cout << perturbed;
+
+  const bool matches = optimum.expected_paging == Rational(317, 49) &&
+                       greedy_exact == Rational(320, 49);
+  std::cout << "\nexact values match the paper (317/49 and 320/49): "
+            << (matches ? "YES" : "NO (MISMATCH)") << "\n";
+  return matches ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Experiment E4 — running time of the Fig. 1 planner.
+//
+// Paper claim (Theorem 4.8): the approximation strategy is found in
+// O(c(m + dc)) time and O(m + dc) space. With m and d fixed the cost is
+// quadratic in c; with c and m fixed it is linear in d; with c and d fixed
+// it is linear in m.
+//
+// google-benchmark harness with asymptotic-complexity fits for each sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "prob/rng.h"
+
+namespace {
+
+using namespace confcall;
+
+core::Instance make_instance(std::size_t m, std::size_t c,
+                             std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rows.push_back(prob::dirichlet_vector(c, 1.0, rng));
+  }
+  return core::Instance::from_rows(rows);
+}
+
+void BM_PlanGreedy_SweepCells(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const core::Instance instance = make_instance(4, c, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_greedy(instance, 8));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(c));
+}
+BENCHMARK(BM_PlanGreedy_SweepCells)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_PlanGreedy_SweepRounds(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const core::Instance instance = make_instance(4, 512, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_greedy(instance, d));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(d));
+}
+BENCHMARK(BM_PlanGreedy_SweepRounds)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_PlanGreedy_SweepDevices(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const core::Instance instance = make_instance(m, 256, m);
+  // d = 2 keeps the dc^2 term small so the mc term is visible.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_greedy(instance, 2));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(BM_PlanGreedy_SweepDevices)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+// The DP dominates end-to-end planning; measure it in isolation too.
+void BM_DpOverOrder(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const core::Instance instance = make_instance(2, c, c + 9);
+  const auto order = core::greedy_cell_order(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_dp_over_order(instance, order, 4));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(c));
+}
+BENCHMARK(BM_DpOverOrder)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

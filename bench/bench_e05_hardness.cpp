@@ -1,0 +1,127 @@
+// Experiment E5 — the cost of exactness (Section 3 NP-hardness, observed).
+//
+// Paper claim (Lemma 3.2 / Theorem 3.8): the Conference Call problem is
+// NP-hard already for m = 2, d = 2, via reduction from Quasipartition1.
+// Observable consequences this harness measures:
+//   (a) the exact solver's search grows exponentially with c on the
+//       reduction instances (2^c subsets), while Fig. 1 stays polynomial;
+//   (b) on solvable instances the exact optimum attains the closed-form
+//       bound of Lemma 3.2, on unsolvable ones it stays strictly above —
+//       i.e., solving the paging problem decides the partition problem;
+//   (c) branch-and-bound prunes but cannot escape the exponential wall.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "reduction/partition.h"
+#include "reduction/reduce.h"
+#include "support/table.h"
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace confcall;
+
+  std::cout << "E5: exact search on Lemma 3.2 reduction instances "
+               "(m=2, d=2)\n\n";
+
+  support::TextTable table({"c", "subsets", "exact time (ms)",
+                            "greedy time (ms)", "optimum", "closed form",
+                            "attained", "partition"});
+  bool equivalence_holds = true;
+  for (const std::size_t c : {6u, 9u, 12u, 15u, 18u, 21u}) {
+    const auto sizes =
+        reduction::make_quasipartition1_yes_instance(c, 25, c);
+    const bool partition = reduction::solve_quasipartition1(sizes).has_value();
+    const auto reduction =
+        reduction::reduce_quasipartition1_to_conference_call(sizes);
+    const core::Instance instance = reduction.instance.to_double_instance();
+
+    auto start = std::chrono::steady_clock::now();
+    const auto exact = core::solve_exact_d2(instance);
+    const double exact_ms = 1000.0 * seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const auto greedy = core::plan_greedy(instance, 2);
+    const double greedy_ms = 1000.0 * seconds_since(start);
+
+    const double bound = reduction.quasipartition_optimum.to_double();
+    const bool attained = std::abs(exact.expected_paging - bound) < 1e-9;
+    equivalence_holds &= attained == partition;
+
+    table.add_row({
+        support::TextTable::fmt(c),
+        support::TextTable::fmt(exact.nodes_explored),
+        support::TextTable::fmt(exact_ms, 3),
+        support::TextTable::fmt(greedy_ms, 3),
+        support::TextTable::fmt(exact.expected_paging, 6),
+        support::TextTable::fmt(bound, 6),
+        attained ? "yes" : "no",
+        partition ? "yes" : "no",
+    });
+  }
+  std::cout << table;
+
+  std::cout << "\nUnsolvable instances (optimum must stay strictly above "
+               "the bound):\n";
+  support::TextTable no_table({"c", "optimum", "closed form", "gap"});
+  for (const std::size_t c : {6u, 9u, 12u}) {
+    std::vector<std::int64_t> sizes(c, 1);
+    sizes[0] = 3 * static_cast<std::int64_t>(c);  // dominating size -> no
+    if ((sizes[0] + static_cast<std::int64_t>(c) - 1) % 2 != 0) sizes[1] = 2;
+    const auto reduction =
+        reduction::reduce_quasipartition1_to_conference_call(sizes);
+    const auto exact = core::solve_exact_d2_exact(reduction.instance);
+    const auto gap =
+        exact.expected_paging - reduction.quasipartition_optimum;
+    equivalence_holds &= gap.signum() > 0;
+    no_table.add_row({
+        support::TextTable::fmt(c),
+        exact.expected_paging.to_string(),
+        reduction.quasipartition_optimum.to_string(),
+        support::TextTable::fmt(gap.to_double(), 8),
+    });
+  }
+  std::cout << no_table;
+
+  std::cout << "\nBranch-and-bound vs full enumeration (d = 3, Dirichlet "
+               "instances):\n";
+  support::TextTable bnb_table(
+      {"c", "enumeration nodes", "B&B nodes", "same optimum"});
+  for (const std::size_t c : {8u, 10u, 12u}) {
+    prob::Rng rng(c);
+    std::vector<prob::ProbabilityVector> rows;
+    for (int i = 0; i < 2; ++i) {
+      rows.push_back(prob::dirichlet_vector(c, 0.3, rng));
+    }
+    const core::Instance instance = core::Instance::from_rows(rows);
+    const auto plain = core::solve_exact(instance, 3);
+    const auto bnb = core::solve_branch_and_bound(instance, 3);
+    bnb_table.add_row({
+        support::TextTable::fmt(c),
+        support::TextTable::fmt(plain.nodes_explored),
+        support::TextTable::fmt(bnb.nodes_explored),
+        std::abs(plain.expected_paging - bnb.expected_paging) < 1e-9
+            ? "yes"
+            : "NO",
+    });
+  }
+  std::cout << bnb_table;
+
+  std::cout << "\noptimum attains bound <=> partition exists: "
+            << (equivalence_holds ? "YES (matches Lemma 3.2)"
+                                  : "NO (MISMATCH)")
+            << "\n";
+  return equivalence_holds ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// Experiment E9 — the reporting/paging tradeoff in the full system
+// (Section 1.1's framing of location management).
+//
+// Paper: "The location tracking problem exhibits an inherent tradeoff
+// between the usage of wireless links because of devices reporting their
+// locations and the usage because of the system searching for devices."
+// This harness runs the end-to-end simulator and sweeps
+//   (a) the report policy (never / on LA crossing / every cell) crossed
+//       with mobility speed — reproducing the tradeoff curve, and
+//   (b) the paging policy (GSM blanket / Fig. 1 greedy / adaptive)
+//       under the standard LA-crossing policy.
+// Expected shape: silence is cheap in reports but catastrophic in pages;
+// per-cell reporting kills paging but floods the uplink; LA-crossing sits
+// between, and the Fig. 1 planner shrinks its paging share further.
+#include <iostream>
+
+#include "cellular/simulator.h"
+#include "support/table.h"
+
+namespace {
+
+confcall::cellular::SimConfig base_config() {
+  confcall::cellular::SimConfig config;
+  config.grid_rows = 10;
+  config.grid_cols = 10;
+  config.la_tile_rows = 5;
+  config.la_tile_cols = 5;
+  config.num_users = 40;
+  config.call_rate = 0.25;
+  config.group_min = 2;
+  config.group_max = 4;
+  config.max_paging_rounds = 3;
+  config.steps = 2000;
+  config.warmup_steps = 200;
+  config.seed = 2002;  // PODC'02
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace confcall;
+  using cellular::PagingPolicy;
+  using cellular::ReportPolicy;
+
+  std::cout << "E9: reporting vs paging wireless cost (10x10 grid, four "
+               "25-cell LAs,\n40 users, conference size 2-4, 2000 steps, "
+               "cost weights 1:1)\n\n";
+
+  support::TextTable tradeoff({"mobility", "report policy", "reports",
+                               "pages", "pages/call", "total cost"});
+  tradeoff.set_align(0, support::Align::kLeft);
+  tradeoff.set_align(1, support::Align::kLeft);
+  const struct {
+    const char* name;
+    double stay;
+  } mobilities[] = {{"slow (stay 0.9)", 0.9},
+                    {"medium (stay 0.6)", 0.6},
+                    {"fast (stay 0.2)", 0.2}};
+  const struct {
+    const char* name;
+    ReportPolicy policy;
+  } reports[] = {{"never", ReportPolicy::kNever},
+                 {"LA crossing", ReportPolicy::kOnAreaCrossing},
+                 {"every cell", ReportPolicy::kOnCellCrossing},
+                 {"timer T=16", ReportPolicy::kEveryTSteps},
+                 {"distance D=3", ReportPolicy::kDistanceThreshold}};
+  for (const auto& [mob_name, stay] : mobilities) {
+    for (const auto& [rep_name, policy] : reports) {
+      cellular::SimConfig config = base_config();
+      config.stay_probability = stay;
+      config.report_policy = policy;
+      config.timer_period = 16;
+      config.distance_threshold = 3;
+      const cellular::SimReport report = cellular::run_simulation(config);
+      tradeoff.add_row({
+          mob_name,
+          rep_name,
+          support::TextTable::fmt(report.reports_sent),
+          support::TextTable::fmt(report.cells_paged_total),
+          support::TextTable::fmt(report.pages_per_call.mean(), 1),
+          support::TextTable::fmt(report.wireless_cost(1.0, 1.0), 0),
+      });
+    }
+    tradeoff.add_separator();
+  }
+  std::cout << tradeoff;
+
+  std::cout << "\nPaging policy under the GSM-style LA-crossing report "
+               "policy:\n\n";
+  support::TextTable policies({"paging policy", "pages/call", "rounds/call",
+                               "total cost"});
+  policies.set_align(0, support::Align::kLeft);
+  const struct {
+    const char* name;
+    PagingPolicy policy;
+  } pagings[] = {{"LA blanket (GSM/IS-41)", PagingPolicy::kBlanketArea},
+                 {"greedy Fig. 1", PagingPolicy::kGreedy},
+                 {"adaptive Sec. 5", PagingPolicy::kAdaptive}};
+  double blanket_pages = 0.0;
+  double greedy_pages = 0.0;
+  for (const auto& [name, policy] : pagings) {
+    cellular::SimConfig config = base_config();
+    config.paging_policy = policy;
+    const cellular::SimReport report = cellular::run_simulation(config);
+    if (policy == PagingPolicy::kBlanketArea) {
+      blanket_pages = report.pages_per_call.mean();
+    }
+    if (policy == PagingPolicy::kGreedy) {
+      greedy_pages = report.pages_per_call.mean();
+    }
+    policies.add_row({
+        name,
+        support::TextTable::fmt(report.pages_per_call.mean(), 2),
+        support::TextTable::fmt(report.rounds_per_call.mean(), 2),
+        support::TextTable::fmt(report.wireless_cost(1.0, 1.0), 0),
+    });
+  }
+  std::cout << policies;
+  const bool greedy_wins = greedy_pages < blanket_pages;
+  std::cout << "\ngreedy pages less than the GSM blanket: "
+            << (greedy_wins ? "YES" : "NO (BUG)") << "\n";
+  return greedy_wins ? 0 : 1;
+}

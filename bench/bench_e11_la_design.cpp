@@ -1,0 +1,73 @@
+// Experiment E11 — location-area sizing: the report/page U-curve.
+//
+// Section 1.1: GSM MAP / IS-41 balance reporting and paging through the
+// location-area size, and "the choice of location areas affects the
+// reporting traffic [1,5]". This harness sweeps square tilings of a
+// toroidal grid for three mobility speeds and prints the analytic
+// per-user-step wireless cost — the classic U-curve whose minimum shifts
+// toward larger LAs as users move faster. It also shows how the paper's
+// multi-round paging (d = 3 vs the d = 1 blanket) shifts the optimum
+// toward LARGER areas: cheaper searches make paging-heavy designs viable.
+#include <iostream>
+
+#include "cellular/la_design.h"
+#include "support/table.h"
+
+int main() {
+  using namespace confcall;
+  using cellular::GridTopology;
+  using cellular::MarkovMobility;
+  using cellular::TilingEvaluation;
+
+  const GridTopology grid(16, 16, /*toroidal=*/true);
+  constexpr double kCalleeRate = 0.05;  // calls per user-step
+
+  std::cout << "E11: wireless cost per user-step vs LA size (16x16 torus, "
+               "cost weights 1:1,\ncallee rate "
+            << kCalleeRate << ")\n\n";
+
+  for (const std::size_t d : {1u, 3u}) {
+    std::cout << "paging delay budget d = " << d << ":\n\n";
+    support::TextTable table({"LA size", "areas", "reports/step",
+                              "pages/callee", "cost slow(0.8)",
+                              "cost mid(0.5)", "cost fast(0.2)"});
+    const MarkovMobility slow(grid, 0.8);
+    const MarkovMobility mid(grid, 0.5);
+    const MarkovMobility fast(grid, 0.2);
+    double best_cost[3] = {1e300, 1e300, 1e300};
+    std::size_t best_size[3] = {0, 0, 0};
+    for (const std::size_t tile : {1u, 2u, 4u, 8u, 16u}) {
+      const TilingEvaluation rows[] = {
+          evaluate_tiling(grid, slow, tile, tile, d),
+          evaluate_tiling(grid, mid, tile, tile, d),
+          evaluate_tiling(grid, fast, tile, tile, d),
+      };
+      double costs[3];
+      for (int k = 0; k < 3; ++k) {
+        costs[k] = rows[k].cost_per_user_step(1.0, 1.0, kCalleeRate);
+        if (costs[k] < best_cost[k]) {
+          best_cost[k] = costs[k];
+          best_size[k] = tile * tile;
+        }
+      }
+      table.add_row({
+          support::TextTable::fmt(tile * tile),
+          support::TextTable::fmt(rows[0].num_areas),
+          support::TextTable::fmt(rows[1].report_rate, 4),
+          support::TextTable::fmt(rows[1].pages_per_callee, 2),
+          support::TextTable::fmt(costs[0], 4),
+          support::TextTable::fmt(costs[1], 4),
+          support::TextTable::fmt(costs[2], 4),
+      });
+    }
+    std::cout << table;
+    std::cout << "\nbest LA size: slow " << best_size[0] << ", mid "
+              << best_size[1] << ", fast " << best_size[2] << "\n\n";
+  }
+
+  std::cout << "Reading: faster users push the optimum toward larger areas "
+               "(reports dominate);\nmulti-round paging (d = 3) makes "
+               "large areas cheaper to search, moving every\noptimum "
+               "further right than under the d = 1 blanket.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The delay/paging tradeoff (the paper's Section 1.2 framing): sweep the
+// delay budget d from 1 (blanket, maximal paging) to c (sequential,
+// minimal paging) for several location-profile families and report the
+// expected paging of the Fig. 1 strategy.
+//
+// Includes the paper's Section 1.1 example: uniform single device, d = 2
+// gives exactly 3c/4 — a c/4 saving over the GSM MAP / IS-41 blanket.
+//
+//   ./examples/delay_tradeoff [--cells N] [--devices M] [--seed S]
+#include <iostream>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace confcall;
+
+  const support::Cli cli(argc, argv);
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 32));
+  const auto devices = static_cast<std::size_t>(cli.get_int("devices", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  for (const auto& flag : cli.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 1;
+  }
+
+  // The Section 1.1 example first.
+  const core::Instance single_uniform = core::Instance::uniform(1, cells);
+  const double two_round =
+      core::plan_greedy(single_uniform, 2).expected_paging;
+  std::cout << "Section 1.1 example (m=1, uniform, c=" << cells << "):\n"
+            << "  d=1 blanket pages " << cells << " cells;"
+            << " d=2 optimal pages " << two_round << " = 3c/4\n\n";
+
+  const auto make_rows = [&](const char* family,
+                             std::uint64_t s) -> std::vector<prob::ProbabilityVector> {
+    prob::Rng rng(s);
+    std::vector<prob::ProbabilityVector> rows;
+    for (std::size_t i = 0; i < devices; ++i) {
+      if (std::string(family) == "uniform") {
+        rows.push_back(prob::uniform_vector(cells));
+      } else if (std::string(family) == "zipf") {
+        rows.push_back(prob::zipf_vector(cells, 1.2, rng));
+      } else if (std::string(family) == "geometric") {
+        rows.push_back(prob::geometric_vector(cells, 0.8, rng));
+      } else {
+        rows.push_back(prob::peaked_vector(cells, 0.6, rng));
+      }
+    }
+    return rows;
+  };
+
+  std::cout << "Expected paging of the Fig. 1 strategy, m=" << devices
+            << ", c=" << cells << " (lower is better):\n\n";
+  support::TextTable table(
+      {"d", "uniform", "zipf(1.2)", "geometric(0.8)", "peaked(0.6)"});
+  std::vector<std::size_t> delays;
+  for (std::size_t d = 1; d <= cells; d *= 2) delays.push_back(d);
+  if (delays.back() != cells) delays.push_back(cells);
+
+  std::vector<core::Instance> instances;
+  for (const char* family : {"uniform", "zipf", "geometric", "peaked"}) {
+    instances.push_back(core::Instance::from_rows(make_rows(family, seed)));
+  }
+  for (const std::size_t d : delays) {
+    std::vector<std::string> row = {support::TextTable::fmt(d)};
+    for (const auto& instance : instances) {
+      row.push_back(support::TextTable::fmt(
+          core::plan_greedy(instance, d).expected_paging, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  std::cout << "\nReading: d=1 is the blanket (pages all " << cells
+            << " cells); skewed profiles gain the most from extra delay.\n";
+  return 0;
+}

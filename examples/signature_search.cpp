@@ -1,0 +1,74 @@
+// The Section 5 search variants: Yellow Pages (find any one device) and
+// Signature (find k of m — "k managers must sign a document").
+//
+// Scenario: m managers roam a location area; the system needs signatures
+// from k of them within d paging rounds. We sweep k from 1 (yellow pages)
+// to m (conference call) and compare cell-ordering scores.
+//
+//   ./examples/signature_search [--cells N] [--managers M] [--rounds D]
+//                               [--seed S]
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/signature.h"
+#include "prob/distribution.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace confcall;
+
+  const support::Cli cli(argc, argv);
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 24));
+  const auto managers = static_cast<std::size_t>(cli.get_int("managers", 5));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  for (const auto& flag : cli.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 1;
+  }
+
+  // Each manager has a home-office profile (mass at one cell, rest spread).
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  for (std::size_t i = 0; i < managers; ++i) {
+    rows.push_back(prob::peaked_vector(cells, 0.5 + 0.08 * (i % 4), rng));
+  }
+  const core::Instance instance = core::Instance::from_rows(rows);
+
+  std::cout << "Signature search: m=" << managers << " managers, c=" << cells
+            << " cells, d=" << rounds << " rounds\n\n";
+
+  support::TextTable table({"k (signatures needed)", "top-k score",
+                            "sum score", "max score", "blanket"});
+  for (std::size_t k = 1; k <= managers; ++k) {
+    const double topk =
+        core::plan_signature(instance, rounds, k, core::CellScore::kTopK)
+            .expected_paging;
+    const double sum =
+        core::plan_signature(instance, rounds, k, core::CellScore::kSumProb)
+            .expected_paging;
+    const double max =
+        core::plan_signature(instance, rounds, k, core::CellScore::kMaxProb)
+            .expected_paging;
+    table.add_row({
+        support::TextTable::fmt(k),
+        support::TextTable::fmt(topk, 2),
+        support::TextTable::fmt(sum, 2),
+        support::TextTable::fmt(max, 2),
+        support::TextTable::fmt(static_cast<double>(cells), 0),
+    });
+  }
+  std::cout << table;
+
+  const double yellow =
+      core::plan_yellow_pages(instance, rounds).expected_paging;
+  const double conference = core::plan_greedy(instance, rounds).expected_paging;
+  std::cout << "\nyellow pages (k=1, max score): " << yellow
+            << "\nconference call (k=m)        : " << conference
+            << "\n\nReading: finding one signer is far cheaper than "
+               "finding all; the top-k score\ninterpolates between the "
+               "max score (k=1) and the paper's sum score (k=m).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "cellular/events.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::cellular {
+
+CallGenerator::CallGenerator(double rate_per_step, std::size_t num_users,
+                             std::size_t group_min, std::size_t group_max)
+    : rate_(rate_per_step),
+      num_users_(num_users),
+      group_min_(group_min),
+      group_max_(group_max) {
+  if (rate_ < 0.0 || rate_ > 1.0) {
+    throw std::invalid_argument("CallGenerator: rate must be in [0, 1]");
+  }
+  if (group_min_ == 0 || group_min_ > group_max_ ||
+      group_max_ > num_users_) {
+    throw std::invalid_argument(
+        "CallGenerator: need 1 <= min <= max <= users");
+  }
+}
+
+CallEvent CallGenerator::maybe_call(prob::Rng& rng) const {
+  CallEvent event;
+  if (rng.next_double() >= rate_) return event;
+  const std::size_t group =
+      group_min_ +
+      static_cast<std::size_t>(rng.next_below(group_max_ - group_min_ + 1));
+  // Partial Fisher–Yates: the first `group` entries of a shuffle.
+  std::vector<UserId> pool(num_users_);
+  std::iota(pool.begin(), pool.end(), UserId{0});
+  for (std::size_t k = 0; k < group; ++k) {
+    const std::size_t pick =
+        k + static_cast<std::size_t>(rng.next_below(num_users_ - k));
+    std::swap(pool[k], pool[pick]);
+  }
+  event.participants.assign(pool.begin(),
+                            pool.begin() + static_cast<std::ptrdiff_t>(group));
+  return event;
+}
+
+}  // namespace confcall::cellular

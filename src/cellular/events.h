@@ -1,0 +1,44 @@
+// Call-arrival workload for the simulator.
+//
+// Conference calls arrive as a Bernoulli-thinned Poisson process in
+// discrete time (at most one call setup per step, with probability
+// `rate`); each call draws its participant set uniformly without
+// replacement, with a group size uniform in [min, max]. min = max = 1
+// reproduces the classical single-callee paging workload the prior work
+// ([11,16,17]) optimizes for; larger groups exercise the paper's
+// conference-call setting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cellular/location_db.h"
+#include "prob/rng.h"
+
+namespace confcall::cellular {
+
+/// One conference-call setup request.
+struct CallEvent {
+  std::vector<UserId> participants;  ///< distinct callees to locate
+};
+
+/// Generates the per-step call workload.
+class CallGenerator {
+ public:
+  /// Throws std::invalid_argument unless 0 <= rate <= 1,
+  /// 1 <= min <= max <= num_users.
+  CallGenerator(double rate_per_step, std::size_t num_users,
+                std::size_t group_min, std::size_t group_max);
+
+  /// At most one call per step; empty optional-like: a CallEvent with no
+  /// participants means "no call this step".
+  [[nodiscard]] CallEvent maybe_call(prob::Rng& rng) const;
+
+ private:
+  double rate_;
+  std::size_t num_users_;
+  std::size_t group_min_;
+  std::size_t group_max_;
+};
+
+}  // namespace confcall::cellular

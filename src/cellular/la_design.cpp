@@ -1,0 +1,99 @@
+#include "cellular/la_design.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cellular/profile.h"
+#include "core/single_user.h"
+
+namespace confcall::cellular {
+
+TilingEvaluation evaluate_tiling(const GridTopology& grid,
+                                 const MarkovMobility& mobility,
+                                 std::size_t tile_rows, std::size_t tile_cols,
+                                 std::size_t paging_rounds) {
+  if (paging_rounds == 0) {
+    throw std::invalid_argument("evaluate_tiling: zero paging rounds");
+  }
+  const LocationAreas areas = LocationAreas::tiles(grid, tile_rows, tile_cols);
+  const std::vector<double> stationary = mobility.stationary_distribution();
+
+  TilingEvaluation eval;
+  eval.tile_rows = tile_rows;
+  eval.tile_cols = tile_cols;
+  eval.num_areas = areas.num_areas();
+
+  // Report rate: stationary flow across LA boundaries.
+  for (std::size_t j = 0; j < grid.num_cells(); ++j) {
+    const auto row = mobility.transition_row(static_cast<CellId>(j));
+    const std::size_t home = areas.area_of(static_cast<CellId>(j));
+    double crossing = 0.0;
+    for (std::size_t j2 = 0; j2 < grid.num_cells(); ++j2) {
+      if (row[j2] > 0.0 && areas.area_of(static_cast<CellId>(j2)) != home) {
+        crossing += row[j2];
+      }
+    }
+    eval.report_rate += stationary[j] * crossing;
+  }
+
+  // Paging cost: mass-weighted optimal d-round search per LA.
+  for (std::size_t area = 0; area < areas.num_areas(); ++area) {
+    const auto& cells = areas.cells_in(area);
+    double area_mass = 0.0;
+    for (const CellId cell : cells) area_mass += stationary[cell];
+    if (area_mass <= 0.0) continue;
+    const prob::ProbabilityVector profile =
+        restrict_to_area(stationary, cells);
+    const std::size_t d = std::min(paging_rounds, cells.size());
+    eval.pages_per_callee +=
+        area_mass * core::optimal_single_user_paging(profile, d);
+  }
+  return eval;
+}
+
+std::vector<TilingEvaluation> evaluate_all_tilings(
+    const GridTopology& grid, const MarkovMobility& mobility,
+    std::size_t paging_rounds) {
+  std::vector<TilingEvaluation> evaluations;
+  for (std::size_t tr = 1; tr <= grid.rows(); ++tr) {
+    if (grid.rows() % tr != 0) continue;
+    for (std::size_t tc = 1; tc <= grid.cols(); ++tc) {
+      if (grid.cols() % tc != 0) continue;
+      evaluations.push_back(
+          evaluate_tiling(grid, mobility, tr, tc, paging_rounds));
+    }
+  }
+  std::sort(evaluations.begin(), evaluations.end(),
+            [](const TilingEvaluation& a, const TilingEvaluation& b) {
+              const std::size_t size_a = a.tile_rows * a.tile_cols;
+              const std::size_t size_b = b.tile_rows * b.tile_cols;
+              if (size_a != size_b) return size_a < size_b;
+              return a.tile_rows < b.tile_rows;
+            });
+  return evaluations;
+}
+
+TilingEvaluation best_tiling(const GridTopology& grid,
+                             const MarkovMobility& mobility,
+                             std::size_t paging_rounds, double report_cost,
+                             double page_cost, double callee_rate) {
+  const auto evaluations =
+      evaluate_all_tilings(grid, mobility, paging_rounds);
+  if (evaluations.empty()) {
+    throw std::logic_error("best_tiling: no tilings (bug)");
+  }
+  const TilingEvaluation* best = &evaluations.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& eval : evaluations) {
+    const double cost =
+        eval.cost_per_user_step(report_cost, page_cost, callee_rate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &eval;
+    }
+  }
+  return *best;
+}
+
+}  // namespace confcall::cellular

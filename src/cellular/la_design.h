@@ -1,0 +1,75 @@
+// Location-area design: choosing the LA size that balances reporting
+// against paging.
+//
+// Section 1.1 of the paper: "The choice of location areas affects the
+// reporting traffic (e.g., [1,5])" — small LAs mean frequent boundary
+// crossings (uplink reports), large LAs mean expensive searches per call
+// (downlink pages). This module computes both sides ANALYTICALLY for the
+// Markov mobility model and a d-round paging policy, so a designer can
+// sweep tilings and pick the U-curve minimum without simulating:
+//
+//  * report rate — at stationarity, the per-user-step probability of
+//    crossing an LA boundary is sum_j pi(j) * sum_{j'} T(j,j') [LA(j') !=
+//    LA(j)], exact from the chain's transition rows;
+//  * paging cost — with LA-crossing reporting the database LA is always
+//    current, and a callee's location profile within it is the stationary
+//    distribution conditioned on the LA; the expected pages per callee is
+//    the LA-mass-weighted average of the optimal d-round single-user
+//    paging cost over the LAs (Fig. 1, exact for m = 1).
+//
+// Tests cross-validate both quantities against the discrete-event
+// simulator; bench E11 regenerates the classic U-curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cellular/mobility.h"
+#include "cellular/topology.h"
+
+namespace confcall::cellular {
+
+/// Analytic evaluation of one tiling.
+struct TilingEvaluation {
+  std::size_t tile_rows = 0;
+  std::size_t tile_cols = 0;
+  std::size_t num_areas = 0;
+  /// Expected LA-boundary crossings per user per step at stationarity.
+  double report_rate = 0.0;
+  /// Expected cells paged to find one callee (optimal d-round paging on
+  /// the stationary-conditional profile, averaged over LAs by mass).
+  double pages_per_callee = 0.0;
+
+  /// Combined wireless cost per user per step:
+  /// report_cost * report_rate + page_cost * callee_rate * pages_per_callee
+  /// where callee_rate is the per-user-step probability of being paged.
+  [[nodiscard]] double cost_per_user_step(double report_cost,
+                                          double page_cost,
+                                          double callee_rate) const {
+    return report_cost * report_rate +
+           page_cost * callee_rate * pages_per_callee;
+  }
+};
+
+/// Evaluates one tiling analytically. `paging_rounds` is the delay budget
+/// d used inside each LA. Throws std::invalid_argument on zero tile
+/// dimensions or zero rounds.
+TilingEvaluation evaluate_tiling(const GridTopology& grid,
+                                 const MarkovMobility& mobility,
+                                 std::size_t tile_rows, std::size_t tile_cols,
+                                 std::size_t paging_rounds);
+
+/// Evaluates every divisor-aligned square-ish tiling of the grid (all
+/// (tr, tc) with tr dividing rows and tc dividing cols), sorted by area
+/// size ascending.
+std::vector<TilingEvaluation> evaluate_all_tilings(
+    const GridTopology& grid, const MarkovMobility& mobility,
+    std::size_t paging_rounds);
+
+/// The tiling minimizing cost_per_user_step for the given weights.
+TilingEvaluation best_tiling(const GridTopology& grid,
+                             const MarkovMobility& mobility,
+                             std::size_t paging_rounds, double report_cost,
+                             double page_cost, double callee_rate);
+
+}  // namespace confcall::cellular

@@ -1,0 +1,61 @@
+#include "cellular/location_db.h"
+
+#include <stdexcept>
+
+namespace confcall::cellular {
+
+LocationDatabase::LocationDatabase(std::size_t num_users,
+                                   const LocationAreas& areas,
+                                   const std::vector<CellId>& initial_cells)
+    : areas_(&areas),
+      reported_cell_(initial_cells),
+      steps_since_report_(num_users, 0) {
+  if (initial_cells.size() != num_users) {
+    throw std::invalid_argument(
+        "LocationDatabase: one initial cell per user");
+  }
+  reported_area_.reserve(num_users);
+  for (const CellId cell : initial_cells) {
+    reported_area_.push_back(areas_->area_of(cell));
+  }
+}
+
+bool LocationDatabase::observe_move(UserId user, CellId new_cell,
+                                    ReportPolicy policy) {
+  switch (policy) {
+    case ReportPolicy::kNever:
+      return false;
+    case ReportPolicy::kOnAreaCrossing: {
+      const std::size_t new_area = areas_->area_of(new_cell);
+      if (new_area == reported_area_.at(user)) return false;
+      record_report(user, new_cell);
+      return true;
+    }
+    case ReportPolicy::kOnCellCrossing: {
+      if (new_cell == reported_cell_.at(user)) return false;
+      record_report(user, new_cell);
+      return true;
+    }
+    case ReportPolicy::kEveryTSteps:
+    case ReportPolicy::kDistanceThreshold:
+      // Timer and distance policies carry parameters and need topology;
+      // LocationService::observe_move implements them on top of
+      // record_report.
+      throw std::invalid_argument(
+          "LocationDatabase: timer/distance policies are handled by "
+          "LocationService");
+  }
+  throw std::logic_error("LocationDatabase: unknown policy");
+}
+
+void LocationDatabase::tick() {
+  for (auto& steps : steps_since_report_) ++steps;
+}
+
+void LocationDatabase::record_report(UserId user, CellId cell) {
+  reported_cell_.at(user) = cell;
+  reported_area_.at(user) = areas_->area_of(cell);
+  steps_since_report_.at(user) = 0;
+}
+
+}  // namespace confcall::cellular

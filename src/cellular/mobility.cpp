@@ -1,0 +1,95 @@
+#include "cellular/mobility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace confcall::cellular {
+
+MarkovMobility::MarkovMobility(const GridTopology& grid,
+                               double stay_probability)
+    : grid_(&grid), stay_(stay_probability) {
+  if (stay_ < 0.0 || stay_ >= 1.0) {
+    throw std::invalid_argument("MarkovMobility: need 0 <= stay < 1");
+  }
+}
+
+CellId MarkovMobility::step(CellId current, prob::Rng& rng) const {
+  if (rng.next_double() < stay_) return current;
+  const auto& neighbors = grid_->neighbors(current);
+  if (neighbors.empty()) return current;  // 1x1 grid
+  return neighbors[rng.next_below(neighbors.size())];
+}
+
+std::vector<double> MarkovMobility::transition_row(CellId cell) const {
+  std::vector<double> row(grid_->num_cells(), 0.0);
+  const auto& neighbors = grid_->neighbors(cell);
+  if (neighbors.empty()) {
+    row[cell] = 1.0;
+    return row;
+  }
+  row[cell] = stay_;
+  const double move = (1.0 - stay_) / static_cast<double>(neighbors.size());
+  for (const CellId n : neighbors) row[n] += move;
+  return row;
+}
+
+std::vector<double> MarkovMobility::evolve(std::vector<double> dist,
+                                           std::size_t steps) const {
+  const std::size_t c = grid_->num_cells();
+  if (dist.size() != c) {
+    throw std::invalid_argument("MarkovMobility::evolve: wrong length");
+  }
+  std::vector<double> next(c);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t j = 0; j < c; ++j) {
+      const double mass = dist[j];
+      if (mass == 0.0) continue;
+      const auto& neighbors = grid_->neighbors(static_cast<CellId>(j));
+      if (neighbors.empty()) {
+        next[j] += mass;
+        continue;
+      }
+      next[j] += mass * stay_;
+      const double move =
+          mass * (1.0 - stay_) / static_cast<double>(neighbors.size());
+      for (const CellId n : neighbors) next[n] += move;
+    }
+    dist.swap(next);
+  }
+  return dist;
+}
+
+std::vector<double> MarkovMobility::stationary_distribution(
+    std::size_t max_iters, double tol) const {
+  const std::size_t c = grid_->num_cells();
+  std::vector<double> dist(c, 1.0 / static_cast<double>(c));
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> next = evolve(dist, 1);
+    double delta = 0.0;
+    for (std::size_t j = 0; j < c; ++j) delta += std::abs(next[j] - dist[j]);
+    dist.swap(next);
+    if (delta < tol) return dist;
+  }
+  throw std::runtime_error(
+      "MarkovMobility: stationary distribution did not converge");
+}
+
+std::vector<CellId> MarkovMobility::generate_trace(CellId start,
+                                                   std::size_t steps,
+                                                   prob::Rng& rng) const {
+  if (start >= grid_->num_cells()) {
+    throw std::invalid_argument("MarkovMobility: start cell out of range");
+  }
+  std::vector<CellId> trace;
+  trace.reserve(steps + 1);
+  trace.push_back(start);
+  CellId current = start;
+  for (std::size_t t = 0; t < steps; ++t) {
+    current = step(current, rng);
+    trace.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace confcall::cellular

@@ -1,0 +1,57 @@
+// User mobility models over a cell grid.
+//
+// The paper assumes the per-device location distribution is given ([15,16]
+// estimate it from movement). The simulator closes that loop: devices move
+// by a lazy random walk (a Markov chain on the cell graph), the location
+// management layer estimates distributions from observed traces
+// (profile.h), and the paging algorithms consume the estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cellular/topology.h"
+#include "prob/rng.h"
+
+namespace confcall::cellular {
+
+/// Lazy random walk on the grid: with probability `stay` remain in the
+/// current cell, otherwise move to a uniformly random neighbour. With
+/// stay > 0 the chain is aperiodic; on a connected grid it is ergodic, so
+/// the stationary distribution exists and power iteration converges.
+class MarkovMobility {
+ public:
+  /// Throws std::invalid_argument unless 0 <= stay < 1 (stay = 1 would
+  /// freeze every user and the stationary profile would be degenerate).
+  MarkovMobility(const GridTopology& grid, double stay_probability);
+
+  [[nodiscard]] const GridTopology& grid() const noexcept { return *grid_; }
+  [[nodiscard]] double stay_probability() const noexcept { return stay_; }
+
+  /// One transition from `current`.
+  [[nodiscard]] CellId step(CellId current, prob::Rng& rng) const;
+
+  /// The full transition-probability row of a cell (dense, length c).
+  [[nodiscard]] std::vector<double> transition_row(CellId cell) const;
+
+  /// Stationary distribution by power iteration to L1 tolerance `tol`
+  /// (throws std::runtime_error if not converged in `max_iters`).
+  [[nodiscard]] std::vector<double> stationary_distribution(
+      std::size_t max_iters = 100000, double tol = 1e-12) const;
+
+  /// `dist` advanced `steps` transitions (the t-step predictive
+  /// distribution used by the last-seen profile estimator).
+  [[nodiscard]] std::vector<double> evolve(std::vector<double> dist,
+                                           std::size_t steps) const;
+
+  /// A trace of `steps + 1` cells starting at `start` (inclusive).
+  [[nodiscard]] std::vector<CellId> generate_trace(CellId start,
+                                                   std::size_t steps,
+                                                   prob::Rng& rng) const;
+
+ private:
+  const GridTopology* grid_;
+  double stay_;
+};
+
+}  // namespace confcall::cellular

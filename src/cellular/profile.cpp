@@ -1,0 +1,86 @@
+#include "cellular/profile.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace confcall::cellular {
+
+prob::ProbabilityVector restrict_to_area(std::span<const double> full,
+                                         std::span<const CellId> area_cells) {
+  if (area_cells.empty()) {
+    throw std::invalid_argument("restrict_to_area: empty area");
+  }
+  std::vector<double> weights;
+  weights.reserve(area_cells.size());
+  for (const CellId cell : area_cells) {
+    if (cell >= full.size()) {
+      throw std::invalid_argument("restrict_to_area: cell out of range");
+    }
+    weights.push_back(full[cell]);
+  }
+  return prob::normalized(std::move(weights));
+}
+
+prob::ProbabilityVector empirical_profile(std::span<const CellId> trace,
+                                          std::span<const CellId> area_cells,
+                                          double laplace_alpha) {
+  if (area_cells.empty()) {
+    throw std::invalid_argument("empirical_profile: empty area");
+  }
+  if (laplace_alpha < 0.0) {
+    throw std::invalid_argument("empirical_profile: negative alpha");
+  }
+  std::unordered_map<CellId, std::size_t> slot_of;
+  slot_of.reserve(area_cells.size());
+  for (std::size_t k = 0; k < area_cells.size(); ++k) {
+    slot_of.emplace(area_cells[k], k);
+  }
+  std::vector<double> weights(area_cells.size(), laplace_alpha);
+  for (const CellId visited : trace) {
+    const auto it = slot_of.find(visited);
+    if (it != slot_of.end()) weights[it->second] += 1.0;
+  }
+  return prob::normalized(std::move(weights));
+}
+
+prob::ProbabilityVector profile_from_counts(std::span<const double> counts,
+                                            std::span<const CellId> area_cells,
+                                            double laplace_alpha) {
+  if (area_cells.empty()) {
+    throw std::invalid_argument("profile_from_counts: empty area");
+  }
+  if (laplace_alpha < 0.0) {
+    throw std::invalid_argument("profile_from_counts: negative alpha");
+  }
+  std::vector<double> weights;
+  weights.reserve(area_cells.size());
+  for (const CellId cell : area_cells) {
+    if (cell >= counts.size()) {
+      throw std::invalid_argument("profile_from_counts: cell out of range");
+    }
+    weights.push_back(counts[cell] + laplace_alpha);
+  }
+  return prob::normalized(std::move(weights));
+}
+
+prob::ProbabilityVector stationary_profile(
+    const MarkovMobility& mobility, std::span<const CellId> area_cells) {
+  const std::vector<double> stationary = mobility.stationary_distribution();
+  return restrict_to_area(stationary, area_cells);
+}
+
+prob::ProbabilityVector last_seen_profile(
+    const MarkovMobility& mobility, CellId last_seen, std::size_t steps_since,
+    std::span<const CellId> area_cells) {
+  const std::size_t c = mobility.grid().num_cells();
+  if (last_seen >= c) {
+    throw std::invalid_argument("last_seen_profile: cell out of range");
+  }
+  std::vector<double> dist(c, 0.0);
+  dist[last_seen] = 1.0;
+  dist = mobility.evolve(std::move(dist), steps_since);
+  return restrict_to_area(dist, area_cells);
+}
+
+}  // namespace confcall::cellular

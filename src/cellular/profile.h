@@ -1,0 +1,62 @@
+// Location-probability profile estimators.
+//
+// The paging algorithms need, per device, a probability vector over the
+// cells of a location area. The paper points to [15,16] for how real
+// systems obtain such vectors; this module implements the three standard
+// estimator families those lines of work describe:
+//
+//  * empirical   — visit frequencies from an observed trace, with Laplace
+//                  smoothing so unvisited cells keep non-zero mass (the
+//                  paper's model assumes positive probabilities);
+//  * stationary  — the mobility chain's long-run distribution (what a
+//                  system knowing only the mobility model would use);
+//  * last-seen   — the t-step predictive distribution given the cell where
+//                  the device last contacted the network t steps ago.
+//
+// Each estimator returns the distribution conditioned on (restricted and
+// renormalized to) the cells of one location area.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "cellular/mobility.h"
+#include "cellular/topology.h"
+#include "prob/distribution.h"
+
+namespace confcall::cellular {
+
+/// Restricts a full-grid distribution to `area_cells` and renormalizes.
+/// Throws std::invalid_argument when the restricted mass is zero.
+prob::ProbabilityVector restrict_to_area(std::span<const double> full,
+                                         std::span<const CellId> area_cells);
+
+/// Laplace-smoothed visit frequencies of `trace` over `area_cells`:
+/// (count_j + alpha) / (total + alpha * |area|). alpha > 0 guarantees the
+/// positive-probability assumption of the paper's model. Visits outside
+/// the area are ignored. Throws std::invalid_argument when alpha <= 0 and
+/// the trace never visits the area.
+prob::ProbabilityVector empirical_profile(std::span<const CellId> trace,
+                                          std::span<const CellId> area_cells,
+                                          double laplace_alpha = 1.0);
+
+/// The mobility chain's stationary distribution, restricted to the area.
+prob::ProbabilityVector stationary_profile(const MarkovMobility& mobility,
+                                           std::span<const CellId> area_cells);
+
+/// Laplace-smoothed profile from a full-grid visit-count vector (what the
+/// simulator maintains incrementally): (counts[j] + alpha) normalized over
+/// the area cells.
+prob::ProbabilityVector profile_from_counts(std::span<const double> counts,
+                                            std::span<const CellId> area_cells,
+                                            double laplace_alpha = 1.0);
+
+/// The `steps_since`-step predictive distribution from `last_seen`,
+/// restricted to the area. steps_since = 0 returns a point mass (requires
+/// last_seen to be inside the area).
+prob::ProbabilityVector last_seen_profile(const MarkovMobility& mobility,
+                                          CellId last_seen,
+                                          std::size_t steps_since,
+                                          std::span<const CellId> area_cells);
+
+}  // namespace confcall::cellular

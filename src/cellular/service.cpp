@@ -1,0 +1,309 @@
+#include "cellular/service.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "cellular/profile.h"
+#include "core/adaptive.h"
+#include "core/evaluator.h"
+#include "core/greedy.h"
+
+namespace confcall::cellular {
+
+namespace {
+
+/// Validated before LocationDatabase construction (which would otherwise
+/// surface out-of-range cells as std::out_of_range from area lookups).
+std::vector<CellId> checked_initial_cells(const GridTopology& grid,
+                                          std::vector<CellId> cells) {
+  if (cells.empty()) {
+    throw std::invalid_argument("LocationService: no users");
+  }
+  for (const CellId cell : cells) {
+    if (cell >= grid.num_cells()) {
+      throw std::invalid_argument("LocationService: initial cell range");
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+LocationService::LocationService(const GridTopology& grid,
+                                 const LocationAreas& areas,
+                                 const MarkovMobility& mobility,
+                                 Config config,
+                                 std::vector<CellId> initial_cells)
+    : grid_(&grid),
+      areas_(&areas),
+      mobility_(&mobility),
+      config_(config),
+      db_(checked_initial_cells(grid, initial_cells).size(), areas,
+          checked_initial_cells(grid, initial_cells)) {
+  if (config_.max_paging_rounds == 0) {
+    throw std::invalid_argument("LocationService: zero paging rounds");
+  }
+  if (config_.timer_period == 0) {
+    throw std::invalid_argument("LocationService: zero timer period");
+  }
+  if (config_.distance_threshold == 0) {
+    throw std::invalid_argument("LocationService: zero distance threshold");
+  }
+  if (config_.detection_probability <= 0.0 ||
+      config_.detection_probability > 1.0) {
+    throw std::invalid_argument(
+        "LocationService: detection_probability must be in (0, 1]");
+  }
+  if (config_.detection_probability < 1.0 &&
+      config_.paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "LocationService: the adaptive policy assumes perfect detection");
+  }
+  visit_counts_.assign(initial_cells.size(),
+                       std::vector<double>(grid_->num_cells(), 0.0));
+  if (config_.profile_kind == ProfileKind::kStationary) {
+    stationary_ = mobility_->stationary_distribution();
+  }
+}
+
+bool LocationService::observe_move(UserId user, CellId new_cell) {
+  if (user >= num_users() || new_cell >= grid_->num_cells()) {
+    throw std::invalid_argument("observe_move: out of range");
+  }
+  visit_counts_[user][new_cell] += 1.0;
+  switch (config_.report_policy) {
+    case ReportPolicy::kEveryTSteps:
+      // tick() runs after the per-step observe batch, so the clock reads
+      // the number of completed steps since the last report; reporting at
+      // clock == T gives an exact period of T steps.
+      if (db_.steps_since_report(user) >= config_.timer_period) {
+        db_.record_report(user, new_cell);
+        return true;
+      }
+      return false;
+    case ReportPolicy::kDistanceThreshold:
+      if (grid_->distance(db_.reported_cell(user), new_cell) >=
+          config_.distance_threshold) {
+        db_.record_report(user, new_cell);
+        return true;
+      }
+      return false;
+    default:
+      return db_.observe_move(user, new_cell, config_.report_policy);
+  }
+}
+
+void LocationService::tick() { db_.tick(); }
+
+prob::ProbabilityVector LocationService::profile_for(
+    UserId user, std::size_t area) const {
+  const auto& cells = areas_->cells_in(area);
+  switch (config_.profile_kind) {
+    case ProfileKind::kEmpirical:
+      return profile_from_counts(visit_counts_.at(user), cells,
+                                 config_.laplace_alpha);
+    case ProfileKind::kStationary:
+      return restrict_to_area(stationary_, cells);
+    case ProfileKind::kLastSeen: {
+      const std::size_t steps = std::min(db_.steps_since_report(user),
+                                         config_.last_seen_horizon);
+      return last_seen_profile(*mobility_, db_.reported_cell(user), steps,
+                               cells);
+    }
+  }
+  throw std::logic_error("profile_for: unknown profile kind");
+}
+
+bool LocationService::page_answered(std::size_t cohabitants,
+                                    prob::Rng& rng) const {
+  double q = config_.detection_probability;
+  if (q >= 1.0) return true;
+  if (config_.collision_losses && cohabitants > 1) {
+    q /= static_cast<double>(cohabitants);
+  }
+  return rng.next_double() < q;
+}
+
+LocationService::AreaOutcome LocationService::execute_area_strategy(
+    const core::Strategy& strategy, std::span<const UserId> users,
+    std::span<const CellId> true_cells,
+    const std::vector<std::size_t>& local_of, std::vector<bool>& found,
+    LocateOutcome& outcome, prob::Rng& rng) {
+  const auto cohabitant_count = [&](CellId cell) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if (!found[i] && true_cells[i] == cell) ++count;
+    }
+    return count;
+  };
+
+  AreaOutcome area;
+  for (std::size_t r = 0; r < strategy.num_rounds(); ++r) {
+    area.pages += strategy.group(r).size();
+    area.rounds = r + 1;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if (found[i] || local_of[i] == kUnknownLocal) continue;
+      if (strategy.round_of(static_cast<core::CellId>(local_of[i])) != r) {
+        continue;
+      }
+      if (page_answered(cohabitant_count(true_cells[i]), rng)) {
+        found[i] = true;
+      } else {
+        ++outcome.missed_detections;
+      }
+    }
+    bool everyone_found = true;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      everyone_found &= found[i];
+    }
+    if (everyone_found) {
+      area.ran_all_rounds = r + 1 == strategy.num_rounds();
+      return area;
+    }
+  }
+  area.ran_all_rounds = true;
+  return area;
+}
+
+LocationService::LocateOutcome LocationService::locate(
+    std::span<const UserId> users, std::span<const CellId> true_cells,
+    prob::Rng& rng) {
+  if (users.size() != true_cells.size() || users.empty()) {
+    throw std::invalid_argument(
+        "locate: need one true cell per user, at least one user");
+  }
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (users[i] >= num_users() || true_cells[i] >= grid_->num_cells()) {
+      throw std::invalid_argument("locate: out of range");
+    }
+  }
+
+  LocateOutcome outcome;
+
+  // Group callees by their last-reported location area — each group is
+  // one Conference Call instance over that area's cells.
+  std::map<std::size_t, std::vector<std::size_t>> by_area;  // -> indices
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    by_area[db_.reported_area(users[i])].push_back(i);
+  }
+
+  std::vector<bool> area_paged_fully(areas_->num_areas(), false);
+  std::vector<std::size_t> missing;  // indices into users
+  bool any_missed_detection = false;
+  for (const auto& [area, indices] : by_area) {
+    const auto& cells = areas_->cells_in(area);
+    std::vector<UserId> group_users;
+    std::vector<CellId> group_cells;
+    for (const std::size_t i : indices) {
+      group_users.push_back(users[i]);
+      group_cells.push_back(true_cells[i]);
+    }
+
+    // Local (within-area) cell index per callee; kUnknownLocal = stale.
+    std::vector<std::size_t> local_of(indices.size(), kUnknownLocal);
+    bool all_present = true;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const auto it =
+          std::find(cells.begin(), cells.end(), group_cells[k]);
+      if (it == cells.end()) {
+        all_present = false;
+      } else {
+        local_of[k] = static_cast<std::size_t>(it - cells.begin());
+      }
+    }
+
+    const std::size_t d =
+        std::min(config_.max_paging_rounds, cells.size());
+    std::vector<bool> found(indices.size(), false);
+    AreaOutcome area_outcome;
+    if (config_.paging_policy == PagingPolicy::kAdaptive && all_present) {
+      std::vector<core::CellId> local_true(indices.size());
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        local_true[k] = static_cast<core::CellId>(local_of[k]);
+      }
+      std::vector<prob::ProbabilityVector> rows;
+      rows.reserve(indices.size());
+      for (const UserId user : group_users) {
+        rows.push_back(profile_for(user, area));
+      }
+      const core::AdaptiveOutcome adaptive = core::run_adaptive(
+          core::Instance::from_rows(rows), d, local_true);
+      area_outcome.pages = adaptive.cells_paged;
+      area_outcome.rounds = adaptive.rounds_used;
+      area_outcome.ran_all_rounds = adaptive.cells_paged == cells.size();
+      found.assign(indices.size(), true);
+    } else {
+      core::Strategy strategy = core::Strategy::blanket(cells.size());
+      if (config_.paging_policy != PagingPolicy::kBlanketArea) {
+        std::vector<prob::ProbabilityVector> rows;
+        rows.reserve(indices.size());
+        for (const UserId user : group_users) {
+          rows.push_back(profile_for(user, area));
+        }
+        strategy =
+            core::plan_greedy(core::Instance::from_rows(rows), d).strategy;
+      }
+      area_outcome = execute_area_strategy(strategy, group_users,
+                                           group_cells, local_of, found,
+                                           outcome, rng);
+    }
+    outcome.cells_paged += area_outcome.pages;
+    outcome.rounds_used =
+        std::max(outcome.rounds_used, area_outcome.rounds);
+    area_paged_fully[area] = area_outcome.ran_all_rounds;
+
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (found[k]) {
+        // A found callee answered a base station: implicit location
+        // report, free of uplink-report cost (rides on the response).
+        db_.record_report(group_users[k], group_cells[k]);
+      } else {
+        missing.push_back(indices[k]);
+        if (local_of[k] != kUnknownLocal) any_missed_detection = true;
+      }
+    }
+  }
+
+  // Recovery sweeps: blanket-page until every callee answers. The first
+  // sweep may skip areas already paged in full — but only when nothing
+  // was MISSED inside them (a missed device needs its cell re-paged).
+  std::size_t not_fully_paged = 0;
+  for (std::size_t area = 0; area < areas_->num_areas(); ++area) {
+    if (!area_paged_fully[area]) {
+      not_fully_paged += areas_->cells_in(area).size();
+    }
+  }
+  std::size_t sweep = 0;
+  while (!missing.empty() && sweep < config_.max_recovery_sweeps) {
+    const std::size_t sweep_pages =
+        (sweep == 0 && !any_missed_detection) ? not_fully_paged
+                                              : grid_->num_cells();
+    outcome.cells_paged += sweep_pages;
+    outcome.fallback_pages += sweep_pages;
+    outcome.rounds_used += 1;
+    std::vector<std::size_t> still_missing;
+    for (const std::size_t i : missing) {
+      std::size_t cohabitants = 0;
+      for (const std::size_t other : missing) {
+        if (true_cells[other] == true_cells[i]) ++cohabitants;
+      }
+      if (page_answered(cohabitants, rng)) {
+        db_.record_report(users[i], true_cells[i]);
+      } else {
+        ++outcome.missed_detections;
+        still_missing.push_back(i);
+      }
+    }
+    missing = std::move(still_missing);
+    ++sweep;
+  }
+  // Persistent paging always succeeds eventually; model the tail as the
+  // device finally answering without further accounted sweeps.
+  for (const std::size_t i : missing) {
+    db_.record_report(users[i], true_cells[i]);
+  }
+  return outcome;
+}
+
+}  // namespace confcall::cellular

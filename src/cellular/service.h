@@ -1,0 +1,144 @@
+// The location management service (paper Section 1.1) as a reusable
+// component.
+//
+// "One of the main components of a wireless system is a location
+// management service [2,20]. Its goal is to track the locations of devices
+// that are needed in order to establish calls." This class is that
+// component: it ingests device movement events (applying the configured
+// reporting policy and maintaining visit statistics), and serves locate()
+// requests by planning and executing a paging search per location area —
+// the GSM blanket, the paper's Fig. 1 planner, or the Section 5 adaptive
+// variant — including the imperfect-detection recovery path.
+//
+// The service never reads ground truth on its own: callers (a simulator,
+// a test harness, in principle a real radio layer) supply the devices'
+// actual cells at locate() time, standing in for the base stations that
+// would hear the page responses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cellular/location_db.h"
+#include "cellular/mobility.h"
+#include "cellular/topology.h"
+#include "core/strategy.h"
+#include "prob/distribution.h"
+#include "prob/rng.h"
+
+namespace confcall::cellular {
+
+/// How the network pages the cells of a location area during call setup.
+enum class PagingPolicy {
+  kBlanketArea,  ///< page the whole LA at once (GSM MAP / IS-41 baseline)
+  kGreedy,       ///< the paper's Fig. 1 d-round strategy
+  kAdaptive,     ///< Section 5 adaptive re-planning
+};
+
+/// Which location-profile estimator feeds the planner.
+enum class ProfileKind {
+  kEmpirical,   ///< smoothed visit counts observed so far
+  kStationary,  ///< mobility chain's stationary distribution
+  kLastSeen,    ///< t-step prediction from the last reported cell
+};
+
+/// A network-side location management service over one cell grid.
+class LocationService {
+ public:
+  struct Config {
+    ReportPolicy report_policy = ReportPolicy::kOnAreaCrossing;
+    /// Period T for ReportPolicy::kEveryTSteps (>= 1).
+    std::size_t timer_period = 16;
+    /// Hop threshold D for ReportPolicy::kDistanceThreshold (>= 1).
+    std::size_t distance_threshold = 2;
+    PagingPolicy paging_policy = PagingPolicy::kGreedy;
+    ProfileKind profile_kind = ProfileKind::kLastSeen;
+    std::size_t max_paging_rounds = 3;   ///< the delay constraint d
+    double laplace_alpha = 1.0;          ///< empirical-profile smoothing
+    std::size_t last_seen_horizon = 100;  ///< cap on prediction steps
+    /// Section 5 imperfect detection: P[a paged device answers].
+    double detection_probability = 1.0;
+    /// Section 5 response collisions: detection probability divides by
+    /// the number of sought devices sharing the paged cell.
+    bool collision_losses = false;
+    /// Whole-grid recovery sweeps before force-registering a device.
+    std::size_t max_recovery_sweeps = 8;
+  };
+
+  /// Registers `initial_cells.size()` devices at their starting cells (a
+  /// power-on attach). Throws std::invalid_argument on an invalid config
+  /// (detection probability outside (0,1], adaptive policy combined with
+  /// imperfect detection) or empty user set. The topology objects must
+  /// outlive the service.
+  LocationService(const GridTopology& grid, const LocationAreas& areas,
+                  const MarkovMobility& mobility, Config config,
+                  std::vector<CellId> initial_cells);
+
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return visit_counts_.size();
+  }
+
+  /// Ingests one movement event; returns true when the reporting policy
+  /// sent an uplink report (which the caller accounts).
+  bool observe_move(UserId user, CellId new_cell);
+
+  /// Advances the per-device "steps since last report" clocks; call once
+  /// per global time step after the observe_move batch.
+  void tick();
+
+  /// Result of one locate() request.
+  struct LocateOutcome {
+    std::size_t cells_paged = 0;
+    std::size_t rounds_used = 0;
+    /// Pages spent on whole-grid recovery sweeps (stale database entries
+    /// or unanswered pages).
+    std::size_t fallback_pages = 0;
+    /// Pages that hit a sought device's cell but went unanswered.
+    std::size_t missed_detections = 0;
+  };
+
+  /// Locates `users` (their actual cells supplied positionally in
+  /// `true_cells` by the caller's radio layer). Plans per reported
+  /// location area, executes the search under the detection model using
+  /// `rng`, updates the database with every answer, and runs recovery
+  /// sweeps until everyone is found. Throws std::invalid_argument on
+  /// size mismatches or out-of-range cells.
+  LocateOutcome locate(std::span<const UserId> users,
+                       std::span<const CellId> true_cells, prob::Rng& rng);
+
+  /// The location profile the service would use for `user` over the cells
+  /// of `area` right now (exposed for inspection and tests).
+  [[nodiscard]] prob::ProbabilityVector profile_for(UserId user,
+                                                    std::size_t area) const;
+
+  /// The database record, for inspection.
+  [[nodiscard]] const LocationDatabase& database() const { return db_; }
+
+ private:
+  bool page_answered(std::size_t cohabitants, prob::Rng& rng) const;
+
+  struct AreaOutcome {
+    std::size_t pages = 0;
+    std::size_t rounds = 0;
+    bool ran_all_rounds = false;
+  };
+  static constexpr std::size_t kUnknownLocal = static_cast<std::size_t>(-1);
+  AreaOutcome execute_area_strategy(const core::Strategy& strategy,
+                                    std::span<const UserId> users,
+                                    std::span<const CellId> true_cells,
+                                    const std::vector<std::size_t>& local_of,
+                                    std::vector<bool>& found,
+                                    LocateOutcome& outcome, prob::Rng& rng);
+
+  const GridTopology* grid_;
+  const LocationAreas* areas_;
+  const MarkovMobility* mobility_;
+  Config config_;
+  LocationDatabase db_;
+  std::vector<std::vector<double>> visit_counts_;  // per user, per cell
+  std::vector<double> stationary_;  // cached when profile kind needs it
+};
+
+}  // namespace confcall::cellular

@@ -1,0 +1,84 @@
+#include "cellular/simulator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "cellular/mobility.h"
+#include "cellular/topology.h"
+
+namespace confcall::cellular {
+
+SimReport run_simulation(const SimConfig& config) {
+  if (config.num_users == 0) {
+    throw std::invalid_argument("SimConfig: zero users");
+  }
+  const GridTopology grid(config.grid_rows, config.grid_cols,
+                          config.toroidal, config.neighborhood);
+  const LocationAreas areas =
+      LocationAreas::tiles(grid, config.la_tile_rows, config.la_tile_cols);
+  const MarkovMobility mobility(grid, config.stay_probability);
+  prob::Rng rng(config.seed);
+
+  // Scatter users uniformly; the service registers everyone on attach.
+  std::vector<CellId> user_cells;
+  user_cells.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    user_cells.push_back(
+        static_cast<CellId>(rng.next_below(grid.num_cells())));
+  }
+
+  LocationService::Config service_config;
+  service_config.report_policy = config.report_policy;
+  service_config.timer_period = config.timer_period;
+  service_config.distance_threshold = config.distance_threshold;
+  service_config.paging_policy = config.paging_policy;
+  service_config.profile_kind = config.profile_kind;
+  service_config.max_paging_rounds = config.max_paging_rounds;
+  service_config.laplace_alpha = config.laplace_alpha;
+  service_config.last_seen_horizon = config.last_seen_horizon;
+  service_config.detection_probability = config.detection_probability;
+  service_config.collision_losses = config.collision_losses;
+  service_config.max_recovery_sweeps = config.max_recovery_sweeps;
+  LocationService service(grid, areas, mobility, service_config,
+                          user_cells);
+
+  const CallGenerator calls(config.call_rate, config.num_users,
+                            config.group_min, config.group_max);
+  SimReport report;
+
+  const auto move_users = [&] {
+    for (std::size_t u = 0; u < config.num_users; ++u) {
+      user_cells[u] = mobility.step(user_cells[u], rng);
+      if (service.observe_move(static_cast<UserId>(u), user_cells[u])) {
+        ++report.reports_sent;
+      }
+    }
+    service.tick();
+  };
+
+  for (std::size_t t = 0; t < config.warmup_steps; ++t) move_users();
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    move_users();
+    const CallEvent event = calls.maybe_call(rng);
+    if (event.participants.empty()) continue;
+
+    std::vector<CellId> true_cells;
+    true_cells.reserve(event.participants.size());
+    for (const UserId user : event.participants) {
+      true_cells.push_back(user_cells[user]);
+    }
+    const LocationService::LocateOutcome outcome =
+        service.locate(event.participants, true_cells, rng);
+
+    ++report.calls_served;
+    report.cells_paged_total += outcome.cells_paged;
+    report.fallback_pages += outcome.fallback_pages;
+    report.missed_detections += outcome.missed_detections;
+    report.pages_per_call.add(static_cast<double>(outcome.cells_paged));
+    report.rounds_per_call.add(static_cast<double>(outcome.rounds_used));
+  }
+  report.steps = config.warmup_steps + config.steps;
+  return report;
+}
+
+}  // namespace confcall::cellular

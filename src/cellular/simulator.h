@@ -1,0 +1,92 @@
+// End-to-end location-management simulator.
+//
+// Ties the substrate together into the system of the paper's Section 1.1:
+// devices roam a cell grid (mobility.h), conference calls arrive
+// (events.h), and a LocationService (service.h) tracks reports and pages
+// callees under a delay constraint. Wireless cost = uplink reports +
+// downlink pages, reproducing the reporting/paging tradeoff the paper
+// frames (experiment E9).
+#pragma once
+
+#include <cstdint>
+
+#include "cellular/events.h"
+#include "cellular/service.h"
+#include "prob/stats.h"
+
+namespace confcall::cellular {
+
+/// Simulation parameters. Defaults give a moderate system that runs in
+/// milliseconds.
+struct SimConfig {
+  std::size_t grid_rows = 8;
+  std::size_t grid_cols = 8;
+  bool toroidal = true;
+  /// Cell adjacency: 4-neighbour grid, 8-neighbour, or hexagonal (the
+  /// usual cellular-planning layout).
+  Neighborhood neighborhood = Neighborhood::kVonNeumann;
+  std::size_t la_tile_rows = 4;  ///< location areas tile the grid
+  std::size_t la_tile_cols = 4;
+  std::size_t num_users = 32;
+  double stay_probability = 0.6;  ///< mobility laziness
+  double call_rate = 0.2;         ///< P[a call arrives] per step
+  std::size_t group_min = 2;      ///< conference size range
+  std::size_t group_max = 4;
+  std::size_t max_paging_rounds = 3;  ///< the delay constraint d
+  ReportPolicy report_policy = ReportPolicy::kOnAreaCrossing;
+  std::size_t timer_period = 16;       ///< for kEveryTSteps
+  std::size_t distance_threshold = 2;  ///< for kDistanceThreshold
+  PagingPolicy paging_policy = PagingPolicy::kGreedy;
+  ProfileKind profile_kind = ProfileKind::kLastSeen;
+  double laplace_alpha = 1.0;    ///< smoothing for empirical profiles
+  std::size_t last_seen_horizon = 100;  ///< cap on prediction steps
+  std::size_t steps = 2000;       ///< simulated steps with traffic
+  std::size_t warmup_steps = 200;  ///< movement-only steps beforehand
+  /// Section 5's imperfect-detection extension: paging a cell finds a
+  /// device located there only with this probability (1 = classic model).
+  /// Missed devices are recovered by repeated whole-grid sweeps, all
+  /// accounted as paging cost. Requires kBlanketArea or kGreedy paging
+  /// (the adaptive planner's conditioning assumes perfect detection).
+  double detection_probability = 1.0;
+  /// Section 5's response-collision refinement: when several SOUGHT
+  /// devices share a paged cell, each answers the page successfully with
+  /// probability detection_probability / (devices in that cell).
+  bool collision_losses = false;
+  /// Recovery sweeps before a missing device is force-registered (models
+  /// the device eventually answering a persistent page).
+  std::size_t max_recovery_sweeps = 8;
+  double report_cost = 1.0;  ///< uplink cost per location report
+  double page_cost = 1.0;    ///< downlink cost per cell paged
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated results of one simulation run.
+struct SimReport {
+  std::size_t steps = 0;
+  std::size_t calls_served = 0;
+  std::size_t reports_sent = 0;
+  std::size_t cells_paged_total = 0;
+  /// Pages spent blanket-covering the rest of the grid because a callee
+  /// had left its reported area (stale database) or was missed by an
+  /// unanswered page (detection_probability < 1).
+  std::size_t fallback_pages = 0;
+  /// Pages that hit a sought device's cell but went unanswered
+  /// (detection_probability < 1 only).
+  std::size_t missed_detections = 0;
+  prob::RunningStats pages_per_call;
+  prob::RunningStats rounds_per_call;
+
+  /// report_cost * reports + page_cost * pages, with the weights used.
+  [[nodiscard]] double wireless_cost(double report_cost,
+                                     double page_cost) const {
+    return report_cost * static_cast<double>(reports_sent) +
+           page_cost * static_cast<double>(cells_paged_total);
+  }
+};
+
+/// Runs one simulation to completion. Deterministic given the config
+/// (including its seed). Throws std::invalid_argument on inconsistent
+/// configuration (zero users, group sizes out of range, d = 0, ...).
+SimReport run_simulation(const SimConfig& config);
+
+}  // namespace confcall::cellular

@@ -1,0 +1,83 @@
+#include "cellular/workload.h"
+
+namespace confcall::cellular {
+
+Scenario dense_urban_scenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.name = "dense-urban";
+  scenario.description =
+      "16x16 hexagonally-planned small cells, 4x4-cell location areas, "
+      "120 fast users, frequent conferences of 3-5";
+  SimConfig& config = scenario.config;
+  config.grid_rows = 16;
+  config.grid_cols = 16;
+  config.toroidal = true;
+  config.neighborhood = Neighborhood::kHexagonal;  // real cell planning
+  config.la_tile_rows = 4;
+  config.la_tile_cols = 4;
+  config.num_users = 120;
+  config.stay_probability = 0.3;
+  config.call_rate = 0.5;
+  config.group_min = 3;
+  config.group_max = 5;
+  config.max_paging_rounds = 3;
+  config.steps = 1500;
+  config.warmup_steps = 150;
+  config.seed = seed;
+  return scenario;
+}
+
+Scenario campus_scenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.name = "campus";
+  scenario.description =
+      "8x8 cells, two 8x4 location areas, 32 lazy users, occasional "
+      "conferences of 2-4";
+  SimConfig& config = scenario.config;
+  config.grid_rows = 8;
+  config.grid_cols = 8;
+  config.toroidal = false;
+  config.la_tile_rows = 8;
+  config.la_tile_cols = 4;
+  config.num_users = 32;
+  config.stay_probability = 0.75;
+  config.call_rate = 0.2;
+  config.group_min = 2;
+  config.group_max = 4;
+  config.max_paging_rounds = 4;
+  config.steps = 2000;
+  config.warmup_steps = 300;
+  config.seed = seed;
+  return scenario;
+}
+
+Scenario highway_scenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.name = "highway";
+  scenario.description =
+      "2x32 corridor cells, 2x8 location areas, 24 very mobile users, "
+      "sparse pair calls";
+  SimConfig& config = scenario.config;
+  config.grid_rows = 2;
+  config.grid_cols = 32;
+  config.toroidal = true;  // wrap the corridor so flow never pools
+  config.la_tile_rows = 2;
+  config.la_tile_cols = 8;
+  config.num_users = 24;
+  config.stay_probability = 0.1;
+  config.call_rate = 0.08;
+  config.group_min = 2;
+  config.group_max = 2;
+  config.max_paging_rounds = 2;
+  config.steps = 3000;
+  config.warmup_steps = 200;
+  config.seed = seed;
+  return scenario;
+}
+
+std::vector<Scenario> all_scenarios(std::uint64_t seed) {
+  return {dense_urban_scenario(seed), campus_scenario(seed),
+          highway_scenario(seed)};
+}
+
+}  // namespace confcall::cellular

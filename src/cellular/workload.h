@@ -1,0 +1,39 @@
+// Named simulation scenarios.
+//
+// The paper's motivation spans very different deployments — dense urban
+// cores with small cells and fast-moving users, suburban campuses,
+// highway corridors with directional movement approximated by fast
+// mixing. These presets give examples, tests and benchmarks a shared,
+// documented vocabulary instead of ad-hoc parameter soups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cellular/simulator.h"
+
+namespace confcall::cellular {
+
+/// A named, documented scenario preset.
+struct Scenario {
+  std::string name;
+  std::string description;
+  SimConfig config;
+};
+
+/// Dense urban core: many small cells, small LAs, fast users, heavy
+/// conference traffic. Paging dominates the wireless bill.
+Scenario dense_urban_scenario(std::uint64_t seed = 1);
+
+/// Suburban campus: moderate grid, two LAs, lazy users, medium traffic —
+/// the regime where multi-round paging shines.
+Scenario campus_scenario(std::uint64_t seed = 1);
+
+/// Highway corridor: a long thin grid, very mobile users, sparse calls.
+/// Reporting dominates the wireless bill.
+Scenario highway_scenario(std::uint64_t seed = 1);
+
+/// All presets, for sweep harnesses.
+std::vector<Scenario> all_scenarios(std::uint64_t seed = 1);
+
+}  // namespace confcall::cellular

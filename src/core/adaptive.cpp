@@ -1,0 +1,205 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/greedy.h"
+
+namespace confcall::core {
+
+namespace {
+
+/// Conditional sub-instance over `cells` for the devices in `devices`.
+/// Unlike Instance::restrict_cells this tolerates a device whose model
+/// mass on the remaining cells is (numerically) zero — the observation
+/// "still unfound" then contradicts the model, and we fall back to a
+/// uniform conditional, which is the standard maximum-entropy repair.
+Instance conditional_instance(const Instance& instance,
+                              std::span<const DeviceId> devices,
+                              std::span<const CellId> cells) {
+  std::vector<double> flat;
+  flat.reserve(devices.size() * cells.size());
+  for (const DeviceId device : devices) {
+    double mass = 0.0;
+    for (const CellId cell : cells) mass += instance.prob(device, cell);
+    if (mass > 1e-15) {
+      for (const CellId cell : cells) {
+        flat.push_back(instance.prob(device, cell) / mass);
+      }
+    } else {
+      const double uniform = 1.0 / static_cast<double>(cells.size());
+      for (std::size_t j = 0; j < cells.size(); ++j) flat.push_back(uniform);
+    }
+  }
+  return Instance(devices.size(), cells.size(), std::move(flat));
+}
+
+/// The objective that remains after `found` devices have been located,
+/// expressed over the unfound devices only.
+Objective remaining_objective(const Objective& objective, std::size_t found,
+                              std::size_t total_devices) {
+  switch (objective.mode()) {
+    case SearchMode::kAllOf:
+      return Objective::all_of();
+    case SearchMode::kAnyOf:
+      return Objective::any_of();
+    case SearchMode::kKOfM: {
+      const std::size_t needed = objective.required(total_devices) - found;
+      return Objective::k_of_m(needed);
+    }
+  }
+  throw std::logic_error("remaining_objective: unknown mode");
+}
+
+}  // namespace
+
+AdaptiveOutcome run_adaptive(const Instance& instance, std::size_t num_rounds,
+                             std::span<const CellId> true_locations,
+                             const Objective& objective) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  if (true_locations.size() != m) {
+    throw std::invalid_argument("run_adaptive: one location per device");
+  }
+  for (const CellId cell : true_locations) {
+    if (cell >= c) {
+      throw std::invalid_argument("run_adaptive: location out of range");
+    }
+  }
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("run_adaptive: need 1 <= d <= c");
+  }
+  const std::size_t needed = objective.required(m);
+
+  std::vector<CellId> remaining(c);
+  for (std::size_t j = 0; j < c; ++j) remaining[j] = static_cast<CellId>(j);
+  std::vector<DeviceId> unfound(m);
+  for (std::size_t i = 0; i < m; ++i) unfound[i] = static_cast<DeviceId>(i);
+
+  AdaptiveOutcome outcome;
+  std::size_t rounds_left = num_rounds;
+  while (!objective.satisfied(outcome.devices_found, m)) {
+    std::vector<CellId> page_now;
+    if (rounds_left <= 1 || remaining.size() <= rounds_left) {
+      // Last chance (or nothing left to split): page everything remaining.
+      page_now = remaining;
+    } else {
+      const Instance sub = conditional_instance(instance, unfound, remaining);
+      const Objective sub_objective =
+          remaining_objective(objective, outcome.devices_found, m);
+      const PlanResult plan =
+          plan_greedy(sub, rounds_left, sub_objective);
+      page_now.reserve(plan.strategy.group(0).size());
+      for (const CellId local : plan.strategy.group(0)) {
+        page_now.push_back(remaining[local]);
+      }
+    }
+
+    outcome.cells_paged += page_now.size();
+    outcome.rounds_used += 1;
+    rounds_left -= 1;
+
+    // Observe: which unfound devices sit in the paged cells?
+    std::vector<DeviceId> still_unfound;
+    still_unfound.reserve(unfound.size());
+    for (const DeviceId device : unfound) {
+      const CellId location = true_locations[device];
+      const bool paged = std::find(page_now.begin(), page_now.end(),
+                                   location) != page_now.end();
+      if (paged) {
+        ++outcome.devices_found;
+      } else {
+        still_unfound.push_back(device);
+      }
+    }
+    unfound = std::move(still_unfound);
+
+    std::vector<CellId> still_remaining;
+    still_remaining.reserve(remaining.size() - page_now.size());
+    for (const CellId cell : remaining) {
+      if (std::find(page_now.begin(), page_now.end(), cell) ==
+          page_now.end()) {
+        still_remaining.push_back(cell);
+      }
+    }
+    remaining = std::move(still_remaining);
+
+    if (outcome.devices_found >= needed) break;
+    if (remaining.empty()) break;  // everything paged; objective met by now
+  }
+  return outcome;
+}
+
+double adaptive_expected_paging_exact(const Instance& instance,
+                                      std::size_t num_rounds,
+                                      const Objective& objective,
+                                      std::uint64_t enumeration_limit) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  double vectors = 1.0;
+  for (std::size_t i = 0; i < m; ++i) vectors *= static_cast<double>(c);
+  if (vectors > static_cast<double>(enumeration_limit)) {
+    throw std::invalid_argument(
+        "adaptive_expected_paging_exact: c^m exceeds the enumeration "
+        "limit; use adaptive_expected_paging (Monte Carlo)");
+  }
+
+  // Odometer over location vectors; skip zero-probability outcomes.
+  std::vector<CellId> locations(m, 0);
+  double expectation = 0.0;
+  for (;;) {
+    double probability = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      probability *=
+          instance.prob(static_cast<DeviceId>(i), locations[i]);
+      if (probability == 0.0) break;
+    }
+    if (probability > 0.0) {
+      const AdaptiveOutcome outcome =
+          run_adaptive(instance, num_rounds, locations, objective);
+      expectation +=
+          probability * static_cast<double>(outcome.cells_paged);
+    }
+    std::size_t idx = 0;
+    while (idx < m) {
+      if (++locations[idx] < c) break;
+      locations[idx] = 0;
+      ++idx;
+    }
+    if (idx == m) break;
+  }
+  return expectation;
+}
+
+MonteCarloEstimate adaptive_expected_paging(const Instance& instance,
+                                            std::size_t num_rounds,
+                                            std::size_t trials, prob::Rng& rng,
+                                            const Objective& objective) {
+  if (trials == 0) {
+    throw std::invalid_argument("adaptive_expected_paging: zero trials");
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::vector<CellId> locations = sample_locations(instance, rng);
+    const AdaptiveOutcome outcome =
+        run_adaptive(instance, num_rounds, locations, objective);
+    const double paged = static_cast<double>(outcome.cells_paged);
+    sum += paged;
+    sum_sq += paged * paged;
+  }
+  MonteCarloEstimate estimate;
+  estimate.trials = trials;
+  estimate.mean = sum / static_cast<double>(trials);
+  const double variance =
+      trials > 1 ? std::max(0.0, (sum_sq - sum * sum /
+                                               static_cast<double>(trials)) /
+                                     static_cast<double>(trials - 1))
+                 : 0.0;
+  estimate.std_error = std::sqrt(variance / static_cast<double>(trials));
+  return estimate;
+}
+
+}  // namespace confcall::core

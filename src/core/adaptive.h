@@ -1,0 +1,56 @@
+// Adaptive paging (Section 5 of the paper).
+//
+// An oblivious strategy fixes all d groups in advance. The paper's
+// suggested adaptive extension re-plans after every round: devices found so
+// far are dropped, each unfound device's distribution is conditioned on the
+// still-unpaged cells, and the Fig. 1 planner is re-run for the remaining
+// rounds. Round 1 of the adaptive search coincides with round 1 of the
+// oblivious plan (same information); from round 2 on the adaptive search
+// can only do better in expectation. The paper leaves the performance
+// ratio of this scheme open — experiment E6 measures it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/evaluator.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "prob/rng.h"
+
+namespace confcall::core {
+
+/// Result of one adaptive search against fixed true locations.
+struct AdaptiveOutcome {
+  std::size_t cells_paged = 0;
+  std::size_t rounds_used = 0;
+  std::size_t devices_found = 0;
+};
+
+/// Runs the adaptive search: plan with Fig. 1, page the first group,
+/// observe which devices were found, condition and re-plan with one fewer
+/// round. The final round pages every remaining cell, so the objective is
+/// always met within `num_rounds` rounds. `true_locations` holds one cell
+/// per device. Throws std::invalid_argument on dimension mismatches or
+/// d outside [1, c].
+AdaptiveOutcome run_adaptive(const Instance& instance, std::size_t num_rounds,
+                             std::span<const CellId> true_locations,
+                             const Objective& objective = Objective::all_of());
+
+/// Monte-Carlo estimate of the adaptive search's expected paging, sampling
+/// device locations from the instance itself.
+MonteCarloEstimate adaptive_expected_paging(
+    const Instance& instance, std::size_t num_rounds, std::size_t trials,
+    prob::Rng& rng, const Objective& objective = Objective::all_of());
+
+/// EXACT expected paging of the adaptive search, by enumerating all c^m
+/// joint location vectors (the adaptive run is deterministic given the
+/// true locations). Exponential in m — intended for small instances where
+/// the adaptive gain must be measured without sampling noise. Throws
+/// std::invalid_argument when c^m exceeds `enumeration_limit`.
+double adaptive_expected_paging_exact(
+    const Instance& instance, std::size_t num_rounds,
+    const Objective& objective = Objective::all_of(),
+    std::uint64_t enumeration_limit = 2'000'000);
+
+}  // namespace confcall::core

@@ -1,0 +1,272 @@
+#include "core/adaptive_optimal.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace confcall::core {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+/// Value-iteration engine; one per solve call.
+class OptimalAdaptiveSolver {
+ public:
+  OptimalAdaptiveSolver(const Instance& instance, std::size_t d,
+                        std::size_t required)
+      : instance_(instance),
+        c_(instance.num_cells()),
+        m_(instance.num_devices()),
+        d_(d),
+        required_(required) {
+    // Per-device bit mask of positive-probability cells.
+    support_of_device_.resize(m_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = 0; j < c_; ++j) {
+        if (instance_.prob(static_cast<DeviceId>(i),
+                           static_cast<CellId>(j)) > 0.0) {
+          support_of_device_[i] |= Mask{1} << j;
+        }
+      }
+    }
+  }
+
+  double solve() {
+    const Mask full_cells = c_ == 32 ? ~Mask{0} : (Mask{1} << c_) - 1;
+    const Mask all_devices = (Mask{1} << m_) - 1;
+    return value(full_cells, all_devices, d_);
+  }
+
+  [[nodiscard]] std::uint64_t states_evaluated() const noexcept {
+    return memo_.size();
+  }
+
+  /// Argmin action at the root state (call after/before solve(); values
+  /// are memoized either way).
+  std::vector<CellId> first_action() {
+    const Mask remaining = c_ == 32 ? ~Mask{0} : (Mask{1} << c_) - 1;
+    const Mask unfound = (Mask{1} << m_) - 1;
+    Mask best_action;
+    if (d_ <= 1) {
+      best_action = forced_final_action(remaining, unfound,
+                                        required_);
+    } else {
+      const Mask actionable = support(remaining, unfound);
+      double best = std::numeric_limits<double>::infinity();
+      best_action = actionable;
+      for (Mask page = actionable; page != 0;
+           page = (page - 1) & actionable) {
+        const double value = action_value(remaining, unfound, d_, page);
+        if (value < best) {
+          best = value;
+          best_action = page;
+        }
+      }
+    }
+    std::vector<CellId> cells;
+    Mask bits = best_action;
+    while (bits != 0) {
+      cells.push_back(static_cast<CellId>(__builtin_ctz(bits)));
+      bits &= bits - 1;
+    }
+    return cells;
+  }
+
+ private:
+  /// P[device i lies in the cell set `cells`].
+  double mass(std::size_t device, Mask cells) const {
+    double total = 0.0;
+    Mask bits = cells & support_of_device_[device];
+    while (bits != 0) {
+      const int j = __builtin_ctz(bits);
+      bits &= bits - 1;
+      total += instance_.prob(static_cast<DeviceId>(device),
+                              static_cast<CellId>(j));
+    }
+    return total;
+  }
+
+  /// Union of the unfound devices' posterior supports within `remaining`.
+  Mask support(Mask remaining, Mask unfound) const {
+    Mask cells = 0;
+    Mask devices = unfound;
+    while (devices != 0) {
+      const int i = __builtin_ctz(devices);
+      devices &= devices - 1;
+      cells |= support_of_device_[static_cast<std::size_t>(i)];
+    }
+    return cells & remaining;
+  }
+
+  /// Cheapest page set guaranteeing the objective with certainty: the
+  /// minimum-cardinality union of posterior supports over subsets of
+  /// `unfound` of size `needed` (for all-of, the full support).
+  Mask forced_final_action(Mask remaining, Mask unfound,
+                           std::size_t needed) const {
+    std::vector<std::size_t> devices;
+    Mask bits = unfound;
+    while (bits != 0) {
+      devices.push_back(static_cast<std::size_t>(__builtin_ctz(bits)));
+      bits &= bits - 1;
+    }
+    if (needed >= devices.size()) return support(remaining, unfound);
+    Mask best = support(remaining, unfound);
+    int best_count = __builtin_popcount(best);
+    // Enumerate device subsets of exactly `needed` members.
+    const Mask device_full = (Mask{1} << devices.size()) - 1;
+    for (Mask pick = 1; pick <= device_full; ++pick) {
+      if (static_cast<std::size_t>(__builtin_popcount(pick)) != needed) {
+        continue;
+      }
+      Mask cells = 0;
+      Mask sel = pick;
+      while (sel != 0) {
+        const int idx = __builtin_ctz(sel);
+        sel &= sel - 1;
+        cells |= support_of_device_[devices[static_cast<std::size_t>(idx)]];
+      }
+      cells &= remaining;
+      const int count = __builtin_popcount(cells);
+      if (count < best_count) {
+        best_count = count;
+        best = cells;
+      }
+    }
+    return best;
+  }
+
+  double value(Mask remaining, Mask unfound, std::size_t rounds_left) {
+    const std::size_t found = m_ - static_cast<std::size_t>(
+                                       __builtin_popcount(unfound));
+    if (found >= required_) return 0.0;
+    const std::size_t needed = required_ - found;
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(remaining) << 16) |
+        (static_cast<std::uint64_t>(unfound) << 8) | rounds_left;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    double best;
+    if (rounds_left <= 1) {
+      best = static_cast<double>(
+          __builtin_popcount(forced_final_action(remaining, unfound,
+                                                 needed)));
+    } else {
+      best = std::numeric_limits<double>::infinity();
+      const Mask actionable = support(remaining, unfound);
+      // Enumerate nonempty subsets of the actionable support.
+      for (Mask page = actionable; page != 0;
+           page = (page - 1) & actionable) {
+        best = std::min(best,
+                        action_value(remaining, unfound, rounds_left, page));
+      }
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  double action_value(Mask remaining, Mask unfound, std::size_t rounds_left,
+                      Mask page) {
+    // Per-unfound-device answer probability q_i = P_i(page)/P_i(remaining).
+    std::vector<std::size_t> devices;
+    std::vector<double> q;
+    Mask bits = unfound;
+    while (bits != 0) {
+      const auto i = static_cast<std::size_t>(__builtin_ctz(bits));
+      bits &= bits - 1;
+      const double denom = mass(i, remaining);
+      devices.push_back(i);
+      q.push_back(denom > 0.0 ? mass(i, page) / denom : 0.0);
+    }
+    const Mask next_remaining = remaining & ~page;
+    double expected = static_cast<double>(__builtin_popcount(page));
+    // Enumerate found-subsets F of the unfound devices.
+    const Mask outcomes = (Mask{1} << devices.size()) - 1;
+    for (Mask f = 0; f <= outcomes; ++f) {
+      double probability = 1.0;
+      Mask next_unfound = unfound;
+      for (std::size_t idx = 0; idx < devices.size(); ++idx) {
+        if (f & (Mask{1} << idx)) {
+          probability *= q[idx];
+          next_unfound &= ~(Mask{1} << devices[idx]);
+        } else {
+          probability *= 1.0 - q[idx];
+        }
+      }
+      if (probability <= 0.0) continue;
+      expected += probability * value(next_remaining, next_unfound,
+                                      rounds_left - 1);
+    }
+    return expected;
+  }
+
+  const Instance& instance_;
+  std::size_t c_;
+  std::size_t m_;
+  std::size_t d_;
+  std::size_t required_;
+  std::vector<Mask> support_of_device_;
+  std::unordered_map<std::uint64_t, double> memo_;
+};
+
+}  // namespace
+
+OptimalAdaptiveResult solve_optimal_adaptive(const Instance& instance,
+                                             std::size_t num_rounds,
+                                             const Objective& objective,
+                                             std::uint64_t work_limit) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("solve_optimal_adaptive: need 1 <= d <= c");
+  }
+  if (c > 20 || m > 8) {
+    throw std::invalid_argument(
+        "solve_optimal_adaptive: instance too large (c <= 20, m <= 8)");
+  }
+  const std::size_t required = objective.required(m);
+  const double work = std::pow(3.0, static_cast<double>(c)) *
+                      std::pow(4.0, static_cast<double>(m)) *
+                      static_cast<double>(num_rounds);
+  if (work > static_cast<double>(work_limit)) {
+    throw std::invalid_argument(
+        "solve_optimal_adaptive: estimated work 3^c * 4^m * d exceeds the "
+        "limit");
+  }
+
+  OptimalAdaptiveSolver solver(instance, num_rounds, required);
+  OptimalAdaptiveResult result;
+  result.expected_paging = solver.solve();
+  result.states_evaluated = solver.states_evaluated();
+  return result;
+}
+
+std::vector<CellId> optimal_adaptive_first_action(const Instance& instance,
+                                                  std::size_t num_rounds,
+                                                  const Objective& objective,
+                                                  std::uint64_t work_limit) {
+  // Reuse solve_optimal_adaptive's validation by running it first (the
+  // memoization lives per solver instance, so build one and query it).
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  if (num_rounds == 0 || num_rounds > c || c > 20 || m > 8) {
+    throw std::invalid_argument(
+        "optimal_adaptive_first_action: need 1 <= d <= c <= 20, m <= 8");
+  }
+  const double work = std::pow(3.0, static_cast<double>(c)) *
+                      std::pow(4.0, static_cast<double>(m)) *
+                      static_cast<double>(num_rounds);
+  if (work > static_cast<double>(work_limit)) {
+    throw std::invalid_argument(
+        "optimal_adaptive_first_action: estimated work exceeds the limit");
+  }
+  OptimalAdaptiveSolver solver(instance, num_rounds,
+                               objective.required(m));
+  return solver.first_action();
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,68 @@
+// Exact OPTIMAL adaptive paging policies (the paper's Section 5 open
+// problem, answered computationally for small instances).
+//
+// An adaptive policy chooses each round's page set from everything
+// observed so far. Because the only observation is "device i answered in
+// cell j / did not answer", the posterior of every unfound device is just
+// its prior conditioned on the still-unpaged cells — so the information
+// state collapses to (unpaged-cell set R, unfound-device set U,
+// rounds left). This module value-iterates that state space exactly:
+//
+//   V(R, U, rl) = 0                                  if objective met
+//   V(R, U, 1)  = |forced final page set|            (certainty move)
+//   V(R, U, rl) = min over nonempty S subseteq supp  |S| +
+//                 sum_{F subseteq U} Pr[F found] V(R\S, U\F, rl-1)
+//
+// with q_i = P_i(S)/P_i(R) the chance device i in U answers, and actions
+// pruned to the posterior support (paging a cell no unfound device can
+// occupy is dominated). The final round is forced: for the all-of
+// objective it pages the whole support; for k-of-m it pages the cheapest
+// union of supports of (k - found) unfound devices, which guarantees the
+// objective with certainty.
+//
+// Cost is O(3^c * 4^m * d) states x transitions — exponential, matching
+// the paper's observation that even the complexity of optimal adaptive
+// search is unresolved. Intended for ground-truth comparisons (bench A4):
+// the adaptivity gap (oblivious OPT / adaptive OPT) and the quality of the
+// Section 5 re-planning heuristic against the true adaptive optimum.
+//
+// Note one semantic nuance: an adaptive policy never needs to page cells
+// outside the posterior support, so on instances with zero-probability
+// cells its cost can beat every oblivious strategy's d = 1 blanket bound.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/objective.h"
+
+namespace confcall::core {
+
+/// Result of the optimal-adaptive value iteration.
+struct OptimalAdaptiveResult {
+  /// Minimal expected number of cells paged by ANY adaptive policy using
+  /// at most d rounds.
+  double expected_paging = 0.0;
+  /// Memoized states actually evaluated (diagnostics for bench A4).
+  std::uint64_t states_evaluated = 0;
+};
+
+/// Computes the optimal adaptive expected paging. Requirements:
+/// 1 <= d <= c, c <= 20, m <= 8, and the estimated work 3^c * 4^m * d must
+/// not exceed `work_limit` (throws std::invalid_argument otherwise).
+OptimalAdaptiveResult solve_optimal_adaptive(
+    const Instance& instance, std::size_t num_rounds,
+    const Objective& objective = Objective::all_of(),
+    std::uint64_t work_limit = 400'000'000);
+
+/// The optimal adaptive policy's FIRST page set (cells, ascending) — what
+/// an optimal controller would broadcast in round 1. Useful for comparing
+/// against Fig. 1's first group (they coincide at d = 2 where adaptive ==
+/// oblivious optimal, and may diverge at d >= 3). Same requirements as
+/// solve_optimal_adaptive.
+std::vector<CellId> optimal_adaptive_first_action(
+    const Instance& instance, std::size_t num_rounds,
+    const Objective& objective = Objective::all_of(),
+    std::uint64_t work_limit = 400'000'000);
+
+}  // namespace confcall::core

@@ -1,0 +1,45 @@
+#include "core/bandwidth.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::core {
+
+PlanResult plan_bandwidth_limited(const Instance& instance,
+                                  std::size_t num_rounds,
+                                  std::size_t max_cells_per_round,
+                                  const Objective& objective) {
+  if (max_cells_per_round == 0) {
+    throw std::invalid_argument(
+        "plan_bandwidth_limited: zero cells per round");
+  }
+  return plan_dp_over_order(instance, greedy_cell_order(instance), num_rounds,
+                            objective, max_cells_per_round);
+}
+
+std::size_t min_rounds_for_bandwidth(std::size_t num_cells,
+                                     std::size_t max_cells_per_round) {
+  if (num_cells == 0 || max_cells_per_round == 0) {
+    throw std::invalid_argument("min_rounds_for_bandwidth: zero argument");
+  }
+  return (num_cells + max_cells_per_round - 1) / max_cells_per_round;
+}
+
+Strategy chunked_blanket(std::size_t num_cells,
+                         std::size_t max_cells_per_round) {
+  const std::size_t rounds =
+      min_rounds_for_bandwidth(num_cells, max_cells_per_round);
+  std::vector<CellId> order(num_cells);
+  std::iota(order.begin(), order.end(), CellId{0});
+  std::vector<std::size_t> sizes;
+  sizes.reserve(rounds);
+  std::size_t left = num_cells;
+  while (left > 0) {
+    const std::size_t take = std::min(left, max_cells_per_round);
+    sizes.push_back(take);
+    left -= take;
+  }
+  return Strategy::from_order_and_sizes(order, sizes);
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,36 @@
+// Bandwidth-limited paging (Section 5 of the paper).
+//
+// Real systems cannot page arbitrarily many cells in one time unit; the
+// paper's extension caps every round at b cells. The observation in
+// Section 5 carries over directly: Lemma 4.6 still yields an approximate
+// strategy in the sorted family, and the Lemma 4.7 DP only needs its x
+// range restricted — which is what plan_dp_over_order's `max_group_size`
+// implements. This header provides the dedicated API plus the matching
+// baseline (blanket paging now needs ceil(c/b) rounds).
+#pragma once
+
+#include <cstddef>
+
+#include "core/greedy.h"
+
+namespace confcall::core {
+
+/// Fig. 1 with every group capped at `max_cells_per_round` cells. Throws
+/// std::invalid_argument when d rounds of b cells cannot cover the area
+/// (d*b < c) or d is outside [1, c].
+PlanResult plan_bandwidth_limited(
+    const Instance& instance, std::size_t num_rounds,
+    std::size_t max_cells_per_round,
+    const Objective& objective = Objective::all_of());
+
+/// The bandwidth-respecting blanket baseline: page the first b cells, then
+/// the next b, … in cell-index order (what a system with no location
+/// profile would do). Uses ceil(c/b) rounds.
+Strategy chunked_blanket(std::size_t num_cells,
+                         std::size_t max_cells_per_round);
+
+/// Minimal number of rounds any b-limited strategy needs: ceil(c/b).
+std::size_t min_rounds_for_bandwidth(std::size_t num_cells,
+                                     std::size_t max_cells_per_round);
+
+}  // namespace confcall::core

@@ -1,0 +1,110 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/single_user.h"
+#include "prob/rational.h"
+
+namespace confcall::core {
+
+double lower_bound_single_user(const Instance& instance,
+                               std::size_t num_rounds) {
+  if (num_rounds == 0 || num_rounds > instance.num_cells()) {
+    throw std::invalid_argument("lower_bound_single_user: need 1 <= d <= c");
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    const auto row = instance.row(static_cast<DeviceId>(i));
+    const prob::ProbabilityVector distribution(row.begin(), row.end());
+    best = std::max(
+        best, optimal_single_user_paging(distribution, num_rounds));
+  }
+  return best;
+}
+
+double lower_bound_amgm(const Instance& instance, std::size_t num_rounds) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t d = num_rounds;
+  const auto m = static_cast<double>(instance.num_devices());
+  if (d == 0 || d > c) {
+    throw std::invalid_argument("lower_bound_amgm: need 1 <= d <= c");
+  }
+  // W[j]: largest possible total weight of j cells; F̂[j]: the AM–GM cap on
+  // the stop probability of ANY j-cell prefix (Lemma 4.4's inequality
+  // Π q_i <= (Σ q_i / m)^m).
+  std::vector<double> weights = instance.cell_weights();
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  std::vector<double> cap(c + 1, 0.0);
+  double running = 0.0;
+  for (std::size_t j = 0; j < c; ++j) {
+    running += weights[j];
+    cap[j + 1] = std::min(1.0, std::pow(running / m, m));
+  }
+
+  // H[l][k]: maximal capped savings from the last k cells using l+1
+  // groups (mirror of the Lemma 4.7 recurrence, maximizing).
+  std::vector<std::vector<double>> savings(
+      d, std::vector<double>(c + 1, -1.0));
+  for (std::size_t k = 1; k <= c; ++k) {
+    savings[0][k] = static_cast<double>(k) * cap[c - k];
+  }
+  for (std::size_t l = 1; l < d; ++l) {
+    for (std::size_t k = l + 1; k <= c; ++k) {
+      double best = -1.0;
+      for (std::size_t x = 1; x <= k - l; ++x) {
+        const double value =
+            static_cast<double>(x) * cap[c - k] + savings[l - 1][k - x];
+        best = std::max(best, value);
+      }
+      savings[l][k] = best;
+    }
+  }
+  return static_cast<double>(c) - savings[d - 1][c];
+}
+
+double lower_bound_conference(const Instance& instance,
+                              std::size_t num_rounds) {
+  return std::max(lower_bound_single_user(instance, num_rounds),
+                  lower_bound_amgm(instance, num_rounds));
+}
+
+Instance hard_instance_8cells() {
+  const double s = 1.0 / 7.0;
+  return Instance::from_rows({
+      {2 * s, s, s, s, s, s, 0.0, 0.0},
+      {0.0, s, s, s, s, s, s, s},
+  });
+}
+
+RationalInstance hard_instance_8cells_exact() {
+  using prob::Rational;
+  const Rational s(1, 7);
+  const Rational z(0);
+  std::vector<Rational> flat = {
+      Rational(2, 7), s, s, s, s, s, z, z,  // device 1
+      z, s, s, s, s, s, s, s,               // device 2
+  };
+  return RationalInstance(2, 8, std::move(flat));
+}
+
+Instance hard_instance_8cells_perturbed(double epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 1.0 / 7.0) {
+    throw std::invalid_argument(
+        "hard_instance_8cells_perturbed: need 0 < epsilon < 1/7");
+  }
+  const double s = 1.0 / 7.0;
+  // Moving epsilon of device 2's mass from the last cell to cell 0 makes
+  // cell 0 the strict weight maximum; the remaining ties (cells 1..5) are
+  // between identical columns, so every tie-breaking rule yields an
+  // equivalent strategy.
+  return Instance::from_rows({
+      {2 * s, s, s, s, s, s, 0.0, 0.0},
+      {epsilon, s, s, s, s, s, s, s - epsilon},
+  });
+}
+
+}  // namespace confcall::core

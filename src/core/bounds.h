@@ -1,0 +1,61 @@
+// Lower bounds on the optimal expected paging, and the paper's named hard
+// instances.
+//
+// The exact solvers (exact.h) blow up past ~12 cells, so large-instance
+// approximation ratios are certified against computable lower bounds
+// instead:
+//
+//  * single-user relaxation — finding all devices is at least as expensive
+//    as finding any one of them, so OPT >= max_i OPT_1(p_i, d) where
+//    OPT_1 is the polynomial single-user optimum;
+//  * AM–GM relaxation — the inequality the paper's own analysis rests on
+//    (Lemma 4.4/4.6): any prefix of j cells has stop probability at most
+//    (W(j)/m)^m, where W(j) is the sum of the j largest cell weights;
+//    maximizing the Lemma 2.1 savings term under that cap (a small DP over
+//    group-size compositions) lower-bounds every strategy.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.h"
+
+namespace confcall::core {
+
+/// max_i OPT_1(p_i, d): optimal single-user expected paging of the hardest
+/// device. Valid lower bound for the all-of (conference call) objective —
+/// including for ADAPTIVE policies on full-support instances (finding all
+/// devices includes finding the hardest one, and single-user adaptivity
+/// gains nothing).
+double lower_bound_single_user(const Instance& instance,
+                               std::size_t num_rounds);
+
+/// AM–GM lower bound (see file comment). Valid for the all-of objective
+/// and OBLIVIOUS strategies only: it is derived from the Lemma 2.1 form
+/// with fixed groups, and the exact optimal-adaptive solver demonstrably
+/// beats it at d >= 3 (see test_hierarchy.cpp).
+double lower_bound_amgm(const Instance& instance, std::size_t num_rounds);
+
+/// The better (larger) of the two bounds above; bounds every OBLIVIOUS
+/// strategy.
+double lower_bound_conference(const Instance& instance,
+                              std::size_t num_rounds);
+
+/// The Section 4.3 instance witnessing that the Fig. 1 heuristic is no
+/// better than a 320/317-approximation: m = 2, c = 8, d = 2,
+/// p1 = (2/7, 1/7, 1/7, 1/7, 1/7, 1/7, 0, 0),
+/// p2 = (0, 1/7, 1/7, 1/7, 1/7, 1/7, 1/7, 1/7).
+/// The optimum pages cells {2..6} first (EP = 317/49); the heuristic pages
+/// {1..5} (EP = 320/49). (Paper numbering; 0-based here.)
+Instance hard_instance_8cells();
+
+/// Exact-rational version of the Section 4.3 instance.
+RationalInstance hard_instance_8cells_exact();
+
+/// The Section 4.3 instance with the tie-break removed: cell weights of
+/// the paper's cells 2..6 are perturbed down by `epsilon` (mass moved to
+/// cell 1 within each row), forcing ANY implementation of the heuristic —
+/// whatever its tie-breaking — to page cells 1..5 first. Requires
+/// 0 < epsilon < 1/7.
+Instance hard_instance_8cells_perturbed(double epsilon);
+
+}  // namespace confcall::core

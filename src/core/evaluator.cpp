@@ -1,0 +1,203 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace confcall::core {
+
+namespace {
+
+void check_compatible(const Instance& instance, const Strategy& strategy) {
+  if (instance.num_cells() != strategy.num_cells()) {
+    throw std::invalid_argument(
+        "evaluator: strategy covers a different number of cells than the "
+        "instance");
+  }
+}
+
+}  // namespace
+
+std::vector<double> stop_by_round(const Instance& instance,
+                                  const Strategy& strategy,
+                                  const Objective& objective) {
+  check_compatible(instance, strategy);
+  const std::size_t m = instance.num_devices();
+  const std::size_t d = strategy.num_rounds();
+  // Validate k against m up front (throws for bad k).
+  (void)objective.required(m);
+
+  std::vector<double> prefix(m, 0.0);  // q_i = P_i(L_r)
+  std::vector<double> by_round(d, 0.0);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (const CellId cell : strategy.group(r)) {
+      for (std::size_t i = 0; i < m; ++i) {
+        prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+      }
+    }
+    // Clamp accumulated float drift; probabilities cannot exceed 1.
+    for (double& q : prefix) q = std::min(q, 1.0);
+    by_round[r] = objective.stop_probability(prefix);
+  }
+  by_round[d - 1] = 1.0;  // every cell has been paged
+  return by_round;
+}
+
+std::vector<double> stop_at_round(const Instance& instance,
+                                  const Strategy& strategy,
+                                  const Objective& objective) {
+  std::vector<double> by_round = stop_by_round(instance, strategy, objective);
+  for (std::size_t r = by_round.size(); r-- > 1;) {
+    by_round[r] -= by_round[r - 1];
+    // Monotone in exact arithmetic; clamp float drift.
+    if (by_round[r] < 0.0) by_round[r] = 0.0;
+  }
+  return by_round;
+}
+
+double expected_paging(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective) {
+  const std::vector<double> by_round =
+      stop_by_round(instance, strategy, objective);
+  double ep = static_cast<double>(instance.num_cells());
+  for (std::size_t r = 0; r + 1 < strategy.num_rounds(); ++r) {
+    ep -= static_cast<double>(strategy.group(r + 1).size()) * by_round[r];
+  }
+  return ep;
+}
+
+double expected_rounds(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective) {
+  const std::vector<double> at_round =
+      stop_at_round(instance, strategy, objective);
+  double expectation = 0.0;
+  for (std::size_t r = 0; r < at_round.size(); ++r) {
+    expectation += static_cast<double>(r + 1) * at_round[r];
+  }
+  return expectation;
+}
+
+double paging_variance(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective) {
+  const std::vector<double> at_round =
+      stop_at_round(instance, strategy, objective);
+  double first = 0.0;
+  double second = 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t r = 0; r < at_round.size(); ++r) {
+    cumulative += strategy.group(r).size();
+    const double paged = static_cast<double>(cumulative);
+    first += paged * at_round[r];
+    second += paged * paged * at_round[r];
+  }
+  return std::max(0.0, second - first * first);
+}
+
+double expected_paging_definitional(const Instance& instance,
+                                    const Strategy& strategy,
+                                    const Objective& objective) {
+  const std::vector<double> at_round =
+      stop_at_round(instance, strategy, objective);
+  double expectation = 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t r = 0; r < at_round.size(); ++r) {
+    cumulative += strategy.group(r).size();
+    expectation += static_cast<double>(cumulative) * at_round[r];
+  }
+  return expectation;
+}
+
+std::vector<CellId> sample_locations(const Instance& instance,
+                                     prob::Rng& rng) {
+  std::vector<CellId> locations(instance.num_devices());
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    const double u = rng.next_double();
+    double cumulative = 0.0;
+    CellId chosen = static_cast<CellId>(instance.num_cells() - 1);
+    for (std::size_t j = 0; j < instance.num_cells(); ++j) {
+      cumulative += instance.prob(static_cast<DeviceId>(i),
+                                  static_cast<CellId>(j));
+      if (u < cumulative) {
+        chosen = static_cast<CellId>(j);
+        break;
+      }
+    }
+    locations[i] = chosen;
+  }
+  return locations;
+}
+
+PagingOutcome execute_strategy(const Strategy& strategy,
+                               std::span<const CellId> true_locations,
+                               const Objective& objective) {
+  const std::size_t m = true_locations.size();
+  const std::size_t needed = objective.required(m);
+  std::size_t found = 0;
+  PagingOutcome outcome;
+  for (std::size_t r = 0; r < strategy.num_rounds(); ++r) {
+    outcome.cells_paged += strategy.group(r).size();
+    outcome.rounds_used = r + 1;
+    for (const CellId location : true_locations) {
+      if (strategy.round_of(location) == r) ++found;
+    }
+    if (found >= needed) break;
+  }
+  return outcome;
+}
+
+MonteCarloEstimate monte_carlo_paging(const Instance& instance,
+                                      const Strategy& strategy,
+                                      std::size_t trials, prob::Rng& rng,
+                                      const Objective& objective) {
+  check_compatible(instance, strategy);
+  if (trials == 0) {
+    throw std::invalid_argument("monte_carlo_paging: zero trials");
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::vector<CellId> locations = sample_locations(instance, rng);
+    const PagingOutcome outcome =
+        execute_strategy(strategy, locations, objective);
+    const double paged = static_cast<double>(outcome.cells_paged);
+    sum += paged;
+    sum_sq += paged * paged;
+  }
+  MonteCarloEstimate estimate;
+  estimate.trials = trials;
+  estimate.mean = sum / static_cast<double>(trials);
+  const double variance =
+      trials > 1 ? std::max(0.0, (sum_sq - sum * sum /
+                                               static_cast<double>(trials)) /
+                                     static_cast<double>(trials - 1))
+                 : 0.0;
+  estimate.std_error = std::sqrt(variance / static_cast<double>(trials));
+  return estimate;
+}
+
+prob::Rational expected_paging_exact(const RationalInstance& instance,
+                                     const Strategy& strategy) {
+  if (instance.num_cells() != strategy.num_cells()) {
+    throw std::invalid_argument(
+        "expected_paging_exact: strategy/instance cell count mismatch");
+  }
+  const std::size_t m = instance.num_devices();
+  const std::size_t d = strategy.num_rounds();
+  std::vector<prob::Rational> prefix(m);  // P_i(L_r)
+  prob::Rational ep(static_cast<std::int64_t>(instance.num_cells()));
+  for (std::size_t r = 0; r + 1 < d; ++r) {
+    for (const CellId cell : strategy.group(r)) {
+      for (std::size_t i = 0; i < m; ++i) {
+        prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+      }
+    }
+    prob::Rational product(1);
+    for (const auto& q : prefix) product *= q;
+    ep -= prob::Rational(
+              static_cast<std::int64_t>(strategy.group(r + 1).size())) *
+          product;
+  }
+  return ep;
+}
+
+}  // namespace confcall::core

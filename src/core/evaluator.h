@@ -1,0 +1,85 @@
+// Expected-paging evaluation (Lemma 2.1 and its generalization to the
+// Section 5 objectives), plus diagnostic quantities and a Monte-Carlo
+// cross-check estimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/strategy.h"
+#include "prob/rational.h"
+#include "prob/rng.h"
+
+namespace confcall::core {
+
+/// Pr[the search stops on or before round r] for r = 0..d-1 (the paper's
+/// Pr[F_{r+1}]). The last entry is always 1: a strategy pages every cell,
+/// so the objective is met with certainty by the final round.
+std::vector<double> stop_by_round(const Instance& instance,
+                                  const Strategy& strategy,
+                                  const Objective& objective);
+
+/// Pr[the search stops exactly at round r], r = 0..d-1.
+std::vector<double> stop_at_round(const Instance& instance,
+                                  const Strategy& strategy,
+                                  const Objective& objective);
+
+/// Expected number of cells paged until the objective is met — Lemma 2.1:
+/// EP = c − Σ_{r=1}^{d−1} |S_{r+1}| · Pr[stop by round r]. Throws
+/// std::invalid_argument when the strategy's cell count does not match the
+/// instance.
+double expected_paging(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective = Objective::all_of());
+
+/// Expected number of paging rounds used (the delay actually incurred).
+double expected_rounds(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective = Objective::all_of());
+
+/// Variance of the number of cells paged: Var[P] where
+/// E[P^k] = sum_r (|S_1|+…+|S_r|)^k · Pr[stop exactly at r]. Useful for
+/// provisioning (confidence bands around the Lemma 2.1 mean).
+double paging_variance(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective = Objective::all_of());
+
+/// Expected paging computed the slow, definitional way:
+/// Σ_r (|S_1|+…+|S_r|) · Pr[stop exactly at r]. Used by tests to validate
+/// the Lemma 2.1 closed form against the definition.
+double expected_paging_definitional(
+    const Instance& instance, const Strategy& strategy,
+    const Objective& objective = Objective::all_of());
+
+/// Result of a Monte-Carlo estimate.
+struct MonteCarloEstimate {
+  double mean = 0.0;       ///< Sample mean of cells paged.
+  double std_error = 0.0;  ///< Standard error of the mean.
+  std::size_t trials = 0;
+};
+
+/// Estimates expected paging by sampling device locations and executing the
+/// strategy. Cross-checks the analytic formula in tests and exercises the
+/// same code path a real paging controller would run.
+MonteCarloEstimate monte_carlo_paging(
+    const Instance& instance, const Strategy& strategy, std::size_t trials,
+    prob::Rng& rng, const Objective& objective = Objective::all_of());
+
+/// Samples one cell per device from the instance's rows.
+std::vector<CellId> sample_locations(const Instance& instance, prob::Rng& rng);
+
+/// Executes `strategy` against fixed true locations; returns the number of
+/// cells paged (and rounds used) until the objective is met.
+struct PagingOutcome {
+  std::size_t cells_paged = 0;
+  std::size_t rounds_used = 0;
+};
+PagingOutcome execute_strategy(const Strategy& strategy,
+                               std::span<const CellId> true_locations,
+                               const Objective& objective);
+
+/// Exact-rational expected paging for the Conference Call (all-of)
+/// objective — certifies equalities like EP = 317/49 with no rounding.
+prob::Rational expected_paging_exact(const RationalInstance& instance,
+                                     const Strategy& strategy);
+
+}  // namespace confcall::core

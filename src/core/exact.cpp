@@ -1,0 +1,492 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+
+namespace confcall::core {
+
+namespace {
+
+std::vector<CellId> cells_of_mask(std::uint32_t mask, std::size_t c) {
+  std::vector<CellId> cells;
+  for (std::size_t j = 0; j < c; ++j) {
+    if (mask & (1U << j)) cells.push_back(static_cast<CellId>(j));
+  }
+  return cells;
+}
+
+}  // namespace
+
+ExactResult solve_exact_d2(const Instance& instance,
+                           const Objective& objective,
+                           std::size_t max_cells_guard) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  if (c < 2) {
+    throw std::invalid_argument("solve_exact_d2: need at least 2 cells");
+  }
+  if (c > max_cells_guard || c >= 31) {
+    throw std::invalid_argument("solve_exact_d2: too many cells (" +
+                                std::to_string(c) + ") for 2^c enumeration");
+  }
+  (void)objective.required(m);
+
+  // Gray-code enumeration: consecutive subsets differ in exactly one
+  // cell, so per-device masses update incrementally in O(m) with O(m)
+  // memory (a dense 2^c mass table would cost m * 2^c doubles — hundreds
+  // of MB at the guard limit).
+  const std::uint32_t full = (1U << c) - 1;
+  double best_ep = std::numeric_limits<double>::infinity();
+  std::uint32_t best_mask = 1;
+  std::uint64_t nodes = 0;
+  std::vector<double> mass(m, 0.0);
+  std::vector<double> prefix(m);
+  std::uint32_t gray = 0;
+  for (std::uint32_t k = 1; k <= full; ++k) {
+    const std::uint32_t next_gray = k ^ (k >> 1);
+    const std::uint32_t flipped = gray ^ next_gray;  // single bit
+    const auto bit = static_cast<CellId>(__builtin_ctz(flipped));
+    const bool added = (next_gray & flipped) != 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double p = instance.prob(static_cast<DeviceId>(i), bit);
+      mass[i] += added ? p : -p;
+    }
+    gray = next_gray;
+    if (gray == full) continue;  // proper subsets only
+    ++nodes;
+    for (std::size_t i = 0; i < m; ++i) {
+      // Clamp tiny drift from the incremental +/- updates.
+      prefix[i] = std::clamp(mass[i], 0.0, 1.0);
+    }
+    const double stop = objective.stop_probability(prefix);
+    const auto s1 = static_cast<double>(__builtin_popcount(gray));
+    const double ep =
+        static_cast<double>(c) - (static_cast<double>(c) - s1) * stop;
+    if (ep < best_ep) {
+      best_ep = ep;
+      best_mask = gray;
+    }
+  }
+
+  ExactResult result{
+      .strategy = Strategy::from_groups(
+          {cells_of_mask(best_mask, c), cells_of_mask(~best_mask & full, c)},
+          c),
+      .expected_paging = best_ep,
+      .nodes_explored = nodes,
+  };
+  return result;
+}
+
+namespace {
+
+/// Shared state for the exhaustive / branch-and-bound ordered-partition
+/// search. Cells are assigned in index order; `sizes` and `round_mass`
+/// track the partial strategy.
+struct PartitionSearch {
+  const Instance& instance;
+  const Objective& objective;
+  std::size_t d;
+  bool use_bound;
+
+  std::vector<std::size_t> assignment;        // cell -> round
+  std::vector<std::size_t> sizes;             // per-round cell count
+  std::vector<std::vector<double>> round_mass;  // [round][device]
+  std::vector<double> unassigned_mass;        // per device
+  double best_ep = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_assignment;
+  std::uint64_t nodes = 0;
+
+  PartitionSearch(const Instance& inst, const Objective& obj, std::size_t dd,
+                  bool bound)
+      : instance(inst),
+        objective(obj),
+        d(dd),
+        use_bound(bound),
+        assignment(inst.num_cells(), 0),
+        sizes(dd, 0),
+        round_mass(dd, std::vector<double>(inst.num_devices(), 0.0)),
+        unassigned_mass(inst.num_devices(), 1.0) {}
+
+  /// EP of a fully assigned partition, via Lemma 2.1 on cumulative masses.
+  double leaf_ep() {
+    const std::size_t m = instance.num_devices();
+    std::vector<double> prefix(m, 0.0);
+    double ep = static_cast<double>(instance.num_cells());
+    for (std::size_t r = 0; r + 1 < d; ++r) {
+      for (std::size_t i = 0; i < m; ++i) {
+        prefix[i] = std::min(1.0, prefix[i] + round_mass[r][i]);
+      }
+      ep -= static_cast<double>(sizes[r + 1]) *
+            objective.stop_probability(prefix);
+    }
+    return ep;
+  }
+
+  /// Admissible lower bound on the EP of any completion: give every prefix
+  /// all the unassigned probability mass and put all unassigned cells in
+  /// the single most favourable group.
+  double optimistic_bound(std::size_t unassigned_cells) {
+    const std::size_t m = instance.num_devices();
+    std::vector<double> prefix(m, 0.0);
+    double sum = 0.0;
+    double best_stop = 0.0;
+    for (std::size_t r = 0; r + 1 < d; ++r) {
+      double stop;
+      {
+        std::vector<double> optimistic(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          prefix[i] += round_mass[r][i];
+          optimistic[i] = std::min(1.0, prefix[i] + unassigned_mass[i]);
+        }
+        stop = objective.stop_probability(optimistic);
+      }
+      sum += static_cast<double>(sizes[r + 1]) * stop;
+      best_stop = std::max(best_stop, stop);
+    }
+    sum += static_cast<double>(unassigned_cells) * best_stop;
+    return static_cast<double>(instance.num_cells()) - sum;
+  }
+
+  void search(std::size_t cell) {
+    ++nodes;
+    const std::size_t c = instance.num_cells();
+    if (cell == c) {
+      // Reject partitions with an empty round.
+      for (const std::size_t s : sizes) {
+        if (s == 0) return;
+      }
+      const double ep = leaf_ep();
+      if (ep < best_ep) {
+        best_ep = ep;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    // Prune: not enough cells left to fill the still-empty rounds.
+    std::size_t empty_rounds = 0;
+    for (const std::size_t s : sizes) {
+      if (s == 0) ++empty_rounds;
+    }
+    if (empty_rounds > c - cell) return;
+    if (use_bound && optimistic_bound(c - cell) >= best_ep) return;
+
+    const std::size_t m = instance.num_devices();
+    for (std::size_t r = 0; r < d; ++r) {
+      assignment[cell] = r;
+      ++sizes[r];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double p = instance.prob(static_cast<DeviceId>(i),
+                                       static_cast<CellId>(cell));
+        round_mass[r][i] += p;
+        unassigned_mass[i] -= p;
+      }
+      search(cell + 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double p = instance.prob(static_cast<DeviceId>(i),
+                                       static_cast<CellId>(cell));
+        round_mass[r][i] -= p;
+        unassigned_mass[i] += p;
+      }
+      --sizes[r];
+    }
+  }
+
+  ExactResult result() const {
+    const std::size_t c = instance.num_cells();
+    std::vector<std::vector<CellId>> groups(d);
+    for (std::size_t cell = 0; cell < c; ++cell) {
+      groups[best_assignment[cell]].push_back(static_cast<CellId>(cell));
+    }
+    return ExactResult{
+        .strategy = Strategy::from_groups(std::move(groups), c),
+        .expected_paging = best_ep,
+        .nodes_explored = nodes,
+    };
+  }
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance, std::size_t num_rounds,
+                        const Objective& objective, std::uint64_t node_limit) {
+  const std::size_t c = instance.num_cells();
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("solve_exact: need 1 <= d <= c");
+  }
+  // Estimated tree size: sum of d^k over levels ~ d^c * d/(d-1).
+  double leaves = std::pow(static_cast<double>(num_rounds),
+                           static_cast<double>(c));
+  if (leaves > static_cast<double>(node_limit)) {
+    throw std::invalid_argument(
+        "solve_exact: d^c exceeds the node limit; use "
+        "solve_branch_and_bound or a smaller instance");
+  }
+  (void)objective.required(instance.num_devices());
+  PartitionSearch search(instance, objective, num_rounds, /*bound=*/false);
+  search.search(0);
+  return search.result();
+}
+
+ExactResult solve_branch_and_bound(const Instance& instance,
+                                   std::size_t num_rounds,
+                                   const Objective& objective) {
+  const std::size_t c = instance.num_cells();
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("solve_branch_and_bound: need 1 <= d <= c");
+  }
+  (void)objective.required(instance.num_devices());
+  PartitionSearch search(instance, objective, num_rounds, /*bound=*/true);
+  // Seed the incumbent with the Fig. 1 solution so pruning bites from the
+  // first node; if no strictly better partition exists the greedy
+  // assignment is returned (it is then optimal).
+  const PlanResult greedy = plan_greedy(instance, num_rounds, objective);
+  search.best_ep = greedy.expected_paging;
+  search.best_assignment.resize(c);
+  for (std::size_t cell = 0; cell < c; ++cell) {
+    search.best_assignment[cell] =
+        greedy.strategy.round_of(static_cast<CellId>(cell));
+  }
+  search.search(0);
+  return search.result();
+}
+
+ColumnTypes column_types(const Instance& instance) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  ColumnTypes types;
+  types.type_of.assign(c, 0);
+  for (std::size_t j = 0; j < c; ++j) {
+    bool matched = false;
+    for (std::size_t t = 0; t < types.representative.size(); ++t) {
+      const CellId rep = types.representative[t];
+      bool equal = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (instance.prob(static_cast<DeviceId>(i),
+                          static_cast<CellId>(j)) !=
+            instance.prob(static_cast<DeviceId>(i), rep)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        types.type_of[j] = t;
+        ++types.count[t];
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      types.type_of[j] = types.representative.size();
+      types.representative.push_back(static_cast<CellId>(j));
+      types.count.push_back(1);
+    }
+  }
+  return types;
+}
+
+namespace {
+
+std::uint64_t compositions(std::uint64_t n, std::uint64_t parts) {
+  // C(n + parts - 1, parts - 1), saturating at uint64 max.
+  std::uint64_t result = 1;
+  for (std::uint64_t k = 1; k < parts; ++k) {
+    const std::uint64_t numerator = n + k;
+    if (result > UINT64_MAX / numerator) return UINT64_MAX;
+    result = result * numerator / k;
+  }
+  return result;
+}
+
+/// DFS over per-type round compositions; see solve_exact_typed docs.
+struct TypedSearch {
+  const Instance& instance;
+  const Objective& objective;
+  const ColumnTypes& types;
+  std::size_t d;
+
+  // alloc[t][r]: cells of type t paged in round r (current branch).
+  std::vector<std::vector<std::size_t>> alloc;
+  std::vector<std::size_t> round_size;
+  double best_ep = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<std::size_t>> best_alloc;
+  std::uint64_t nodes = 0;
+
+  TypedSearch(const Instance& inst, const Objective& obj,
+              const ColumnTypes& tps, std::size_t dd)
+      : instance(inst),
+        objective(obj),
+        types(tps),
+        d(dd),
+        alloc(tps.count.size(), std::vector<std::size_t>(dd, 0)),
+        round_size(dd, 0) {}
+
+  double leaf_ep() {
+    const std::size_t m = instance.num_devices();
+    const std::size_t T = types.count.size();
+    std::vector<double> prefix(m, 0.0);
+    double ep = static_cast<double>(instance.num_cells());
+    for (std::size_t r = 0; r + 1 < d; ++r) {
+      for (std::size_t t = 0; t < T; ++t) {
+        const double cells = static_cast<double>(alloc[t][r]);
+        if (cells == 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) {
+          prefix[i] += cells * instance.prob(static_cast<DeviceId>(i),
+                                             types.representative[t]);
+        }
+      }
+      std::vector<double> clamped(prefix);
+      for (double& q : clamped) q = std::min(q, 1.0);
+      ep -= static_cast<double>(round_size[r + 1]) *
+            objective.stop_probability(clamped);
+    }
+    return ep;
+  }
+
+  // Enumerate compositions of types.count[t] over the d rounds, one type
+  // at a time; within a type, one round at a time.
+  void search(std::size_t t, std::size_t r, std::size_t remaining) {
+    ++nodes;
+    const std::size_t T = types.count.size();
+    if (t == T) {
+      for (const std::size_t s : round_size) {
+        if (s == 0) return;  // every round must page something
+      }
+      const double ep = leaf_ep();
+      if (ep < best_ep) {
+        best_ep = ep;
+        best_alloc = alloc;
+      }
+      return;
+    }
+    if (r + 1 == d) {
+      alloc[t][r] = remaining;
+      round_size[r] += remaining;
+      search(t + 1, 0, t + 1 < T ? types.count[t + 1] : 0);
+      round_size[r] -= remaining;
+      alloc[t][r] = 0;
+      return;
+    }
+    for (std::size_t take = 0; take <= remaining; ++take) {
+      alloc[t][r] = take;
+      round_size[r] += take;
+      search(t, r + 1, remaining - take);
+      round_size[r] -= take;
+      alloc[t][r] = 0;
+    }
+  }
+
+  ExactResult result() const {
+    const std::size_t c = instance.num_cells();
+    // Materialize groups: hand the cells of each type out round by round
+    // in cell-index order.
+    std::vector<std::vector<std::size_t>> remaining_alloc = best_alloc;
+    std::vector<std::vector<CellId>> groups(d);
+    for (std::size_t j = 0; j < c; ++j) {
+      const std::size_t t = types.type_of[j];
+      for (std::size_t r = 0; r < d; ++r) {
+        if (remaining_alloc[t][r] > 0) {
+          --remaining_alloc[t][r];
+          groups[r].push_back(static_cast<CellId>(j));
+          break;
+        }
+      }
+    }
+    return ExactResult{
+        .strategy = Strategy::from_groups(std::move(groups), c),
+        .expected_paging = best_ep,
+        .nodes_explored = nodes,
+    };
+  }
+};
+
+}  // namespace
+
+ExactResult solve_exact_typed(const Instance& instance,
+                              std::size_t num_rounds,
+                              const Objective& objective,
+                              std::uint64_t node_limit) {
+  const std::size_t c = instance.num_cells();
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("solve_exact_typed: need 1 <= d <= c");
+  }
+  (void)objective.required(instance.num_devices());
+  const ColumnTypes types = column_types(instance);
+  std::uint64_t leaves = 1;
+  for (const std::size_t n : types.count) {
+    const std::uint64_t per_type = compositions(n, num_rounds);
+    if (per_type == UINT64_MAX || leaves > node_limit / per_type) {
+      throw std::invalid_argument(
+          "solve_exact_typed: composition count exceeds the node limit "
+          "(too many distinct column types for this size)");
+    }
+    leaves *= per_type;
+  }
+  TypedSearch search(instance, objective, types, num_rounds);
+  search.search(0, 0, types.count[0]);
+  if (search.best_alloc.empty()) {
+    throw std::logic_error("solve_exact_typed: no feasible plan (bug)");
+  }
+  return search.result();
+}
+
+ExactRationalD2Result solve_exact_d2_exact(const RationalInstance& instance,
+                                           std::size_t max_cells_guard) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  if (c < 2) {
+    throw std::invalid_argument("solve_exact_d2_exact: need >= 2 cells");
+  }
+  if (c > max_cells_guard || c >= 26) {
+    throw std::invalid_argument(
+        "solve_exact_d2_exact: too many cells for exact enumeration");
+  }
+  const std::uint32_t full = (1U << c) - 1;
+  const prob::Rational c_rational(static_cast<std::int64_t>(c));
+
+  prob::Rational best_ep;
+  bool have_best = false;
+  std::uint32_t best_mask = 1;
+  // Gray-code enumeration with incremental exact masses (rational
+  // addition/subtraction is exact, so no drift) — O(m) memory.
+  std::vector<prob::Rational> mass(m);
+  std::uint32_t gray = 0;
+  for (std::uint32_t k = 1; k <= full; ++k) {
+    const std::uint32_t next_gray = k ^ (k >> 1);
+    const std::uint32_t flipped = gray ^ next_gray;
+    const auto bit = static_cast<CellId>(__builtin_ctz(flipped));
+    const bool added = (next_gray & flipped) != 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& p = instance.prob(static_cast<DeviceId>(i), bit);
+      if (added) {
+        mass[i] += p;
+      } else {
+        mass[i] -= p;
+      }
+    }
+    gray = next_gray;
+    if (gray == full) continue;  // proper subsets only
+    prob::Rational product(1);
+    for (std::size_t i = 0; i < m; ++i) product *= mass[i];
+    const auto s2 =
+        static_cast<std::int64_t>(c) - __builtin_popcount(gray);
+    const prob::Rational ep =
+        c_rational - prob::Rational(s2) * product;
+    if (!have_best || ep < best_ep) {
+      best_ep = ep;
+      best_mask = gray;
+      have_best = true;
+    }
+  }
+  return ExactRationalD2Result{
+      .first_round = cells_of_mask(best_mask, c),
+      .expected_paging = best_ep,
+  };
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,95 @@
+// Exact (exponential-time) solvers.
+//
+// Section 3 of the paper proves the Conference Call problem NP-hard already
+// for m = 2 devices and d = 2 rounds, so no polynomial exact algorithm is
+// expected. These solvers are the ground truth against which the Fig. 1
+// approximation is measured (experiment E2) and the oracle that verifies
+// the NP-hardness reduction (experiment E5):
+//
+//  * d = 2: enumerate the 2^c − 2 candidate first-round subsets
+//    (Lemma 2.1 collapses EP to c − |S_2|·F(S_1));
+//  * general d: depth-first enumeration of all ordered partitions
+//    (d^c leaves before pruning);
+//  * branch-and-bound: same tree with an admissible optimistic bound that
+//    prunes most of it on skewed instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/strategy.h"
+#include "prob/rational.h"
+
+namespace confcall::core {
+
+/// Result of an exact search.
+struct ExactResult {
+  Strategy strategy;
+  double expected_paging = 0.0;
+  /// Search-tree nodes visited (subsets for d=2); measures the cost of
+  /// exactness for experiment E5.
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Optimal two-round strategy by exhaustive subset enumeration.
+/// Throws std::invalid_argument when c < 2 or c > `max_cells_guard`
+/// (default 24: 2^24 subsets is the sensible laptop ceiling).
+ExactResult solve_exact_d2(const Instance& instance,
+                           const Objective& objective = Objective::all_of(),
+                           std::size_t max_cells_guard = 24);
+
+/// Optimal d-round strategy by exhaustive ordered-partition enumeration.
+/// Throws std::invalid_argument when d^c would exceed `node_limit`.
+ExactResult solve_exact(const Instance& instance, std::size_t num_rounds,
+                        const Objective& objective = Objective::all_of(),
+                        std::uint64_t node_limit = 50'000'000);
+
+/// Optimal d-round strategy by branch-and-bound over the same tree, using
+/// an admissible bound: unassigned probability mass is optimistically added
+/// to every prefix and unassigned cells to the most favourable group.
+/// Typically visits orders of magnitude fewer nodes than solve_exact on
+/// skewed instances; identical optimum.
+ExactResult solve_branch_and_bound(
+    const Instance& instance, std::size_t num_rounds,
+    const Objective& objective = Objective::all_of());
+
+/// Exact solver exploiting column symmetry — the operational form of the
+/// paper's Section 5 approximation-scheme remark ("probabilities covered
+/// by a constant number of intervals ... search the space exhaustively in
+/// polynomial time").
+///
+/// Cells whose probability columns are identical are interchangeable: the
+/// expected paging depends only on HOW MANY cells of each column type each
+/// round pages. With T distinct types the search space shrinks from d^c
+/// ordered partitions to prod_t C(n_t + d - 1, d - 1) type compositions —
+/// polynomial in c for constant T and d (e.g. uniform instances have
+/// T = 1). Exact; equals solve_exact wherever both run. Throws
+/// std::invalid_argument when the composition count exceeds `node_limit`.
+ExactResult solve_exact_typed(const Instance& instance,
+                              std::size_t num_rounds,
+                              const Objective& objective = Objective::all_of(),
+                              std::uint64_t node_limit = 20'000'000);
+
+/// The column types of an instance: `type_of[j]` indexes the distinct
+/// probability columns (bit-exact comparison), `count[t]` their
+/// multiplicities. Exposed for tests and for sizing solve_exact_typed.
+struct ColumnTypes {
+  std::vector<std::size_t> type_of;  // per cell
+  std::vector<std::size_t> count;    // per type
+  std::vector<CellId> representative;  // one cell per type
+};
+ColumnTypes column_types(const Instance& instance);
+
+/// Exact-rational optimum for m devices, d = 2, all-of objective. Used to
+/// certify the NP-hardness reduction: OPT equals the closed-form bound of
+/// Lemma 3.2 iff the source partition instance is solvable.
+struct ExactRationalD2Result {
+  std::vector<CellId> first_round;
+  prob::Rational expected_paging;
+};
+ExactRationalD2Result solve_exact_d2_exact(const RationalInstance& instance,
+                                           std::size_t max_cells_guard = 20);
+
+}  // namespace confcall::core

@@ -1,0 +1,147 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+
+namespace confcall::core {
+
+std::vector<CellId> greedy_cell_order(const Instance& instance) {
+  const std::vector<double> weights = instance.cell_weights();
+  std::vector<CellId> order(instance.num_cells());
+  std::iota(order.begin(), order.end(), CellId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&weights](CellId a, CellId b) {
+                     return weights[a] > weights[b];
+                   });
+  return order;
+}
+
+std::vector<double> stop_by_prefix(const Instance& instance,
+                                   std::span<const CellId> order,
+                                   const Objective& objective) {
+  const std::size_t m = instance.num_devices();
+  const std::size_t c = instance.num_cells();
+  if (order.size() != c) {
+    throw std::invalid_argument("stop_by_prefix: order length != cells");
+  }
+  std::vector<double> prefix(m, 0.0);
+  std::vector<double> stop(c + 1, 0.0);
+  stop[0] = objective.stop_probability(prefix);  // 0 for every objective
+  for (std::size_t j = 0; j < c; ++j) {
+    const CellId cell = order[j];
+    for (std::size_t i = 0; i < m; ++i) {
+      prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+    }
+    for (double& q : prefix) q = std::min(q, 1.0);
+    stop[j + 1] = objective.stop_probability(prefix);
+  }
+  stop[c] = 1.0;  // all cells paged: the objective is certainly met
+  return stop;
+}
+
+PlanResult plan_dp_over_order(const Instance& instance,
+                              std::vector<CellId> order,
+                              std::size_t num_rounds,
+                              const Objective& objective,
+                              std::size_t max_group_size) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t d = num_rounds;
+  if (d == 0 || d > c) {
+    throw std::invalid_argument("plan_dp_over_order: need 1 <= d <= c");
+  }
+  if (order.size() != c) {
+    throw std::invalid_argument("plan_dp_over_order: order length != cells");
+  }
+  {
+    std::vector<bool> seen(c, false);
+    for (const CellId cell : order) {
+      if (cell >= c || seen[cell]) {
+        throw std::invalid_argument(
+            "plan_dp_over_order: order is not a permutation of the cells");
+      }
+      seen[cell] = true;
+    }
+  }
+  const std::size_t cap =
+      max_group_size == 0 ? c : max_group_size;
+  if (cap * d < c) {
+    throw std::invalid_argument(
+        "plan_dp_over_order: d groups of at most max_group_size cells "
+        "cannot cover every cell");
+  }
+
+  const std::vector<double> stop = stop_by_prefix(instance, order, objective);
+
+  // E[l][k]: minimal conditional expected paging for an (l+1)-round
+  // strategy over the last k cells of the order; X[l][k]: the minimizing
+  // first-group size (lines 15–25 of Fig. 1, 0-based here).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best(d, std::vector<double>(c + 1, kInf));
+  std::vector<std::vector<std::size_t>> choice(
+      d, std::vector<std::size_t>(c + 1, 0));
+  for (std::size_t k = 1; k <= c; ++k) {
+    if (k <= cap) {
+      best[0][k] = static_cast<double>(k);
+      choice[0][k] = k;
+    }
+  }
+  for (std::size_t l = 1; l < d; ++l) {
+    for (std::size_t k = l + 1; k <= c; ++k) {
+      // x = cells paged now; the remaining k-x cells must fit into l
+      // groups of at most `cap` cells, and every group is non-empty.
+      const std::size_t x_max = std::min({k - l, cap});
+      const std::size_t x_min = k > l * cap ? k - l * cap : 1;
+      const double denom = 1.0 - stop[c - k];
+      for (std::size_t x = x_min; x <= x_max; ++x) {
+        if (best[l - 1][k - x] == kInf) continue;
+        const double continue_prob =
+            denom <= 0.0
+                ? 0.0
+                : std::max(0.0, (1.0 - stop[c - k + x]) / denom);
+        const double value = static_cast<double>(x) +
+                             continue_prob * best[l - 1][k - x];
+        if (value < best[l][k]) {
+          best[l][k] = value;
+          choice[l][k] = x;
+        }
+      }
+    }
+  }
+  if (best[d - 1][c] == kInf) {
+    throw std::logic_error("plan_dp_over_order: no feasible plan (bug)");
+  }
+
+  // Backtrack group sizes (lines 26–29 of Fig. 1).
+  std::vector<std::size_t> sizes(d, 0);
+  std::size_t remaining = c;
+  for (std::size_t l = d; l-- > 0;) {
+    const std::size_t x = choice[l][remaining];
+    sizes[d - 1 - l] = x;
+    remaining -= x;
+  }
+  if (remaining != 0) {
+    throw std::logic_error("plan_dp_over_order: backtracking mismatch (bug)");
+  }
+
+  PlanResult result{
+      .strategy = Strategy::from_order_and_sizes(order, sizes),
+      .expected_paging = 0.0,
+      .order = std::move(order),
+      .group_sizes = std::move(sizes),
+  };
+  result.expected_paging =
+      expected_paging(instance, result.strategy, objective);
+  return result;
+}
+
+PlanResult plan_greedy(const Instance& instance, std::size_t num_rounds,
+                       const Objective& objective) {
+  return plan_dp_over_order(instance, greedy_cell_order(instance), num_rounds,
+                            objective);
+}
+
+}  // namespace confcall::core

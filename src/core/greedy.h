@@ -1,0 +1,86 @@
+// The paper's approximation algorithm (Section 4, Fig. 1).
+//
+// Step 1: order cells by non-increasing expected number of sought devices
+//         (cell weight Σ_i p(i,j)), ties broken by cell index — exactly
+//         the sequencing of Section 4.2.
+// Step 2: dynamic program of Lemma 4.7 over that order: E(ℓ, k) is the
+//         minimal expected number of cells paged by an ℓ-round strategy
+//         over the LAST k cells of the order, conditioned on the search
+//         still being live when it reaches them. The recurrence
+//
+//           E(1, k) = k
+//           E(ℓ, k) = min_{1≤x≤k−ℓ+1} x + (1−F[c−k+x])/(1−F[c−k])·E(ℓ−1, k−x)
+//
+//         is evaluated bottom-up; backtracking the minimizing x recovers
+//         the group sizes g_1,…,g_d (lines 26–29 of Fig. 1).
+//
+// Theorem 4.8: the resulting strategy pages at most e/(e−1) ≈ 1.582 times
+// the optimal expected number of cells, and is found in O(c(m+dc)) time.
+//
+// The DP itself is valid for ANY caller-supplied cell order (the remark at
+// the end of Section 4.2.2) and for any monotone stopping objective
+// (conference call / yellow pages / signature), because it only consumes
+// the stop-by-prefix probabilities F[j]. `plan_dp_over_order` exposes that
+// general form; `plan_greedy` is Fig. 1 verbatim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/strategy.h"
+
+namespace confcall::core {
+
+/// Output of a planner: the strategy plus bookkeeping that tests, benches
+/// and the adaptive planner want to inspect.
+struct PlanResult {
+  Strategy strategy;
+  /// Expected paging of `strategy` under the instance/objective it was
+  /// planned for (recomputed via Lemma 2.1, not read off the DP table).
+  double expected_paging = 0.0;
+  /// The cell order the DP partitioned.
+  std::vector<CellId> order;
+  /// The group sizes g_1,…,g_d chosen by the DP.
+  std::vector<std::size_t> group_sizes;
+};
+
+/// The Section 4.2 cell order: non-increasing cell weight Σ_i p(i,j), ties
+/// by ascending cell index (this tie-break reproduces the paper's
+/// Section 4.3 analysis, where the heuristic picks cell 1 of the hard
+/// instance first).
+std::vector<CellId> greedy_cell_order(const Instance& instance);
+
+/// Fig. 1 of the paper: greedy order + Lemma 4.7 DP. Throws
+/// std::invalid_argument unless 1 <= d <= c.
+///
+/// For m = 1 this is exactly the optimal single-user algorithm of
+/// Goodman–Krishnan–Sugla / Rose–Yates (see single_user.h); for m >= 2 it
+/// is an e/(e−1)-approximation (Theorem 4.8).
+PlanResult plan_greedy(const Instance& instance, std::size_t num_rounds,
+                       const Objective& objective = Objective::all_of());
+
+/// Lemma 4.7 DP over an arbitrary caller-given cell order (must be a
+/// permutation of {0..c-1}).
+///
+/// `max_group_size` bounds every |S_r| (0 = unbounded) — the Section 5
+/// bandwidth-limited model; the x-range of the recurrence is restricted
+/// accordingly. Throws std::invalid_argument when d*max_group_size < c
+/// (no feasible strategy).
+PlanResult plan_dp_over_order(const Instance& instance,
+                              std::vector<CellId> order,
+                              std::size_t num_rounds,
+                              const Objective& objective = Objective::all_of(),
+                              std::size_t max_group_size = 0);
+
+/// Stop-by-prefix probabilities for a cell order: F[j] = Pr[objective met
+/// within the first j cells of `order`], j = 0..c. F[0] = 0, F[c] = 1.
+std::vector<double> stop_by_prefix(const Instance& instance,
+                                   std::span<const CellId> order,
+                                   const Objective& objective);
+
+/// The e/(e−1) bound of Theorem 4.8.
+inline constexpr double kApproximationFactor = 1.5819767068693265;
+
+}  // namespace confcall::core

@@ -1,0 +1,115 @@
+#include "core/greedy_exact.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+
+namespace confcall::core {
+
+using prob::Rational;
+
+std::vector<CellId> greedy_cell_order_exact(
+    const RationalInstance& instance) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  std::vector<Rational> weights(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      weights[j] += instance.prob(static_cast<DeviceId>(i),
+                                  static_cast<CellId>(j));
+    }
+  }
+  std::vector<CellId> order(c);
+  std::iota(order.begin(), order.end(), CellId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&weights](CellId a, CellId b) {
+                     return weights[a] > weights[b];
+                   });
+  return order;
+}
+
+RationalPlanResult plan_greedy_exact(const RationalInstance& instance,
+                                     std::size_t num_rounds) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  const std::size_t d = num_rounds;
+  if (d == 0 || d > c) {
+    throw std::invalid_argument("plan_greedy_exact: need 1 <= d <= c");
+  }
+  std::vector<CellId> order = greedy_cell_order_exact(instance);
+
+  // F[j] = Pr[all devices within the first j cells of the order].
+  std::vector<Rational> stop(c + 1);
+  {
+    std::vector<Rational> prefix(m);
+    stop[0] = Rational(0);
+    for (std::size_t j = 0; j < c; ++j) {
+      for (std::size_t i = 0; i < m; ++i) {
+        prefix[i] += instance.prob(static_cast<DeviceId>(i), order[j]);
+      }
+      Rational product(1);
+      for (const auto& q : prefix) product *= q;
+      stop[j + 1] = product;
+    }
+    stop[c] = Rational(1);
+  }
+
+  // Lemma 4.7 DP, exactly. best[l][k] unset is flagged by a parallel
+  // boolean (rationals have no infinity).
+  std::vector<std::vector<Rational>> best(
+      d, std::vector<Rational>(c + 1));
+  std::vector<std::vector<bool>> feasible(d,
+                                          std::vector<bool>(c + 1, false));
+  std::vector<std::vector<std::size_t>> choice(
+      d, std::vector<std::size_t>(c + 1, 0));
+  const Rational one(1);
+  for (std::size_t k = 1; k <= c; ++k) {
+    best[0][k] = Rational(static_cast<std::int64_t>(k));
+    feasible[0][k] = true;
+    choice[0][k] = k;
+  }
+  for (std::size_t l = 1; l < d; ++l) {
+    for (std::size_t k = l + 1; k <= c; ++k) {
+      const Rational denom = one - stop[c - k];
+      for (std::size_t x = 1; x <= k - l; ++x) {
+        if (!feasible[l - 1][k - x]) continue;
+        Rational continue_prob(0);
+        if (!denom.is_zero()) {
+          continue_prob = (one - stop[c - k + x]) / denom;
+        }
+        const Rational value =
+            Rational(static_cast<std::int64_t>(x)) +
+            continue_prob * best[l - 1][k - x];
+        if (!feasible[l][k] || value < best[l][k]) {
+          best[l][k] = value;
+          feasible[l][k] = true;
+          choice[l][k] = x;
+        }
+      }
+    }
+  }
+  if (!feasible[d - 1][c]) {
+    throw std::logic_error("plan_greedy_exact: no feasible plan (bug)");
+  }
+
+  std::vector<std::size_t> sizes(d, 0);
+  std::size_t remaining = c;
+  for (std::size_t l = d; l-- > 0;) {
+    const std::size_t x = choice[l][remaining];
+    sizes[d - 1 - l] = x;
+    remaining -= x;
+  }
+
+  RationalPlanResult result{
+      .strategy = Strategy::from_order_and_sizes(order, sizes),
+      .expected_paging = Rational(0),
+      .order = std::move(order),
+      .group_sizes = std::move(sizes),
+  };
+  result.expected_paging = expected_paging_exact(instance, result.strategy);
+  return result;
+}
+
+}  // namespace confcall::core

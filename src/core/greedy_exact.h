@@ -1,0 +1,39 @@
+// Fig. 1 in exact rational arithmetic.
+//
+// The double-precision planner (greedy.h) is what production would run;
+// this twin executes the same two phases — weight ordering, Lemma 4.7
+// DP — over a RationalInstance with no rounding anywhere, so statements
+// like "the heuristic's expected paging on the Section 4.3 instance is
+// exactly 320/49" are produced by the PLANNER, not by evaluating a
+// hand-written strategy. Intended for certificates on small instances
+// (rational DP values grow denominators quickly); the conference-call
+// (all-of) objective only.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/strategy.h"
+#include "prob/rational.h"
+
+namespace confcall::core {
+
+/// Planner output with the exact expected paging.
+struct RationalPlanResult {
+  Strategy strategy;
+  prob::Rational expected_paging;
+  std::vector<CellId> order;
+  std::vector<std::size_t> group_sizes;
+};
+
+/// The Section 4.2 order under exact comparison: non-increasing cell
+/// weight sum_i p(i,j), ties by ascending index.
+std::vector<CellId> greedy_cell_order_exact(const RationalInstance& instance);
+
+/// Fig. 1 with every intermediate value an exact rational. Throws
+/// std::invalid_argument unless 1 <= d <= c.
+RationalPlanResult plan_greedy_exact(const RationalInstance& instance,
+                                     std::size_t num_rounds);
+
+}  // namespace confcall::core

@@ -1,0 +1,116 @@
+// Problem instances for the Conference Call problem (Section 1.2 of the
+// paper): m mobile devices, c cells, and an m-by-c matrix of location
+// probabilities with unit row sums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "prob/distribution.h"
+#include "prob/rational.h"
+
+namespace confcall::core {
+
+/// Index of a cell within the location area, 0-based (the paper uses 1..c).
+using CellId = std::uint32_t;
+
+/// Index of a mobile device, 0-based.
+using DeviceId = std::uint32_t;
+
+/// An instance of the Conference Call problem: the location-probability
+/// matrix for all devices being sought.
+///
+/// The paper assumes strictly positive probabilities; we relax that to
+/// non-negative because the paper's own Section 4.3 lower-bound instance
+/// uses zeros, and every algorithm here handles zero entries. Row sums must
+/// be 1 within `kRowSumTolerance`.
+class Instance {
+ public:
+  /// Row-sum slack accepted at construction (accumulated float error from
+  /// generators).
+  static constexpr double kRowSumTolerance = 1e-9;
+
+  /// Builds an instance from a row-major m-by-c matrix. Throws
+  /// std::invalid_argument when dimensions are zero, the matrix size does
+  /// not match, an entry is negative/non-finite, or a row sum is off by
+  /// more than kRowSumTolerance.
+  Instance(std::size_t num_devices, std::size_t num_cells,
+           std::vector<double> row_major_probabilities);
+
+  /// Builds an instance from one probability vector per device; all rows
+  /// must have the same length.
+  static Instance from_rows(const std::vector<prob::ProbabilityVector>& rows);
+
+  /// All m devices uniformly distributed over c cells.
+  static Instance uniform(std::size_t num_devices, std::size_t num_cells);
+
+  [[nodiscard]] std::size_t num_devices() const noexcept { return devices_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_; }
+
+  /// P[device i is in cell j].
+  [[nodiscard]] double prob(DeviceId device, CellId cell) const {
+    return probs_[static_cast<std::size_t>(device) * cells_ + cell];
+  }
+
+  /// The full probability row of one device.
+  [[nodiscard]] std::span<const double> row(DeviceId device) const {
+    return {probs_.data() + static_cast<std::size_t>(device) * cells_, cells_};
+  }
+
+  /// Expected number of sought devices in cell j: sum_i p(i, j). This is
+  /// the score by which the paper's heuristic (Section 4) orders cells.
+  [[nodiscard]] double cell_weight(CellId cell) const;
+
+  /// cell_weight for every cell.
+  [[nodiscard]] std::vector<double> cell_weights() const;
+
+  /// A new instance restricted to `devices` (rows copied in the given
+  /// order). Used by the adaptive planner after some devices are found.
+  [[nodiscard]] Instance select_devices(
+      std::span<const DeviceId> devices) const;
+
+  /// A new instance over only `cells` (columns copied in the given order),
+  /// with every row renormalized to sum 1. Throws std::invalid_argument if
+  /// a device has zero mass on the kept cells (conditioning on an
+  /// impossible event). Used by the adaptive planner after some cells have
+  /// been paged.
+  [[nodiscard]] Instance restrict_cells(std::span<const CellId> cells) const;
+
+  /// Human-readable dump (small instances; tests and examples).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t devices_;
+  std::size_t cells_;
+  std::vector<double> probs_;  // row-major m x c
+};
+
+/// Exact-rational counterpart of Instance, for proofs-by-computation.
+/// Row sums must equal 1 exactly.
+class RationalInstance {
+ public:
+  RationalInstance(std::size_t num_devices, std::size_t num_cells,
+                   std::vector<prob::Rational> row_major_probabilities);
+
+  [[nodiscard]] std::size_t num_devices() const noexcept { return devices_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_; }
+
+  [[nodiscard]] const prob::Rational& prob(DeviceId device,
+                                           CellId cell) const {
+    return probs_[static_cast<std::size_t>(device) * cells_ + cell];
+  }
+
+  /// Nearest-double conversion of every entry (rows renormalized are NOT
+  /// needed: double row sums stay within Instance::kRowSumTolerance for the
+  /// magnitudes used here).
+  [[nodiscard]] Instance to_double_instance() const;
+
+ private:
+  std::size_t devices_;
+  std::size_t cells_;
+  std::vector<prob::Rational> probs_;
+};
+
+}  // namespace confcall::core

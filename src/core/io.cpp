@@ -1,0 +1,179 @@
+#include "core/io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace confcall::core {
+
+namespace {
+
+/// Strips '#' comments and splits the remainder into whitespace-separated
+/// tokens.
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_comment = false;
+  for (const char ch : text) {
+    if (ch == '\n') {
+      in_comment = false;
+    } else if (ch == '#') {
+      in_comment = true;
+    }
+    if (in_comment || ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(ch);
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+double parse_double(const std::string& token) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument("instance_from_text: bad number '" + token +
+                                "'");
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& token, const char* what) {
+  std::size_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument(std::string("instance_from_text: bad ") +
+                                what + " '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string instance_to_text(const Instance& instance) {
+  std::ostringstream os;
+  os << "conference-call-instance v1\n";
+  os << "m " << instance.num_devices() << "\n";
+  os << "c " << instance.num_cells() << "\n";
+  char buffer[64];
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    for (std::size_t j = 0; j < instance.num_cells(); ++j) {
+      std::snprintf(buffer, sizeof(buffer), "%.17g",
+                    instance.prob(static_cast<DeviceId>(i),
+                                  static_cast<CellId>(j)));
+      os << (j == 0 ? "" : " ") << buffer;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Instance instance_from_text(std::string_view text) {
+  const std::vector<std::string> tokens = tokenize(text);
+  // Header: "conference-call-instance v1 m <m> c <c>".
+  if (tokens.size() < 6 || tokens[0] != "conference-call-instance" ||
+      tokens[1] != "v1" || tokens[2] != "m" || tokens[4] != "c") {
+    throw std::invalid_argument("instance_from_text: bad header");
+  }
+  const std::size_t m = parse_size(tokens[3], "device count");
+  const std::size_t c = parse_size(tokens[5], "cell count");
+  const std::size_t expected = 6 + m * c;
+  if (tokens.size() != expected) {
+    throw std::invalid_argument(
+        "instance_from_text: expected " + std::to_string(m * c) +
+        " probabilities, found " + std::to_string(tokens.size() - 6));
+  }
+  std::vector<double> flat;
+  flat.reserve(m * c);
+  for (std::size_t k = 6; k < tokens.size(); ++k) {
+    flat.push_back(parse_double(tokens[k]));
+  }
+  return Instance(m, c, std::move(flat));
+}
+
+Strategy strategy_from_text(std::string_view text, std::size_t num_cells) {
+  std::vector<std::vector<CellId>> groups;
+  std::vector<CellId> current_group;
+  std::string current_number;
+  bool inside_braces = false;
+
+  const auto flush_number = [&] {
+    if (current_number.empty()) return;
+    CellId cell = 0;
+    const auto* begin = current_number.data();
+    const auto* end = begin + current_number.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, cell);
+    if (ec != std::errc() || ptr != end) {
+      throw std::invalid_argument("strategy_from_text: bad cell id '" +
+                                  current_number + "'");
+    }
+    current_group.push_back(cell);
+    current_number.clear();
+  };
+
+  for (const char ch : text) {
+    switch (ch) {
+      case '{':
+        if (inside_braces) {
+          throw std::invalid_argument("strategy_from_text: nested '{'");
+        }
+        inside_braces = true;
+        break;
+      case '}':
+        if (!inside_braces) {
+          throw std::invalid_argument("strategy_from_text: stray '}'");
+        }
+        flush_number();
+        groups.push_back(std::move(current_group));
+        current_group.clear();
+        inside_braces = false;
+        break;
+      case ',':
+        if (!inside_braces) {
+          throw std::invalid_argument("strategy_from_text: ',' outside group");
+        }
+        flush_number();
+        break;
+      case '|':
+        if (inside_braces) {
+          throw std::invalid_argument("strategy_from_text: '|' inside group");
+        }
+        break;
+      case ' ':
+      case '\t':
+      case '\n':
+      case '\r':
+        flush_number();
+        break;
+      default:
+        if (ch < '0' || ch > '9') {
+          throw std::invalid_argument(
+              std::string("strategy_from_text: unexpected character '") + ch +
+              "'");
+        }
+        if (!inside_braces) {
+          throw std::invalid_argument(
+              "strategy_from_text: digits outside a group");
+        }
+        current_number.push_back(ch);
+        break;
+    }
+  }
+  if (inside_braces) {
+    throw std::invalid_argument("strategy_from_text: unterminated group");
+  }
+  return Strategy::from_groups(std::move(groups), num_cells);
+}
+
+}  // namespace confcall::core

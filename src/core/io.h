@@ -1,0 +1,39 @@
+// Plain-text serialization of instances and strategies.
+//
+// Format (line-oriented, '#' starts a comment, whitespace-separated):
+//
+//   conference-call-instance v1
+//   m 2
+//   c 3
+//   0.5 0.25 0.25        <- device 0's row
+//   0.1 0.2  0.7         <- device 1's row
+//
+// Strategies use the same compact form Strategy::to_string() prints:
+// "{1,0}|{2}" — groups separated by '|', cells by ','.
+//
+// Round-trips are exact for values that print losslessly; rows are
+// re-validated on parse, so a hand-edited file that no longer sums to 1
+// is rejected with a clear error.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/instance.h"
+#include "core/strategy.h"
+
+namespace confcall::core {
+
+/// Serializes an instance (17 significant digits, lossless for doubles).
+std::string instance_to_text(const Instance& instance);
+
+/// Parses the format above. Throws std::invalid_argument on malformed
+/// input (bad header, wrong counts, non-numeric tokens, invalid rows).
+Instance instance_from_text(std::string_view text);
+
+/// Parses "{1,0}|{2}" over `num_cells` cells. Accepts whitespace between
+/// tokens. Throws std::invalid_argument on malformed input or when the
+/// groups do not partition {0..num_cells-1}.
+Strategy strategy_from_text(std::string_view text, std::size_t num_cells);
+
+}  // namespace confcall::core

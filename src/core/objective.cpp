@@ -1,0 +1,70 @@
+#include "core/objective.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace confcall::core {
+
+std::size_t Objective::required(std::size_t num_devices) const {
+  switch (mode_) {
+    case SearchMode::kAllOf:
+      return num_devices;
+    case SearchMode::kAnyOf:
+      return 1;
+    case SearchMode::kKOfM:
+      if (k_ == 0 || k_ > num_devices) {
+        throw std::invalid_argument("Objective: k out of range [1, m]");
+      }
+      return k_;
+  }
+  throw std::logic_error("Objective: unknown mode");
+}
+
+double Objective::stop_probability(
+    std::span<const double> device_prefix_probs) const {
+  const std::size_t m = device_prefix_probs.size();
+  if (m == 0) throw std::invalid_argument("Objective: no devices");
+  switch (mode_) {
+    case SearchMode::kAllOf: {
+      double product = 1.0;
+      for (const double q : device_prefix_probs) product *= q;
+      return product;
+    }
+    case SearchMode::kAnyOf: {
+      double product = 1.0;
+      for (const double q : device_prefix_probs) product *= 1.0 - q;
+      return 1.0 - product;
+    }
+    case SearchMode::kKOfM: {
+      const std::size_t k = required(m);
+      // Poisson-binomial: dp[j] = Pr[exactly j of the devices seen so far
+      // are in the prefix], truncated at j = k (everything >= k stops the
+      // search, so it can be pooled into the last bucket).
+      std::vector<double> dp(k + 1, 0.0);
+      dp[0] = 1.0;
+      for (const double q : device_prefix_probs) {
+        for (std::size_t j = k; j-- > 0;) {
+          const double move = dp[j] * q;
+          dp[j] -= move;
+          dp[j + 1 <= k ? j + 1 : k] += move;
+        }
+      }
+      return dp[k];
+    }
+  }
+  throw std::logic_error("Objective: unknown mode");
+}
+
+std::string Objective::to_string() const {
+  switch (mode_) {
+    case SearchMode::kAllOf:
+      return "all-of (conference call)";
+    case SearchMode::kAnyOf:
+      return "any-of (yellow pages)";
+    case SearchMode::kKOfM:
+      return "k-of-m (signature, k=" + std::to_string(k_) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace confcall::core

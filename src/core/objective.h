@@ -1,0 +1,84 @@
+// Search-stopping objectives.
+//
+// The Conference Call problem stops paging when ALL sought devices are
+// found. Section 5 of the paper introduces two relatives: the Yellow Pages
+// problem (stop when ANY ONE device is found) and the Signature problem
+// (stop when at least k of the m devices are found — "k managers signing a
+// document"). All three share the generalized Lemma 2.1 identity
+//
+//   EP = c − Σ_{r=1}^{d−1} |S_{r+1}| · Pr[search stops by round r],
+//
+// where Pr[stop by r] is a symmetric function of the per-device prefix
+// probabilities q_i = P_i(S_1 ∪ … ∪ S_r). This type encapsulates that
+// function so evaluators and planners are objective-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace confcall::core {
+
+/// Which devices must be found before paging can stop.
+enum class SearchMode {
+  kAllOf,  ///< Conference Call: every device (k = m).
+  kAnyOf,  ///< Yellow Pages: any single device (k = 1).
+  kKOfM,   ///< Signature: at least k devices.
+};
+
+/// A stopping objective. Value type; cheap to copy.
+class Objective {
+ public:
+  /// Conference Call objective (the paper's main problem).
+  static constexpr Objective all_of() noexcept {
+    return Objective(SearchMode::kAllOf, 0);
+  }
+
+  /// Yellow Pages objective: stop at the first device found.
+  static constexpr Objective any_of() noexcept {
+    return Objective(SearchMode::kAnyOf, 1);
+  }
+
+  /// Signature objective: stop once at least `k` devices are found
+  /// (k >= 1; validated against m at evaluation time).
+  static constexpr Objective k_of_m(std::size_t k) noexcept {
+    return Objective(SearchMode::kKOfM, k);
+  }
+
+  [[nodiscard]] constexpr SearchMode mode() const noexcept { return mode_; }
+
+  /// The threshold k for kKOfM (1 for kAnyOf; meaningless for kAllOf,
+  /// which always uses m).
+  [[nodiscard]] constexpr std::size_t k() const noexcept { return k_; }
+
+  /// The number of devices that must be found out of `num_devices`.
+  [[nodiscard]] std::size_t required(std::size_t num_devices) const;
+
+  /// Pr[the search may stop] given q_i = P[device i lies in the prefix of
+  /// cells paged so far]. For kAllOf this is Π q_i; for kAnyOf it is
+  /// 1 − Π(1−q_i); for kKOfM it is the Poisson-binomial upper tail
+  /// Pr[#found ≥ k], computed by an O(m·k) DP. Throws
+  /// std::invalid_argument when k is 0 or exceeds the device count.
+  [[nodiscard]] double stop_probability(
+      std::span<const double> device_prefix_probs) const;
+
+  /// True when the number of devices already found meets the objective.
+  [[nodiscard]] bool satisfied(std::size_t found,
+                               std::size_t num_devices) const {
+    return found >= required(num_devices);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Objective&,
+                                   const Objective&) = default;
+
+ private:
+  constexpr Objective(SearchMode mode, std::size_t k) noexcept
+      : mode_(mode), k_(k) {}
+
+  SearchMode mode_;
+  std::size_t k_;
+};
+
+}  // namespace confcall::core

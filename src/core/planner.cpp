@@ -1,0 +1,84 @@
+#include "core/planner.h"
+
+#include <stdexcept>
+
+#include "core/bandwidth.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+
+namespace confcall::core {
+
+Strategy BlanketPlanner::plan(const Instance& instance,
+                              std::size_t /*num_rounds*/) const {
+  return Strategy::blanket(instance.num_cells());
+}
+
+Strategy GreedyPlanner::plan(const Instance& instance,
+                             std::size_t num_rounds) const {
+  return plan_greedy(instance, num_rounds, objective_).strategy;
+}
+
+BandwidthLimitedPlanner::BandwidthLimitedPlanner(
+    std::size_t max_cells_per_round, Objective objective)
+    : cap_(max_cells_per_round), objective_(objective) {
+  if (cap_ == 0) {
+    throw std::invalid_argument("BandwidthLimitedPlanner: zero cap");
+  }
+}
+
+std::string BandwidthLimitedPlanner::name() const {
+  return "greedy-cap" + std::to_string(cap_);
+}
+
+Strategy BandwidthLimitedPlanner::plan(const Instance& instance,
+                                       std::size_t num_rounds) const {
+  return plan_bandwidth_limited(instance, num_rounds, cap_, objective_)
+      .strategy;
+}
+
+Strategy ExactPlanner::plan(const Instance& instance,
+                            std::size_t num_rounds) const {
+  return solve_branch_and_bound(instance, num_rounds, objective_).strategy;
+}
+
+Strategy TypedExactPlanner::plan(const Instance& instance,
+                                 std::size_t num_rounds) const {
+  return solve_exact_typed(instance, num_rounds, objective_, node_limit_)
+      .strategy;
+}
+
+std::vector<PlannerComparison> compare_planners(
+    const Instance& instance, std::size_t num_rounds,
+    std::span<const Planner* const> planners, const Objective& objective) {
+  std::vector<PlannerComparison> rows;
+  rows.reserve(planners.size());
+  for (const Planner* planner : planners) {
+    if (planner == nullptr) {
+      throw std::invalid_argument("compare_planners: null planner");
+    }
+    try {
+      Strategy strategy = planner->plan(instance, num_rounds);
+      PlannerComparison row{
+          .name = planner->name(),
+          .expected_paging = expected_paging(instance, strategy, objective),
+          .expected_rounds = expected_rounds(instance, strategy, objective),
+          .strategy = std::move(strategy),
+      };
+      rows.push_back(std::move(row));
+    } catch (const std::invalid_argument&) {
+      // Planner rejected this shape (e.g. infeasible cap); skip it.
+    }
+  }
+  return rows;
+}
+
+std::vector<std::unique_ptr<Planner>> default_planners() {
+  std::vector<std::unique_ptr<Planner>> planners;
+  planners.push_back(std::make_unique<BlanketPlanner>());
+  planners.push_back(std::make_unique<GreedyPlanner>());
+  planners.push_back(std::make_unique<TypedExactPlanner>());
+  return planners;
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,123 @@
+// Polymorphic planner interface.
+//
+// The concrete algorithms (blanket, Fig. 1 greedy, bandwidth-capped,
+// exact solvers) all map (instance, delay budget) to a Strategy; this
+// interface lets applications treat them interchangeably — swap the
+// planner in a deployment, A/B them in a simulator, or enumerate them in
+// a comparison harness (see compare_planners / examples/planner_compare).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/strategy.h"
+
+namespace confcall::core {
+
+/// Maps an instance and a delay budget to an oblivious paging strategy.
+/// Implementations are stateless and const; they may throw
+/// std::invalid_argument for budgets/instances outside their domain.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Human-readable identifier for tables and logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Plans a strategy of at most `num_rounds` rounds.
+  [[nodiscard]] virtual Strategy plan(const Instance& instance,
+                                      std::size_t num_rounds) const = 0;
+};
+
+/// GSM MAP / IS-41 baseline: one round, every cell.
+class BlanketPlanner final : public Planner {
+ public:
+  [[nodiscard]] std::string name() const override { return "blanket"; }
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+};
+
+/// The paper's Fig. 1 algorithm (e/(e-1)-approximate; optimal for m = 1).
+class GreedyPlanner final : public Planner {
+ public:
+  explicit GreedyPlanner(Objective objective = Objective::all_of())
+      : objective_(objective) {}
+  [[nodiscard]] std::string name() const override { return "greedy-fig1"; }
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+
+ private:
+  Objective objective_;
+};
+
+/// Fig. 1 with the Section 5 per-round cap.
+class BandwidthLimitedPlanner final : public Planner {
+ public:
+  /// Throws std::invalid_argument when max_cells_per_round is zero.
+  explicit BandwidthLimitedPlanner(std::size_t max_cells_per_round,
+                                   Objective objective = Objective::all_of());
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+
+ private:
+  std::size_t cap_;
+  Objective objective_;
+};
+
+/// Ground truth via branch-and-bound (exponential; small instances only).
+class ExactPlanner final : public Planner {
+ public:
+  explicit ExactPlanner(Objective objective = Objective::all_of())
+      : objective_(objective) {}
+  [[nodiscard]] std::string name() const override { return "exact-bnb"; }
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+
+ private:
+  Objective objective_;
+};
+
+/// Exact via column-type symmetry (polynomial when the instance has few
+/// distinct probability columns).
+class TypedExactPlanner final : public Planner {
+ public:
+  explicit TypedExactPlanner(Objective objective = Objective::all_of(),
+                             std::uint64_t node_limit = 20'000'000)
+      : objective_(objective), node_limit_(node_limit) {}
+  [[nodiscard]] std::string name() const override { return "exact-typed"; }
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+
+ private:
+  Objective objective_;
+  std::uint64_t node_limit_;
+};
+
+/// One comparison row: planner name, the strategy's expected paging and
+/// expected rounds under the given objective.
+struct PlannerComparison {
+  std::string name;
+  double expected_paging = 0.0;
+  double expected_rounds = 0.0;
+  Strategy strategy;
+};
+
+/// Plans with each planner and evaluates under one common objective.
+/// Planners that reject the instance/budget (throw std::invalid_argument)
+/// are skipped. Results come back in input order.
+std::vector<PlannerComparison> compare_planners(
+    const Instance& instance, std::size_t num_rounds,
+    std::span<const Planner* const> planners,
+    const Objective& objective = Objective::all_of());
+
+/// The built-in planner set used by examples: blanket, greedy, capped
+/// greedy (cap = c/2), typed exact.
+std::vector<std::unique_ptr<Planner>> default_planners();
+
+}  // namespace confcall::core

@@ -1,0 +1,70 @@
+#include "core/scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+
+namespace confcall::core {
+
+Instance quantize_instance(const Instance& instance, std::size_t levels) {
+  if (levels == 0) {
+    throw std::invalid_argument("quantize_instance: zero levels");
+  }
+  const std::size_t m = instance.num_devices();
+  const std::size_t c = instance.num_cells();
+  std::vector<double> flat(m * c);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = instance.row(static_cast<DeviceId>(i));
+    const auto [lo_it, hi_it] = std::minmax_element(row.begin(), row.end());
+    const double lo = *lo_it;
+    const double width = (*hi_it - lo) / static_cast<double>(levels);
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      double snapped = row[j];
+      if (width > 0.0) {
+        auto bucket = static_cast<std::size_t>((row[j] - lo) / width);
+        if (bucket >= levels) bucket = levels - 1;  // top edge
+        snapped = lo + (static_cast<double>(bucket) + 0.5) * width;
+      }
+      flat[i * c + j] = snapped;
+      row_sum += snapped;
+    }
+    for (std::size_t j = 0; j < c; ++j) flat[i * c + j] /= row_sum;
+  }
+  return Instance(m, c, std::move(flat));
+}
+
+SchemePlanResult plan_quantized_exact(const Instance& instance,
+                                      std::size_t num_rounds,
+                                      std::size_t levels,
+                                      const Objective& objective,
+                                      std::uint64_t node_limit) {
+  const Instance quantized = quantize_instance(instance, levels);
+  const ExactResult solved =
+      solve_exact_typed(quantized, num_rounds, objective, node_limit);
+
+  SchemePlanResult result{
+      .strategy = solved.strategy,
+      .expected_paging =
+          expected_paging(instance, solved.strategy, objective),
+      .quantized_expected_paging = solved.expected_paging,
+      .distinct_columns = column_types(quantized).count.size(),
+      .max_entry_error = 0.0,
+  };
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    for (std::size_t j = 0; j < instance.num_cells(); ++j) {
+      result.max_entry_error = std::max(
+          result.max_entry_error,
+          std::abs(instance.prob(static_cast<DeviceId>(i),
+                                 static_cast<CellId>(j)) -
+                   quantized.prob(static_cast<DeviceId>(i),
+                                  static_cast<CellId>(j))));
+    }
+  }
+  return result;
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,60 @@
+// The Section 5 approximation scheme, made practical.
+//
+// Paper: "we assume that the set of probabilities ... can be covered by a
+// constant number of real intervals of constant length. This allows us to
+// search the space of solutions exhaustively in polynomial time." The
+// recipe implemented here for ARBITRARY instances:
+//
+//   1. quantize every probability entry to one of `levels` representative
+//      values per device (equal-width buckets over the row's range) and
+//      renormalize — columns now take at most levels^m distinct values;
+//   2. solve the quantized instance EXACTLY with the typed solver
+//      (polynomial for constantly many column types);
+//   3. run the resulting strategy on the ORIGINAL instance.
+//
+// The coarser the quantization, the cheaper step 2 and the larger the
+// modelling error; `levels -> infinity` recovers the instance exactly (and
+// the exponential exact search). The result reports the realized column
+// count and a per-entry quantization radius so callers can trade accuracy
+// against cost knowingly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/greedy.h"
+#include "core/instance.h"
+#include "core/objective.h"
+
+namespace confcall::core {
+
+/// Snaps each entry of each row to the midpoint of its equal-width bucket
+/// ([row min, row max] split into `levels` buckets) and renormalizes the
+/// row. Throws std::invalid_argument when levels == 0.
+Instance quantize_instance(const Instance& instance, std::size_t levels);
+
+/// Result of the quantize-then-solve scheme.
+struct SchemePlanResult {
+  Strategy strategy;
+  /// EP of `strategy` on the ORIGINAL instance (what the caller pays).
+  double expected_paging = 0.0;
+  /// EP the quantized model predicted for the same strategy.
+  double quantized_expected_paging = 0.0;
+  /// Distinct probability columns after quantization (drives the typed
+  /// solver's cost).
+  std::size_t distinct_columns = 0;
+  /// Largest |original - quantized| entry after renormalization — a
+  /// diagnostic for how aggressive the quantization was.
+  double max_entry_error = 0.0;
+};
+
+/// Runs the scheme. Propagates the typed solver's std::invalid_argument
+/// when the quantization still leaves too many column types for the node
+/// limit (retry with fewer levels).
+SchemePlanResult plan_quantized_exact(const Instance& instance,
+                                      std::size_t num_rounds,
+                                      std::size_t levels,
+                                      const Objective& objective =
+                                          Objective::all_of(),
+                                      std::uint64_t node_limit = 20'000'000);
+
+}  // namespace confcall::core

@@ -1,0 +1,84 @@
+#include "core/signature.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::core {
+
+std::vector<CellId> score_cell_order(const Instance& instance, CellScore score,
+                                     std::size_t k) {
+  const std::size_t c = instance.num_cells();
+  const std::size_t m = instance.num_devices();
+  std::vector<double> values(c, 0.0);
+  std::vector<double> column(m);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      column[i] = instance.prob(static_cast<DeviceId>(i),
+                                static_cast<CellId>(j));
+    }
+    switch (score) {
+      case CellScore::kSumProb:
+        values[j] = std::accumulate(column.begin(), column.end(), 0.0);
+        break;
+      case CellScore::kMaxProb:
+        values[j] = *std::max_element(column.begin(), column.end());
+        break;
+      case CellScore::kTopK: {
+        if (k == 0 || k > m) {
+          throw std::invalid_argument("score_cell_order: k out of [1, m]");
+        }
+        std::partial_sort(column.begin(),
+                          column.begin() + static_cast<std::ptrdiff_t>(k),
+                          column.end(), std::greater<>());
+        values[j] = std::accumulate(
+            column.begin(), column.begin() + static_cast<std::ptrdiff_t>(k),
+            0.0);
+        break;
+      }
+    }
+  }
+  std::vector<CellId> order(c);
+  std::iota(order.begin(), order.end(), CellId{0});
+  std::stable_sort(order.begin(), order.end(), [&values](CellId a, CellId b) {
+    return values[a] > values[b];
+  });
+  return order;
+}
+
+PlanResult plan_yellow_pages(const Instance& instance, std::size_t num_rounds,
+                             CellScore score) {
+  return plan_dp_over_order(instance,
+                            score_cell_order(instance, score, /*k=*/1),
+                            num_rounds, Objective::any_of());
+}
+
+Instance yellow_pages_hard_instance(std::size_t m) {
+  if (m < 4) {
+    throw std::invalid_argument(
+        "yellow_pages_hard_instance: need m >= 4 (so the decoy sums "
+        "exceed 1)");
+  }
+  const std::size_t c = m - 1;  // cell 0 + (m - 2) decoys
+  std::vector<double> flat(m * c, 0.0);
+  flat[0] = 1.0;  // device 0 pinned to cell 0
+  const double spread = 1.0 / static_cast<double>(m - 2);
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t j = 1; j < c; ++j) {
+      flat[i * c + j] = spread;
+    }
+  }
+  return Instance(m, c, std::move(flat));
+}
+
+PlanResult plan_signature(const Instance& instance, std::size_t num_rounds,
+                          std::size_t k, CellScore score) {
+  if (k == 0 || k > instance.num_devices()) {
+    throw std::invalid_argument("plan_signature: k out of [1, m]");
+  }
+  return plan_dp_over_order(instance, score_cell_order(instance, score, k),
+                            num_rounds, Objective::k_of_m(k));
+}
+
+}  // namespace confcall::core

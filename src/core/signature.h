@@ -1,0 +1,61 @@
+// Planners for the Section 5 search variants.
+//
+//  * Yellow Pages — find ANY ONE of the m devices (k = 1). The paper notes
+//    the conference-call heuristic (order by Σ_i p(i,j)) does NOT give a
+//    constant factor here, and reports an m-approximation based on a
+//    different ordering.
+//  * Signature — find at least k of the m devices ("k managers must sign").
+//    Generalizes both: k = m is the conference call, k = 1 yellow pages.
+//
+// Both reuse the Lemma 4.7 DP (which is exact for any fixed order and any
+// monotone stopping objective); what changes is the cell ordering. We
+// expose three scores:
+//
+//  * kSumProb  — Σ_i p(i,j), the paper's conference-call score;
+//  * kMaxProb  — max_i p(i,j), natural for yellow pages (a cell is good if
+//    SOME device is likely there);
+//  * kTopK     — sum of the k largest p(i,j) over devices, interpolating
+//    between the two (k = 1 → kMaxProb, k = m → kSumProb).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/greedy.h"
+
+namespace confcall::core {
+
+/// Cell-ordering score for the variant planners.
+enum class CellScore {
+  kSumProb,
+  kMaxProb,
+  kTopK,
+};
+
+/// Cells sorted by non-increasing score (ties by index). `k` is consumed
+/// only by kTopK.
+std::vector<CellId> score_cell_order(const Instance& instance, CellScore score,
+                                     std::size_t k);
+
+/// Yellow Pages planner: kMaxProb order + DP under the any-of objective.
+PlanResult plan_yellow_pages(const Instance& instance, std::size_t num_rounds,
+                             CellScore score = CellScore::kMaxProb);
+
+/// Signature planner: kTopK order + DP under the k-of-m objective.
+/// Throws std::invalid_argument unless 1 <= k <= m.
+PlanResult plan_signature(const Instance& instance, std::size_t num_rounds,
+                          std::size_t k,
+                          CellScore score = CellScore::kTopK);
+
+/// A witness family for the paper's Section 5 claim that the
+/// conference-call heuristic (sum-score ordering) has NO constant factor
+/// for the Yellow Pages problem. m >= 4 devices over c = m - 1 cells:
+/// device 0 sits in cell 0 with certainty (any-of optimum pages just that
+/// cell: EP = 1), while devices 1..m-1 spread uniformly over the m - 2
+/// "decoy" cells, giving every decoy the LARGER column sum
+/// (m-1)/(m-2) > 1. The sum-score order therefore pages all decoys before
+/// cell 0 and its best d = 2 split costs ~ln m — an unbounded ratio. The
+/// max-score order is immune. Throws std::invalid_argument when m < 4.
+Instance yellow_pages_hard_instance(std::size_t m);
+
+}  // namespace confcall::core

@@ -1,0 +1,16 @@
+#include "core/single_user.h"
+
+namespace confcall::core {
+
+PlanResult plan_single_user(const prob::ProbabilityVector& distribution,
+                            std::size_t num_rounds) {
+  const Instance instance = Instance::from_rows({distribution});
+  return plan_greedy(instance, num_rounds);
+}
+
+double optimal_single_user_paging(const prob::ProbabilityVector& distribution,
+                                  std::size_t num_rounds) {
+  return plan_single_user(distribution, num_rounds).expected_paging;
+}
+
+}  // namespace confcall::core

@@ -1,0 +1,31 @@
+// Optimal paging for a single mobile device (m = 1).
+//
+// The paper builds on the classical result (Goodman–Krishnan–Sugla [11],
+// Madhavapeddy–Basu–Roberts [16], Rose–Yates [17]) that the Conference
+// Call problem with one device is solvable exactly in polynomial time:
+// order cells by non-increasing location probability, then dynamic-program
+// the split into at most d rounds. This module wraps that algorithm with a
+// single-device API; it shares the DP of Lemma 4.7 (which for m = 1 is the
+// exact algorithm, not just an approximation).
+#pragma once
+
+#include <cstddef>
+
+#include "core/greedy.h"
+#include "prob/distribution.h"
+
+namespace confcall::core {
+
+/// Plans the OPTIMAL d-round paging strategy for one device with the given
+/// location distribution. Throws std::invalid_argument unless
+/// 1 <= d <= cells.
+PlanResult plan_single_user(const prob::ProbabilityVector& distribution,
+                            std::size_t num_rounds);
+
+/// Expected paging of the optimal single-user d-round strategy. Equals
+/// 3c/4 for the uniform distribution with even c and d = 2 (the example of
+/// Section 1.1).
+double optimal_single_user_paging(const prob::ProbabilityVector& distribution,
+                                  std::size_t num_rounds);
+
+}  // namespace confcall::core

@@ -1,0 +1,83 @@
+// Oblivious paging strategies (Section 1.2): an ordered partition of the
+// cells into d non-empty groups; round r pages every cell of group r until
+// the search objective is met.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace confcall::core {
+
+/// An oblivious paging strategy. Invariants (checked at construction):
+/// the groups are non-empty and together partition {0, …, c-1} exactly.
+class Strategy {
+ public:
+  /// Builds a strategy from explicit groups over `num_cells` cells.
+  /// Throws std::invalid_argument when the groups are empty, contain
+  /// duplicates/out-of-range cells, or do not cover every cell.
+  static Strategy from_groups(std::vector<std::vector<CellId>> groups,
+                              std::size_t num_cells);
+
+  /// Builds a strategy that pages the cells of `order` split into
+  /// consecutive chunks of the given `sizes` (the output format of the
+  /// paper's Fig. 1 algorithm). `order` must be a permutation of
+  /// {0,…,c-1} and the sizes must be positive and sum to c.
+  static Strategy from_order_and_sizes(std::span<const CellId> order,
+                                       std::span<const std::size_t> sizes);
+
+  /// The one-round strategy paging every cell at once — the GSM MAP /
+  /// IS-41 location-area behaviour the paper uses as its baseline.
+  static Strategy blanket(std::size_t num_cells);
+
+  /// Number of rounds d (= number of groups).
+  [[nodiscard]] std::size_t num_rounds() const noexcept {
+    return groups_.size();
+  }
+
+  /// Total number of cells covered.
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_; }
+
+  /// Cells paged in round r (0-based).
+  [[nodiscard]] const std::vector<CellId>& group(std::size_t round) const {
+    return groups_.at(round);
+  }
+
+  [[nodiscard]] const std::vector<std::vector<CellId>>& groups()
+      const noexcept {
+    return groups_;
+  }
+
+  /// |S_1|, …, |S_d|.
+  [[nodiscard]] std::vector<std::size_t> group_sizes() const;
+
+  /// The round in which `cell` is paged (0-based). O(1).
+  [[nodiscard]] std::size_t round_of(CellId cell) const {
+    return round_of_.at(cell);
+  }
+
+  /// Cumulative number of cells paged through round r inclusive
+  /// (|S_1| + … + |S_{r+1}| in paper terms).
+  [[nodiscard]] std::size_t cells_paged_through(std::size_t round) const;
+
+  /// "{a,b}|{c}|{d,e}" — rounds separated by '|'.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Strategy& lhs, const Strategy& rhs) = default;
+
+ private:
+  Strategy(std::vector<std::vector<CellId>> groups, std::size_t cells,
+           std::vector<std::size_t> round_of)
+      : groups_(std::move(groups)),
+        cells_(cells),
+        round_of_(std::move(round_of)) {}
+
+  std::vector<std::vector<CellId>> groups_;
+  std::size_t cells_ = 0;
+  std::vector<std::size_t> round_of_;
+};
+
+}  // namespace confcall::core

@@ -1,0 +1,314 @@
+#include "prob/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace confcall::prob {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Negate through uint64 to handle INT64_MIN without UB.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) throw std::invalid_argument("BigInt: sign only");
+  BigInt result;
+  for (; pos < text.size(); ++pos) {
+    const char ch = text[pos];
+    if (ch < '0' || ch > '9') {
+      throw std::invalid_argument("BigInt: non-digit character");
+    }
+    result *= BigInt(10);
+    result += BigInt(ch - '0');
+  }
+  result.negative_ = negative && !result.is_zero();
+  return result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 to peel decimal chunks.
+  std::vector<std::uint32_t> work(limbs_);
+  std::string digits;
+  constexpr std::uint32_t kChunk = 1000000000U;
+  while (!work.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  return (limbs_.size() - 1) * 32 +
+         (32 - static_cast<std::size_t>(__builtin_clz(top)));
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigInt: to_int64");
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (magnitude > 0x8000000000000000ULL) {
+      throw std::overflow_error("BigInt: to_int64");
+    }
+    return static_cast<std::int64_t>(~magnitude + 1);
+  }
+  if (magnitude > 0x7fffffffffffffffULL) {
+    throw std::overflow_error("BigInt: to_int64");
+  }
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::to_double() const noexcept {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * static_cast<double>(kBase) + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -value : value;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result(*this);
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result(*this);
+  result.negative_ = false;
+  return result;
+}
+
+std::strong_ordering BigInt::compare_magnitude(
+    const BigInt& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs,
+                                 const BigInt& rhs) noexcept {
+  if (lhs.negative_ != rhs.negative_) {
+    return lhs.negative_ ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+  }
+  const auto mag = lhs.compare_magnitude(rhs);
+  return lhs.negative_ ? 0 <=> mag : mag;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+void BigInt::add_magnitude(const BigInt& other) {
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::sub_magnitude(const BigInt& other) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) {
+      diff -= static_cast<std::int64_t>(other.limbs_[i]);
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  trim();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    add_magnitude(rhs);
+  } else if (compare_magnitude(rhs) >= 0) {
+    sub_magnitude(rhs);
+  } else {
+    BigInt result(rhs);
+    result.sub_magnitude(*this);
+    *this = std::move(result);
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    *this = BigInt();
+    return *this;
+  }
+  std::vector<std::uint32_t> product(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(product[i + j]) + carry +
+          a * rhs.limbs_[j];
+      product[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = product[k] + carry;
+      product[k] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  const bool negative = negative_ != rhs.negative_;
+  limbs_ = std::move(product);
+  negative_ = negative;
+  trim();
+  return *this;
+}
+
+BigInt BigInt::shifted_left(std::size_t shift) const {
+  if (is_zero() || shift == 0) return *this;
+  BigInt result;
+  result.negative_ = negative_;
+  const std::size_t limb_shift = shift / 32;
+  const unsigned bit_shift = static_cast<unsigned>(shift % 32);
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t shifted =
+        static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    result.limbs_[i + limb_shift] |=
+        static_cast<std::uint32_t>(shifted & 0xffffffffULL);
+    result.limbs_[i + limb_shift + 1] |=
+        static_cast<std::uint32_t>(shifted >> 32);
+  }
+  result.trim();
+  return result;
+}
+
+void BigInt::divmod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt& quotient, BigInt& remainder) {
+  if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
+  const BigInt abs_dividend = dividend.abs();
+  const BigInt abs_divisor = divisor.abs();
+  if (abs_dividend.compare_magnitude(abs_divisor) < 0) {
+    quotient = BigInt();
+    remainder = dividend;
+    return;
+  }
+  // Binary long division: scan dividend bits from most significant down,
+  // maintaining the running remainder. O(bits * limbs), plenty fast for the
+  // few-hundred-bit numbers the reduction produces.
+  const std::size_t bits = abs_dividend.bit_length();
+  BigInt q;
+  q.limbs_.assign((bits + 31) / 32, 0);
+  BigInt rem;
+  for (std::size_t bit = bits; bit-- > 0;) {
+    rem = rem.shifted_left(1);
+    const bool dividend_bit =
+        (abs_dividend.limbs_[bit / 32] >> (bit % 32)) & 1U;
+    if (dividend_bit) {
+      if (rem.limbs_.empty()) rem.limbs_.push_back(0);
+      rem.limbs_[0] |= 1U;
+    }
+    if (rem.compare_magnitude(abs_divisor) >= 0) {
+      rem.sub_magnitude(abs_divisor);
+      q.limbs_[bit / 32] |= 1U << (bit % 32);
+    }
+  }
+  q.trim();
+  rem.trim();
+  q.negative_ = !q.is_zero() && (dividend.negative_ != divisor.negative_);
+  rem.negative_ = !rem.is_zero() && dividend.negative_;
+  quotient = std::move(q);
+  remainder = std::move(rem);
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt quotient, remainder;
+  divmod(*this, rhs, quotient, remainder);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt quotient, remainder;
+  divmod(*this, rhs, quotient, remainder);
+  *this = std::move(remainder);
+  return *this;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt quotient, remainder;
+    divmod(a, b, quotient, remainder);
+    a = std::move(b);
+    b = std::move(remainder);
+  }
+  return a;
+}
+
+BigInt BigInt::pow(const BigInt& base, unsigned exponent) {
+  BigInt result(1);
+  BigInt acc(base);
+  while (exponent != 0) {
+    if (exponent & 1U) result *= acc;
+    exponent >>= 1U;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+}  // namespace confcall::prob

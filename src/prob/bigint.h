@@ -1,0 +1,110 @@
+// Arbitrary-precision signed integers.
+//
+// The NP-hardness reduction of Bar-Noy & Malewicz (Section 3) and the exact
+// verification of expected-paging values (e.g., 317/49 vs 320/49 in
+// Section 4.3) require exact arithmetic: the reduction scales partition
+// sizes by 2^p with p = ceil(log2(sum + 1)), which rapidly overflows 64-bit
+// integers, and floating point cannot certify "OPT equals the closed-form
+// lower bound exactly". This is a small, self-contained implementation
+// (base 2^32 magnitude, sign-magnitude representation) sized for those
+// workloads — hundreds of bits, not cryptographic sizes.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confcall::prob {
+
+/// Arbitrary-precision signed integer with value semantics.
+///
+/// Representation invariants:
+///  * magnitude `limbs_` is little-endian base-2^32 with no leading zero limb;
+///  * zero is represented by an empty limb vector and `negative_ == false`.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from built-in integers (implicit on purpose: arithmetic
+  /// expressions like `x + 1` should read naturally).
+  BigInt(std::int64_t value);    // NOLINT(google-explicit-constructor)
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal string. Throws std::invalid_argument
+  /// on malformed input (empty, non-digit characters).
+  static BigInt from_string(std::string_view text);
+
+  /// Decimal representation, with a leading '-' when negative.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+
+  /// Sign as -1, 0 or +1.
+  [[nodiscard]] int signum() const noexcept {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// Number of bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Converts to int64 when the value fits; throws std::overflow_error
+  /// otherwise.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// Converts to the nearest double (may lose precision; infinite values
+  /// saturate to +/-inf).
+  [[nodiscard]] double to_double() const noexcept;
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  ///< Truncating division; throws on /0.
+  BigInt& operator%=(const BigInt& rhs);  ///< Sign follows the dividend.
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Quotient and remainder in one pass (remainder has the dividend's sign).
+  /// Throws std::domain_error on division by zero.
+  static void divmod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt& quotient, BigInt& remainder);
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// this * 2^shift.
+  [[nodiscard]] BigInt shifted_left(std::size_t shift) const;
+
+  /// Base^exponent for a non-negative exponent.
+  static BigInt pow(const BigInt& base, unsigned exponent);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) noexcept {
+    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs,
+                                          const BigInt& rhs) noexcept;
+
+ private:
+  // |this| vs |other| comparison.
+  [[nodiscard]] std::strong_ordering compare_magnitude(
+      const BigInt& other) const noexcept;
+  void add_magnitude(const BigInt& other);
+  // Requires |this| >= |other|.
+  void sub_magnitude(const BigInt& other);
+  void trim() noexcept;
+
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace confcall::prob

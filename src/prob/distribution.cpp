@@ -1,0 +1,106 @@
+#include "prob/distribution.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::prob {
+
+ProbabilityVector normalized(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("normalized: empty weight vector");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("normalized: negative or non-finite weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("normalized: weights sum to zero");
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+ProbabilityVector uniform_vector(std::size_t cells) {
+  if (cells == 0) throw std::invalid_argument("uniform_vector: zero cells");
+  return ProbabilityVector(cells, 1.0 / static_cast<double>(cells));
+}
+
+ProbabilityVector zipf_vector_sorted(std::size_t cells, double alpha) {
+  if (cells == 0) throw std::invalid_argument("zipf_vector: zero cells");
+  std::vector<double> weights(cells);
+  for (std::size_t j = 0; j < cells; ++j) {
+    weights[j] = std::pow(static_cast<double>(j + 1), -alpha);
+  }
+  return normalized(std::move(weights));
+}
+
+ProbabilityVector zipf_vector(std::size_t cells, double alpha, Rng& rng) {
+  ProbabilityVector vec = zipf_vector_sorted(cells, alpha);
+  rng.shuffle(vec);
+  return vec;
+}
+
+ProbabilityVector geometric_vector(std::size_t cells, double ratio, Rng& rng) {
+  if (cells == 0) throw std::invalid_argument("geometric_vector: zero cells");
+  if (ratio <= 0.0 || ratio >= 1.0) {
+    throw std::invalid_argument("geometric_vector: ratio must be in (0,1)");
+  }
+  std::vector<double> weights(cells);
+  double w = 1.0;
+  for (std::size_t j = 0; j < cells; ++j) {
+    weights[j] = w;
+    w *= ratio;
+  }
+  ProbabilityVector vec = normalized(std::move(weights));
+  rng.shuffle(vec);
+  return vec;
+}
+
+ProbabilityVector dirichlet_vector(std::size_t cells, double alpha, Rng& rng) {
+  if (cells == 0) throw std::invalid_argument("dirichlet_vector: zero cells");
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("dirichlet_vector: alpha must be positive");
+  }
+  std::vector<double> weights(cells);
+  for (double& w : weights) {
+    w = rng.next_gamma(alpha);
+    // Guard against underflow to an all-zero vector for tiny alpha.
+    if (w <= 0.0) w = 1e-300;
+  }
+  return normalized(std::move(weights));
+}
+
+ProbabilityVector peaked_vector(std::size_t cells, double mass, Rng& rng) {
+  if (cells == 0) throw std::invalid_argument("peaked_vector: zero cells");
+  if (mass < 0.0 || mass > 1.0) {
+    throw std::invalid_argument("peaked_vector: mass must be in [0,1]");
+  }
+  const std::size_t home = static_cast<std::size_t>(rng.next_below(cells));
+  const double rest =
+      cells > 1 ? (1.0 - mass) / static_cast<double>(cells - 1) : 0.0;
+  ProbabilityVector vec(cells, rest);
+  vec[home] = cells > 1 ? mass : 1.0;
+  return vec;
+}
+
+ProbabilityVector clustered_vector(std::size_t cells, std::size_t support,
+                                   Rng& rng) {
+  if (cells == 0) throw std::invalid_argument("clustered_vector: zero cells");
+  if (support == 0 || support > cells) {
+    throw std::invalid_argument("clustered_vector: support out of range");
+  }
+  std::vector<std::size_t> order(cells);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  ProbabilityVector vec(cells, 0.0);
+  for (std::size_t k = 0; k < support; ++k) {
+    vec[order[k]] = 1.0 / static_cast<double>(support);
+  }
+  return vec;
+}
+
+}  // namespace confcall::prob

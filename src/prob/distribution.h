@@ -1,0 +1,56 @@
+// Generators for location-probability vectors.
+//
+// The Conference Call problem consumes one probability vector per mobile
+// device (where in the location area is the device likely to be?). The
+// paper's analysis is distribution-free; the families below span the
+// shapes that matter empirically, from flat (uniform — worst case for
+// paging savings) to heavily skewed (Zipf / geometric / peaked — where a
+// good strategy pages very few cells on average). Section 1.1 cites
+// [15,16] for estimating such vectors from mobility data; the estimators
+// themselves live in src/cellular/profile.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/rng.h"
+
+namespace confcall::prob {
+
+/// A probability vector over cells: non-negative entries summing to 1.
+using ProbabilityVector = std::vector<double>;
+
+/// Rescales `weights` (non-negative, not all zero) to sum to exactly 1.0.
+/// Throws std::invalid_argument on a negative entry or an all-zero vector.
+ProbabilityVector normalized(std::vector<double> weights);
+
+/// Uniform distribution over `cells` cells: every entry 1/cells.
+ProbabilityVector uniform_vector(std::size_t cells);
+
+/// Zipf distribution with exponent `alpha` over a random permutation of the
+/// cells (so the popular cell is not always cell 0). alpha = 0 degenerates
+/// to uniform; larger alpha is more skewed.
+ProbabilityVector zipf_vector(std::size_t cells, double alpha, Rng& rng);
+
+/// Zipf without shuffling: entry j proportional to 1/(j+1)^alpha.
+ProbabilityVector zipf_vector_sorted(std::size_t cells, double alpha);
+
+/// Truncated geometric distribution: entry j proportional to ratio^j,
+/// 0 < ratio < 1, over a random permutation of the cells.
+ProbabilityVector geometric_vector(std::size_t cells, double ratio, Rng& rng);
+
+/// Symmetric Dirichlet(alpha) sample: alpha >> 1 concentrates near uniform,
+/// alpha << 1 produces sparse, spiky vectors.
+ProbabilityVector dirichlet_vector(std::size_t cells, double alpha, Rng& rng);
+
+/// A "home cell" profile: probability `mass` on one random cell, the rest
+/// spread uniformly. Models a device that is usually at a known location
+/// (the common case motivating paging in few rounds).
+ProbabilityVector peaked_vector(std::size_t cells, double mass, Rng& rng);
+
+/// Uniform over a random subset of `support` cells, zero elsewhere. Models
+/// a device known to roam inside a neighbourhood of the location area.
+ProbabilityVector clustered_vector(std::size_t cells, std::size_t support,
+                                   Rng& rng);
+
+}  // namespace confcall::prob

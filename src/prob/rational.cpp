@@ -1,0 +1,93 @@
+#include "prob/rational.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace confcall::prob {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt divisor = BigInt::gcd(num_, den_);
+  if (divisor != BigInt(1)) {
+    num_ /= divisor;
+    den_ /= divisor;
+  }
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+Rational Rational::operator-() const {
+  Rational result(*this);
+  result.num_ = -result.num_;
+  return result;
+}
+
+Rational Rational::abs() const {
+  Rational result(*this);
+  result.num_ = result.num_.abs();
+  return result;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) throw std::domain_error("Rational: reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& lhs,
+                                 const Rational& rhs) noexcept {
+  // Denominators are positive by invariant, so cross-multiplying preserves
+  // the ordering.
+  return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
+}
+
+Rational Rational::pow(const Rational& base, unsigned exponent) {
+  return Rational(BigInt::pow(base.num_, exponent),
+                  BigInt::pow(base.den_, exponent));
+}
+
+}  // namespace confcall::prob

@@ -1,0 +1,87 @@
+// Exact rational arithmetic on top of BigInt.
+//
+// Used wherever the paper's statements are exact equalities that floating
+// point cannot certify: the Section 4.3 lower-bound instance (EP values
+// 317/49 and 320/49), the Lemma 3.2 reduction (OPT equals the closed-form
+// bound iff a quasipartition exists), and exact expected-paging evaluation
+// in tests.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "prob/bigint.h"
+
+namespace confcall::prob {
+
+/// Immutable-style exact rational number. Invariants: denominator > 0 and
+/// gcd(|num|, den) == 1 (canonical form), so equality is structural.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// Integer value.
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int value) : num_(value), den_(1) {}           // NOLINT
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+
+  /// num/den; throws std::domain_error when den == 0.
+  Rational(BigInt num, BigInt den);
+  Rational(std::int64_t num, std::int64_t den)
+      : Rational(BigInt(num), BigInt(den)) {}
+
+  [[nodiscard]] const BigInt& num() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+  [[nodiscard]] int signum() const noexcept { return num_.signum(); }
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == BigInt(1); }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return num_.to_double() / den_.to_double();
+  }
+
+  /// "num/den" (or just "num" for integers).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Rational operator-() const;
+  [[nodiscard]] Rational abs() const;
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  [[nodiscard]] Rational reciprocal() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);  ///< Throws on /0.
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) {
+    return lhs += rhs;
+  }
+  friend Rational operator-(Rational lhs, const Rational& rhs) {
+    return lhs -= rhs;
+  }
+  friend Rational operator*(Rational lhs, const Rational& rhs) {
+    return lhs *= rhs;
+  }
+  friend Rational operator/(Rational lhs, const Rational& rhs) {
+    return lhs /= rhs;
+  }
+
+  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept {
+    return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& lhs,
+                                          const Rational& rhs) noexcept;
+
+  /// a^exponent for a non-negative exponent.
+  static Rational pow(const Rational& base, unsigned exponent);
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace confcall::prob

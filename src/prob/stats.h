@@ -1,0 +1,73 @@
+// Streaming statistics for simulation and benchmark output.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace confcall::prob {
+
+/// Welford online accumulator: numerically stable running mean/variance,
+/// plus min/max. Value semantics; merging two accumulators is supported so
+/// per-shard results can be combined.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Chan et al. parallel merge of two Welford accumulators.
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+                           (static_cast<double>(count_) *
+                            static_cast<double>(other.count_) / total);
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_))
+                      : 0.0;
+  }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept {
+    return 1.959963984540054 * sem();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace confcall::prob

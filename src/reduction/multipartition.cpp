@@ -1,0 +1,239 @@
+#include "reduction/multipartition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "reduction/partition.h"
+
+namespace confcall::reduction {
+
+using prob::BigInt;
+using prob::Rational;
+
+namespace {
+
+BigInt lcm(const BigInt& a, const BigInt& b) {
+  return a / BigInt::gcd(a, b) * b;
+}
+
+/// Rational r with r * scale an integer -> that integer (throws otherwise).
+std::int64_t to_scaled_int64(const Rational& value, const BigInt& scale) {
+  const Rational scaled = value * Rational(scale);
+  if (!scaled.is_integer()) {
+    throw std::logic_error("multipartition: scaling did not clear "
+                           "denominators (bug)");
+  }
+  return scaled.num().to_int64();
+}
+
+}  // namespace
+
+MultipartitionParams multipartition_params(std::size_t m, std::size_t d) {
+  if (m < 2 || d < 2) {
+    throw std::invalid_argument("multipartition_params: need m >= 2, d >= 2");
+  }
+  MultipartitionParams params;
+  params.m = m;
+  params.d = d;
+
+  const Rational m_rat(static_cast<std::int64_t>(m));
+  const Rational one(1);
+  // alpha_1 = m/(m+1); alpha_k = m / (m + 1 - alpha_{k-1}^m).
+  params.alpha.reserve(d - 1);
+  params.alpha.push_back(m_rat / (m_rat + one));
+  for (std::size_t k = 2; k <= d - 1; ++k) {
+    const Rational prev_pow =
+        Rational::pow(params.alpha.back(), static_cast<unsigned>(m));
+    params.alpha.push_back(m_rat / (m_rat + one - prev_pow));
+  }
+
+  // beta_j = prod_{k=j..d-1} alpha_k for j >= 1; beta_0 = 0, beta_d = 1.
+  params.beta.assign(d + 1, Rational(0));
+  params.beta[d] = one;
+  for (std::size_t j = d; j-- > 1;) {
+    params.beta[j] = params.alpha[j - 1] * params.beta[j + 1];
+  }
+  params.beta[0] = Rational(0);
+
+  // r_j = beta_j - beta_{j-1}.
+  params.r.reserve(d);
+  for (std::size_t j = 1; j <= d; ++j) {
+    params.r.push_back(params.beta[j] - params.beta[j - 1]);
+  }
+
+  // Cumulative mass through round j is beta_j / 2 for j < d (Lemma 3.4's
+  // unique maximizer), remainder in round d.
+  const Rational half(1, 2);
+  params.x.reserve(d);
+  for (std::size_t j = 1; j <= d - 1; ++j) {
+    params.x.push_back((params.beta[j] - params.beta[j - 1]) * half);
+  }
+  params.x.push_back(one - params.beta[d - 1] * half);
+
+  params.lcm_denominator = BigInt(1);
+  for (const Rational& rj : params.r) {
+    params.lcm_denominator = lcm(params.lcm_denominator, rj.den());
+  }
+  return params;
+}
+
+QuasipartitionSpec quasipartition_spec(const MultipartitionParams& params) {
+  const std::size_t d = params.d;
+  std::vector<std::size_t> pi(d);
+  std::iota(pi.begin(), pi.end(), std::size_t{0});
+  std::stable_sort(pi.begin(), pi.end(), [&params](std::size_t a,
+                                                   std::size_t b) {
+    return params.x[a] > params.x[b];
+  });
+  const std::size_t cand1 = pi[d - 2];  // pi(d-1) in paper's 1-based terms
+  const std::size_t cand2 = pi[d - 1];  // pi(d)
+  // u = the index with the smaller r; pi(d) on a tie.
+  std::size_t u, v;
+  if (params.r[cand1] < params.r[cand2]) {
+    u = cand1;
+    v = cand2;
+  } else {
+    u = cand2;
+    v = cand1;
+  }
+  QuasipartitionSpec spec;
+  spec.r_u = params.r[u];
+  spec.r_v = params.r[v];
+  spec.x_u = params.x[u];
+  spec.x_v = params.x[v];
+  spec.M = params.lcm_denominator;
+  return spec;
+}
+
+QuasipartitionSpec quasipartition1_spec() {
+  QuasipartitionSpec spec;
+  spec.r_u = Rational(1, 3);
+  spec.r_v = Rational(2, 3);
+  spec.x_u = Rational(1, 2);
+  spec.x_v = Rational(1, 2);
+  spec.M = BigInt(3);
+  return spec;
+}
+
+std::optional<std::vector<std::size_t>> solve_quasipartition2(
+    const Quasipartition2Instance& instance) {
+  const auto& spec = instance.spec;
+  const Rational h_rat(instance.h);
+  const Rational m_rat(spec.M);
+  const Rational n_expected = m_rat * (spec.r_u + spec.r_v) * h_rat;
+  if (!n_expected.is_integer() ||
+      n_expected.num().to_int64() !=
+          static_cast<std::int64_t>(instance.sizes.size())) {
+    throw std::invalid_argument(
+        "solve_quasipartition2: size count does not equal M*(r_u+r_v)*h");
+  }
+  const Rational cardinality_rat = m_rat * spec.r_v * h_rat;
+  if (!cardinality_rat.is_integer()) {
+    throw std::invalid_argument(
+        "solve_quasipartition2: M*r_v*h is not an integer");
+  }
+  const auto cardinality =
+      static_cast<std::size_t>(cardinality_rat.num().to_int64());
+
+  const std::int64_t total = std::accumulate(
+      instance.sizes.begin(), instance.sizes.end(), std::int64_t{0});
+  const Rational target_rat =
+      Rational(total) * spec.x_v / (spec.x_u + spec.x_v);
+  if (!target_rat.is_integer()) return std::nullopt;
+  return solve_cardinality_subset_sum(instance.sizes, cardinality,
+                                      target_rat.num().to_int64());
+}
+
+Quasipartition2Instance reduce_partition_to_quasipartition2(
+    std::span<const std::int64_t> partition_sizes,
+    const QuasipartitionSpec& spec) {
+  const std::size_t g = partition_sizes.size();
+  if (g == 0 || g % 2 != 0) {
+    throw std::invalid_argument(
+        "reduce_partition_to_quasipartition2: g must be positive and even");
+  }
+  std::int64_t input_total = 0;
+  for (const std::int64_t s : partition_sizes) {
+    if (s <= 0) {
+      throw std::invalid_argument(
+          "reduce_partition_to_quasipartition2: sizes must be positive");
+    }
+    input_total += s;
+  }
+
+  // Integer group counts: M*r_u and M*r_v (integral since M clears the
+  // denominators of every r_j).
+  const Rational m_rat(spec.M);
+  const Rational mru_rat = m_rat * spec.r_u;
+  const Rational mrv_rat = m_rat * spec.r_v;
+  if (!mru_rat.is_integer() || !mrv_rat.is_integer()) {
+    throw std::invalid_argument(
+        "reduce_partition_to_quasipartition2: M does not clear r_u/r_v");
+  }
+  const std::int64_t mru = mru_rat.num().to_int64();
+  const std::int64_t mrv = mrv_rat.num().to_int64();
+  if (mru <= 0 || mrv <= 0 || mru > mrv) {
+    throw std::invalid_argument(
+        "reduce_partition_to_quasipartition2: invalid spec (need "
+        "0 < M*r_u <= M*r_v)");
+  }
+
+  // h = 2*ceil(g / (2*M*r_u)) makes both pad counts non-negative.
+  const std::int64_t half_g = static_cast<std::int64_t>(g) / 2;
+  const std::int64_t h =
+      2 * ((static_cast<std::int64_t>(g) + 2 * mru - 1) / (2 * mru));
+  const std::int64_t pad_u = mru * h - 1 - half_g;
+  const std::int64_t pad_v = mrv * h - 1 - half_g;
+  if (pad_u < 0 || pad_v < 0) {
+    throw std::logic_error(
+        "reduce_partition_to_quasipartition2: negative padding (bug)");
+  }
+
+  // p = ceil(log2(sum + 1)): the 2^p summand forces exact cardinality g/2
+  // among the real sizes.
+  unsigned p = 0;
+  while ((std::int64_t{1} << p) < input_total + 1) ++p;
+  const std::int64_t boost = std::int64_t{1} << p;
+
+  // Classes by mass fraction: the side with the larger x carries the large
+  // special size (x_v - x_u/3 style); with x_u == x_v both specials are
+  // equal and placement is immaterial.
+  const Rational w = spec.x_u + spec.x_v;
+  const Rational& x_small = spec.x_u <= spec.x_v ? spec.x_u : spec.x_v;
+  const Rational& x_big = spec.x_u <= spec.x_v ? spec.x_v : spec.x_u;
+  const Rational third(1, 3);
+  const Rational special_big = (x_big - x_small * third) / w;
+  const Rational special_small = Rational(2, 3) * x_small / w;
+
+  // The g real sizes are scaled to sum to 1 - special_big - special_small
+  // (= special_small; see Lemma 3.7). boosted_total = sum of (s_k + 2^p).
+  BigInt boosted_total(0);
+  for (const std::int64_t s : partition_sizes) {
+    boosted_total += BigInt(s + boost);
+  }
+  const Rational real_scale =
+      special_small / Rational(boosted_total);
+
+  // Clear all denominators with one common scale so the instance is
+  // integral, including the decision target total * x_v / w.
+  BigInt denom_lcm = real_scale.den();
+  denom_lcm = lcm(denom_lcm, special_big.den());
+  denom_lcm = lcm(denom_lcm, special_small.den());
+  denom_lcm = lcm(denom_lcm, (spec.x_v / w).den());
+
+  Quasipartition2Instance out;
+  out.spec = spec;
+  out.h = h;
+  out.sizes.reserve(g + static_cast<std::size_t>(pad_u + pad_v) + 2);
+  for (const std::int64_t s : partition_sizes) {
+    out.sizes.push_back(
+        to_scaled_int64(Rational(s + boost) * real_scale, denom_lcm));
+  }
+  for (std::int64_t k = 0; k < pad_u + pad_v; ++k) out.sizes.push_back(0);
+  out.sizes.push_back(to_scaled_int64(special_big, denom_lcm));
+  out.sizes.push_back(to_scaled_int64(special_small, denom_lcm));
+  return out;
+}
+
+}  // namespace confcall::reduction

@@ -1,0 +1,95 @@
+// Section 3.2 machinery: the Lemma 3.4 constants and the Multipartition /
+// Quasipartition2 problems that prove NP-hardness of the Conference Call
+// problem for EVERY fixed m >= 2 and d >= 2.
+//
+// Lemma 3.4 pins down, for given (m, d), the group cardinalities and
+// probability-mass split at which the reduction's objective function is
+// uniquely maximized:
+//
+//   alpha_1 = m/(m+1),  alpha_k = m/(m+1-alpha_{k-1}^m)   (k = 2..d-1)
+//   b_d = c,            b_{k-1} = alpha_{k-1} * b_k,      b_0 = 0
+//
+// expressed here as exact rationals of c: beta_k = b_k/c. The derived
+// fractions r_j = beta_j - beta_{j-1} (group-size fractions) and
+// x_j (mass fractions: cumulative sum x_1+..+x_r = beta_r/2 for r < d,
+// x_d the remainder) parameterize the Multipartition problem; M is the
+// least common multiple of the r_j denominators, so instances exist for
+// every c that is a multiple of M.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "prob/bigint.h"
+#include "prob/rational.h"
+
+namespace confcall::reduction {
+
+/// The exact constants of Lemma 3.4 for fixed m >= 2, d >= 2.
+struct MultipartitionParams {
+  std::size_t m = 0;  ///< number of devices
+  std::size_t d = 0;  ///< number of rounds
+  /// alpha_1 .. alpha_{d-1}; strictly increasing, all in (0, 1).
+  std::vector<prob::Rational> alpha;
+  /// beta_0 .. beta_d with beta_0 = 0, beta_d = 1; strictly increasing.
+  std::vector<prob::Rational> beta;
+  /// Group-size fractions r_1 .. r_d (sum to 1, all positive).
+  std::vector<prob::Rational> r;
+  /// Mass fractions x_1 .. x_d (sum to 1, all positive).
+  std::vector<prob::Rational> x;
+  /// Least common multiple of the denominators of the r_j.
+  prob::BigInt lcm_denominator;
+};
+
+/// Computes the Lemma 3.4 constants. Throws std::invalid_argument unless
+/// m >= 2 and d >= 2. Denominators grow roughly like m^(m^d); keep m and d
+/// small (the paper only needs them constant).
+MultipartitionParams multipartition_params(std::size_t m, std::size_t d);
+
+/// The (u, v) selection of the Quasipartition2 definition: sort the x_j
+/// non-increasingly by a permutation pi; look at the two smallest,
+/// pi(d-1) and pi(d); u is the one with the smaller r (pi(d) on a tie),
+/// v the other.
+struct QuasipartitionSpec {
+  prob::Rational r_u, r_v;  ///< group-size fractions of the two classes
+  prob::Rational x_u, x_v;  ///< mass fractions of the two classes
+  prob::BigInt M;           ///< instance sizes are multiples of M*(r_u+r_v)
+};
+
+/// Derives the Quasipartition2 parameters from Lemma 3.4 constants.
+QuasipartitionSpec quasipartition_spec(const MultipartitionParams& params);
+
+/// The parameterization under which Quasipartition2 *is* Quasipartition1
+/// (paper, end of Section 3.2): M = 3, r_u = 1/3, r_v = 2/3,
+/// x_u = x_v = 1/2.
+QuasipartitionSpec quasipartition1_spec();
+
+/// A Quasipartition2 instance: n = M*(r_u+r_v)*h non-negative integer
+/// sizes; question: is there a subset P with |P| = M*r_v*h and
+/// sum(P) = total * x_v/(x_u+x_v)?
+struct Quasipartition2Instance {
+  QuasipartitionSpec spec;
+  std::int64_t h = 0;
+  std::vector<std::int64_t> sizes;
+};
+
+/// Decision + witness via the cardinality-constrained subset-sum DP.
+/// Returns nullopt when no such subset exists (including when the required
+/// sum is not an integer). Throws std::invalid_argument when the instance
+/// dimensions are inconsistent with its spec.
+std::optional<std::vector<std::size_t>> solve_quasipartition2(
+    const Quasipartition2Instance& instance);
+
+/// Lemma 3.7: reduces a Partition instance (g even, positive sizes) to a
+/// Quasipartition2 instance with the given spec, such that the Partition
+/// instance is solvable iff the Quasipartition2 instance is. All sizes in
+/// the output are integers (the paper's unit-sum normalization is scale-
+/// invariant, so we scale it away); the two special sizes of the
+/// construction are the last two entries.
+Quasipartition2Instance reduce_partition_to_quasipartition2(
+    std::span<const std::int64_t> partition_sizes,
+    const QuasipartitionSpec& spec);
+
+}  // namespace confcall::reduction

@@ -1,0 +1,129 @@
+#include "reduction/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "prob/rng.h"
+
+namespace confcall::reduction {
+
+std::optional<std::vector<std::size_t>> solve_cardinality_subset_sum(
+    std::span<const std::int64_t> sizes, std::size_t cardinality,
+    std::int64_t target, std::uint64_t work_limit) {
+  const std::size_t n = sizes.size();
+  for (const std::int64_t s : sizes) {
+    if (s < 0) {
+      throw std::invalid_argument(
+          "solve_cardinality_subset_sum: negative size");
+    }
+  }
+  if (target < 0 || cardinality > n) return std::nullopt;
+  const std::uint64_t work = static_cast<std::uint64_t>(n) *
+                             (cardinality + 1) *
+                             (static_cast<std::uint64_t>(target) + 1);
+  if (work > work_limit) {
+    throw std::invalid_argument(
+        "solve_cardinality_subset_sum: instance exceeds the DP work limit");
+  }
+
+  // first_reach[j][s] = index of the item that first made (count j, sum s)
+  // reachable (processing items in ascending index), or -1. Entry (0, 0)
+  // is the base state (-2).
+  const std::size_t sums = static_cast<std::size_t>(target) + 1;
+  std::vector<std::vector<std::int32_t>> first_reach(
+      cardinality + 1, std::vector<std::int32_t>(sums, -1));
+  first_reach[0][0] = -2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t size = sizes[i];
+    if (size > target) continue;
+    for (std::size_t j = std::min(cardinality, i + 1); j-- > 0;) {
+      for (std::size_t s = sums; s-- > static_cast<std::size_t>(size);) {
+        if (first_reach[j][s - static_cast<std::size_t>(size)] != -1 &&
+            first_reach[j + 1][s] == -1) {
+          first_reach[j + 1][s] = static_cast<std::int32_t>(i);
+        }
+      }
+    }
+  }
+  if (first_reach[cardinality][static_cast<std::size_t>(target)] == -1) {
+    return std::nullopt;
+  }
+
+  std::vector<std::size_t> witness;
+  std::size_t j = cardinality;
+  auto s = static_cast<std::size_t>(target);
+  while (j > 0) {
+    const std::int32_t item = first_reach[j][s];
+    witness.push_back(static_cast<std::size_t>(item));
+    s -= static_cast<std::size_t>(sizes[static_cast<std::size_t>(item)]);
+    --j;
+  }
+  std::reverse(witness.begin(), witness.end());
+  return witness;
+}
+
+std::optional<std::vector<std::size_t>> solve_partition(
+    std::span<const std::int64_t> sizes) {
+  const std::size_t g = sizes.size();
+  if (g == 0 || g % 2 != 0) return std::nullopt;
+  const std::int64_t total =
+      std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0});
+  if (total % 2 != 0) return std::nullopt;
+  return solve_cardinality_subset_sum(sizes, g / 2, total / 2);
+}
+
+std::optional<std::vector<std::size_t>> solve_quasipartition1(
+    std::span<const std::int64_t> sizes) {
+  const std::size_t c = sizes.size();
+  if (c == 0 || c % 3 != 0) {
+    throw std::invalid_argument(
+        "solve_quasipartition1: size count must be a positive multiple of 3");
+  }
+  const std::int64_t total =
+      std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0});
+  if (total % 2 != 0) return std::nullopt;
+  return solve_cardinality_subset_sum(sizes, 2 * c / 3, total / 2);
+}
+
+std::vector<std::int64_t> make_quasipartition1_yes_instance(
+    std::size_t c, std::int64_t max_size, std::uint64_t seed) {
+  if (c == 0 || c % 3 != 0) {
+    throw std::invalid_argument(
+        "make_quasipartition1_yes_instance: need 3 | c, c > 0");
+  }
+  if (max_size < 1) {
+    throw std::invalid_argument(
+        "make_quasipartition1_yes_instance: max_size must be >= 1");
+  }
+  prob::Rng rng(seed);
+  const std::size_t in_set = 2 * c / 3;
+  const std::size_t out_set = c - in_set;
+
+  // Planted subset: 2c/3 random sizes. Complement: a random composition of
+  // the same total into c/3 non-negative parts (cut-point construction).
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(c);
+  std::int64_t planted_total = 0;
+  for (std::size_t i = 0; i < in_set; ++i) {
+    const std::int64_t value = rng.next_in(1, max_size);
+    sizes.push_back(value);
+    planted_total += value;
+  }
+  std::vector<std::int64_t> cuts;
+  cuts.reserve(out_set + 1);
+  cuts.push_back(0);
+  for (std::size_t i = 0; i + 1 < out_set; ++i) {
+    cuts.push_back(rng.next_in(0, planted_total));
+  }
+  cuts.push_back(planted_total);
+  std::sort(cuts.begin(), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    sizes.push_back(cuts[i + 1] - cuts[i]);
+  }
+  // Shuffle so the witness is not the identity prefix.
+  rng.shuffle(sizes);
+  return sizes;
+}
+
+}  // namespace confcall::reduction

@@ -1,0 +1,50 @@
+// Partition-family problems used by the paper's NP-hardness proofs
+// (Section 3), together with pseudo-polynomial decision solvers that act
+// as ground truth in tests and experiments.
+//
+//  * Partition (Garey & Johnson [10, p. 223], the cardinality-constrained
+//    variant the paper cites): given g sizes (g even), is there a subset
+//    of EXACTLY g/2 elements summing to half the total?
+//  * Quasipartition1: given c sizes with 3 | c, is there a subset of
+//    exactly 2c/3 elements summing to half the total?
+//
+// Both are special cases of "subset of cardinality k summing to target",
+// solvable in O(n · k · total) time by dynamic programming — exponential
+// in the bit-size of the numbers, which is exactly why the paper's
+// reduction scales sizes by 2^p to encode cardinality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace confcall::reduction {
+
+/// Decides whether some subset of exactly `cardinality` indices of `sizes`
+/// sums to `target`; returns the witness indices (ascending) or nullopt.
+/// Sizes must be non-negative. Throws std::invalid_argument on negative
+/// sizes or when n*k*total would exceed `work_limit` DP cells.
+std::optional<std::vector<std::size_t>> solve_cardinality_subset_sum(
+    std::span<const std::int64_t> sizes, std::size_t cardinality,
+    std::int64_t target, std::uint64_t work_limit = 400'000'000);
+
+/// The Partition problem as used in the paper: |P| = g/2 and
+/// sum(P) = total/2. Returns a witness or nullopt (also nullopt when the
+/// total is odd or g is odd — then no partition exists by definition).
+std::optional<std::vector<std::size_t>> solve_partition(
+    std::span<const std::int64_t> sizes);
+
+/// Quasipartition1: |I| = 2c/3 and sum(I) = total/2. Throws
+/// std::invalid_argument unless 3 divides the number of sizes. Returns a
+/// witness or nullopt (nullopt when the total is odd).
+std::optional<std::vector<std::size_t>> solve_quasipartition1(
+    std::span<const std::int64_t> sizes);
+
+/// Generates a YES-instance of Quasipartition1 with c sizes (3 | c): a
+/// random instance constructed so that a planted subset of 2c/3 elements
+/// sums to half the total. `max_size` bounds the entries.
+std::vector<std::int64_t> make_quasipartition1_yes_instance(
+    std::size_t c, std::int64_t max_size, std::uint64_t seed);
+
+}  // namespace confcall::reduction

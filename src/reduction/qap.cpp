@@ -1,0 +1,246 @@
+#include "reduction/qap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+
+namespace confcall::reduction {
+
+namespace {
+
+void check_symmetric(const std::vector<std::vector<double>>& matrix,
+                     const char* name) {
+  const std::size_t n = matrix.size();
+  for (const auto& row : matrix) {
+    if (row.size() != n) {
+      throw std::invalid_argument(std::string("QapInstance: ") + name +
+                                  " is not square");
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = k + 1; l < n; ++l) {
+      if (std::abs(matrix[k][l] - matrix[l][k]) > 1e-12) {
+        throw std::invalid_argument(std::string("QapInstance: ") + name +
+                                    " is not symmetric");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+QapInstance::QapInstance(std::vector<std::vector<double>> a,
+                         std::vector<std::vector<double>> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (a_.size() != b_.size() || a_.empty()) {
+    throw std::invalid_argument("QapInstance: size mismatch or empty");
+  }
+  check_symmetric(a_, "A");
+  check_symmetric(b_, "B");
+}
+
+double QapInstance::objective(
+    const std::vector<std::size_t>& permutation) const {
+  const std::size_t n = size();
+  if (permutation.size() != n) {
+    throw std::invalid_argument("QapInstance: permutation length mismatch");
+  }
+  std::vector<bool> seen(n, false);
+  for (const std::size_t x : permutation) {
+    if (x >= n || seen[x]) {
+      throw std::invalid_argument("QapInstance: not a permutation");
+    }
+    seen[x] = true;
+  }
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < n; ++l) {
+      total += a_[k][l] * b_[permutation[k]][permutation[l]];
+    }
+  }
+  return total;
+}
+
+QapResult solve_qap_exact(const QapInstance& instance,
+                          std::size_t max_size_guard) {
+  const std::size_t n = instance.size();
+  if (n > max_size_guard) {
+    throw std::invalid_argument(
+        "solve_qap_exact: n! enumeration beyond the guard");
+  }
+  std::vector<std::size_t> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), std::size_t{0});
+  QapResult best{permutation, instance.objective(permutation)};
+  while (std::next_permutation(permutation.begin(), permutation.end())) {
+    const double value = instance.objective(permutation);
+    if (value > best.objective) {
+      best.permutation = permutation;
+      best.objective = value;
+    }
+  }
+  return best;
+}
+
+QapResult solve_qap_local_search(const QapInstance& instance,
+                                 std::size_t restarts, prob::Rng& rng) {
+  const std::size_t n = instance.size();
+  if (restarts == 0) {
+    throw std::invalid_argument("solve_qap_local_search: zero restarts");
+  }
+  QapResult best;
+  best.objective = -1.0;
+  for (std::size_t restart = 0; restart < restarts; ++restart) {
+    std::vector<std::size_t> permutation(n);
+    std::iota(permutation.begin(), permutation.end(), std::size_t{0});
+    if (restart != 0) rng.shuffle(permutation);
+    double value = instance.objective(permutation);
+    // Steepest-ascent 2-swap until a local maximum.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t l = k + 1; l < n; ++l) {
+          std::swap(permutation[k], permutation[l]);
+          const double candidate = instance.objective(permutation);
+          if (candidate > value + 1e-15) {
+            value = candidate;
+            improved = true;
+          } else {
+            std::swap(permutation[k], permutation[l]);
+          }
+        }
+      }
+    }
+    if (value > best.objective) {
+      best.permutation = std::move(permutation);
+      best.objective = value;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<double>> qap_weight_matrix(
+    const std::vector<std::size_t>& group_sizes) {
+  const std::size_t c = std::accumulate(group_sizes.begin(),
+                                        group_sizes.end(), std::size_t{0});
+  const std::size_t d = group_sizes.size();
+  if (d == 0) {
+    throw std::invalid_argument("qap_weight_matrix: no groups");
+  }
+  // prefix_r = s_1 + ... + s_{r+1} (0-based r); positions k < prefix_r lie
+  // inside round r's prefix L_r.
+  std::vector<std::size_t> prefix(d);
+  std::size_t running = 0;
+  for (std::size_t r = 0; r < d; ++r) {
+    running += group_sizes[r];
+    prefix[r] = running;
+  }
+  std::vector<std::vector<double>> w(c, std::vector<double>(c, 0.0));
+  for (std::size_t r = 0; r + 1 < d; ++r) {
+    const auto next_size = static_cast<double>(group_sizes[r + 1]);
+    for (std::size_t k = 0; k < prefix[r]; ++k) {
+      for (std::size_t l = 0; l < prefix[r]; ++l) {
+        w[k][l] += next_size;
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<std::vector<double>> qap_profile_matrix(
+    const core::Instance& two_devices) {
+  if (two_devices.num_devices() != 2) {
+    throw std::invalid_argument("qap_profile_matrix: need exactly 2 devices");
+  }
+  const std::size_t c = two_devices.num_cells();
+  std::vector<std::vector<double>> b(c, std::vector<double>(c, 0.0));
+  for (std::size_t x = 0; x < c; ++x) {
+    for (std::size_t y = 0; y < c; ++y) {
+      const double pq =
+          two_devices.prob(0, static_cast<core::CellId>(x)) *
+              two_devices.prob(1, static_cast<core::CellId>(y)) +
+          two_devices.prob(0, static_cast<core::CellId>(y)) *
+              two_devices.prob(1, static_cast<core::CellId>(x));
+      b[x][y] = pq / 2.0;
+    }
+  }
+  return b;
+}
+
+namespace {
+
+/// Enumerates all positive size vectors summing to c over d rounds.
+void for_each_size_vector(
+    std::size_t c, std::size_t d,
+    const std::function<void(const std::vector<std::size_t>&)>& visit) {
+  std::vector<std::size_t> sizes(d, 1);
+  // Distribute the remaining c - d cells with an odometer over the first
+  // d - 1 coordinates; the last absorbs the rest.
+  std::function<void(std::size_t, std::size_t)> recurse =
+      [&](std::size_t index, std::size_t remaining) {
+        if (index + 1 == d) {
+          sizes[index] = remaining + 1;
+          visit(sizes);
+          return;
+        }
+        for (std::size_t extra = 0; extra <= remaining; ++extra) {
+          sizes[index] = 1 + extra;
+          recurse(index + 1, remaining - extra);
+        }
+      };
+  recurse(0, c - d);
+}
+
+}  // namespace
+
+QapBridgeResult conference_call_via_qap(const core::Instance& two_devices,
+                                        std::size_t num_rounds) {
+  const std::size_t c = two_devices.num_cells();
+  if (two_devices.num_devices() != 2) {
+    throw std::invalid_argument("conference_call_via_qap: need m = 2");
+  }
+  if (num_rounds == 0 || num_rounds > c) {
+    throw std::invalid_argument("conference_call_via_qap: need 1 <= d <= c");
+  }
+  const auto profile = qap_profile_matrix(two_devices);
+
+  double best_ep = static_cast<double>(c);
+  std::vector<std::size_t> best_sizes(1, c);
+  std::vector<std::size_t> best_permutation(c);
+  std::iota(best_permutation.begin(), best_permutation.end(),
+            std::size_t{0});
+  std::uint64_t solved = 0;
+
+  for_each_size_vector(c, num_rounds, [&](const std::vector<std::size_t>&
+                                              sizes) {
+    const QapInstance qap(qap_weight_matrix(sizes), profile);
+    const QapResult result = solve_qap_exact(qap);
+    ++solved;
+    const double ep = static_cast<double>(c) - result.objective;
+    if (ep < best_ep) {
+      best_ep = ep;
+      best_sizes = sizes;
+      best_permutation = result.permutation;
+    }
+  });
+
+  std::vector<core::CellId> order(c);
+  for (std::size_t k = 0; k < c; ++k) {
+    order[k] = static_cast<core::CellId>(best_permutation[k]);
+  }
+  QapBridgeResult bridge{
+      .strategy = core::Strategy::from_order_and_sizes(order, best_sizes),
+      .expected_paging = best_ep,
+      .qap_instances_solved = solved,
+  };
+  // Recompute through the evaluator as a consistency guarantee.
+  bridge.expected_paging =
+      core::expected_paging(two_devices, bridge.strategy);
+  return bridge;
+}
+
+}  // namespace confcall::reduction

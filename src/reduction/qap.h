@@ -1,0 +1,99 @@
+// The Quadratic Assignment connection (paper, Section 5.1).
+//
+// Burkard et al.'s Quadratic Assignment Problem (QAP): given two symmetric
+// non-negative c x c matrices A and B, find a permutation pi maximizing
+// sum_{k,l} A[k][l] * B[pi(k)][pi(l)].
+//
+// The paper notes that a QAP solution solves the Conference Call problem
+// for two devices, polynomially when d is constant. The construction we
+// implement: fix the group sizes s_1..s_d (for constant d there are
+// O(c^{d-1}) size vectors). Writing P(L) = sum_{i in L} p_i and
+// Q(L) = sum_{i in L} q_i, Lemma 2.1 gives
+//
+//   EP = c - sum_r |S_{r+1}| P(L_r) Q(L_r)
+//      = c - sum_{k,l} W[k][l] * (p_x q_y + p_y q_x)/2
+//
+// where position k of the paging order holds cell x = pi(k), and
+// W[k][l] = sum over rounds r such that BOTH positions k, l lie in the
+// prefix of round r, of |S_{r+1}| — a symmetric matrix depending only on
+// the size vector. So with A = W and B[x][y] = (p_x q_y + p_y q_x)/2 the
+// QAP maximum over pi yields the minimum expected paging for those sizes;
+// minimizing over size vectors solves the instance.
+//
+// We provide an exact QAP solver (permutation enumeration, small c), a
+// 2-swap local-search heuristic, and the end-to-end bridge, which tests
+// verify against solve_exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/strategy.h"
+#include "prob/rng.h"
+
+namespace confcall::reduction {
+
+/// A (maximization) QAP instance over symmetric matrices.
+class QapInstance {
+ public:
+  /// Both matrices must be n x n and symmetric (within 1e-12); throws
+  /// std::invalid_argument otherwise.
+  QapInstance(std::vector<std::vector<double>> a,
+              std::vector<std::vector<double>> b);
+
+  [[nodiscard]] std::size_t size() const noexcept { return a_.size(); }
+  [[nodiscard]] double a(std::size_t k, std::size_t l) const {
+    return a_.at(k).at(l);
+  }
+  [[nodiscard]] double b(std::size_t x, std::size_t y) const {
+    return b_.at(x).at(y);
+  }
+
+  /// sum_{k,l} A[k][l] B[pi(k)][pi(l)] for a permutation pi (validated).
+  [[nodiscard]] double objective(
+      const std::vector<std::size_t>& permutation) const;
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<std::vector<double>> b_;
+};
+
+/// Result of a QAP search: the permutation and its objective value.
+struct QapResult {
+  std::vector<std::size_t> permutation;
+  double objective = 0.0;
+};
+
+/// Exact maximization by enumerating all n! permutations. Throws
+/// std::invalid_argument when n > max_size_guard (default 9: 362880
+/// permutations).
+QapResult solve_qap_exact(const QapInstance& instance,
+                          std::size_t max_size_guard = 9);
+
+/// 2-swap local search with random restarts; deterministic given the rng.
+QapResult solve_qap_local_search(const QapInstance& instance,
+                                 std::size_t restarts, prob::Rng& rng);
+
+/// Builds the QAP weight matrix W for a size vector (see file comment).
+std::vector<std::vector<double>> qap_weight_matrix(
+    const std::vector<std::size_t>& group_sizes);
+
+/// Builds the B matrix (p_x q_y + p_y q_x)/2 of a two-device instance.
+std::vector<std::vector<double>> qap_profile_matrix(
+    const core::Instance& two_devices);
+
+/// The Section 5.1 bridge: solves a two-device Conference Call instance by
+/// minimizing over size vectors and solving a QAP per vector (exactly, so
+/// c is limited by solve_qap_exact's guard). Returns the optimal strategy
+/// and its expected paging; matches core::solve_exact on every instance.
+/// Throws std::invalid_argument unless m = 2 and 1 <= d <= c.
+struct QapBridgeResult {
+  core::Strategy strategy;
+  double expected_paging = 0.0;
+  std::uint64_t qap_instances_solved = 0;
+};
+QapBridgeResult conference_call_via_qap(const core::Instance& two_devices,
+                                        std::size_t num_rounds);
+
+}  // namespace confcall::reduction

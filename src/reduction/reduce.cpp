@@ -1,0 +1,105 @@
+#include "reduction/reduce.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::reduction {
+
+using prob::Rational;
+
+Rational lemma31_objective(std::size_t c, const Rational& x,
+                           const Rational& y) {
+  const Rational c_rat(static_cast<std::int64_t>(c));
+  const Rational coeff =
+      Rational(1) - Rational(3, 2) / c_rat;  // 1 - 3/(2c)
+  return (c_rat - y) * (coeff * y + x) * (y - x);
+}
+
+Rational reduction_expected_paging(std::size_t c, const Rational& x,
+                                   const Rational& y) {
+  const Rational c_rat(static_cast<std::int64_t>(c));
+  const Rational denominator =
+      (c_rat - Rational(1, 2)) * (c_rat - Rational(1));
+  return c_rat - lemma31_objective(c, x, y) / denominator;
+}
+
+ConferenceCallReduction reduce_quasipartition1_to_conference_call(
+    std::span<const std::int64_t> sizes) {
+  const std::size_t c = sizes.size();
+  if (c < 3 || c % 3 != 0) {
+    throw std::invalid_argument(
+        "reduce_quasipartition1: need c >= 3 with 3 | c");
+  }
+  std::int64_t total = 0;
+  for (const std::int64_t s : sizes) {
+    if (s < 0) {
+      throw std::invalid_argument("reduce_quasipartition1: negative size");
+    }
+    total += s;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument(
+        "reduce_quasipartition1: sizes must not all be zero");
+  }
+  for (const std::int64_t s : sizes) {
+    if (s >= total) {
+      throw std::invalid_argument(
+          "reduce_quasipartition1: a size equals the total; no partition "
+          "exists (Lemma 3.2 assumes s_i < S)");
+    }
+  }
+
+  const Rational c_rat(static_cast<std::int64_t>(c));
+  const Rational total_rat(total);
+  const Rational p_scale = (c_rat - Rational(1, 2)).reciprocal();
+  const Rational q_scale = (c_rat - Rational(1)).reciprocal();
+  const Rational p_shift = Rational(1) - Rational(3, 2) / c_rat;
+
+  std::vector<Rational> flat(2 * c);
+  for (std::size_t j = 0; j < c; ++j) {
+    const Rational fraction = Rational(sizes[j]) / total_rat;
+    flat[j] = p_scale * (fraction + p_shift);           // device 1
+    flat[c + j] = q_scale * (Rational(1) - fraction);   // device 2
+  }
+
+  ConferenceCallReduction out{
+      .instance = core::RationalInstance(2, c, std::move(flat)),
+      .quasipartition_optimum = reduction_expected_paging(
+          c, Rational(1, 2),
+          Rational(2 * static_cast<std::int64_t>(c), 3)),
+  };
+  return out;
+}
+
+core::Instance lift_two_device_instance(const core::Instance& two_devices,
+                                        std::size_t m, double extra_mass) {
+  if (two_devices.num_devices() != 2) {
+    throw std::invalid_argument("lift_two_device_instance: need m = 2 input");
+  }
+  if (m < 2) {
+    throw std::invalid_argument("lift_two_device_instance: need m >= 2");
+  }
+  if (extra_mass <= 0.0 || extra_mass >= 1.0) {
+    throw std::invalid_argument(
+        "lift_two_device_instance: extra_mass must be in (0, 1)");
+  }
+  const std::size_t c = two_devices.num_cells();
+  std::vector<double> flat(m * (c + 1), 0.0);
+  // The two original devices: scaled rows, remainder on the new last cell.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      flat[i * (c + 1) + j] =
+          (1.0 - extra_mass) *
+          two_devices.prob(static_cast<core::DeviceId>(i),
+                           static_cast<core::CellId>(j));
+    }
+    flat[i * (c + 1) + c] = extra_mass;
+  }
+  // The m - 2 auxiliary devices sit in the new cell with certainty.
+  for (std::size_t i = 2; i < m; ++i) {
+    flat[i * (c + 1) + c] = 1.0;
+  }
+  return core::Instance(m, c + 1, std::move(flat));
+}
+
+}  // namespace confcall::reduction

@@ -1,0 +1,73 @@
+// Lemma 3.2: the polynomial transformation from Quasipartition1 to the
+// Conference Call problem restricted to m = 2 devices and d = 2 rounds —
+// the heart of the paper's NP-hardness result — in exact rational
+// arithmetic, plus the closed-form optimum value it certifies against.
+//
+// Given sizes s_1..s_c (3 | c, all s_i < S = sum s_i), the two devices'
+// location probabilities are
+//
+//   p_i = (1/(c - 1/2)) * (s_i/S + 1 - 3/(2c))
+//   q_i = (1/(c - 1))   * (1 - s_i/S)
+//
+// For a first-round set I with |I| = y and sum_{i in I} s_i / S = x,
+// Lemma 2.1 gives EP = c - f(x, y) / ((c-1/2)(c-1)) with
+//
+//   f(x, y) = (c - y) * ((1 - 3/(2c)) y + x) * (y - x),
+//
+// and Lemma 3.1 shows f is uniquely maximized at x = 1/2, y = 2c/3. Hence
+// the minimal expected paging equals
+//
+//   LB = c - f(1/2, 2c/3) / ((c-1/2)(c-1))
+//
+// if and only if the Quasipartition1 instance has a solution, and the
+// optimal first-round set IS that solution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/instance.h"
+#include "prob/rational.h"
+
+namespace confcall::reduction {
+
+/// Output of the Lemma 3.2 transformation.
+struct ConferenceCallReduction {
+  /// The m = 2 instance over c cells (cell j carries size s_{j+1}).
+  core::RationalInstance instance;
+  /// The closed-form optimum c - f(1/2, 2c/3)/((c-1/2)(c-1)); the true
+  /// d = 2 optimum equals this value iff the quasipartition exists, and is
+  /// strictly larger otherwise.
+  prob::Rational quasipartition_optimum;
+};
+
+/// f(x, y) = (c - y)((1 - 3/(2c))y + x)(y - x) of Lemma 3.1, exactly.
+prob::Rational lemma31_objective(std::size_t c, const prob::Rational& x,
+                                 const prob::Rational& y);
+
+/// Expected paging of the two-round strategy that pages a set with
+/// cardinality y and size-fraction x first: c - f(x,y)/((c-1/2)(c-1)).
+prob::Rational reduction_expected_paging(std::size_t c,
+                                         const prob::Rational& x,
+                                         const prob::Rational& y);
+
+/// The Lemma 3.2 transformation. Requirements (paper): c = sizes.size()
+/// is a positive multiple of 3, c >= 3, all sizes are non-negative and
+/// every size is strictly less than the total (otherwise no partition can
+/// exist and the transformation's probabilities would degenerate).
+/// Throws std::invalid_argument on violations.
+ConferenceCallReduction reduce_quasipartition1_to_conference_call(
+    std::span<const std::int64_t> sizes);
+
+/// Section 5's alternative hardness device: lifts an m = 2 instance over c
+/// cells to an m-device instance over c + 1 cells by adding an extra cell
+/// that holds the additional m - 2 devices with probability 1 and almost
+/// all of the two original devices' mass (each original row is scaled by
+/// 1 - a with mass a >= 1 - 1/c^2 moved to the new cell). An optimal
+/// (d+1)-round strategy pages the new cell alone first and then follows an
+/// optimal d-round strategy for the original instance. Throws
+/// std::invalid_argument unless m >= 2 and 0 < extra_mass < 1.
+core::Instance lift_two_device_instance(const core::Instance& two_devices,
+                                        std::size_t m, double extra_mass);
+
+}  // namespace confcall::reduction

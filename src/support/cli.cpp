@@ -1,0 +1,74 @@
+#include "support/cli.h"
+
+#include <stdexcept>
+
+namespace confcall::support {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: expected --flag, got '" + arg + "'");
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  const bool present = values_.count(name) != 0;
+  if (present) used_[name] = true;
+  return present;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (used_.count(name) == 0) result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace confcall::support

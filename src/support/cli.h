@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus `--flag` booleans.
+// Unknown flags are an error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace confcall::support {
+
+/// Parsed command line. Construct once from argc/argv, then pull typed
+/// values with defaults.
+class Cli {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input (a flag
+  /// without the `--` prefix, or a dangling `--name` expecting a value).
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names that were parsed but never read; lets examples reject typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace confcall::support

@@ -1,0 +1,125 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace confcall::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: no columns");
+  }
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::invalid_argument("TextTable: column index out of range");
+  }
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.push_back({kSeparatorMarker}); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                             std::size_t i) {
+    const std::size_t pad = widths[i] - text.size();
+    if (aligns_[i] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  const auto emit_rule = [&](std::ostringstream& os) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) os << "-+-";
+      os << std::string(widths[i], '-');
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i != 0) os << " | ";
+    emit_cell(os, headers_[i], i);
+  }
+  os << '\n';
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) {
+      emit_rule(os);
+      continue;
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << " | ";
+      emit_cell(os, row[i], i);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  const auto emit_cell = [](std::ostringstream& os, const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) {
+      os << text;
+      return;
+    }
+    os << '"';
+    for (const char ch : text) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  std::ostringstream os;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i != 0) os << ',';
+    emit_cell(os, headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      emit_cell(os, row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+std::string TextTable::fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string TextTable::fmt(std::size_t value) { return std::to_string(value); }
+std::string TextTable::fmt(long long value) { return std::to_string(value); }
+
+}  // namespace confcall::support

@@ -1,0 +1,61 @@
+// Fixed-width text-table printer.
+//
+// Every benchmark and example prints paper-style rows through this class so
+// the experiment output in EXPERIMENTS.md is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace confcall::support {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and prints them with per-column widths,
+/// a header underline, and optional separator rows.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers (all right-aligned by
+  /// default, which suits numeric experiment tables).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Overrides the alignment of one column (0-based).
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a data row. Throws std::invalid_argument when the cell count
+  /// does not match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Renders the whole table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as RFC-4180-style CSV (header row first; separators are
+  /// dropped; cells containing commas/quotes/newlines are quoted). Useful
+  /// for piping experiment series into plotting tools.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: renders straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string fmt(double value, int digits = 3);
+
+  /// Formats an integer.
+  static std::string fmt(std::size_t value);
+  static std::string fmt(long long value);
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01sep";
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace confcall::support

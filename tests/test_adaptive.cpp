@@ -1,0 +1,169 @@
+// Tests for the Section 5 adaptive search.
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(Adaptive, ValidatesArguments) {
+  const Instance instance = Instance::uniform(2, 4);
+  const CellId locations[] = {0, 1};
+  EXPECT_THROW(run_adaptive(instance, 0, locations), std::invalid_argument);
+  EXPECT_THROW(run_adaptive(instance, 5, locations), std::invalid_argument);
+  const CellId wrong_count[] = {0};
+  EXPECT_THROW(run_adaptive(instance, 2, wrong_count),
+               std::invalid_argument);
+  const CellId out_of_range[] = {0, 9};
+  EXPECT_THROW(run_adaptive(instance, 2, out_of_range),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, DOneIsBlanket) {
+  const Instance instance = testing::random_instance(2, 6, 1);
+  const CellId locations[] = {2, 5};
+  const AdaptiveOutcome outcome = run_adaptive(instance, 1, locations);
+  EXPECT_EQ(outcome.cells_paged, 6u);
+  EXPECT_EQ(outcome.rounds_used, 1u);
+  EXPECT_EQ(outcome.devices_found, 2u);
+}
+
+TEST(Adaptive, AlwaysFindsEveryoneWithinDelay) {
+  const Instance instance = testing::mixed_instance(3, 10, 2);
+  prob::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto locations = sample_locations(instance, rng);
+    for (const std::size_t d : {1u, 2u, 4u, 10u}) {
+      const AdaptiveOutcome outcome = run_adaptive(instance, d, locations);
+      EXPECT_EQ(outcome.devices_found, 3u);
+      EXPECT_LE(outcome.rounds_used, d);
+      EXPECT_LE(outcome.cells_paged, 10u);
+      EXPECT_GE(outcome.cells_paged, 1u);
+    }
+  }
+}
+
+TEST(Adaptive, FirstRoundMatchesObliviousPlan) {
+  // Before any observation the adaptive planner has the same information
+  // as Fig. 1, so round 1 pages the same number of cells.
+  const Instance instance = testing::mixed_instance(2, 9, 4);
+  const PlanResult oblivious = plan_greedy(instance, 3);
+  prob::Rng rng(5);
+  const auto locations = sample_locations(instance, rng);
+  // Force the search past round 1 only if the devices are not in group 0;
+  // either way round 1 size equals the oblivious group 0.
+  const AdaptiveOutcome outcome = run_adaptive(instance, 3, locations);
+  EXPECT_GE(outcome.cells_paged, oblivious.group_sizes[0]);
+}
+
+TEST(Adaptive, NotWorseThanObliviousInExpectation) {
+  // The paper's motivation for adaptivity: re-planning with conditional
+  // distributions can only help on average.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Instance instance =
+        testing::random_instance(2, 10, seed + 8, 0.4);
+    const std::size_t d = 3;
+    const PlanResult oblivious = plan_greedy(instance, d);
+    prob::Rng rng(seed);
+    const MonteCarloEstimate adaptive =
+        adaptive_expected_paging(instance, d, 6000, rng);
+    EXPECT_LE(adaptive.mean,
+              oblivious.expected_paging + 4.0 * adaptive.std_error)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Adaptive, YellowPagesStopsAtFirstDevice) {
+  // Device 0 sits in cell 0 with certainty; any-of search must stop in
+  // round 1 having found it.
+  const Instance instance(2, 4, {1.0, 0.0, 0.0, 0.0,  //
+                                 0.25, 0.25, 0.25, 0.25});
+  const CellId locations[] = {0, 3};
+  const AdaptiveOutcome outcome =
+      run_adaptive(instance, 2, locations, Objective::any_of());
+  EXPECT_EQ(outcome.rounds_used, 1u);
+  EXPECT_GE(outcome.devices_found, 1u);
+}
+
+TEST(Adaptive, SignatureObjectiveFindsKDevices) {
+  const Instance instance = testing::mixed_instance(4, 8, 9);
+  prob::Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto locations = sample_locations(instance, rng);
+    const AdaptiveOutcome outcome =
+        run_adaptive(instance, 3, locations, Objective::k_of_m(2));
+    EXPECT_GE(outcome.devices_found, 2u);
+    EXPECT_LE(outcome.rounds_used, 3u);
+  }
+}
+
+TEST(Adaptive, DeterministicForFixedLocations) {
+  const Instance instance = testing::mixed_instance(3, 9, 11);
+  const CellId locations[] = {1, 4, 7};
+  const AdaptiveOutcome a = run_adaptive(instance, 3, locations);
+  const AdaptiveOutcome b = run_adaptive(instance, 3, locations);
+  EXPECT_EQ(a.cells_paged, b.cells_paged);
+  EXPECT_EQ(a.rounds_used, b.rounds_used);
+}
+
+TEST(Adaptive, ExactExpectationMatchesMonteCarlo) {
+  const Instance instance = testing::mixed_instance(2, 7, 21);
+  const double exact = adaptive_expected_paging_exact(instance, 3);
+  prob::Rng rng(22);
+  const MonteCarloEstimate estimate =
+      adaptive_expected_paging(instance, 3, 40000, rng);
+  EXPECT_NEAR(exact, estimate.mean, 5.0 * estimate.std_error + 1e-9);
+}
+
+TEST(Adaptive, ExactExpectationNeverWorseThanOblivious) {
+  // Sampling-noise-free version of the "adaptivity can only help" claim.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = testing::random_instance(2, 8, seed + 33, 0.5);
+    for (const std::size_t d : {2u, 3u, 4u}) {
+      const double adaptive = adaptive_expected_paging_exact(instance, d);
+      const double oblivious = plan_greedy(instance, d).expected_paging;
+      EXPECT_LE(adaptive, oblivious + 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(Adaptive, ExactExpectationDOneIsCellCount) {
+  const Instance instance = testing::mixed_instance(3, 5, 1);
+  EXPECT_NEAR(adaptive_expected_paging_exact(instance, 1), 5.0, 1e-12);
+}
+
+TEST(Adaptive, ExactExpectationGuardsEnumerationSize) {
+  const Instance instance = Instance::uniform(8, 16);  // 16^8 vectors
+  EXPECT_THROW(adaptive_expected_paging_exact(instance, 2),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, MonteCarloRejectsZeroTrials) {
+  const Instance instance = Instance::uniform(1, 3);
+  prob::Rng rng(1);
+  EXPECT_THROW(adaptive_expected_paging(instance, 2, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, HandlesZeroProbabilityCellsGracefully) {
+  // Device 1's model gives zero mass to cells 2,3; if it is "found late"
+  // the conditional would degenerate — the uniform fallback must kick in
+  // rather than throwing.
+  const Instance instance(2, 4, {0.5, 0.5, 0.0, 0.0,  //
+                                 0.0, 0.0, 0.5, 0.5});
+  // Model-inconsistent location (device 0 in cell 3).
+  const CellId locations[] = {3, 2};
+  EXPECT_NO_THROW({
+    const AdaptiveOutcome outcome = run_adaptive(instance, 3, locations);
+    EXPECT_EQ(outcome.devices_found, 2u);
+  });
+}
+
+}  // namespace
+}  // namespace confcall::core

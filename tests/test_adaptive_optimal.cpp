@@ -1,0 +1,165 @@
+// Tests for the exact optimal adaptive policy solver.
+#include "core/adaptive_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/adaptive.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/single_user.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(OptimalAdaptive, ValidatesArguments) {
+  const Instance instance = Instance::uniform(2, 4);
+  EXPECT_THROW(solve_optimal_adaptive(instance, 0), std::invalid_argument);
+  EXPECT_THROW(solve_optimal_adaptive(instance, 5), std::invalid_argument);
+  EXPECT_THROW(solve_optimal_adaptive(Instance::uniform(2, 21), 2),
+               std::invalid_argument);
+  EXPECT_THROW(solve_optimal_adaptive(Instance::uniform(9, 4), 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solve_optimal_adaptive(instance, 2, Objective::all_of(), /*limit=*/10),
+      std::invalid_argument);
+}
+
+TEST(OptimalAdaptive, SingleDeviceMatchesObliviousOptimum) {
+  // For m = 1 the adaptive observation carries no extra information, so
+  // the oblivious DP optimum is also the adaptive optimum (on instances
+  // with full support, where the page-all-cells convention coincides).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = testing::random_instance(1, 8, seed + 2, 1.5);
+    for (const std::size_t d : {2u, 3u, 8u}) {
+      const auto row = instance.row(0);
+      const double oblivious = optimal_single_user_paging(
+          prob::ProbabilityVector(row.begin(), row.end()), d);
+      const auto adaptive = solve_optimal_adaptive(instance, d);
+      EXPECT_NEAR(adaptive.expected_paging, oblivious, 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(OptimalAdaptive, NeverWorseThanHeuristicAdaptive) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::random_instance(2, 7, seed + 9, 0.6);
+    for (const std::size_t d : {2u, 3u}) {
+      const double heuristic =
+          adaptive_expected_paging_exact(instance, d);
+      const auto optimal = solve_optimal_adaptive(instance, d);
+      EXPECT_LE(optimal.expected_paging, heuristic + 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(OptimalAdaptive, NeverWorseThanObliviousOptimum) {
+  // Any oblivious strategy IS an adaptive policy (that ignores its
+  // observations), so the adaptive optimum lower-bounds the oblivious one.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::random_instance(3, 7, seed + 17, 0.8);
+    for (const std::size_t d : {2u, 3u}) {
+      const double oblivious =
+          solve_branch_and_bound(instance, d).expected_paging;
+      const auto adaptive = solve_optimal_adaptive(instance, d);
+      EXPECT_LE(adaptive.expected_paging, oblivious + 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(OptimalAdaptive, TwoRoundAdaptiveEqualsObliviousD2) {
+  // The paper notes any d = 2 adaptive strategy is oblivious (the round-1
+  // action is chosen before any observation, and round 2 is forced on
+  // full-support instances).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = testing::random_instance(2, 7, seed + 25, 2.0);
+    const double oblivious = solve_exact_d2(instance).expected_paging;
+    const auto adaptive = solve_optimal_adaptive(instance, 2);
+    EXPECT_NEAR(adaptive.expected_paging, oblivious, 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(OptimalAdaptive, PinnedDevicesCostTheirSupport) {
+  const Instance pinned(2, 5, {0, 0, 1, 0, 0,  //
+                               0, 0, 1, 0, 0});
+  const auto result = solve_optimal_adaptive(pinned, 2);
+  EXPECT_NEAR(result.expected_paging, 1.0, 1e-12);
+}
+
+TEST(OptimalAdaptive, SupportPruningBeatsObliviousBlanket) {
+  // With zero-probability cells, an adaptive policy never pages them —
+  // even at d = 1 its cost is the support size, below the oblivious c.
+  const Instance instance(1, 6, {0.5, 0.5, 0.0, 0.0, 0.0, 0.0});
+  const auto result = solve_optimal_adaptive(instance, 1);
+  EXPECT_NEAR(result.expected_paging, 2.0, 1e-12);
+}
+
+TEST(OptimalAdaptive, KOfMCheaperThanAllOf) {
+  const Instance instance = testing::mixed_instance(3, 7, 31);
+  const auto all = solve_optimal_adaptive(instance, 3);
+  const auto two = solve_optimal_adaptive(instance, 3, Objective::k_of_m(2));
+  const auto one = solve_optimal_adaptive(instance, 3, Objective::any_of());
+  EXPECT_LE(one.expected_paging, two.expected_paging + 1e-9);
+  EXPECT_LE(two.expected_paging, all.expected_paging + 1e-9);
+}
+
+TEST(OptimalAdaptive, MoreRoundsNeverHurt) {
+  const Instance instance = testing::random_instance(2, 8, 41, 0.5);
+  double previous = 1e300;
+  for (const std::size_t d : {1u, 2u, 3u, 4u}) {
+    const auto result = solve_optimal_adaptive(instance, d);
+    EXPECT_LE(result.expected_paging, previous + 1e-9) << "d=" << d;
+    previous = result.expected_paging;
+  }
+}
+
+TEST(OptimalAdaptive, FirstActionMatchesObliviousOptimumAtDTwo) {
+  // d = 2 adaptive == oblivious: the first action must be an optimal
+  // first-round subset.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance instance = testing::random_instance(2, 7, seed + 51, 1.2);
+    auto first = optimal_adaptive_first_action(instance, 2);
+    auto oblivious = solve_exact_d2(instance).strategy.group(0);
+    std::sort(oblivious.begin(), oblivious.end());
+    // Equal EP is what matters (ties possible): evaluate both splits.
+    std::vector<CellId> rest;
+    for (CellId j = 0; j < 7; ++j) {
+      if (std::find(first.begin(), first.end(), j) == first.end()) {
+        rest.push_back(j);
+      }
+    }
+    const Strategy via_first = Strategy::from_groups({first, rest}, 7);
+    EXPECT_NEAR(expected_paging(instance, via_first),
+                solve_exact_d2(instance).expected_paging, 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(OptimalAdaptive, FirstActionIsSupportAtDOne) {
+  const Instance instance(1, 5, {0.5, 0.5, 0.0, 0.0, 0.0});
+  const auto first = optimal_adaptive_first_action(instance, 1);
+  EXPECT_EQ(first, (std::vector<CellId>{0, 1}));
+}
+
+TEST(OptimalAdaptive, FirstActionValidates) {
+  EXPECT_THROW(
+      optimal_adaptive_first_action(Instance::uniform(2, 4), 0),
+      std::invalid_argument);
+}
+
+TEST(OptimalAdaptive, ReportsStateCount) {
+  const Instance instance = testing::random_instance(2, 6, 43, 1.0);
+  const auto result = solve_optimal_adaptive(instance, 3);
+  EXPECT_GT(result.states_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,253 @@
+// Unit and property tests for prob::BigInt.
+#include "prob/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "prob/rng.h"
+
+namespace confcall::prob {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.signum(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+  EXPECT_EQ(zero.bit_length(), 0u);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{42}, std::int64_t{-42}, std::int64_t{1} << 40,
+        -(std::int64_t{1} << 40), INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(BigInt(value).to_int64(), value) << value;
+  }
+}
+
+TEST(BigInt, Int64MinHandledWithoutOverflow) {
+  const BigInt value(INT64_MIN);
+  EXPECT_TRUE(value.is_negative());
+  EXPECT_EQ(value.to_string(), "-9223372036854775808");
+}
+
+TEST(BigInt, ToStringSmall) {
+  EXPECT_EQ(BigInt(12345).to_string(), "12345");
+  EXPECT_EQ(BigInt(-9).to_string(), "-9");
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  const char* const cases[] = {
+      "0", "7", "-7", "123456789012345678901234567890",
+      "-999999999999999999999999999999999999"};
+  for (const char* text : cases) {
+    EXPECT_EQ(BigInt::from_string(text).to_string(), text);
+  }
+}
+
+TEST(BigInt, FromStringAcceptsPlusSign) {
+  EXPECT_EQ(BigInt::from_string("+15").to_int64(), 15);
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string(" 1"), std::invalid_argument);
+}
+
+TEST(BigInt, NegativeZeroNormalizes) {
+  EXPECT_FALSE((-BigInt(0)).is_negative());
+  EXPECT_EQ(BigInt::from_string("-0").to_string(), "0");
+  EXPECT_FALSE((BigInt(5) - BigInt(5)).is_negative());
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64-1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionBorrows) {
+  const BigInt a = BigInt::from_string("18446744073709551616");
+  EXPECT_EQ((a - BigInt(1)).to_string(), "18446744073709551615");
+}
+
+TEST(BigInt, MixedSignArithmetic) {
+  EXPECT_EQ((BigInt(10) + BigInt(-4)).to_int64(), 6);
+  EXPECT_EQ((BigInt(-10) + BigInt(4)).to_int64(), -6);
+  EXPECT_EQ((BigInt(4) - BigInt(10)).to_int64(), -6);
+  EXPECT_EQ((BigInt(-4) * BigInt(-5)).to_int64(), 20);
+  EXPECT_EQ((BigInt(-4) * BigInt(5)).to_int64(), -20);
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  const BigInt a = BigInt::from_string("123456789123456789");
+  const BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+}
+
+TEST(BigInt, RemainderFollowsDividendSign) {
+  EXPECT_EQ((BigInt(7) % BigInt(3)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(3)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-3)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, DivmodIdentityRandomized) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64() >> 2) *
+                   (iter % 2 == 0 ? 1 : -1);
+    auto b = static_cast<std::int64_t>(rng.next_u64() >> 40);
+    if (b == 0) b = 1;
+    if (iter % 3 == 0) b = -b;
+    BigInt quotient, remainder;
+    BigInt::divmod(BigInt(a), BigInt(b), quotient, remainder);
+    EXPECT_EQ(quotient.to_int64(), a / b) << a << " / " << b;
+    EXPECT_EQ(remainder.to_int64(), a % b) << a << " % " << b;
+  }
+}
+
+TEST(BigInt, ArithmeticMatchesInt128Randomized) {
+  Rng rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64() >> 8) -
+                   (std::int64_t{1} << 55);
+    const auto b = static_cast<std::int64_t>(rng.next_u64() >> 8) -
+                   (std::int64_t{1} << 55);
+    const __int128 product = static_cast<__int128>(a) * b;
+    const BigInt big = BigInt(a) * BigInt(b);
+    // Reconstruct the reference through decimal text.
+    __int128 abs_product = product < 0 ? -product : product;
+    std::string text;
+    if (abs_product == 0) text = "0";
+    while (abs_product != 0) {
+      text.insert(text.begin(),
+                  static_cast<char>('0' + static_cast<int>(abs_product % 10)));
+      abs_product /= 10;
+    }
+    if (product < 0) text.insert(text.begin(), '-');
+    EXPECT_EQ(big.to_string(), text);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_int64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_int64(), a - b);
+  }
+}
+
+TEST(BigInt, DivmodReconstructionForHugeOperands) {
+  // 200-bit operands: verify a == q*b + r and |r| < |b| structurally.
+  Rng rng(31);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a(1);
+    BigInt b(1);
+    for (int limb = 0; limb < 4; ++limb) {
+      a = a * BigInt(static_cast<std::int64_t>(rng.next_u64() >> 16)) +
+          BigInt(static_cast<std::int64_t>(rng.next_u64() >> 40));
+      if (limb < 2) {
+        b = b * BigInt(static_cast<std::int64_t>(rng.next_u64() >> 16)) +
+            BigInt(static_cast<std::int64_t>(rng.next_u64() >> 40) + 1);
+      }
+    }
+    if (iter % 2 == 0) a = -a;
+    if (iter % 3 == 0) b = -b;
+    BigInt quotient, remainder;
+    BigInt::divmod(a, b, quotient, remainder);
+    EXPECT_EQ(quotient * b + remainder, a) << iter;
+    EXPECT_LT(remainder.abs(), b.abs()) << iter;
+    if (!remainder.is_zero()) {
+      EXPECT_EQ(remainder.signum(), a.signum()) << iter;
+    }
+  }
+}
+
+TEST(BigInt, GcdDividesBothHugeOperands) {
+  Rng rng(32);
+  for (int iter = 0; iter < 20; ++iter) {
+    const BigInt base(static_cast<std::int64_t>(rng.next_u64() >> 34) + 2);
+    const BigInt a =
+        base * BigInt(static_cast<std::int64_t>(rng.next_u64() >> 34) + 1);
+    const BigInt b =
+        base * BigInt(static_cast<std::int64_t>(rng.next_u64() >> 34) + 1);
+    const BigInt g = BigInt::gcd(a, b);
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+    EXPECT_TRUE((g % base).is_zero());  // common factor preserved
+  }
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(-4));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(5), BigInt::from_string("123456789012345678901"));
+  EXPECT_LT(BigInt::from_string("-123456789012345678901"), BigInt(-5));
+  EXPECT_EQ(BigInt(3), BigInt(3));
+}
+
+TEST(BigInt, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)).to_int64(), 7);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_int64(), 1);
+}
+
+TEST(BigInt, PowMatchesRepeatedMultiplication) {
+  EXPECT_EQ(BigInt::pow(BigInt(2), 0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow(BigInt(2), 10).to_int64(), 1024);
+  EXPECT_EQ(BigInt::pow(BigInt(10), 30).to_string(),
+            "1000000000000000000000000000000");
+  EXPECT_EQ(BigInt::pow(BigInt(-3), 3).to_int64(), -27);
+  EXPECT_EQ(BigInt::pow(BigInt(-3), 4).to_int64(), 81);
+}
+
+TEST(BigInt, ShiftedLeft) {
+  EXPECT_EQ(BigInt(1).shifted_left(0).to_int64(), 1);
+  EXPECT_EQ(BigInt(1).shifted_left(5).to_int64(), 32);
+  EXPECT_EQ(BigInt(3).shifted_left(33).to_string(), "25769803776");
+  EXPECT_EQ(BigInt(-1).shifted_left(4).to_int64(), -16);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_string("18446744073709551616").bit_length(), 65u);
+}
+
+TEST(BigInt, ToInt64OverflowThrows) {
+  const BigInt big = BigInt::from_string("9223372036854775808");  // 2^63
+  EXPECT_THROW((void)big.to_int64(), std::overflow_error);
+  EXPECT_EQ(BigInt::from_string("-9223372036854775808").to_int64(),
+            INT64_MIN);
+  EXPECT_THROW((void)BigInt::from_string("-9223372036854775809").to_int64(),
+               std::overflow_error);
+}
+
+TEST(BigInt, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).to_double(), 1000.0);
+  EXPECT_NEAR(BigInt::from_string("1000000000000000000000").to_double(),
+              1e21, 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-8).to_double(), -8.0);
+}
+
+}  // namespace
+}  // namespace confcall::prob

@@ -1,0 +1,125 @@
+// Tests for the lower bounds and the named hard instances.
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(LowerBounds, SingleUserBoundBelowOptimal) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::size_t m = 2 + seed % 3;
+    const Instance instance = testing::random_instance(m, 8, seed + 1, 0.8);
+    for (const std::size_t d : {2u, 3u}) {
+      const double bound = lower_bound_single_user(instance, d);
+      const double optimal = solve_exact(instance, d).expected_paging;
+      EXPECT_LE(bound, optimal + 1e-9)
+          << "seed=" << seed << " d=" << d;
+      EXPECT_GT(bound, 0.0);
+    }
+  }
+}
+
+TEST(LowerBounds, AmgmBoundBelowOptimal) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::size_t m = 2 + seed % 3;
+    const Instance instance = testing::random_instance(m, 8, seed + 31, 0.8);
+    for (const std::size_t d : {2u, 3u}) {
+      const double bound = lower_bound_amgm(instance, d);
+      const double optimal = solve_exact(instance, d).expected_paging;
+      EXPECT_LE(bound, optimal + 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(LowerBounds, CombinedBoundIsMax) {
+  const Instance instance = testing::mixed_instance(3, 9, 5);
+  const double combined = lower_bound_conference(instance, 3);
+  EXPECT_DOUBLE_EQ(combined,
+                   std::max(lower_bound_single_user(instance, 3),
+                            lower_bound_amgm(instance, 3)));
+}
+
+TEST(LowerBounds, TightForSingleDevice) {
+  // For m = 1 the single-user bound IS the optimum.
+  const Instance instance = testing::random_instance(1, 9, 3, 0.6);
+  const double bound = lower_bound_single_user(instance, 3);
+  const double optimal = plan_greedy(instance, 3).expected_paging;
+  EXPECT_NEAR(bound, optimal, 1e-12);
+}
+
+TEST(LowerBounds, DOneEqualsCellCount) {
+  const Instance instance = testing::mixed_instance(2, 7, 6);
+  EXPECT_DOUBLE_EQ(lower_bound_single_user(instance, 1), 7.0);
+  EXPECT_DOUBLE_EQ(lower_bound_amgm(instance, 1), 7.0);
+}
+
+TEST(LowerBounds, ValidateArguments) {
+  const Instance instance = Instance::uniform(2, 4);
+  EXPECT_THROW(lower_bound_single_user(instance, 0), std::invalid_argument);
+  EXPECT_THROW(lower_bound_amgm(instance, 5), std::invalid_argument);
+}
+
+TEST(LowerBounds, CertifyGreedyRatioOnLargerInstances)
+{
+  // Where exact search is infeasible (c = 24), the bounds still certify
+  // the Theorem 4.8 factor.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance instance = testing::mixed_instance(3, 24, seed + 50);
+    for (const std::size_t d : {2u, 4u}) {
+      const double greedy = plan_greedy(instance, d).expected_paging;
+      const double bound = lower_bound_conference(instance, d);
+      EXPECT_GT(bound, 0.0);
+      EXPECT_LE(greedy, kApproximationFactor * bound * 1.35)
+          << "seed=" << seed << " d=" << d;
+      // And the bound is never above the achievable value.
+      EXPECT_LE(bound, greedy + 1e-9);
+    }
+  }
+}
+
+TEST(HardInstance, MatchesPaperDefinition) {
+  const Instance instance = hard_instance_8cells();
+  EXPECT_EQ(instance.num_devices(), 2u);
+  EXPECT_EQ(instance.num_cells(), 8u);
+  EXPECT_NEAR(instance.prob(0, 0), 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(instance.prob(0, 6), 0.0, 1e-12);
+  EXPECT_NEAR(instance.prob(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(instance.prob(1, 7), 1.0 / 7.0, 1e-12);
+}
+
+TEST(HardInstance, ExactAndDoubleAgree) {
+  const Instance a = hard_instance_8cells();
+  const Instance b = hard_instance_8cells_exact().to_double_instance();
+  for (DeviceId i = 0; i < 2; ++i) {
+    for (CellId j = 0; j < 8; ++j) {
+      EXPECT_NEAR(a.prob(i, j), b.prob(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(HardInstance, PerturbedValidatesEpsilon) {
+  EXPECT_THROW(hard_instance_8cells_perturbed(0.0), std::invalid_argument);
+  EXPECT_THROW(hard_instance_8cells_perturbed(1.0 / 7.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(hard_instance_8cells_perturbed(1e-9));
+}
+
+TEST(HardInstance, PerturbedMakesCellZeroStrictMaximum) {
+  const Instance instance = hard_instance_8cells_perturbed(1e-4);
+  const auto weights = instance.cell_weights();
+  for (CellId j = 1; j < 8; ++j) {
+    EXPECT_GT(weights[0], weights[j]);
+  }
+}
+
+}  // namespace
+}  // namespace confcall::core

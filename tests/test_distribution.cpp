@@ -1,0 +1,155 @@
+// Tests for the location-distribution generators.
+#include "prob/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::prob {
+namespace {
+
+double sum(const ProbabilityVector& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Normalized, ScalesToUnitSum) {
+  const auto v = normalized({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(Normalized, RejectsBadInput) {
+  EXPECT_THROW(normalized({}), std::invalid_argument);
+  EXPECT_THROW(normalized({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(normalized({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(UniformVector, AllEqual) {
+  const auto v = uniform_vector(8);
+  ASSERT_EQ(v.size(), 8u);
+  for (const double p : v) EXPECT_DOUBLE_EQ(p, 0.125);
+}
+
+TEST(UniformVector, RejectsZeroCells) {
+  EXPECT_THROW(uniform_vector(0), std::invalid_argument);
+}
+
+TEST(ZipfVectorSorted, NonIncreasingAndNormalized) {
+  const auto v = zipf_vector_sorted(10, 1.0);
+  EXPECT_NEAR(sum(v), 1.0, 1e-12);
+  for (std::size_t j = 1; j < v.size(); ++j) EXPECT_GE(v[j - 1], v[j]);
+  // Entry ratio matches 1/(j+1)^alpha.
+  EXPECT_NEAR(v[0] / v[1], 2.0, 1e-9);
+}
+
+TEST(ZipfVectorSorted, AlphaZeroIsUniform) {
+  const auto v = zipf_vector_sorted(5, 0.0);
+  for (const double p : v) EXPECT_NEAR(p, 0.2, 1e-12);
+}
+
+TEST(ZipfVector, ShuffledButSameMultiset) {
+  Rng rng(3);
+  auto shuffled = zipf_vector(16, 1.5, rng);
+  auto sorted_ref = zipf_vector_sorted(16, 1.5);
+  EXPECT_NEAR(sum(shuffled), 1.0, 1e-12);
+  std::sort(shuffled.begin(), shuffled.end(), std::greater<>());
+  for (std::size_t j = 0; j < shuffled.size(); ++j) {
+    EXPECT_NEAR(shuffled[j], sorted_ref[j], 1e-12);
+  }
+}
+
+TEST(GeometricVector, NormalizedAndBounded) {
+  Rng rng(4);
+  const auto v = geometric_vector(12, 0.5, rng);
+  EXPECT_NEAR(sum(v), 1.0, 1e-12);
+  EXPECT_THROW(geometric_vector(12, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(geometric_vector(12, 1.0, rng), std::invalid_argument);
+}
+
+TEST(DirichletVector, NormalizedAndPositive) {
+  Rng rng(5);
+  for (const double alpha : {0.2, 1.0, 10.0}) {
+    const auto v = dirichlet_vector(20, alpha, rng);
+    EXPECT_NEAR(sum(v), 1.0, 1e-9) << alpha;
+    for (const double p : v) EXPECT_GT(p, 0.0);
+  }
+  EXPECT_THROW(dirichlet_vector(20, 0.0, rng), std::invalid_argument);
+}
+
+TEST(DirichletVector, LargeAlphaConcentratesNearUniform) {
+  Rng rng(6);
+  const auto v = dirichlet_vector(10, 500.0, rng);
+  for (const double p : v) EXPECT_NEAR(p, 0.1, 0.03);
+}
+
+TEST(PeakedVector, MassOnOneCell) {
+  Rng rng(7);
+  const auto v = peaked_vector(10, 0.82, rng);
+  EXPECT_NEAR(sum(v), 1.0, 1e-12);
+  const auto top = std::max_element(v.begin(), v.end());
+  EXPECT_DOUBLE_EQ(*top, 0.82);
+  for (const double p : v) {
+    if (p != *top) EXPECT_NEAR(p, 0.18 / 9.0, 1e-12);
+  }
+}
+
+TEST(PeakedVector, SingleCellDegenerates) {
+  Rng rng(8);
+  const auto v = peaked_vector(1, 0.3, rng);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+TEST(PeakedVector, RejectsBadMass) {
+  Rng rng(9);
+  EXPECT_THROW(peaked_vector(4, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(peaked_vector(4, 1.1, rng), std::invalid_argument);
+}
+
+TEST(ClusteredVector, SupportSizeRespected) {
+  Rng rng(10);
+  const auto v = clustered_vector(12, 4, rng);
+  EXPECT_NEAR(sum(v), 1.0, 1e-12);
+  int support = 0;
+  for (const double p : v) {
+    if (p > 0.0) {
+      EXPECT_DOUBLE_EQ(p, 0.25);
+      ++support;
+    }
+  }
+  EXPECT_EQ(support, 4);
+}
+
+TEST(ClusteredVector, RejectsBadSupport) {
+  Rng rng(11);
+  EXPECT_THROW(clustered_vector(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(clustered_vector(5, 6, rng), std::invalid_argument);
+}
+
+class DistributionFamilies
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributionFamilies, EveryGeneratorYieldsValidVector) {
+  const std::size_t cells = GetParam();
+  Rng rng(cells);
+  const ProbabilityVector vectors[] = {
+      uniform_vector(cells),
+      zipf_vector(cells, 1.0, rng),
+      geometric_vector(cells, 0.7, rng),
+      dirichlet_vector(cells, 0.8, rng),
+      peaked_vector(cells, 0.5, rng),
+      clustered_vector(cells, (cells + 1) / 2, rng),
+  };
+  for (const auto& v : vectors) {
+    ASSERT_EQ(v.size(), cells);
+    EXPECT_NEAR(sum(v), 1.0, 1e-9);
+    for (const double p : v) EXPECT_GE(p, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistributionFamilies,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 257));
+
+}  // namespace
+}  // namespace confcall::prob

@@ -1,0 +1,178 @@
+// Degenerate-shape and failure-injection sweep: every planner and solver
+// against the boundary of its domain (c = 1, m = 1, d = 1, d = c,
+// zero-probability columns, point masses, near-underflow entries), plus
+// cross-solver agreement on those shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/adaptive.h"
+#include "core/bandwidth.h"
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/signature.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(EdgeCases, SingleCellEverything) {
+  const Instance instance(2, 1, {1.0, 1.0});
+  const PlanResult plan = plan_greedy(instance, 1);
+  EXPECT_DOUBLE_EQ(plan.expected_paging, 1.0);
+  const CellId locations[] = {0, 0};
+  EXPECT_EQ(run_adaptive(instance, 1, locations).cells_paged, 1u);
+  EXPECT_DOUBLE_EQ(lower_bound_conference(instance, 1), 1.0);
+  EXPECT_DOUBLE_EQ(solve_exact(instance, 1).expected_paging, 1.0);
+  EXPECT_DOUBLE_EQ(solve_exact_typed(instance, 1).expected_paging, 1.0);
+}
+
+TEST(EdgeCases, TwoCellsAllSolversAgree) {
+  const Instance instance(2, 2, {0.9, 0.1, 0.3, 0.7});
+  const double greedy = plan_greedy(instance, 2).expected_paging;
+  const double exact = solve_exact_d2(instance).expected_paging;
+  const double typed = solve_exact_typed(instance, 2).expected_paging;
+  const double bnb = solve_branch_and_bound(instance, 2).expected_paging;
+  EXPECT_NEAR(exact, typed, 1e-12);
+  EXPECT_NEAR(exact, bnb, 1e-12);
+  EXPECT_GE(greedy, exact - 1e-12);
+}
+
+TEST(EdgeCases, PointMassDevice) {
+  // A device pinned to one cell: the search is really about the others.
+  const Instance instance(2, 4, {0.0, 0.0, 1.0, 0.0,  //
+                                 0.25, 0.25, 0.25, 0.25});
+  const PlanResult plan = plan_greedy(instance, 2);
+  // Cell 2 has the top weight, so it must be paged in round 1.
+  EXPECT_EQ(plan.strategy.round_of(2), 0u);
+  const double exact = solve_exact_d2(instance).expected_paging;
+  EXPECT_LE(plan.expected_paging,
+            kApproximationFactor * exact + 1e-9);
+}
+
+TEST(EdgeCases, AllDevicesPinnedToSameCell) {
+  const Instance instance(3, 5, {0, 0, 1, 0, 0,  //
+                                 0, 0, 1, 0, 0,  //
+                                 0, 0, 1, 0, 0});
+  for (const std::size_t d : {1u, 2u, 5u}) {
+    const PlanResult plan = plan_greedy(instance, d);
+    if (d > 1) {
+      // Page the certain cell alone, then (never) the rest.
+      EXPECT_EQ(plan.strategy.group(0), (std::vector<CellId>{2}));
+      EXPECT_NEAR(plan.expected_paging, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(EdgeCases, ZeroColumnNeverHelpsFirstRound) {
+  // A cell where no device can be adds pure cost when paged early; with
+  // d = c the planner must page it last.
+  const Instance instance(1, 4, {0.5, 0.0, 0.3, 0.2});
+  const PlanResult plan = plan_greedy(instance, 4);
+  EXPECT_EQ(plan.strategy.round_of(1), 3u);
+}
+
+TEST(EdgeCases, TinyProbabilitiesDoNotUnderflowPlanning) {
+  std::vector<double> row(12, 0.0);
+  row[0] = 1.0 - 11e-12;
+  for (std::size_t j = 1; j < 12; ++j) row[j] = 1e-12;
+  const Instance instance = Instance::from_rows({row, row, row});
+  const PlanResult plan = plan_greedy(instance, 3);
+  EXPECT_TRUE(std::isfinite(plan.expected_paging));
+  EXPECT_EQ(plan.strategy.round_of(0), 0u);
+  EXPECT_NEAR(plan.expected_paging, 1.0, 1e-6);
+}
+
+TEST(EdgeCases, DEqualsCMatchesExactForTwoDevices) {
+  const Instance instance = testing::random_instance(2, 6, 12, 0.6);
+  const PlanResult plan = plan_greedy(instance, 6);
+  const ExactResult exact = solve_exact(instance, 6);
+  EXPECT_GE(plan.expected_paging, exact.expected_paging - 1e-9);
+  EXPECT_LE(plan.expected_paging,
+            kApproximationFactor * exact.expected_paging + 1e-9);
+}
+
+TEST(EdgeCases, SignaturePlannersOnDegenerateShapes) {
+  const Instance one_cell(3, 1, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(plan_signature(one_cell, 1, 2).expected_paging, 1.0);
+  EXPECT_DOUBLE_EQ(plan_yellow_pages(one_cell, 1).expected_paging, 1.0);
+
+  const Instance single_device = testing::random_instance(1, 6, 13);
+  // k-of-m with m = 1 must equal conference and yellow pages.
+  const double conference = plan_greedy(single_device, 3).expected_paging;
+  EXPECT_NEAR(plan_signature(single_device, 3, 1).expected_paging,
+              conference, 1e-12);
+  EXPECT_NEAR(plan_yellow_pages(single_device, 3).expected_paging,
+              conference, 1e-9);
+}
+
+TEST(EdgeCases, BandwidthCapOfOneIsFullSequential) {
+  const Instance instance = testing::random_instance(1, 5, 14);
+  const PlanResult plan = plan_bandwidth_limited(instance, 5, 1);
+  EXPECT_EQ(plan.group_sizes, std::vector<std::size_t>(5, 1));
+  // Equivalent to unconstrained d = c for m = 1.
+  EXPECT_NEAR(plan.expected_paging,
+              plan_greedy(instance, 5).expected_paging, 1e-12);
+}
+
+TEST(EdgeCases, AdaptiveDegenerateShapes) {
+  // m devices all pinned: adaptive should page exactly the pinned cell
+  // when d >= 2.
+  const Instance pinned(2, 4, {0, 1, 0, 0, 0, 1, 0, 0});
+  const CellId locations[] = {1, 1};
+  const AdaptiveOutcome outcome = run_adaptive(pinned, 2, locations);
+  EXPECT_EQ(outcome.cells_paged, 1u);
+  EXPECT_EQ(outcome.devices_found, 2u);
+}
+
+TEST(EdgeCases, EvaluatorHandlesManyDevices) {
+  // 32 devices: the all-of product underflows gracefully toward 0 and EP
+  // approaches c (someone is almost surely in the last group).
+  const Instance instance = Instance::uniform(32, 8);
+  const Strategy halves =
+      Strategy::from_groups({{0, 1, 2, 3}, {4, 5, 6, 7}}, 8);
+  const double ep = expected_paging(instance, halves);
+  EXPECT_GT(ep, 7.99);
+  EXPECT_LE(ep, 8.0 + 1e-12);
+}
+
+TEST(EdgeCases, KOfMWithLargeMAndMidK) {
+  const Instance instance = Instance::uniform(24, 10);
+  const Strategy s = Strategy::from_groups(
+      {{0, 1, 2}, {3, 4, 5}, {6, 7, 8, 9}}, 10);
+  const double ep12 =
+      expected_paging(instance, s, Objective::k_of_m(12));
+  const double ep20 =
+      expected_paging(instance, s, Objective::k_of_m(20));
+  EXPECT_LE(ep12, ep20 + 1e-12);  // needing fewer signatures is cheaper
+  EXPECT_TRUE(std::isfinite(ep12));
+}
+
+TEST(EdgeCases, RestrictAfterSelectComposes) {
+  const Instance instance = testing::mixed_instance(4, 8, 15);
+  const DeviceId devices[] = {1, 3};
+  const CellId cells[] = {0, 2, 4, 6};
+  const Instance sub = instance.select_devices(devices);
+  const Instance subsub = sub.restrict_cells(cells);
+  EXPECT_EQ(subsub.num_devices(), 2u);
+  EXPECT_EQ(subsub.num_cells(), 4u);
+  // Rows renormalized over the kept cells.
+  double row_sum = 0.0;
+  for (CellId j = 0; j < 4; ++j) row_sum += subsub.prob(0, j);
+  EXPECT_NEAR(row_sum, 1.0, 1e-12);
+}
+
+TEST(EdgeCases, MonteCarloOnDeterministicInstanceHasZeroError) {
+  const Instance pinned(1, 3, {0.0, 1.0, 0.0});
+  const Strategy s = Strategy::from_groups({{1}, {0, 2}}, 3);
+  prob::Rng rng(16);
+  const auto estimate = monte_carlo_paging(pinned, s, 500, rng);
+  EXPECT_DOUBLE_EQ(estimate.mean, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,263 @@
+// Tests for expected-paging evaluation: Lemma 2.1 against the definitional
+// sum, Monte-Carlo execution, exact rationals, and the paper's worked
+// examples.
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/bounds.h"
+#include "prob/rational.h"
+#include "prob/stats.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+using prob::Rational;
+
+TEST(Evaluator, BlanketPagesAllCells) {
+  const Instance instance = Instance::uniform(3, 6);
+  const Strategy blanket = Strategy::blanket(6);
+  EXPECT_DOUBLE_EQ(expected_paging(instance, blanket), 6.0);
+  EXPECT_DOUBLE_EQ(expected_rounds(instance, blanket), 1.0);
+}
+
+TEST(Evaluator, UniformHalfSplitSingleUser) {
+  // Section 1.1 example: uniform device, c even, d = 2, halves -> 3c/4.
+  for (const std::size_t c : {2u, 4u, 10u, 100u}) {
+    const Instance instance = Instance::uniform(1, c);
+    std::vector<CellId> order(c);
+    std::iota(order.begin(), order.end(), CellId{0});
+    const std::size_t sizes[] = {c / 2, c / 2};
+    const Strategy halves = Strategy::from_order_and_sizes(order, sizes);
+    EXPECT_NEAR(expected_paging(instance, halves), 3.0 * c / 4.0, 1e-9)
+        << "c=" << c;
+  }
+}
+
+TEST(Evaluator, TwoDeviceWorkedExample) {
+  // Hand-computed: c=3, groups {0},{1},{2}.
+  // Device probs p=(0.5,0.3,0.2), q=(0.2,0.3,0.5).
+  const Instance instance(2, 3, {0.5, 0.3, 0.2, 0.2, 0.3, 0.5});
+  const Strategy s = Strategy::from_groups({{0}, {1}, {2}}, 3);
+  // EP = 3 - 1*(0.5*0.2) - 1*(0.8*0.5) = 3 - 0.1 - 0.4 = 2.5.
+  EXPECT_NEAR(expected_paging(instance, s), 2.5, 1e-12);
+}
+
+TEST(Evaluator, StopByRoundEndsAtOne) {
+  const Instance instance = testing::random_instance(3, 7, 1);
+  const Strategy s = Strategy::from_groups({{0, 1}, {2, 3, 4}, {5, 6}}, 7);
+  const auto by_round = stop_by_round(instance, s, Objective::all_of());
+  ASSERT_EQ(by_round.size(), 3u);
+  EXPECT_DOUBLE_EQ(by_round.back(), 1.0);
+  for (std::size_t r = 1; r < by_round.size(); ++r) {
+    EXPECT_GE(by_round[r], by_round[r - 1]);  // monotone
+  }
+}
+
+TEST(Evaluator, StopAtRoundSumsToOne) {
+  const Instance instance = testing::random_instance(2, 6, 2);
+  const Strategy s = Strategy::from_groups({{5, 0}, {1, 2}, {3, 4}}, 6);
+  for (const Objective obj :
+       {Objective::all_of(), Objective::any_of(), Objective::k_of_m(2)}) {
+    const auto at_round = stop_at_round(instance, s, obj);
+    double total = 0.0;
+    for (const double p : at_round) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << obj.to_string();
+  }
+}
+
+TEST(Evaluator, Lemma21MatchesDefinitionalSum) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::size_t m = 1 + seed % 4;
+    const std::size_t c = 5 + seed % 5;
+    const Instance instance = testing::random_instance(m, c, seed + 100);
+    // Arbitrary 3-round strategy over shuffled cells.
+    prob::Rng rng(seed);
+    std::vector<CellId> order(c);
+    std::iota(order.begin(), order.end(), CellId{0});
+    rng.shuffle(order);
+    const std::size_t sizes[] = {1, c / 2, c - 1 - c / 2};
+    const Strategy s = Strategy::from_order_and_sizes(order, sizes);
+    for (const Objective obj :
+         {Objective::all_of(), Objective::any_of(), Objective::k_of_m(m)}) {
+      EXPECT_NEAR(expected_paging(instance, s, obj),
+                  expected_paging_definitional(instance, s, obj), 1e-10)
+          << "seed=" << seed << " " << obj.to_string();
+    }
+  }
+}
+
+TEST(Evaluator, MismatchedStrategyThrows) {
+  const Instance instance = Instance::uniform(1, 4);
+  const Strategy s = Strategy::blanket(5);
+  EXPECT_THROW(expected_paging(instance, s), std::invalid_argument);
+}
+
+TEST(Evaluator, ExecuteStrategyStopsWhenAllFound) {
+  const Strategy s = Strategy::from_groups({{0, 1}, {2}, {3}}, 4);
+  {
+    const CellId locations[] = {0, 1};
+    const auto outcome =
+        execute_strategy(s, locations, Objective::all_of());
+    EXPECT_EQ(outcome.cells_paged, 2u);
+    EXPECT_EQ(outcome.rounds_used, 1u);
+  }
+  {
+    const CellId locations[] = {0, 3};
+    const auto outcome =
+        execute_strategy(s, locations, Objective::all_of());
+    EXPECT_EQ(outcome.cells_paged, 4u);
+    EXPECT_EQ(outcome.rounds_used, 3u);
+  }
+  {
+    const CellId locations[] = {0, 3};
+    const auto outcome = execute_strategy(s, locations, Objective::any_of());
+    EXPECT_EQ(outcome.cells_paged, 2u);
+    EXPECT_EQ(outcome.rounds_used, 1u);
+  }
+}
+
+TEST(Evaluator, SampleLocationsFollowsDistribution) {
+  const Instance instance(1, 3, {0.6, 0.3, 0.1});
+  prob::Rng rng(77);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int t = 0; t < n; ++t) {
+    ++counts[sample_locations(instance, rng)[0]];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.6, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(Evaluator, MonteCarloAgreesWithAnalytic) {
+  const Instance instance = testing::mixed_instance(3, 8, 5);
+  const Strategy s = Strategy::from_groups({{0, 1, 2}, {3, 4}, {5, 6, 7}}, 8);
+  prob::Rng rng(8);
+  for (const Objective obj :
+       {Objective::all_of(), Objective::any_of(), Objective::k_of_m(2)}) {
+    const auto estimate = monte_carlo_paging(instance, s, 40000, rng, obj);
+    const double analytic = expected_paging(instance, s, obj);
+    EXPECT_NEAR(estimate.mean, analytic,
+                5.0 * estimate.std_error + 1e-9)
+        << obj.to_string();
+  }
+}
+
+TEST(Evaluator, MonteCarloRejectsZeroTrials) {
+  const Instance instance = Instance::uniform(1, 2);
+  prob::Rng rng(1);
+  EXPECT_THROW(
+      monte_carlo_paging(instance, Strategy::blanket(2), 0, rng),
+      std::invalid_argument);
+}
+
+TEST(Evaluator, ExpectedRoundsMatchesMonteCarlo) {
+  const Instance instance = testing::mixed_instance(2, 8, 44);
+  const Strategy s = Strategy::from_groups({{0, 1, 2}, {3, 4}, {5, 6, 7}}, 8);
+  prob::Rng rng(45);
+  prob::RunningStats rounds;
+  for (int t = 0; t < 40000; ++t) {
+    const auto locations = sample_locations(instance, rng);
+    rounds.add(static_cast<double>(
+        execute_strategy(s, locations, Objective::all_of()).rounds_used));
+  }
+  EXPECT_NEAR(expected_rounds(instance, s), rounds.mean(),
+              5.0 * rounds.sem() + 1e-9);
+}
+
+TEST(Evaluator, VarianceMatchesMonteCarlo) {
+  const Instance instance = testing::mixed_instance(2, 8, 41);
+  const Strategy s = Strategy::from_groups({{0, 1, 2}, {3, 4}, {5, 6, 7}}, 8);
+  const double variance = paging_variance(instance, s);
+  prob::Rng rng(42);
+  // Sample variance of executed runs.
+  prob::RunningStats stats;
+  for (int t = 0; t < 40000; ++t) {
+    const auto locations = sample_locations(instance, rng);
+    stats.add(static_cast<double>(
+        execute_strategy(s, locations, Objective::all_of()).cells_paged));
+  }
+  EXPECT_NEAR(variance, stats.variance(), 0.05 * variance + 0.05);
+}
+
+TEST(Evaluator, VarianceZeroForBlanket) {
+  const Instance instance = testing::mixed_instance(2, 6, 43);
+  EXPECT_NEAR(paging_variance(instance, Strategy::blanket(6)), 0.0, 1e-12);
+}
+
+TEST(Evaluator, VarianceConsistentWithMoments) {
+  // Hand-checkable: c=2, single device p=(0.5,0.5), groups {0},{1}:
+  // P=1 w.p. 0.5, P=2 w.p. 0.5 -> Var = 0.25.
+  const Instance instance(1, 2, {0.5, 0.5});
+  const Strategy s = Strategy::from_groups({{0}, {1}}, 2);
+  EXPECT_NEAR(paging_variance(instance, s), 0.25, 1e-12);
+}
+
+TEST(Evaluator, ExactRationalHardInstanceValues) {
+  // Section 4.3: optimal pages paper-cells {2..6} (0-based {1..5}) first:
+  // EP = 317/49; heuristic pages {1..5} (0-based {0..4}): EP = 320/49.
+  const RationalInstance instance = hard_instance_8cells_exact();
+  const Strategy optimal =
+      Strategy::from_groups({{1, 2, 3, 4, 5}, {0, 6, 7}}, 8);
+  const Strategy heuristic =
+      Strategy::from_groups({{0, 1, 2, 3, 4}, {5, 6, 7}}, 8);
+  EXPECT_EQ(expected_paging_exact(instance, optimal), Rational(317, 49));
+  EXPECT_EQ(expected_paging_exact(instance, heuristic), Rational(320, 49));
+}
+
+TEST(Evaluator, ExactMatchesDoubleEvaluator) {
+  const RationalInstance exact(
+      2, 4,
+      {Rational(1, 2), Rational(1, 4), Rational(1, 8), Rational(1, 8),
+       Rational(1, 10), Rational(2, 10), Rational(3, 10), Rational(4, 10)});
+  const Strategy s = Strategy::from_groups({{0, 3}, {1}, {2}}, 4);
+  const double via_double =
+      expected_paging(exact.to_double_instance(), s);
+  EXPECT_NEAR(expected_paging_exact(exact, s).to_double(), via_double, 1e-12);
+}
+
+TEST(Evaluator, ExpectedRoundsWithinBounds) {
+  const Instance instance = testing::random_instance(2, 9, 3);
+  const Strategy s = Strategy::from_groups({{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}, 9);
+  const double rounds = expected_rounds(instance, s);
+  EXPECT_GE(rounds, 1.0);
+  EXPECT_LE(rounds, 3.0);
+}
+
+/// Property sweep: Lemma 2.1 equals the definitional expectation and
+/// Monte Carlo across instance shapes.
+class EvaluatorSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(EvaluatorSweep, AnalyticDefinitionalAndSimulationAgree) {
+  const auto [m, c] = GetParam();
+  const Instance instance = testing::mixed_instance(m, c, 31 * m + c);
+  // Split into min(3, c) rounds of near-equal size.
+  const std::size_t d = std::min<std::size_t>(3, c);
+  std::vector<CellId> order(c);
+  std::iota(order.begin(), order.end(), CellId{0});
+  std::vector<std::size_t> sizes(d, c / d);
+  sizes.back() += c % d;
+  const Strategy s = Strategy::from_order_and_sizes(order, sizes);
+
+  const double analytic = expected_paging(instance, s);
+  EXPECT_NEAR(analytic, expected_paging_definitional(instance, s), 1e-10);
+  prob::Rng rng(m * 1000 + c);
+  const auto estimate = monte_carlo_paging(instance, s, 20000, rng);
+  EXPECT_NEAR(estimate.mean, analytic, 5.0 * estimate.std_error + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EvaluatorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(2, 5, 9, 16)));
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,148 @@
+// Tests for the exact solvers: agreement among the three methods, node
+// accounting, guards, and the exact-rational d = 2 optimum.
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "prob/rational.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+using prob::Rational;
+
+TEST(ExactD2, TrivialTwoCells) {
+  const Instance instance(1, 2, {0.9, 0.1});
+  const ExactResult result = solve_exact_d2(instance);
+  // Page the 0.9 cell first: EP = 2 - 1*0.9 = 1.1.
+  EXPECT_NEAR(result.expected_paging, 1.1, 1e-12);
+  EXPECT_EQ(result.strategy.group(0), (std::vector<CellId>{0}));
+}
+
+TEST(ExactD2, MatchesGeneralEnumeration) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = testing::random_instance(2, 8, seed + 7, 0.7);
+    const ExactResult d2 = solve_exact_d2(instance);
+    const ExactResult general = solve_exact(instance, 2);
+    EXPECT_NEAR(d2.expected_paging, general.expected_paging, 1e-10)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ExactD2, ReturnedStrategyEvaluatesToReportedValue) {
+  const Instance instance = testing::mixed_instance(3, 9, 1);
+  const ExactResult result = solve_exact_d2(instance);
+  EXPECT_NEAR(expected_paging(instance, result.strategy),
+              result.expected_paging, 1e-10);
+}
+
+TEST(ExactD2, NodeCountIsAllProperSubsets) {
+  const Instance instance = Instance::uniform(2, 6);
+  const ExactResult result = solve_exact_d2(instance);
+  EXPECT_EQ(result.nodes_explored, (1u << 6) - 2u);
+}
+
+TEST(ExactD2, GuardsAgainstHugeInstances) {
+  const Instance instance = Instance::uniform(1, 30);
+  EXPECT_THROW(solve_exact_d2(instance), std::invalid_argument);
+  EXPECT_THROW(solve_exact_d2(Instance::uniform(1, 1)),
+               std::invalid_argument);
+}
+
+TEST(ExactD2, AlternativeObjectives) {
+  const Instance instance = testing::mixed_instance(3, 7, 2);
+  for (const Objective obj :
+       {Objective::any_of(), Objective::k_of_m(2)}) {
+    const ExactResult result = solve_exact_d2(instance, obj);
+    const ExactResult general = solve_exact(instance, 2, obj);
+    EXPECT_NEAR(result.expected_paging, general.expected_paging, 1e-10)
+        << obj.to_string();
+    EXPECT_NEAR(expected_paging(instance, result.strategy, obj),
+                result.expected_paging, 1e-10);
+  }
+}
+
+TEST(ExactGeneral, DOneIsBlanket) {
+  const Instance instance = testing::random_instance(2, 5, 3);
+  const ExactResult result = solve_exact(instance, 1);
+  EXPECT_DOUBLE_EQ(result.expected_paging, 5.0);
+  EXPECT_EQ(result.strategy.num_rounds(), 1u);
+}
+
+TEST(ExactGeneral, ValidatesArguments) {
+  const Instance instance = Instance::uniform(1, 4);
+  EXPECT_THROW(solve_exact(instance, 0), std::invalid_argument);
+  EXPECT_THROW(solve_exact(instance, 5), std::invalid_argument);
+  // Node limit guard.
+  EXPECT_THROW(solve_exact(Instance::uniform(1, 20), 20, Objective::all_of(),
+                           /*node_limit=*/1000),
+               std::invalid_argument);
+}
+
+TEST(ExactGeneral, OptimalUsesAllRounds) {
+  // Strategies of length exactly d dominate shorter ones (Section 2).
+  const Instance instance = testing::mixed_instance(2, 7, 4);
+  for (const std::size_t d : {2u, 3u}) {
+    const ExactResult result = solve_exact(instance, d);
+    EXPECT_EQ(result.strategy.num_rounds(), d);
+    for (const auto& group : result.strategy.groups()) {
+      EXPECT_FALSE(group.empty());
+    }
+  }
+}
+
+TEST(BranchAndBound, MatchesExhaustiveSearch) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::size_t m = 1 + seed % 3;
+    const Instance instance =
+        testing::random_instance(m, 8, seed + 21, 0.5);
+    for (const std::size_t d : {2u, 3u}) {
+      const ExactResult plain = solve_exact(instance, d);
+      const ExactResult bnb = solve_branch_and_bound(instance, d);
+      EXPECT_NEAR(plain.expected_paging, bnb.expected_paging, 1e-9)
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(BranchAndBound, PrunesOnSkewedInstances) {
+  const Instance instance = testing::random_instance(2, 10, 9, 0.15);
+  const ExactResult plain = solve_exact(instance, 3);
+  const ExactResult bnb = solve_branch_and_bound(instance, 3);
+  EXPECT_NEAR(plain.expected_paging, bnb.expected_paging, 1e-9);
+  EXPECT_LT(bnb.nodes_explored, plain.nodes_explored);
+}
+
+TEST(ExactRationalD2, HardInstanceIsExactly317Over49) {
+  const ExactRationalD2Result result =
+      solve_exact_d2_exact(hard_instance_8cells_exact());
+  EXPECT_EQ(result.expected_paging, Rational(317, 49));
+  EXPECT_EQ(result.first_round, (std::vector<CellId>{1, 2, 3, 4, 5}));
+}
+
+TEST(ExactRationalD2, AgreesWithDoubleSolver) {
+  const RationalInstance exact(
+      2, 6,
+      {Rational(1, 6), Rational(1, 6), Rational(1, 6), Rational(1, 6),
+       Rational(1, 6), Rational(1, 6),  //
+       Rational(1, 2), Rational(1, 10), Rational(1, 10), Rational(1, 10),
+       Rational(1, 10), Rational(1, 10)});
+  const auto rational = solve_exact_d2_exact(exact);
+  const auto floating = solve_exact_d2(exact.to_double_instance());
+  EXPECT_NEAR(rational.expected_paging.to_double(),
+              floating.expected_paging, 1e-10);
+}
+
+TEST(ExactRationalD2, GuardsSize) {
+  std::vector<Rational> flat(30, Rational(1, 30));
+  const RationalInstance instance(1, 30, std::move(flat));
+  EXPECT_THROW(solve_exact_d2_exact(instance), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::core

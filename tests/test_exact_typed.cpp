@@ -1,0 +1,131 @@
+// Tests for the symmetry-exploiting typed exact solver (the Section 5
+// approximation-scheme idea made exact).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(ColumnTypes, DetectsDuplicateColumns) {
+  // Columns 0 and 2 identical, 1 and 3 identical.
+  const Instance instance(2, 4, {0.3, 0.2, 0.3, 0.2,  //
+                                 0.1, 0.4, 0.1, 0.4});
+  const ColumnTypes types = column_types(instance);
+  EXPECT_EQ(types.count.size(), 2u);
+  EXPECT_EQ(types.type_of, (std::vector<std::size_t>{0, 1, 0, 1}));
+  EXPECT_EQ(types.count, (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(types.representative, (std::vector<CellId>{0, 1}));
+}
+
+TEST(ColumnTypes, UniformInstanceHasOneType) {
+  const ColumnTypes types = column_types(Instance::uniform(3, 10));
+  EXPECT_EQ(types.count.size(), 1u);
+  EXPECT_EQ(types.count[0], 10u);
+}
+
+TEST(ColumnTypes, GenericInstanceAllDistinct) {
+  const Instance instance = testing::random_instance(2, 6, 4);
+  EXPECT_EQ(column_types(instance).count.size(), 6u);
+}
+
+TEST(TypedExact, MatchesBruteForceOnUniform) {
+  for (const std::size_t m : {1u, 2u, 3u}) {
+    for (const std::size_t d : {2u, 3u}) {
+      const Instance instance = Instance::uniform(m, 7);
+      const ExactResult typed = solve_exact_typed(instance, d);
+      const ExactResult plain = solve_exact(instance, d);
+      EXPECT_NEAR(typed.expected_paging, plain.expected_paging, 1e-10)
+          << "m=" << m << " d=" << d;
+      EXPECT_LT(typed.nodes_explored, plain.nodes_explored);
+    }
+  }
+}
+
+TEST(TypedExact, MatchesBruteForceOnTwoTypeInstances) {
+  // Half the cells "hot", half "cold" — two column types.
+  for (const std::size_t d : {2u, 3u}) {
+    std::vector<double> row;
+    const std::size_t c = 8;
+    const double hot = 2.0 / (1.5 * c);
+    const double cold = 1.0 / (1.5 * c);
+    for (std::size_t j = 0; j < c; ++j) row.push_back(j < c / 2 ? hot : cold);
+    const Instance instance = Instance::from_rows({row, row});
+    const ExactResult typed = solve_exact_typed(instance, d);
+    const ExactResult plain = solve_exact(instance, d);
+    EXPECT_NEAR(typed.expected_paging, plain.expected_paging, 1e-10)
+        << "d=" << d;
+  }
+}
+
+TEST(TypedExact, SolvesLargeUniformInstancesExactly) {
+  // d^c enumeration is hopeless at c = 60; compositions are trivial.
+  const Instance instance = Instance::uniform(2, 60);
+  const ExactResult typed = solve_exact_typed(instance, 3);
+  // Sanity: optimal EP lies between the AM-GM bound and the greedy EP.
+  const double greedy = plan_greedy(instance, 3).expected_paging;
+  EXPECT_LE(typed.expected_paging, greedy + 1e-9);
+  EXPECT_GE(typed.expected_paging, 30.0);  // must page at least half on avg
+  EXPECT_NEAR(expected_paging(instance, typed.strategy),
+              typed.expected_paging, 1e-9);
+}
+
+TEST(TypedExact, GreedyIsOptimalOnUniformInstances) {
+  // On fully symmetric instances the sorted family contains an optimum,
+  // so Fig. 1 should match the typed exact solver.
+  for (const std::size_t d : {2u, 4u}) {
+    const Instance instance = Instance::uniform(3, 24);
+    const double exact = solve_exact_typed(instance, d).expected_paging;
+    const double greedy = plan_greedy(instance, d).expected_paging;
+    EXPECT_NEAR(greedy, exact, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(TypedExact, StrategyIsValidPartition) {
+  const Instance instance = Instance::uniform(2, 12);
+  const ExactResult typed = solve_exact_typed(instance, 4);
+  EXPECT_EQ(typed.strategy.num_rounds(), 4u);
+  EXPECT_EQ(typed.strategy.num_cells(), 12u);  // from_groups validated it
+}
+
+TEST(TypedExact, AlternativeObjectives) {
+  const Instance instance = Instance::uniform(3, 8);
+  for (const Objective obj : {Objective::any_of(), Objective::k_of_m(2)}) {
+    const ExactResult typed = solve_exact_typed(instance, 2, obj);
+    const ExactResult plain = solve_exact_d2(instance, obj);
+    EXPECT_NEAR(typed.expected_paging, plain.expected_paging, 1e-10)
+        << obj.to_string();
+  }
+}
+
+TEST(TypedExact, ValidatesArguments) {
+  const Instance instance = Instance::uniform(1, 4);
+  EXPECT_THROW(solve_exact_typed(instance, 0), std::invalid_argument);
+  EXPECT_THROW(solve_exact_typed(instance, 5), std::invalid_argument);
+  // All-distinct columns at scale exceed the node limit.
+  const Instance big = testing::random_instance(2, 30, 9);
+  EXPECT_THROW(solve_exact_typed(big, 5, Objective::all_of(),
+                                 /*node_limit=*/1000),
+               std::invalid_argument);
+}
+
+TEST(TypedExact, HardInstanceOptimum) {
+  // The Section 4.3 instance has 3 column types: {cell 1}, {cells 2..6},
+  // {cells 7,8} — typed search must find the 317/49 optimum.
+  const Instance instance(
+      2, 8,
+      {2.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 0.0, 0.0,
+       0.0, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7});
+  EXPECT_EQ(column_types(instance).count.size(), 3u);
+  const ExactResult typed = solve_exact_typed(instance, 2);
+  EXPECT_NEAR(typed.expected_paging, 317.0 / 49.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace confcall::core

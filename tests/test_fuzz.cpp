@@ -1,0 +1,133 @@
+// Randomized operation-sequence fuzzing: drive LocationService and the
+// planners with random but legal operation streams and assert structural
+// invariants after every step. Complements the deterministic tests by
+// exploring interleavings no hand-written scenario covers.
+#include <gtest/gtest.h>
+
+#include "cellular/service.h"
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "test_util.h"
+
+namespace confcall {
+namespace {
+
+using cellular::CellId;
+using cellular::UserId;
+
+TEST(Fuzz, LocationServiceInvariantsUnderRandomOps) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    prob::Rng rng(seed * 7919 + 13);
+    const std::size_t rows = 2 + rng.next_below(5);
+    const std::size_t cols = 2 + rng.next_below(5);
+    const cellular::GridTopology grid(rows, cols, seed % 2 == 0);
+    const cellular::LocationAreas areas = cellular::LocationAreas::tiles(
+        grid, 1 + rng.next_below(rows), 1 + rng.next_below(cols));
+    const cellular::MarkovMobility mobility(grid, 0.3);
+
+    const std::size_t users = 2 + rng.next_below(6);
+    std::vector<CellId> cells(users);
+    for (auto& cell : cells) {
+      cell = static_cast<CellId>(rng.next_below(grid.num_cells()));
+    }
+    cellular::LocationService::Config config;
+    config.report_policy = static_cast<cellular::ReportPolicy>(
+        rng.next_below(5));
+    config.paging_policy =
+        rng.next_below(2) == 0 ? cellular::PagingPolicy::kGreedy
+                               : cellular::PagingPolicy::kBlanketArea;
+    config.profile_kind = static_cast<cellular::ProfileKind>(
+        rng.next_below(3));
+    config.max_paging_rounds = 1 + rng.next_below(4);
+    if (rng.next_below(3) == 0) config.detection_probability = 0.6;
+    cellular::LocationService service(grid, areas, mobility, config, cells);
+
+    for (int op = 0; op < 300; ++op) {
+      switch (rng.next_below(3)) {
+        case 0: {  // move everyone one step
+          for (std::size_t u = 0; u < users; ++u) {
+            cells[u] = mobility.step(cells[u], rng);
+            service.observe_move(static_cast<UserId>(u), cells[u]);
+          }
+          service.tick();
+          break;
+        }
+        case 1: {  // locate a random nonempty subset
+          std::vector<UserId> who;
+          std::vector<CellId> truth;
+          for (std::size_t u = 0; u < users; ++u) {
+            if (rng.next_below(2) == 0) {
+              who.push_back(static_cast<UserId>(u));
+              truth.push_back(cells[u]);
+            }
+          }
+          if (who.empty()) {
+            who.push_back(0);
+            truth.push_back(cells[0]);
+          }
+          const auto outcome = service.locate(who, truth, rng);
+          // Sanity: a locate pages something and finishes.
+          EXPECT_GE(outcome.cells_paged, 1u);
+          // After a successful locate every callee's record is current.
+          for (std::size_t k = 0; k < who.size(); ++k) {
+            EXPECT_EQ(service.database().reported_cell(who[k]), truth[k]);
+          }
+          break;
+        }
+        default: {  // inspect profiles: always valid distributions
+          const auto user = static_cast<UserId>(rng.next_below(users));
+          const std::size_t area = service.database().reported_area(user);
+          const auto profile = service.profile_for(user, area);
+          double total = 0.0;
+          for (const double p : profile) {
+            EXPECT_GE(p, 0.0);
+            total += p;
+          }
+          EXPECT_NEAR(total, 1.0, 1e-9);
+          break;
+        }
+      }
+      // Database coherence after every operation.
+      for (std::size_t u = 0; u < users; ++u) {
+        const CellId reported =
+            service.database().reported_cell(static_cast<UserId>(u));
+        EXPECT_LT(reported, grid.num_cells());
+        EXPECT_EQ(service.database().reported_area(static_cast<UserId>(u)),
+                  areas.area_of(reported));
+      }
+    }
+  }
+}
+
+TEST(Fuzz, PlannerOnRandomShapesNeverProducesInvalidStrategies) {
+  prob::Rng rng(4242);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t m = 1 + rng.next_below(5);
+    const std::size_t c = 2 + rng.next_below(14);
+    const std::size_t d = 1 + rng.next_below(c);
+    // Mix of spiky and flat rows, occasionally with zero entries.
+    std::vector<prob::ProbabilityVector> rows;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rng.next_below(4) == 0) {
+        rows.push_back(prob::clustered_vector(c, 1 + rng.next_below(c),
+                                              rng));
+      } else {
+        rows.push_back(prob::dirichlet_vector(c, 0.2 + rng.next_double(),
+                                              rng));
+      }
+    }
+    const core::Instance instance = core::Instance::from_rows(rows);
+    const core::PlanResult plan = core::plan_greedy(instance, d);
+    // Structural: partition validated by Strategy; EP within [1, c].
+    EXPECT_EQ(plan.strategy.num_rounds(), d);
+    EXPECT_GE(plan.expected_paging, 1.0 - 1e-9);
+    EXPECT_LE(plan.expected_paging, static_cast<double>(c) + 1e-9);
+    // Consistency with the evaluator.
+    EXPECT_NEAR(plan.expected_paging,
+                core::expected_paging(instance, plan.strategy), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace confcall

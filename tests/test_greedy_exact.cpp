@@ -1,0 +1,90 @@
+// Tests for the exact-rational Fig. 1 planner.
+#include "core/greedy_exact.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "prob/rational.h"
+
+namespace confcall::core {
+namespace {
+
+using prob::Rational;
+
+RationalInstance small_rational_instance() {
+  return RationalInstance(
+      2, 5,
+      {Rational(3, 10), Rational(1, 5), Rational(1, 5), Rational(1, 5),
+       Rational(1, 10),  //
+       Rational(1, 10), Rational(2, 5), Rational(1, 5), Rational(1, 5),
+       Rational(1, 10)});
+}
+
+TEST(GreedyExact, ValidatesArguments) {
+  const RationalInstance instance = small_rational_instance();
+  EXPECT_THROW(plan_greedy_exact(instance, 0), std::invalid_argument);
+  EXPECT_THROW(plan_greedy_exact(instance, 6), std::invalid_argument);
+}
+
+TEST(GreedyExact, OrderMatchesDoublePlanner) {
+  const RationalInstance instance = small_rational_instance();
+  EXPECT_EQ(greedy_cell_order_exact(instance),
+            greedy_cell_order(instance.to_double_instance()));
+}
+
+TEST(GreedyExact, HardInstancePlannerProducesExactly320Over49) {
+  // The paper's Section 4.3 ratio, produced end-to-end by the planner.
+  const RationalPlanResult plan =
+      plan_greedy_exact(hard_instance_8cells_exact(), 2);
+  EXPECT_EQ(plan.expected_paging, Rational(320, 49));
+  EXPECT_EQ(plan.strategy.group(0), (std::vector<CellId>{0, 1, 2, 3, 4}));
+
+  const auto optimum = solve_exact_d2_exact(hard_instance_8cells_exact());
+  EXPECT_EQ(plan.expected_paging / optimum.expected_paging,
+            Rational(320, 317));
+}
+
+TEST(GreedyExact, AgreesWithDoublePlannerEverywhere) {
+  const RationalInstance instance = small_rational_instance();
+  const Instance doubles = instance.to_double_instance();
+  for (std::size_t d = 1; d <= 5; ++d) {
+    const RationalPlanResult exact = plan_greedy_exact(instance, d);
+    const PlanResult approx = plan_greedy(doubles, d);
+    EXPECT_EQ(exact.group_sizes, approx.group_sizes) << "d=" << d;
+    EXPECT_NEAR(exact.expected_paging.to_double(), approx.expected_paging,
+                1e-12)
+        << "d=" << d;
+  }
+}
+
+TEST(GreedyExact, DpIsOptimalOverTheOrderFamilyExactly) {
+  // Brute-force all splits of the exact order for d = 3 and compare.
+  const RationalInstance instance = small_rational_instance();
+  const RationalPlanResult plan = plan_greedy_exact(instance, 3);
+  const auto order = greedy_cell_order_exact(instance);
+  bool found_equal = false;
+  for (std::size_t a = 1; a <= 3; ++a) {
+    for (std::size_t b = 1; a + b <= 4; ++b) {
+      const std::size_t sizes[] = {a, b, 5 - a - b};
+      const Strategy s = Strategy::from_order_and_sizes(order, sizes);
+      const Rational ep = expected_paging_exact(instance, s);
+      EXPECT_LE(plan.expected_paging, ep) << a << "," << b;
+      if (ep == plan.expected_paging) found_equal = true;
+    }
+  }
+  EXPECT_TRUE(found_equal);
+}
+
+TEST(GreedyExact, DOneIsBlanket) {
+  const RationalInstance instance = small_rational_instance();
+  const RationalPlanResult plan = plan_greedy_exact(instance, 1);
+  EXPECT_EQ(plan.expected_paging, Rational(5));
+}
+
+}  // namespace
+}  // namespace confcall::core

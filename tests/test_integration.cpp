@@ -1,0 +1,171 @@
+// Cross-module integration tests: full pipelines that thread several
+// libraries together the way an application would.
+#include <gtest/gtest.h>
+
+#include "cellular/la_design.h"
+#include "cellular/profile.h"
+#include "cellular/service.h"
+#include "cellular/workload.h"
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/io.h"
+#include "core/planner.h"
+#include "core/scheme.h"
+#include "reduction/partition.h"
+#include "reduction/reduce.h"
+#include "test_util.h"
+
+namespace confcall {
+namespace {
+
+using core::CellId;
+using core::Instance;
+using core::Strategy;
+
+TEST(Integration, SerializePlanDeserializeExecute) {
+  // io -> planner -> io -> evaluator round trip.
+  const Instance original = testing::mixed_instance(3, 10, 71);
+  const Instance instance =
+      core::instance_from_text(core::instance_to_text(original));
+  const core::PlanResult plan = core::plan_greedy(instance, 3);
+  const Strategy parsed =
+      core::strategy_from_text(plan.strategy.to_string(), 10);
+  EXPECT_EQ(parsed, plan.strategy);
+  EXPECT_NEAR(core::expected_paging(instance, parsed),
+              plan.expected_paging, 1e-12);
+}
+
+TEST(Integration, MobilityProfilePlanningPipeline) {
+  // topology -> mobility -> trace -> empirical profile -> plan -> execute.
+  const cellular::GridTopology grid(6, 6, /*toroidal=*/true);
+  const cellular::MarkovMobility mobility(grid, 0.5);
+  const cellular::LocationAreas areas =
+      cellular::LocationAreas::tiles(grid, 3, 3);
+  prob::Rng rng(5);
+
+  const auto& cells = areas.cells_in(0);
+  std::vector<prob::ProbabilityVector> rows;
+  std::vector<CellId> trace_ends;
+  for (int device = 0; device < 3; ++device) {
+    const auto trace = mobility.generate_trace(cells[device], 400, rng);
+    rows.push_back(cellular::empirical_profile(trace, cells, 1.0));
+    trace_ends.push_back(trace.back());
+  }
+  const Instance instance = Instance::from_rows(rows);
+  const core::PlanResult plan = core::plan_greedy(instance, 3);
+  EXPECT_LT(plan.expected_paging, static_cast<double>(cells.size()));
+
+  // Execute against devices that kept moving to the trace end — valid
+  // whenever the end cell is inside the area.
+  std::vector<CellId> local;
+  for (const CellId end : trace_ends) {
+    const auto it = std::find(cells.begin(), cells.end(), end);
+    if (it != cells.end()) {
+      local.push_back(static_cast<CellId>(it - cells.begin()));
+    }
+  }
+  if (local.size() == 3) {
+    const auto outcome = core::execute_strategy(
+        plan.strategy, local, core::Objective::all_of());
+    EXPECT_LE(outcome.cells_paged, cells.size());
+  }
+}
+
+TEST(Integration, ReductionRoundTripThroughIo) {
+  // reduction -> rational instance -> doubles -> io -> greedy vs bound.
+  const auto sizes = reduction::make_quasipartition1_yes_instance(6, 9, 3);
+  const auto reduced =
+      reduction::reduce_quasipartition1_to_conference_call(sizes);
+  const Instance doubles = reduced.instance.to_double_instance();
+  const Instance restored =
+      core::instance_from_text(core::instance_to_text(doubles));
+  const double greedy = core::plan_greedy(restored, 2).expected_paging;
+  EXPECT_GE(greedy, reduced.quasipartition_optimum.to_double() - 1e-9);
+  EXPECT_LE(greedy,
+            core::kApproximationFactor *
+                    reduced.quasipartition_optimum.to_double() +
+                1e-9);
+}
+
+TEST(Integration, SchemeBeatsBlanketAndRespectsBounds) {
+  const Instance instance = testing::mixed_instance(2, 14, 73);
+  const core::SchemePlanResult scheme =
+      core::plan_quantized_exact(instance, 3, 3);
+  EXPECT_LT(scheme.expected_paging, 14.0);
+  EXPECT_GE(scheme.expected_paging,
+            core::lower_bound_conference(instance, 3) - 1e-9);
+}
+
+TEST(Integration, PlannerComparisonOrderingInvariants) {
+  // On every instance: exact <= greedy <= blanket under the same d.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance instance = testing::random_instance(2, 8, seed + 80, 0.7);
+    const core::BlanketPlanner blanket;
+    const core::GreedyPlanner greedy;
+    const core::ExactPlanner exact;
+    const core::Planner* planners[] = {&blanket, &greedy, &exact};
+    const auto rows = core::compare_planners(instance, 3, planners);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_LE(rows[2].expected_paging, rows[1].expected_paging + 1e-9);
+    EXPECT_LE(rows[1].expected_paging, rows[0].expected_paging + 1e-9);
+  }
+}
+
+TEST(Integration, ScenarioServiceConsistency) {
+  // Run a scenario through the simulator AND through a hand-rolled
+  // service loop with the same parameters; both must produce sane,
+  // nonzero traffic (they use different rng streams, so only coarse
+  // agreement is expected).
+  auto scenario = cellular::campus_scenario(5);
+  scenario.config.steps = 300;
+  scenario.config.warmup_steps = 50;
+  const cellular::SimReport report =
+      cellular::run_simulation(scenario.config);
+  EXPECT_GT(report.calls_served, 10u);
+
+  const cellular::GridTopology grid(scenario.config.grid_rows,
+                                    scenario.config.grid_cols,
+                                    scenario.config.toroidal);
+  const cellular::LocationAreas areas = cellular::LocationAreas::tiles(
+      grid, scenario.config.la_tile_rows, scenario.config.la_tile_cols);
+  const cellular::MarkovMobility mobility(
+      grid, scenario.config.stay_probability);
+  cellular::LocationService::Config config;
+  config.max_paging_rounds = scenario.config.max_paging_rounds;
+  cellular::LocationService service(grid, areas, mobility, config,
+                                    {0, 5, 10, 15});
+  prob::Rng rng(9);
+  std::vector<CellId> cells = {0, 5, 10, 15};
+  std::size_t pages = 0;
+  for (int t = 0; t < 200; ++t) {
+    for (std::size_t u = 0; u < cells.size(); ++u) {
+      cells[u] = mobility.step(cells[u], rng);
+      service.observe_move(static_cast<cellular::UserId>(u), cells[u]);
+    }
+    service.tick();
+    const cellular::UserId users[] = {0, 1};
+    const CellId truth[] = {cells[0], cells[1]};
+    pages += service.locate(users, truth, rng).cells_paged;
+  }
+  EXPECT_GT(pages, 0u);
+  // 200 calls, 2 callees, 32-cell LAs: the greedy planner must stay well
+  // under the 64-page double blanket on average.
+  EXPECT_LT(static_cast<double>(pages) / 200.0, 48.0);
+}
+
+TEST(Integration, LaDesignConsistentWithBoundsMachinery) {
+  // The analytic pages/callee for the whole-grid LA equals the optimal
+  // single-user paging of the stationary profile — tie the two modules.
+  const cellular::GridTopology grid(5, 5, /*toroidal=*/true);
+  const cellular::MarkovMobility mobility(grid, 0.4);
+  const auto eval = cellular::evaluate_tiling(grid, mobility, 5, 5, 4);
+  const auto stationary = mobility.stationary_distribution();
+  const Instance instance = Instance::from_rows({stationary});
+  EXPECT_NEAR(eval.pages_per_callee,
+              core::plan_greedy(instance, 4).expected_paging, 1e-9);
+}
+
+}  // namespace
+}  // namespace confcall

@@ -1,0 +1,79 @@
+// Tests for instance/strategy text serialization.
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(InstanceIo, RoundTripIsLossless) {
+  const Instance original = testing::mixed_instance(3, 9, 77);
+  const Instance parsed = instance_from_text(instance_to_text(original));
+  ASSERT_EQ(parsed.num_devices(), original.num_devices());
+  ASSERT_EQ(parsed.num_cells(), original.num_cells());
+  for (DeviceId i = 0; i < 3; ++i) {
+    for (CellId j = 0; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(parsed.prob(i, j), original.prob(i, j));
+    }
+  }
+}
+
+TEST(InstanceIo, ParsesHandWrittenFile) {
+  const Instance parsed = instance_from_text(
+      "# a comment\n"
+      "conference-call-instance v1\n"
+      "m 2\n"
+      "c 3\n"
+      "0.5 0.25 0.25   # device 0\n"
+      "0.1 0.2 0.7\n");
+  EXPECT_EQ(parsed.num_devices(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.prob(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.prob(1, 2), 0.7);
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+  EXPECT_THROW(instance_from_text(""), std::invalid_argument);
+  EXPECT_THROW(instance_from_text("wrong-header v1 m 1 c 1 1.0"),
+               std::invalid_argument);
+  // Wrong probability count.
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 0.5"),
+      std::invalid_argument);
+  // Non-numeric token.
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 0.5 abc"),
+      std::invalid_argument);
+  // Row does not sum to one (Instance validation still applies).
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 0.5 0.4"),
+      std::invalid_argument);
+}
+
+TEST(StrategyIo, RoundTripThroughToString) {
+  const Strategy original = Strategy::from_groups({{2, 0}, {1}, {3, 4}}, 5);
+  const Strategy parsed = strategy_from_text(original.to_string(), 5);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(StrategyIo, AcceptsWhitespace) {
+  const Strategy parsed = strategy_from_text("{ 1 , 0 } | { 2 }", 3);
+  EXPECT_EQ(parsed, Strategy::from_groups({{1, 0}, {2}}, 3));
+}
+
+TEST(StrategyIo, RejectsMalformedInput) {
+  EXPECT_THROW(strategy_from_text("{0,1", 2), std::invalid_argument);
+  EXPECT_THROW(strategy_from_text("{0}{1}}", 2), std::invalid_argument);
+  EXPECT_THROW(strategy_from_text("0|1", 2), std::invalid_argument);
+  EXPECT_THROW(strategy_from_text("{0},{1}", 2), std::invalid_argument);
+  EXPECT_THROW(strategy_from_text("{0,x}", 2), std::invalid_argument);
+  // Valid syntax, invalid partition.
+  EXPECT_THROW(strategy_from_text("{0}|{0}", 2), std::invalid_argument);
+  EXPECT_THROW(strategy_from_text("{0}", 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::core

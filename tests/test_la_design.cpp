@@ -1,0 +1,165 @@
+// Tests for the analytic location-area design module, including
+// cross-validation against the discrete-event simulator.
+#include "cellular/la_design.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cellular/simulator.h"
+
+namespace confcall::cellular {
+namespace {
+
+TEST(LaDesign, WholeGridTilingNeverReports) {
+  const GridTopology grid(6, 6, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const TilingEvaluation eval = evaluate_tiling(grid, mobility, 6, 6, 2);
+  EXPECT_EQ(eval.num_areas, 1u);
+  EXPECT_NEAR(eval.report_rate, 0.0, 1e-12);
+  // One 36-cell LA, uniform stationary profile, d = 2: EP = 3c/4 = 27.
+  EXPECT_NEAR(eval.pages_per_callee, 27.0, 1e-6);
+}
+
+TEST(LaDesign, SingleCellTilingAlwaysPagesOne) {
+  const GridTopology grid(4, 4, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const TilingEvaluation eval = evaluate_tiling(grid, mobility, 1, 1, 2);
+  EXPECT_EQ(eval.num_areas, 16u);
+  EXPECT_NEAR(eval.pages_per_callee, 1.0, 1e-9);
+  // Every actual move crosses an LA boundary: rate = 1 - stay.
+  EXPECT_NEAR(eval.report_rate, 0.5, 1e-9);
+}
+
+TEST(LaDesign, ReportRateDecreasesWithAreaSize) {
+  const GridTopology grid(8, 8, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.4);
+  double previous = 1e300;
+  for (const std::size_t tile : {1u, 2u, 4u, 8u}) {
+    const TilingEvaluation eval =
+        evaluate_tiling(grid, mobility, tile, tile, 2);
+    EXPECT_LT(eval.report_rate, previous) << tile;
+    previous = eval.report_rate;
+  }
+}
+
+TEST(LaDesign, PagingCostIncreasesWithAreaSize) {
+  const GridTopology grid(8, 8, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.4);
+  double previous = 0.0;
+  for (const std::size_t tile : {1u, 2u, 4u, 8u}) {
+    const TilingEvaluation eval =
+        evaluate_tiling(grid, mobility, tile, tile, 2);
+    EXPECT_GT(eval.pages_per_callee, previous) << tile;
+    previous = eval.pages_per_callee;
+  }
+}
+
+TEST(LaDesign, EvaluateAllCoversDivisorTilings) {
+  const GridTopology grid(4, 6, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const auto evaluations = evaluate_all_tilings(grid, mobility, 2);
+  // Divisors: rows {1,2,4} x cols {1,2,3,6} = 12 tilings.
+  EXPECT_EQ(evaluations.size(), 12u);
+  // Sorted by tile area ascending.
+  for (std::size_t i = 1; i < evaluations.size(); ++i) {
+    EXPECT_LE(evaluations[i - 1].tile_rows * evaluations[i - 1].tile_cols,
+              evaluations[i].tile_rows * evaluations[i].tile_cols);
+  }
+}
+
+TEST(LaDesign, BestTilingTracksCostWeights) {
+  const GridTopology grid(8, 8, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.3);
+  // Reports free -> smallest LAs win; pages free -> biggest LAs win.
+  const TilingEvaluation cheap_reports =
+      best_tiling(grid, mobility, 2, /*report=*/0.0, /*page=*/1.0,
+                  /*callee_rate=*/0.05);
+  EXPECT_EQ(cheap_reports.tile_rows * cheap_reports.tile_cols, 1u);
+  const TilingEvaluation cheap_pages =
+      best_tiling(grid, mobility, 2, /*report=*/1.0, /*page=*/0.0,
+                  /*callee_rate=*/0.05);
+  EXPECT_EQ(cheap_pages.tile_rows * cheap_pages.tile_cols, 64u);
+}
+
+TEST(LaDesign, InteriorOptimumForBalancedWeights) {
+  // The classic U-curve: with both costs real, the best LA is neither a
+  // single cell nor the whole grid.
+  const GridTopology grid(8, 8, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.3);
+  const TilingEvaluation best =
+      best_tiling(grid, mobility, 2, 1.0, 1.0, /*callee_rate=*/0.05);
+  const std::size_t size = best.tile_rows * best.tile_cols;
+  EXPECT_GT(size, 1u);
+  EXPECT_LT(size, 64u);
+}
+
+TEST(LaDesign, ValidatesArguments) {
+  const GridTopology grid(4, 4);
+  const MarkovMobility mobility(grid, 0.5);
+  EXPECT_THROW(evaluate_tiling(grid, mobility, 0, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_tiling(grid, mobility, 2, 2, 0),
+               std::invalid_argument);
+}
+
+TEST(LaDesign, AnalyticReportRateMatchesSimulation) {
+  const GridTopology grid(6, 6, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const TilingEvaluation analytic = evaluate_tiling(grid, mobility, 3, 3, 2);
+
+  SimConfig config;
+  config.grid_rows = 6;
+  config.grid_cols = 6;
+  config.toroidal = true;
+  config.la_tile_rows = 3;
+  config.la_tile_cols = 3;
+  config.num_users = 40;
+  config.stay_probability = 0.5;
+  config.call_rate = 0.0;  // reporting only
+  config.group_min = 1;
+  config.group_max = 1;
+  config.steps = 4000;
+  config.warmup_steps = 400;
+  config.seed = 99;
+  const SimReport report = run_simulation(config);
+  const double simulated_rate =
+      static_cast<double>(report.reports_sent) /
+      (static_cast<double>(config.num_users) *
+       static_cast<double>(config.steps + config.warmup_steps));
+  EXPECT_NEAR(simulated_rate, analytic.report_rate,
+              0.05 * analytic.report_rate + 0.005);
+}
+
+TEST(LaDesign, AnalyticPagingMatchesSimulatedSingleCallee) {
+  // Single-callee calls, LA-crossing reporting, stationary-profile paging
+  // in the simulator: per-call pages should match the analytic estimate
+  // within a modest margin (the simulator's callees are found mid-search,
+  // the analytic model uses the exact stationary conditional).
+  const GridTopology grid(6, 6, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const TilingEvaluation analytic = evaluate_tiling(grid, mobility, 3, 3, 3);
+
+  SimConfig config;
+  config.grid_rows = 6;
+  config.grid_cols = 6;
+  config.toroidal = true;
+  config.la_tile_rows = 3;
+  config.la_tile_cols = 3;
+  config.num_users = 40;
+  config.stay_probability = 0.5;
+  config.call_rate = 0.5;
+  config.group_min = 1;
+  config.group_max = 1;
+  config.max_paging_rounds = 3;
+  config.profile_kind = ProfileKind::kStationary;
+  config.steps = 3000;
+  config.warmup_steps = 300;
+  config.seed = 7;
+  const SimReport report = run_simulation(config);
+  EXPECT_NEAR(report.pages_per_call.mean(), analytic.pages_per_callee,
+              0.15 * analytic.pages_per_callee);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

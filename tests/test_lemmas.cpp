@@ -1,0 +1,184 @@
+// Numerical verification of the paper's lemmas and propositions — the
+// inequalities behind the e/(e-1) analysis, checked over randomized and
+// gridded domains. These are tests of the PAPER (and of our reading of
+// it), pinned here so that any implementation change that silently
+// violates an assumption the analysis needs will fail loudly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/strategy.h"
+#include "prob/rng.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+constexpr double kE = 2.718281828459045;
+
+// Proposition 4.1: for 1 <= x <= 2, a_i, b_i >= 0, a_i + b_i <= 1 and
+// a_1 + a_2 >= x - (b_1 + b_2), we have (a_1+b_1)(a_2+b_2) >= x - 1.
+TEST(Proposition41, HoldsOnRandomFeasiblePoints) {
+  prob::Rng rng(1);
+  int checked = 0;
+  while (checked < 2000) {
+    const double a1 = rng.next_double();
+    const double a2 = rng.next_double();
+    const double b1 = rng.next_double() * (1.0 - a1);
+    const double b2 = rng.next_double() * (1.0 - a2);
+    const double x = 1.0 + rng.next_double();  // [1, 2)
+    if (a1 + a2 < x - (b1 + b2)) continue;  // infeasible draw
+    ++checked;
+    EXPECT_GE((a1 + b1) * (a2 + b2), x - 1.0 - 1e-12)
+        << a1 << ' ' << a2 << ' ' << b1 << ' ' << b2 << ' ' << x;
+  }
+}
+
+// Proposition 4.2: for 0 < s <= c, 1 <= x <= 2,
+// c - s(x-1) <= (4/3)(c - s(x/2)^2).
+TEST(Proposition42, HoldsOnGrid) {
+  for (const double c : {1.0, 5.0, 50.0}) {
+    for (double s = 0.05; s <= c; s += c / 40.0) {
+      for (double x = 1.0; x <= 2.0 + 1e-12; x += 0.01) {
+        EXPECT_LE(c - s * (x - 1.0),
+                  4.0 / 3.0 * (c - s * (x / 2.0) * (x / 2.0)) + 1e-9)
+            << "c=" << c << " s=" << s << " x=" << x;
+      }
+    }
+  }
+}
+
+// Lemma 4.4: m >= 2, m-1 <= x <= m, a_i, b_i >= 0, a_i + b_i <= 1,
+// sum a_i >= x - sum b_i  =>  prod (a_i + b_i) >= x - m + 1.
+TEST(Lemma44, HoldsOnRandomFeasiblePoints) {
+  prob::Rng rng(2);
+  for (const std::size_t m : {2u, 3u, 5u, 8u}) {
+    int checked = 0;
+    while (checked < 500) {
+      std::vector<double> a(m), b(m);
+      double sum_ab = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        a[i] = rng.next_double();
+        b[i] = rng.next_double() * (1.0 - a[i]);
+        sum_ab += a[i] + b[i];
+      }
+      const double x =
+          static_cast<double>(m) - 1.0 + rng.next_double();  // [m-1, m)
+      double sum_a = 0.0, sum_b = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        sum_a += a[i];
+        sum_b += b[i];
+      }
+      if (sum_a < x - sum_b) continue;
+      ++checked;
+      double product = 1.0;
+      for (std::size_t i = 0; i < m; ++i) product *= a[i] + b[i];
+      EXPECT_GE(product, x - static_cast<double>(m) + 1.0 - 1e-12)
+          << "m=" << m;
+    }
+  }
+}
+
+// Lemma 4.5: for m-1 <= x_r <= m (r = 1..k), positive s_2..s_d with
+// sum <= c:
+//   c - sum_r s_{r+1} (x_r - m + 1)
+//     <= e/(e-1) (c - sum_r s_{r+1} (x_r/m)^m - (s_{k+2}+..+s_d)/e).
+TEST(Lemma45, HoldsOnRandomPoints) {
+  prob::Rng rng(3);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::size_t m = 2 + rng.next_below(4);
+    const std::size_t d = 2 + rng.next_below(4);
+    const std::size_t k = 1 + rng.next_below(d - 1);  // k <= d-1
+    const double c = 10.0 + 90.0 * rng.next_double();
+    // s_2..s_d positive with total <= c.
+    std::vector<double> s(d + 1, 0.0);  // 1-based: s[2..d]
+    double total = 0.0;
+    for (std::size_t r = 2; r <= d; ++r) {
+      s[r] = 0.01 + rng.next_double();
+      total += s[r];
+    }
+    const double scale = (0.2 + 0.8 * rng.next_double()) * c / total;
+    for (std::size_t r = 2; r <= d; ++r) s[r] *= scale;
+
+    double lhs = c;
+    double rhs_inner = c;
+    for (std::size_t r = 1; r <= k; ++r) {
+      const double x =
+          static_cast<double>(m) - 1.0 + rng.next_double();
+      lhs -= s[r + 1] * (x - static_cast<double>(m) + 1.0);
+      rhs_inner -=
+          s[r + 1] * std::pow(x / static_cast<double>(m),
+                              static_cast<double>(m));
+    }
+    double tail = 0.0;
+    for (std::size_t r = k + 2; r <= d; ++r) tail += s[r];
+    rhs_inner -= tail / kE;
+    EXPECT_LE(lhs, kE / (kE - 1.0) * rhs_inner + 1e-9)
+        << "m=" << m << " d=" << d << " k=" << k;
+  }
+}
+
+// Lemma 3.1's objective f(x, y) = (c-y)((1-3/(2c))y + x)(y - x) is
+// maximized over [0,1] x [0,c] at (1/2, 2c/3), with the closed-form value
+// 4c^3/27 - 2c^2/9 + c/12.
+TEST(Lemma31, GridScanConfirmsUniqueMaximizer) {
+  const double c = 9.0;
+  const auto f = [c](double x, double y) {
+    return (c - y) * ((1.0 - 3.0 / (2.0 * c)) * y + x) * (y - x);
+  };
+  const double best = f(0.5, 2.0 * c / 3.0);
+  EXPECT_NEAR(best, 4 * c * c * c / 27 - 2 * c * c / 9 + c / 12, 1e-9);
+  for (double x = 0.0; x <= 1.0 + 1e-12; x += 0.01) {
+    for (double y = 0.0; y <= c + 1e-12; y += 0.05) {
+      EXPECT_LE(f(x, y), best + 1e-9) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// Lemma 4.6 (the heart of Theorem 4.8): for ANY strategy S with group
+// sizes s_1..s_d, the sorted-family strategy T with the SAME sizes has
+// EP_T <= e/(e-1) EP_S.
+TEST(Lemma46, HoldsForRandomStrategiesAndInstances) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const std::size_t m = 1 + seed % 5;
+    const std::size_t c = 8 + seed % 7;
+    const Instance instance =
+        confcall::testing::random_instance(m, c, seed + 11, 0.6);
+    prob::Rng rng(seed);
+    const std::size_t d = 2 + rng.next_below(std::min<std::size_t>(4, c - 1));
+    // Random sizes summing to c, all positive.
+    std::vector<std::size_t> sizes(d, 1);
+    for (std::size_t extra = 0; extra < c - d; ++extra) {
+      ++sizes[rng.next_below(d)];
+    }
+    // Random strategy S with those sizes.
+    std::vector<CellId> shuffled(c);
+    std::iota(shuffled.begin(), shuffled.end(), CellId{0});
+    rng.shuffle(shuffled);
+    const Strategy random_s = Strategy::from_order_and_sizes(shuffled, sizes);
+    // Sorted-family strategy T with the same sizes.
+    const Strategy sorted_t = Strategy::from_order_and_sizes(
+        greedy_cell_order(instance), sizes);
+    EXPECT_LE(expected_paging(instance, sorted_t),
+              kE / (kE - 1.0) * expected_paging(instance, random_s) + 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+// Section 2's remark: extending a strategy of length t-1 < c by splitting
+// a group strictly lowers expected paging (hence optima use all d rounds).
+TEST(Section2, LongerStrategiesStrictlyImprove) {
+  const Instance instance = confcall::testing::random_instance(2, 8, 5, 0.8);
+  // Split the last group of a 2-round strategy into two.
+  const Strategy two = Strategy::from_groups({{0, 1, 2, 3}, {4, 5, 6, 7}}, 8);
+  const Strategy three =
+      Strategy::from_groups({{0, 1, 2, 3}, {4, 5}, {6, 7}}, 8);
+  EXPECT_LT(expected_paging(instance, three),
+            expected_paging(instance, two));
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,109 @@
+// Tests for the Markov mobility model.
+#include "cellular/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::cellular {
+namespace {
+
+TEST(MarkovMobility, ValidatesStayProbability) {
+  const GridTopology grid(3, 3);
+  EXPECT_THROW(MarkovMobility(grid, -0.1), std::invalid_argument);
+  EXPECT_THROW(MarkovMobility(grid, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(MarkovMobility(grid, 0.0));
+}
+
+TEST(MarkovMobility, TransitionRowIsDistribution) {
+  const GridTopology grid(4, 4);
+  const MarkovMobility mobility(grid, 0.3);
+  for (std::size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const auto row = mobility.transition_row(static_cast<CellId>(cell));
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(row[cell], 0.3);
+  }
+}
+
+TEST(MarkovMobility, StepFrequenciesMatchRow) {
+  const GridTopology grid(3, 3, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  const CellId start = grid.cell_at(1, 1);
+  const auto row = mobility.transition_row(start);
+  prob::Rng rng(1);
+  std::vector<int> counts(grid.num_cells(), 0);
+  const int n = 40000;
+  for (int t = 0; t < n; ++t) ++counts[mobility.step(start, rng)];
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    EXPECT_NEAR(counts[j] / static_cast<double>(n), row[j], 0.01);
+  }
+}
+
+TEST(MarkovMobility, EvolvePreservesMass) {
+  const GridTopology grid(4, 5);
+  const MarkovMobility mobility(grid, 0.4);
+  std::vector<double> dist(grid.num_cells(), 0.0);
+  dist[7] = 1.0;
+  const auto evolved = mobility.evolve(dist, 13);
+  EXPECT_NEAR(std::accumulate(evolved.begin(), evolved.end(), 0.0), 1.0,
+              1e-12);
+  EXPECT_THROW(mobility.evolve(std::vector<double>(3, 0.0), 1),
+               std::invalid_argument);
+}
+
+TEST(MarkovMobility, EvolveZeroStepsIsIdentity) {
+  const GridTopology grid(2, 2);
+  const MarkovMobility mobility(grid, 0.2);
+  const std::vector<double> dist = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(mobility.evolve(dist, 0), dist);
+}
+
+TEST(MarkovMobility, StationaryUniformOnToroidalGrid) {
+  // A lazy walk on a vertex-transitive graph has the uniform stationary
+  // distribution.
+  const GridTopology grid(4, 4, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.25);
+  const auto stationary = mobility.stationary_distribution();
+  for (const double p : stationary) {
+    EXPECT_NEAR(p, 1.0 / 16.0, 1e-9);
+  }
+}
+
+TEST(MarkovMobility, StationaryProportionalToDegreePlusLazy) {
+  // On a bounded grid the lazy walk's stationary mass grows with degree:
+  // interior cells (degree 4) carry more than corners (degree 2).
+  const GridTopology grid(3, 3, /*toroidal=*/false);
+  const MarkovMobility mobility(grid, 0.5);
+  const auto stationary = mobility.stationary_distribution();
+  EXPECT_GT(stationary[grid.cell_at(1, 1)],
+            stationary[grid.cell_at(0, 0)]);
+}
+
+TEST(MarkovMobility, StationaryIsFixedPoint) {
+  const GridTopology grid(3, 4);
+  const MarkovMobility mobility(grid, 0.35);
+  const auto stationary = mobility.stationary_distribution();
+  const auto advanced = mobility.evolve(stationary, 1);
+  for (std::size_t j = 0; j < stationary.size(); ++j) {
+    EXPECT_NEAR(advanced[j], stationary[j], 1e-9);
+  }
+}
+
+TEST(MarkovMobility, TraceStartsAtStartAndStaysAdjacent) {
+  const GridTopology grid(5, 5);
+  const MarkovMobility mobility(grid, 0.3);
+  prob::Rng rng(9);
+  const auto trace = mobility.generate_trace(12, 200, rng);
+  ASSERT_EQ(trace.size(), 201u);
+  EXPECT_EQ(trace[0], 12u);
+  for (std::size_t t = 1; t < trace.size(); ++t) {
+    if (trace[t] == trace[t - 1]) continue;
+    const auto& adj = grid.neighbors(trace[t - 1]);
+    EXPECT_NE(std::find(adj.begin(), adj.end(), trace[t]), adj.end());
+  }
+  EXPECT_THROW(mobility.generate_trace(99, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

@@ -1,0 +1,136 @@
+// Tests for the stopping objectives, including a brute-force reference for
+// the Poisson-binomial tail.
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "prob/rng.h"
+
+namespace confcall::core {
+namespace {
+
+/// Reference Pr[at least k of the independent events with probs q occur]
+/// by full 2^m enumeration.
+double brute_force_at_least(const std::vector<double>& q, std::size_t k) {
+  const std::size_t m = q.size();
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    std::size_t found = 0;
+    double probability = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        probability *= q[i];
+        ++found;
+      } else {
+        probability *= 1.0 - q[i];
+      }
+    }
+    if (found >= k) total += probability;
+  }
+  return total;
+}
+
+TEST(Objective, RequiredCounts) {
+  EXPECT_EQ(Objective::all_of().required(5), 5u);
+  EXPECT_EQ(Objective::any_of().required(5), 1u);
+  EXPECT_EQ(Objective::k_of_m(3).required(5), 3u);
+  EXPECT_THROW((void)Objective::k_of_m(0).required(5), std::invalid_argument);
+  EXPECT_THROW((void)Objective::k_of_m(6).required(5), std::invalid_argument);
+}
+
+TEST(Objective, AllOfIsProduct) {
+  const std::vector<double> q = {0.5, 0.4, 0.9};
+  EXPECT_NEAR(Objective::all_of().stop_probability(q), 0.5 * 0.4 * 0.9,
+              1e-15);
+}
+
+TEST(Objective, AnyOfIsComplementProduct) {
+  const std::vector<double> q = {0.5, 0.4, 0.9};
+  EXPECT_NEAR(Objective::any_of().stop_probability(q),
+              1.0 - 0.5 * 0.6 * 0.1, 1e-15);
+}
+
+TEST(Objective, EmptyPrefixNeverStops) {
+  const std::vector<double> q = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Objective::all_of().stop_probability(q), 0.0);
+  EXPECT_DOUBLE_EQ(Objective::any_of().stop_probability(q), 0.0);
+  EXPECT_DOUBLE_EQ(Objective::k_of_m(2).stop_probability(q), 0.0);
+}
+
+TEST(Objective, FullPrefixAlwaysStops) {
+  const std::vector<double> q = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Objective::all_of().stop_probability(q), 1.0);
+  EXPECT_DOUBLE_EQ(Objective::any_of().stop_probability(q), 1.0);
+  EXPECT_DOUBLE_EQ(Objective::k_of_m(2).stop_probability(q), 1.0);
+}
+
+TEST(Objective, NoDevicesThrows) {
+  EXPECT_THROW((void)Objective::all_of().stop_probability({}),
+               std::invalid_argument);
+}
+
+TEST(Objective, KOfMMatchesBruteForce) {
+  prob::Rng rng(21);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t m = 1 + rng.next_below(8);
+    std::vector<double> q(m);
+    for (double& x : q) x = rng.next_double();
+    for (std::size_t k = 1; k <= m; ++k) {
+      EXPECT_NEAR(Objective::k_of_m(k).stop_probability(q),
+                  brute_force_at_least(q, k), 1e-12)
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(Objective, BoundaryKsMatchNamedObjectives) {
+  prob::Rng rng(22);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t m = 2 + rng.next_below(6);
+    std::vector<double> q(m);
+    for (double& x : q) x = rng.next_double();
+    EXPECT_NEAR(Objective::k_of_m(m).stop_probability(q),
+                Objective::all_of().stop_probability(q), 1e-13);
+    EXPECT_NEAR(Objective::k_of_m(1).stop_probability(q),
+                Objective::any_of().stop_probability(q), 1e-13);
+  }
+}
+
+TEST(Objective, MonotoneInEachCoordinate) {
+  const std::vector<double> lo = {0.2, 0.5, 0.3};
+  for (const Objective obj :
+       {Objective::all_of(), Objective::any_of(), Objective::k_of_m(2)}) {
+    std::vector<double> hi = lo;
+    hi[1] = 0.8;
+    EXPECT_GE(obj.stop_probability(hi), obj.stop_probability(lo))
+        << obj.to_string();
+  }
+}
+
+TEST(Objective, SatisfiedThresholds) {
+  EXPECT_TRUE(Objective::all_of().satisfied(3, 3));
+  EXPECT_FALSE(Objective::all_of().satisfied(2, 3));
+  EXPECT_TRUE(Objective::any_of().satisfied(1, 3));
+  EXPECT_FALSE(Objective::any_of().satisfied(0, 3));
+  EXPECT_TRUE(Objective::k_of_m(2).satisfied(2, 3));
+  EXPECT_FALSE(Objective::k_of_m(2).satisfied(1, 3));
+}
+
+TEST(Objective, ToStringDistinguishesModes) {
+  EXPECT_NE(Objective::all_of().to_string(), Objective::any_of().to_string());
+  EXPECT_NE(Objective::k_of_m(2).to_string(),
+            Objective::k_of_m(3).to_string());
+}
+
+TEST(Objective, EqualityComparable) {
+  EXPECT_EQ(Objective::all_of(), Objective::all_of());
+  EXPECT_NE(Objective::all_of(), Objective::any_of());
+  EXPECT_EQ(Objective::k_of_m(2), Objective::k_of_m(2));
+  EXPECT_NE(Objective::k_of_m(2), Objective::k_of_m(3));
+}
+
+}  // namespace
+}  // namespace confcall::core

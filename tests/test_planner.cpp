@@ -1,0 +1,99 @@
+// Tests for the polymorphic Planner interface.
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(Planner, BlanketIgnoresBudget) {
+  const Instance instance = testing::mixed_instance(2, 6, 1);
+  const BlanketPlanner planner;
+  const Strategy s = planner.plan(instance, 4);
+  EXPECT_EQ(s.num_rounds(), 1u);
+  EXPECT_EQ(s.group(0).size(), 6u);
+}
+
+TEST(Planner, GreedyMatchesFreeFunction) {
+  const Instance instance = testing::mixed_instance(3, 8, 2);
+  const GreedyPlanner planner;
+  EXPECT_EQ(planner.plan(instance, 3), plan_greedy(instance, 3).strategy);
+}
+
+TEST(Planner, BandwidthRespectsCap) {
+  const Instance instance = testing::mixed_instance(2, 10, 3);
+  const BandwidthLimitedPlanner planner(3);
+  const Strategy s = planner.plan(instance, 4);
+  for (const auto& group : s.groups()) {
+    EXPECT_LE(group.size(), 3u);
+  }
+  EXPECT_THROW(BandwidthLimitedPlanner(0), std::invalid_argument);
+  EXPECT_NE(planner.name().find("3"), std::string::npos);
+}
+
+TEST(Planner, ExactPlannersAgree) {
+  const Instance instance = testing::random_instance(2, 7, 4, 0.6);
+  const ExactPlanner bnb;
+  const Strategy via_bnb = bnb.plan(instance, 2);
+  const double optimal = expected_paging(instance, via_bnb);
+  // Typed planner only helps with duplicate columns; on uniform:
+  const Instance uniform = Instance::uniform(2, 7);
+  const TypedExactPlanner typed;
+  const ExactPlanner exact;
+  EXPECT_NEAR(expected_paging(uniform, typed.plan(uniform, 2)),
+              expected_paging(uniform, exact.plan(uniform, 2)), 1e-10);
+  // And bnb's result is no worse than greedy.
+  EXPECT_LE(optimal,
+            plan_greedy(instance, 2).expected_paging + 1e-10);
+}
+
+TEST(Planner, CompareRunsAllAndSkipsInfeasible) {
+  const Instance instance = testing::mixed_instance(2, 8, 5);
+  const BlanketPlanner blanket;
+  const GreedyPlanner greedy;
+  const BandwidthLimitedPlanner infeasible(1);  // 3 rounds x 1 < 8 cells
+  const Planner* planners[] = {&blanket, &greedy, &infeasible};
+  const auto rows = compare_planners(instance, 3, planners);
+  ASSERT_EQ(rows.size(), 2u);  // infeasible cap skipped
+  EXPECT_EQ(rows[0].name, "blanket");
+  EXPECT_EQ(rows[1].name, "greedy-fig1");
+  EXPECT_LE(rows[1].expected_paging, rows[0].expected_paging + 1e-12);
+  EXPECT_GE(rows[1].expected_rounds, rows[0].expected_rounds - 1e-12);
+}
+
+TEST(Planner, CompareRejectsNull) {
+  const Instance instance = Instance::uniform(1, 3);
+  const Planner* planners[] = {nullptr};
+  EXPECT_THROW(compare_planners(instance, 2, planners),
+               std::invalid_argument);
+}
+
+TEST(Planner, DefaultPlannersPlanUniformInstances) {
+  const Instance instance = Instance::uniform(2, 10);
+  const auto planners = default_planners();
+  std::vector<const Planner*> raw;
+  for (const auto& p : planners) raw.push_back(p.get());
+  const auto rows = compare_planners(instance, 2, raw);
+  ASSERT_EQ(rows.size(), 3u);
+  // Typed exact <= greedy <= blanket on a uniform instance.
+  EXPECT_LE(rows[2].expected_paging, rows[1].expected_paging + 1e-9);
+  EXPECT_LE(rows[1].expected_paging, rows[0].expected_paging + 1e-9);
+}
+
+TEST(Planner, AlternativeObjectivesFlowThrough) {
+  const Instance instance = testing::mixed_instance(3, 9, 6);
+  const GreedyPlanner any(Objective::any_of());
+  const Strategy s = any.plan(instance, 3);
+  // Evaluated under any-of, the planned strategy beats the blanket's
+  // any-of cost scaled... at minimum it is feasible and cheap:
+  EXPECT_LT(expected_paging(instance, s, Objective::any_of()), 9.0);
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,109 @@
+// Tests for the location-profile estimators.
+#include "cellular/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace confcall::cellular {
+namespace {
+
+TEST(RestrictToArea, Renormalizes) {
+  const double full[] = {0.1, 0.4, 0.2, 0.3};
+  const CellId area[] = {1, 3};
+  const auto profile = restrict_to_area(full, area);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_NEAR(profile[0], 0.4 / 0.7, 1e-12);
+  EXPECT_NEAR(profile[1], 0.3 / 0.7, 1e-12);
+}
+
+TEST(RestrictToArea, Validates) {
+  const double full[] = {0.5, 0.5, 0.0};
+  const CellId zero_mass[] = {2};
+  EXPECT_THROW(restrict_to_area(full, zero_mass), std::invalid_argument);
+  const CellId out_of_range[] = {5};
+  EXPECT_THROW(restrict_to_area(full, out_of_range), std::invalid_argument);
+  EXPECT_THROW(restrict_to_area(full, {}), std::invalid_argument);
+}
+
+TEST(EmpiricalProfile, CountsWithSmoothing) {
+  const CellId trace[] = {0, 0, 1, 0, 2, 9};  // cell 9 outside the area
+  const CellId area[] = {0, 1, 2};
+  const auto profile = empirical_profile(trace, area, 1.0);
+  // Counts 3,1,1 plus alpha 1 each: 4/8, 2/8, 2/8.
+  EXPECT_NEAR(profile[0], 0.5, 1e-12);
+  EXPECT_NEAR(profile[1], 0.25, 1e-12);
+  EXPECT_NEAR(profile[2], 0.25, 1e-12);
+}
+
+TEST(EmpiricalProfile, ZeroAlphaRequiresVisits) {
+  const CellId trace[] = {7};
+  const CellId area[] = {0, 1};
+  EXPECT_THROW(empirical_profile(trace, area, 0.0), std::invalid_argument);
+  EXPECT_THROW(empirical_profile(trace, area, -1.0), std::invalid_argument);
+}
+
+TEST(EmpiricalProfile, SmoothingKeepsAllCellsPositive) {
+  const CellId trace[] = {0, 0, 0};
+  const CellId area[] = {0, 1, 2, 3};
+  const auto profile = empirical_profile(trace, area, 0.5);
+  for (const double p : profile) EXPECT_GT(p, 0.0);
+  EXPECT_NEAR(std::accumulate(profile.begin(), profile.end(), 0.0), 1.0,
+              1e-12);
+}
+
+TEST(ProfileFromCounts, MatchesEmpirical) {
+  const CellId trace[] = {0, 0, 1, 0, 2};
+  const CellId area[] = {0, 1, 2};
+  std::vector<double> counts(5, 0.0);
+  for (const CellId cell : trace) counts[cell] += 1.0;
+  const auto a = empirical_profile(trace, area, 1.0);
+  const auto b = profile_from_counts(counts, area, 1.0);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_NEAR(a[j], b[j], 1e-12);
+  }
+}
+
+TEST(StationaryProfile, UniformOnTorus) {
+  const GridTopology grid(4, 4, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.3);
+  const CellId area[] = {0, 1, 2, 3};
+  const auto profile = stationary_profile(mobility, area);
+  for (const double p : profile) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(LastSeenProfile, ZeroStepsIsPointMass) {
+  const GridTopology grid(3, 3);
+  const MarkovMobility mobility(grid, 0.5);
+  const CellId area[] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const auto profile = last_seen_profile(mobility, 4, 0, area);
+  EXPECT_DOUBLE_EQ(profile[4], 1.0);
+}
+
+TEST(LastSeenProfile, SpreadsWithTime) {
+  const GridTopology grid(5, 5, /*toroidal=*/true);
+  const MarkovMobility mobility(grid, 0.5);
+  std::vector<CellId> area(25);
+  std::iota(area.begin(), area.end(), CellId{0});
+  const auto after1 = last_seen_profile(mobility, 12, 1, area);
+  const auto after50 = last_seen_profile(mobility, 12, 50, area);
+  // Mass at the origin decays toward the uniform stationary level.
+  EXPECT_GT(after1[12], after50[12]);
+  EXPECT_NEAR(after50[12], 1.0 / 25.0, 0.01);
+}
+
+TEST(LastSeenProfile, RestrictsToArea) {
+  const GridTopology grid(4, 4);
+  const MarkovMobility mobility(grid, 0.4);
+  const CellId area[] = {0, 1, 4, 5};
+  const auto profile = last_seen_profile(mobility, 0, 3, area);
+  ASSERT_EQ(profile.size(), 4u);
+  EXPECT_NEAR(std::accumulate(profile.begin(), profile.end(), 0.0), 1.0,
+              1e-12);
+  EXPECT_THROW(last_seen_profile(mobility, 99, 1, area),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

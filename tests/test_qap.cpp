@@ -1,0 +1,151 @@
+// Tests for the Section 5.1 Quadratic Assignment bridge.
+#include "reduction/qap.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "test_util.h"
+
+namespace confcall::reduction {
+namespace {
+
+using core::Instance;
+
+QapInstance tiny_qap() {
+  // A rewards adjacency of positions 0-1; B rewards co-placing items 1-2.
+  return QapInstance({{0, 5, 0}, {5, 0, 1}, {0, 1, 0}},
+                     {{0, 1, 2}, {1, 0, 9}, {2, 9, 0}});
+}
+
+TEST(Qap, ValidatesMatrices) {
+  EXPECT_THROW(QapInstance({{0, 1}}, {{0, 1}, {1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(QapInstance({{0, 1}, {2, 0}}, {{0, 1}, {1, 0}}),
+               std::invalid_argument);  // asymmetric A
+  EXPECT_THROW(QapInstance({}, {}), std::invalid_argument);
+}
+
+TEST(Qap, ObjectiveValidatesPermutation) {
+  const QapInstance qap = tiny_qap();
+  EXPECT_THROW((void)qap.objective({0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)qap.objective({0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)qap.objective({0, 1, 5}), std::invalid_argument);
+}
+
+TEST(Qap, ExactSolverFindsKnownOptimum) {
+  // Best: put the heavy B pair (1,2) on the heavy A pair (0,1).
+  const QapResult result = solve_qap_exact(tiny_qap());
+  // Objective = 2*5*9 + 2*1*B[pi(1)][pi(2)] etc.; verify against direct
+  // enumeration by re-evaluating.
+  EXPECT_DOUBLE_EQ(result.objective,
+                   tiny_qap().objective(result.permutation));
+  const bool heavy_pair_on_heavy_edge =
+      (result.permutation[0] == 1 && result.permutation[1] == 2) ||
+      (result.permutation[0] == 2 && result.permutation[1] == 1);
+  EXPECT_TRUE(heavy_pair_on_heavy_edge);
+}
+
+TEST(Qap, ExactSolverGuardsSize) {
+  const std::size_t n = 10;
+  std::vector<std::vector<double>> zero(n, std::vector<double>(n, 0.0));
+  EXPECT_THROW(solve_qap_exact(QapInstance(zero, zero)),
+               std::invalid_argument);
+}
+
+TEST(Qap, LocalSearchMatchesExactOnSmallInstances) {
+  prob::Rng rng(5);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 5;
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> b(n, std::vector<double>(n, 0.0));
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t l = k + 1; l < n; ++l) {
+        a[k][l] = a[l][k] = rng.next_double();
+        b[k][l] = b[l][k] = rng.next_double();
+      }
+    }
+    const QapInstance qap(a, b);
+    const QapResult exact = solve_qap_exact(qap);
+    const QapResult local = solve_qap_local_search(qap, 10, rng);
+    EXPECT_NEAR(local.objective, exact.objective, 1e-9) << "iter=" << iter;
+  }
+}
+
+TEST(Qap, WeightMatrixCountsPrefixRounds) {
+  // sizes {2, 1, 1}: prefixes 2, 3, 4.
+  const auto w = qap_weight_matrix({2, 1, 1});
+  // Positions 0,1 are in L_1 (next group size 1) and L_2 (next size 1).
+  EXPECT_DOUBLE_EQ(w[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(w[0][0], 2.0);
+  // Position 2 joins at L_2 only.
+  EXPECT_DOUBLE_EQ(w[0][2], 1.0);
+  EXPECT_DOUBLE_EQ(w[2][2], 1.0);
+  // Position 3 never inside a proper prefix.
+  EXPECT_DOUBLE_EQ(w[0][3], 0.0);
+  EXPECT_DOUBLE_EQ(w[3][3], 0.0);
+}
+
+TEST(Qap, ProfileMatrixIsSymmetricRankCombination) {
+  const Instance instance(2, 3, {0.5, 0.3, 0.2, 0.1, 0.6, 0.3});
+  const auto b = qap_profile_matrix(instance);
+  for (std::size_t x = 0; x < 3; ++x) {
+    for (std::size_t y = 0; y < 3; ++y) {
+      EXPECT_DOUBLE_EQ(b[x][y], b[y][x]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(b[0][1], (0.5 * 0.6 + 0.3 * 0.1) / 2.0);
+  EXPECT_THROW(qap_profile_matrix(Instance::uniform(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(Qap, BridgeObjectiveEqualsLemma21) {
+  // For any strategy: c - QAP objective (with that strategy's sizes and
+  // order-as-permutation) equals Lemma 2.1's expected paging.
+  const Instance instance = testing::random_instance(2, 6, 9, 0.7);
+  const std::vector<std::size_t> sizes = {2, 3, 1};
+  const std::vector<std::size_t> permutation = {4, 0, 2, 5, 1, 3};
+  const QapInstance qap(qap_weight_matrix(sizes),
+                        qap_profile_matrix(instance));
+  std::vector<core::CellId> order(permutation.begin(), permutation.end());
+  const core::Strategy strategy =
+      core::Strategy::from_order_and_sizes(order, sizes);
+  EXPECT_NEAR(6.0 - qap.objective(permutation),
+              core::expected_paging(instance, strategy), 1e-12);
+}
+
+TEST(Qap, BridgeMatchesExactSolver) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = testing::random_instance(2, 6, seed + 3, 0.6);
+    for (const std::size_t d : {2u, 3u}) {
+      const QapBridgeResult bridge = conference_call_via_qap(instance, d);
+      const core::ExactResult exact = core::solve_exact(instance, d);
+      EXPECT_NEAR(bridge.expected_paging, exact.expected_paging, 1e-9)
+          << "seed=" << seed << " d=" << d;
+      EXPECT_GT(bridge.qap_instances_solved, 0u);
+    }
+  }
+}
+
+TEST(Qap, BridgeHardInstance) {
+  // Only 7 size vectors for d = 2 at c = 8; bridge must find 317/49.
+  const QapBridgeResult bridge =
+      conference_call_via_qap(core::hard_instance_8cells(), 2);
+  EXPECT_NEAR(bridge.expected_paging, 317.0 / 49.0, 1e-9);
+  EXPECT_EQ(bridge.qap_instances_solved, 7u);
+}
+
+TEST(Qap, BridgeValidatesArguments) {
+  const Instance three = Instance::uniform(3, 4);
+  EXPECT_THROW(conference_call_via_qap(three, 2), std::invalid_argument);
+  const Instance two = Instance::uniform(2, 4);
+  EXPECT_THROW(conference_call_via_qap(two, 0), std::invalid_argument);
+  EXPECT_THROW(conference_call_via_qap(two, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::reduction

@@ -1,0 +1,115 @@
+// Unit and property tests for prob::Rational.
+#include "prob/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "prob/rng.h"
+
+namespace confcall::prob {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_integer());
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num().to_int64(), 3);
+  EXPECT_EQ(r.den().to_int64(), 4);
+}
+
+TEST(Rational, NegativeDenominatorMovesSign) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num().to_int64(), -3);
+  EXPECT_EQ(r.den().to_int64(), 4);
+  EXPECT_EQ(r.signum(), -1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, ToStringForms) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(1, 3).to_string(), "1/3");
+  EXPECT_EQ(Rational(-2, 6).to_string(), "-1/3");
+}
+
+TEST(Rational, ArithmeticExact) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+}
+
+TEST(Rational, OrderingCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1), Rational(1, 1000000));
+  EXPECT_EQ(Rational(2, 4) <=> Rational(1, 2), std::strong_ordering::equal);
+}
+
+TEST(Rational, AbsAndNegation) {
+  EXPECT_EQ((-Rational(1, 2)).to_string(), "-1/2");
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+}
+
+TEST(Rational, PowExact) {
+  EXPECT_EQ(Rational::pow(Rational(2, 3), 0), Rational(1));
+  EXPECT_EQ(Rational::pow(Rational(2, 3), 3), Rational(8, 27));
+  EXPECT_EQ(Rational::pow(Rational(-1, 2), 2), Rational(1, 4));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-7, 2).to_double(), -3.5);
+}
+
+TEST(Rational, SumOfUnitFractionsTelescopes) {
+  // sum 1/(k(k+1)) = 1 - 1/(n+1), a classic exactness check.
+  Rational sum;
+  const int n = 50;
+  for (int k = 1; k <= n; ++k) {
+    sum += Rational(1, static_cast<std::int64_t>(k) * (k + 1));
+  }
+  EXPECT_EQ(sum, Rational(n, n + 1));
+}
+
+TEST(Rational, FieldAxiomsRandomized) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rational a(rng.next_in(-50, 50), rng.next_in(1, 20));
+    const Rational b(rng.next_in(-50, 50), rng.next_in(1, 20));
+    const Rational c(rng.next_in(-50, 50), rng.next_in(1, 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rational(0));
+    if (!b.is_zero()) EXPECT_EQ(a / b * b, a);
+  }
+}
+
+TEST(Rational, ImplicitConversionsReadNaturally) {
+  const Rational half(1, 2);
+  EXPECT_EQ(half + 1, Rational(3, 2));
+  EXPECT_EQ(half * 4, Rational(2));
+}
+
+}  // namespace
+}  // namespace confcall::prob

@@ -1,0 +1,359 @@
+// Tests for the Section 3 NP-hardness machinery: partition solvers, the
+// Lemma 3.2 transformation (both directions, exact arithmetic), the
+// Lemma 3.4 constants, and the Lemma 3.7 Partition -> Quasipartition2
+// reduction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "reduction/multipartition.h"
+#include "reduction/partition.h"
+#include "reduction/reduce.h"
+
+namespace confcall::reduction {
+namespace {
+
+using core::CellId;
+using prob::BigInt;
+using prob::Rational;
+
+// ---------------------------------------------------------------- partition
+
+TEST(SubsetSum, FindsWitness) {
+  const std::int64_t sizes[] = {3, 1, 4, 1, 5};
+  const auto witness = solve_cardinality_subset_sum(sizes, 2, 8);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 2u);
+  std::int64_t total = 0;
+  for (const std::size_t idx : *witness) total += sizes[idx];
+  EXPECT_EQ(total, 8);
+}
+
+TEST(SubsetSum, DetectsInfeasible) {
+  const std::int64_t sizes[] = {2, 4, 6};
+  EXPECT_FALSE(solve_cardinality_subset_sum(sizes, 2, 5).has_value());
+  EXPECT_FALSE(solve_cardinality_subset_sum(sizes, 4, 6).has_value());
+  EXPECT_FALSE(solve_cardinality_subset_sum(sizes, 1, -1).has_value());
+}
+
+TEST(SubsetSum, HandlesZerosAndEmptyTarget) {
+  const std::int64_t sizes[] = {0, 0, 3};
+  const auto witness = solve_cardinality_subset_sum(sizes, 2, 0);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 2u);
+}
+
+TEST(SubsetSum, RejectsNegativeSizesAndHugeWork) {
+  const std::int64_t negative[] = {1, -2};
+  EXPECT_THROW(solve_cardinality_subset_sum(negative, 1, 1),
+               std::invalid_argument);
+  const std::int64_t big[] = {1000000000, 1000000000};
+  EXPECT_THROW(
+      solve_cardinality_subset_sum(big, 1, 1000000000, /*work_limit=*/1000),
+      std::invalid_argument);
+}
+
+TEST(Partition, ClassicYesInstance) {
+  const std::int64_t sizes[] = {3, 1, 1, 3};
+  const auto witness = solve_partition(sizes);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 2u);
+  std::int64_t total = 0;
+  for (const std::size_t idx : *witness) total += sizes[idx];
+  EXPECT_EQ(total, 4);
+}
+
+TEST(Partition, NoInstances) {
+  const std::int64_t odd_total[] = {1, 1, 1, 2};
+  EXPECT_FALSE(solve_partition(odd_total).has_value());
+  const std::int64_t odd_count[] = {2, 2, 2};
+  EXPECT_FALSE(solve_partition(odd_count).has_value());
+  const std::int64_t skewed[] = {10, 1, 1, 2};  // even total, no equal split
+  EXPECT_FALSE(solve_partition(skewed).has_value());
+}
+
+TEST(Quasipartition1, YesInstance) {
+  // c = 6, need |I| = 4 summing to half of 12 = 6: {1,1,2,2}.
+  const std::int64_t sizes[] = {1, 1, 2, 2, 3, 3};
+  const auto witness = solve_quasipartition1(sizes);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 4u);
+  std::int64_t total = 0;
+  for (const std::size_t idx : *witness) total += sizes[idx];
+  EXPECT_EQ(total, 6);
+}
+
+TEST(Quasipartition1, NoInstance) {
+  // Total 18, half 9; any 4 of {9,9,0,0,0,0} sums to 0, 9 or 18 but the
+  // witness must also have cardinality 4: {9,0,0,0} works -> actually a
+  // YES. Use strictly unbalanced sizes instead.
+  const std::int64_t sizes[] = {14, 1, 1, 1, 1, 2};
+  EXPECT_FALSE(solve_quasipartition1(sizes).has_value());
+}
+
+TEST(Quasipartition1, ValidatesCount) {
+  const std::int64_t sizes[] = {1, 2};
+  EXPECT_THROW(solve_quasipartition1(sizes), std::invalid_argument);
+}
+
+TEST(Quasipartition1, GeneratedYesInstancesSolve) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto sizes = make_quasipartition1_yes_instance(9, 20, seed);
+    ASSERT_EQ(sizes.size(), 9u);
+    EXPECT_TRUE(solve_quasipartition1(sizes).has_value()) << "seed=" << seed;
+  }
+}
+
+// ------------------------------------------------------------- Lemma 3.1/3.2
+
+TEST(Lemma31, MaximizedAtHalfAndTwoThirdsC) {
+  const std::size_t c = 9;
+  const Rational best = lemma31_objective(c, Rational(1, 2), Rational(6));
+  // Check against the closed form 4c^3/27 - 2c^2/9 + c/12.
+  const Rational closed_form =
+      Rational(4 * 9 * 9 * 9, 27) - Rational(2 * 9 * 9, 9) + Rational(9, 12);
+  EXPECT_EQ(best, closed_form);
+  // Any perturbed point scores strictly less.
+  for (const auto& [x, y] :
+       {std::pair{Rational(1, 3), Rational(6)},
+        std::pair{Rational(1, 2), Rational(5)},
+        std::pair{Rational(2, 3), Rational(7)},
+        std::pair{Rational(0), Rational(6)},
+        std::pair{Rational(1), Rational(3)}}) {
+    EXPECT_LT(lemma31_objective(c, x, y), best)
+        << "x=" << x.to_string() << " y=" << y.to_string();
+  }
+}
+
+TEST(Reduce32, ProbabilitiesFormValidInstance) {
+  const std::int64_t sizes[] = {1, 2, 3, 4, 5, 6};
+  const auto reduction = reduce_quasipartition1_to_conference_call(sizes);
+  EXPECT_EQ(reduction.instance.num_devices(), 2u);
+  EXPECT_EQ(reduction.instance.num_cells(), 6u);
+  // Spot-check the formulas for cell 0 (s = 1, S = 21, c = 6):
+  // p_0 = (1/5.5)(1/21 + 1 - 1/4) = (2/11)(1/21 + 3/4)
+  const Rational p0 = Rational(2, 11) * (Rational(1, 21) + Rational(3, 4));
+  EXPECT_EQ(reduction.instance.prob(0, 0), p0);
+  // q_0 = (1/5)(1 - 1/21) = 4/21.
+  EXPECT_EQ(reduction.instance.prob(1, 0), Rational(4, 21));
+}
+
+TEST(Reduce32, ValidatesInput) {
+  const std::int64_t not_multiple[] = {1, 2, 3, 4};
+  EXPECT_THROW(reduce_quasipartition1_to_conference_call(not_multiple),
+               std::invalid_argument);
+  const std::int64_t negative[] = {1, -1, 3};
+  EXPECT_THROW(reduce_quasipartition1_to_conference_call(negative),
+               std::invalid_argument);
+  const std::int64_t zeros[] = {0, 0, 0};
+  EXPECT_THROW(reduce_quasipartition1_to_conference_call(zeros),
+               std::invalid_argument);
+  const std::int64_t dominated[] = {6, 0, 0, 0, 0, 0};
+  EXPECT_THROW(reduce_quasipartition1_to_conference_call(dominated),
+               std::invalid_argument);
+}
+
+TEST(Reduce32, YesInstanceAchievesClosedFormOptimum) {
+  // {1,1,2,2,3,3}: I = {1,1,2,2} has |I| = 4 = 2c/3 and sum 6 = S/2.
+  const std::int64_t sizes[] = {1, 1, 2, 2, 3, 3};
+  ASSERT_TRUE(solve_quasipartition1(sizes).has_value());
+  const auto reduction = reduce_quasipartition1_to_conference_call(sizes);
+  const auto optimum = core::solve_exact_d2_exact(reduction.instance);
+  EXPECT_EQ(optimum.expected_paging, reduction.quasipartition_optimum);
+  // The optimal first round IS a quasipartition witness.
+  EXPECT_EQ(optimum.first_round.size(), 4u);
+  std::int64_t witness_sum = 0;
+  for (const CellId cell : optimum.first_round) witness_sum += sizes[cell];
+  EXPECT_EQ(witness_sum, 6);
+}
+
+TEST(Reduce32, NoInstanceStaysStrictlyAboveOptimum) {
+  const std::int64_t sizes[] = {14, 1, 1, 1, 1, 2};
+  ASSERT_FALSE(solve_quasipartition1(sizes).has_value());
+  const auto reduction = reduce_quasipartition1_to_conference_call(sizes);
+  const auto optimum = core::solve_exact_d2_exact(reduction.instance);
+  EXPECT_GT(optimum.expected_paging, reduction.quasipartition_optimum);
+}
+
+TEST(Reduce32, EquivalenceOnGeneratedInstances) {
+  // Both directions on a batch of generated yes-instances and hand no-
+  // instances: OPT == closed form <=> quasipartition exists.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto sizes = make_quasipartition1_yes_instance(6, 12, seed);
+    const auto reduction = reduce_quasipartition1_to_conference_call(sizes);
+    const auto optimum = core::solve_exact_d2_exact(reduction.instance);
+    EXPECT_EQ(optimum.expected_paging, reduction.quasipartition_optimum)
+        << "seed=" << seed;
+  }
+}
+
+// ----------------------------------------------------------- Lemma 3.4/3.7
+
+TEST(MultipartitionParams, TwoByTwoMatchesLemma31) {
+  const auto params = multipartition_params(2, 2);
+  ASSERT_EQ(params.alpha.size(), 1u);
+  EXPECT_EQ(params.alpha[0], Rational(2, 3));
+  EXPECT_EQ(params.beta[1], Rational(2, 3));  // b_1 = 2c/3
+  EXPECT_EQ(params.r[0], Rational(2, 3));
+  EXPECT_EQ(params.r[1], Rational(1, 3));
+  EXPECT_EQ(params.x[0], Rational(1, 3));
+  EXPECT_EQ(params.x[1], Rational(2, 3));
+  EXPECT_EQ(params.lcm_denominator, BigInt(3));
+}
+
+TEST(MultipartitionParams, StructuralInvariants) {
+  for (const std::size_t m : {2u, 3u, 4u}) {
+    for (const std::size_t d : {2u, 3u, 4u}) {
+      const auto params = multipartition_params(m, d);
+      // alphas strictly increasing in (0, 1) (paper, proof of Lemma 3.4).
+      for (std::size_t k = 0; k < params.alpha.size(); ++k) {
+        EXPECT_GT(params.alpha[k], Rational(0));
+        EXPECT_LT(params.alpha[k], Rational(1));
+        if (k > 0) EXPECT_GT(params.alpha[k], params.alpha[k - 1]);
+      }
+      // betas strictly increasing from 0 to 1.
+      for (std::size_t j = 1; j <= d; ++j) {
+        EXPECT_GT(params.beta[j], params.beta[j - 1]);
+      }
+      EXPECT_EQ(params.beta[d], Rational(1));
+      // r and x are positive and sum to 1.
+      Rational r_sum, x_sum;
+      for (const auto& r : params.r) {
+        EXPECT_GT(r, Rational(0));
+        r_sum += r;
+      }
+      for (const auto& x : params.x) {
+        EXPECT_GT(x, Rational(0));
+        x_sum += x;
+      }
+      EXPECT_EQ(r_sum, Rational(1));
+      EXPECT_EQ(x_sum, Rational(1));
+    }
+  }
+}
+
+TEST(MultipartitionParams, ValidatesArguments) {
+  EXPECT_THROW(multipartition_params(1, 2), std::invalid_argument);
+  EXPECT_THROW(multipartition_params(2, 1), std::invalid_argument);
+}
+
+TEST(QuasipartitionSpec, DerivedFromParams) {
+  const auto spec = quasipartition_spec(multipartition_params(2, 2));
+  EXPECT_EQ(spec.r_u, Rational(1, 3));
+  EXPECT_EQ(spec.r_v, Rational(2, 3));
+  EXPECT_EQ(spec.x_u, Rational(2, 3));
+  EXPECT_EQ(spec.x_v, Rational(1, 3));
+  EXPECT_EQ(spec.M, BigInt(3));
+  // u must always carry the smaller group fraction.
+  for (const std::size_t m : {2u, 3u}) {
+    for (const std::size_t d : {2u, 3u, 4u}) {
+      const auto s = quasipartition_spec(multipartition_params(m, d));
+      EXPECT_LE(s.r_u, s.r_v);
+    }
+  }
+}
+
+TEST(Lemma37, PartitionYesMapsToQuasipartitionYes) {
+  const std::int64_t partition_sizes[] = {3, 1, 1, 3};
+  ASSERT_TRUE(solve_partition(partition_sizes).has_value());
+  for (const auto& spec :
+       {quasipartition1_spec(),
+        quasipartition_spec(multipartition_params(2, 2))}) {
+    const auto instance =
+        reduce_partition_to_quasipartition2(partition_sizes, spec);
+    EXPECT_TRUE(solve_quasipartition2(instance).has_value());
+  }
+}
+
+TEST(Lemma37, PartitionNoMapsToQuasipartitionNo) {
+  const std::int64_t partition_sizes[] = {10, 1, 1, 2};
+  ASSERT_FALSE(solve_partition(partition_sizes).has_value());
+  for (const auto& spec :
+       {quasipartition1_spec(),
+        quasipartition_spec(multipartition_params(2, 2))}) {
+    const auto instance =
+        reduce_partition_to_quasipartition2(partition_sizes, spec);
+    EXPECT_FALSE(solve_quasipartition2(instance).has_value());
+  }
+}
+
+TEST(Lemma37, EquivalenceSweep) {
+  // Random small Partition instances, checked in both directions against
+  // the DP ground truth.
+  prob::Rng rng(77);
+  const auto spec = quasipartition1_spec();
+  for (int iter = 0; iter < 12; ++iter) {
+    std::vector<std::int64_t> sizes(6);
+    for (auto& s : sizes) s = rng.next_in(1, 9);
+    const bool partition_yes = solve_partition(sizes).has_value();
+    const auto instance = reduce_partition_to_quasipartition2(sizes, spec);
+    const bool quasi_yes = solve_quasipartition2(instance).has_value();
+    EXPECT_EQ(partition_yes, quasi_yes) << "iter=" << iter;
+  }
+}
+
+TEST(Lemma37, InstanceShapeMatchesSpec) {
+  const std::int64_t partition_sizes[] = {2, 3, 4, 5, 6, 8};
+  const auto spec = quasipartition1_spec();
+  const auto instance =
+      reduce_partition_to_quasipartition2(partition_sizes, spec);
+  // n = M*(r_u + r_v)*h = 3h with h = g = 6 -> 18 sizes.
+  EXPECT_EQ(instance.h, 6);
+  EXPECT_EQ(instance.sizes.size(), 18u);
+  // The two specials are equal (x_u == x_v) and positive.
+  const auto n = instance.sizes.size();
+  EXPECT_GT(instance.sizes[n - 1], 0);
+  EXPECT_EQ(instance.sizes[n - 1], instance.sizes[n - 2]);
+}
+
+TEST(Lemma37, ValidatesInput) {
+  const auto spec = quasipartition1_spec();
+  const std::int64_t odd[] = {1, 2, 3};
+  EXPECT_THROW(reduce_partition_to_quasipartition2(odd, spec),
+               std::invalid_argument);
+  const std::int64_t nonpositive[] = {1, 0};
+  EXPECT_THROW(reduce_partition_to_quasipartition2(nonpositive, spec),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- Section 5 lift
+
+TEST(Lift, ProducesValidLiftedInstance) {
+  const core::Instance base(2, 3, {0.5, 0.3, 0.2, 0.1, 0.2, 0.7});
+  const core::Instance lifted = lift_two_device_instance(base, 4, 0.999);
+  EXPECT_EQ(lifted.num_devices(), 4u);
+  EXPECT_EQ(lifted.num_cells(), 4u);
+  EXPECT_DOUBLE_EQ(lifted.prob(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(lifted.prob(3, 3), 1.0);
+  EXPECT_NEAR(lifted.prob(0, 0), 0.5 * 0.001, 1e-15);
+  EXPECT_NEAR(lifted.prob(0, 3), 0.999, 1e-15);
+}
+
+TEST(Lift, OptimalFirstRoundIsTheExtraCell) {
+  // With a >= 1 - 1/c^2 the optimal (d+1)-round strategy pages the new
+  // cell alone first (Section 5's observation).
+  const core::Instance base(2, 3, {0.6, 0.3, 0.1, 0.2, 0.3, 0.5});
+  const core::Instance lifted = lift_two_device_instance(base, 3, 0.995);
+  const auto result = core::solve_exact(lifted, 3);
+  EXPECT_EQ(result.strategy.group(0), (std::vector<CellId>{3}));
+}
+
+TEST(Lift, ValidatesArguments) {
+  const core::Instance base = core::Instance::uniform(2, 3);
+  EXPECT_THROW(lift_two_device_instance(base, 1, 0.9),
+               std::invalid_argument);
+  EXPECT_THROW(lift_two_device_instance(base, 3, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(lift_two_device_instance(base, 3, 1.0),
+               std::invalid_argument);
+  const core::Instance three = core::Instance::uniform(3, 3);
+  EXPECT_THROW(lift_two_device_instance(three, 4, 0.9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::reduction

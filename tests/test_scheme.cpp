@@ -1,0 +1,120 @@
+// Tests for the Section 5 quantize-then-solve approximation scheme.
+#include "core/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(Quantize, ZeroLevelsThrows) {
+  EXPECT_THROW(quantize_instance(Instance::uniform(1, 3), 0),
+               std::invalid_argument);
+}
+
+TEST(Quantize, ConstantRowsAreFixedPoints) {
+  const Instance uniform = Instance::uniform(2, 5);
+  const Instance quantized = quantize_instance(uniform, 3);
+  for (DeviceId i = 0; i < 2; ++i) {
+    for (CellId j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(quantized.prob(i, j), 0.2);
+    }
+  }
+}
+
+TEST(Quantize, ManyLevelsApproachOriginal) {
+  const Instance instance = testing::random_instance(2, 8, 1, 0.8);
+  const Instance fine = quantize_instance(instance, 4096);
+  for (DeviceId i = 0; i < 2; ++i) {
+    for (CellId j = 0; j < 8; ++j) {
+      EXPECT_NEAR(fine.prob(i, j), instance.prob(i, j), 1e-3);
+    }
+  }
+}
+
+TEST(Quantize, ReducesColumnTypes) {
+  const Instance instance = testing::random_instance(3, 12, 2, 1.0);
+  EXPECT_EQ(column_types(instance).count.size(), 12u);
+  const Instance coarse = quantize_instance(instance, 2);
+  EXPECT_LT(column_types(coarse).count.size(), 12u);
+}
+
+TEST(Quantize, RowsStillSumToOne) {
+  const Instance instance = testing::mixed_instance(3, 10, 3);
+  for (const std::size_t levels : {1u, 2u, 5u, 50u}) {
+    EXPECT_NO_THROW(quantize_instance(instance, levels));  // ctor validates
+  }
+}
+
+TEST(Scheme, ExactOnAlreadyTypedInstances) {
+  // A two-level instance is a fixed point for levels >= 2, so the scheme
+  // returns the true optimum.
+  std::vector<double> row;
+  const std::size_t c = 10;
+  for (std::size_t j = 0; j < c; ++j) {
+    row.push_back(j < 5 ? 2.0 / 15.0 : 1.0 / 15.0);
+  }
+  const Instance instance = Instance::from_rows({row, row});
+  const SchemePlanResult scheme = plan_quantized_exact(instance, 3, 4);
+  const ExactResult exact = solve_exact(instance, 3);
+  EXPECT_NEAR(scheme.expected_paging, exact.expected_paging, 1e-9);
+  // Midpoint snapping shifts both levels by less than one bucket width,
+  // preserving the two-type ORDER (and hence the optimal strategy).
+  EXPECT_LT(scheme.max_entry_error, (2.0 / 15.0 - 1.0 / 15.0) / 4.0 + 1e-12);
+  EXPECT_EQ(scheme.distinct_columns, 2u);
+}
+
+TEST(Scheme, NeverBelowTrueOptimum) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::random_instance(2, 8, seed + 5, 0.7);
+    const ExactResult exact = solve_exact(instance, 2);
+    for (const std::size_t levels : {2u, 4u, 8u}) {
+      const SchemePlanResult scheme =
+          plan_quantized_exact(instance, 2, levels);
+      EXPECT_GE(scheme.expected_paging, exact.expected_paging - 1e-9)
+          << "seed=" << seed << " levels=" << levels;
+    }
+  }
+}
+
+TEST(Scheme, MoreLevelsGenerallyTightens) {
+  // Not guaranteed monotone per instance, but the coarse-to-fine average
+  // must not degrade.
+  double coarse_total = 0.0;
+  double fine_total = 0.0;
+  double optimal_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = testing::random_instance(2, 8, seed + 50, 0.7);
+    coarse_total += plan_quantized_exact(instance, 2, 2).expected_paging;
+    fine_total += plan_quantized_exact(instance, 2, 16).expected_paging;
+    optimal_total += solve_exact_d2(instance).expected_paging;
+  }
+  EXPECT_LE(fine_total, coarse_total + 1e-9);
+  EXPECT_GE(fine_total, optimal_total - 1e-9);
+  // Fine quantization should land very close to optimal on average.
+  EXPECT_LT(fine_total - optimal_total, 0.05 * optimal_total);
+}
+
+TEST(Scheme, ReportsDiagnostics) {
+  const Instance instance = testing::random_instance(2, 9, 9, 0.6);
+  const SchemePlanResult scheme = plan_quantized_exact(instance, 2, 3);
+  EXPECT_GT(scheme.distinct_columns, 0u);
+  EXPECT_LE(scheme.distinct_columns, 9u);
+  EXPECT_GT(scheme.max_entry_error, 0.0);
+  EXPECT_TRUE(std::isfinite(scheme.quantized_expected_paging));
+}
+
+TEST(Scheme, PropagatesNodeLimit) {
+  const Instance instance = testing::random_instance(3, 16, 11, 1.0);
+  EXPECT_THROW(plan_quantized_exact(instance, 8, 64, Objective::all_of(),
+                                    /*node_limit=*/100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -1,0 +1,252 @@
+// Integration tests for the LocationService facade.
+#include "cellular/service.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "cellular/profile.h"
+
+namespace confcall::cellular {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : grid_(6, 6, /*toroidal=*/true),
+        areas_(LocationAreas::tiles(grid_, 3, 3)),
+        mobility_(grid_, 0.5) {}
+
+  LocationService make_service(LocationService::Config config,
+                               std::vector<CellId> cells = {0, 7, 20, 35}) {
+    return LocationService(grid_, areas_, mobility_, config,
+                           std::move(cells));
+  }
+
+  GridTopology grid_;
+  LocationAreas areas_;
+  MarkovMobility mobility_;
+};
+
+TEST_F(ServiceTest, ValidatesConfiguration) {
+  LocationService::Config config;
+  EXPECT_THROW(make_service(config, {}), std::invalid_argument);
+  config.max_paging_rounds = 0;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+  config = {};
+  config.detection_probability = 0.0;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+  config = {};
+  config.detection_probability = 0.5;
+  config.paging_policy = PagingPolicy::kAdaptive;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+  config = {};
+  EXPECT_THROW(make_service(config, {99}), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, AttachRegistersEveryone) {
+  const LocationService service = make_service({});
+  EXPECT_EQ(service.num_users(), 4u);
+  EXPECT_EQ(service.database().reported_cell(0), 0u);
+  EXPECT_EQ(service.database().reported_area(2), areas_.area_of(20));
+}
+
+TEST_F(ServiceTest, ObserveMoveAppliesPolicy) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kOnAreaCrossing;
+  LocationService service = make_service(config);
+  // Within-area move (cell 0 -> cell 1, both in the top-left 3x3 tile).
+  EXPECT_FALSE(service.observe_move(0, 1));
+  // Crossing move (cell 1 -> cell 3 lies in the next tile).
+  EXPECT_TRUE(service.observe_move(0, 3));
+  EXPECT_EQ(service.database().reported_cell(0), 3u);
+  EXPECT_THROW(service.observe_move(9, 0), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, LocateFindsFreshUsersWithoutFallback) {
+  LocationService service = make_service({});
+  prob::Rng rng(1);
+  const UserId users[] = {0, 1};
+  const CellId truth[] = {0, 7};  // exactly where they registered
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_EQ(outcome.fallback_pages, 0u);
+  EXPECT_EQ(outcome.missed_detections, 0u);
+  EXPECT_GE(outcome.cells_paged, 1u);
+  EXPECT_LE(outcome.cells_paged, 18u);  // two 9-cell areas at most
+}
+
+TEST_F(ServiceTest, LocateValidatesArguments) {
+  LocationService service = make_service({});
+  prob::Rng rng(1);
+  const UserId users[] = {0, 1};
+  const CellId short_truth[] = {0};
+  EXPECT_THROW(service.locate(users, short_truth, rng),
+               std::invalid_argument);
+  EXPECT_THROW(service.locate({}, {}, rng), std::invalid_argument);
+  const CellId bad_cell[] = {0, 99};
+  EXPECT_THROW(service.locate(users, bad_cell, rng), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, StaleUserTriggersRecoverySweep) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  LocationService service = make_service(config);
+  prob::Rng rng(2);
+  // User 0 registered at cell 0 (area 0) but actually sits in cell 35
+  // (the opposite corner's area).
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_GT(outcome.fallback_pages, 0u);
+  // The implicit report refreshed the record.
+  EXPECT_EQ(service.database().reported_cell(0), 35u);
+  // A repeat locate now needs no sweep.
+  const auto again = service.locate(users, truth, rng);
+  EXPECT_EQ(again.fallback_pages, 0u);
+}
+
+TEST_F(ServiceTest, TimerPolicyReportsEveryTSteps) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kEveryTSteps;
+  config.timer_period = 4;
+  LocationService service = make_service(config, {0});
+  int reports = 0;
+  for (int t = 0; t < 20; ++t) {
+    if (service.observe_move(0, 0)) ++reports;  // not even moving
+    service.tick();
+  }
+  EXPECT_EQ(reports, 4);  // steps 4, 8, 12, 16: exact period 4
+}
+
+TEST_F(ServiceTest, DistancePolicyReportsOnThreshold) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kDistanceThreshold;
+  config.distance_threshold = 2;
+  LocationService service = make_service(config, {0});
+  // One hop: below threshold.
+  EXPECT_FALSE(service.observe_move(0, 1));
+  // Two hops from the reported cell 0: reports and re-anchors.
+  EXPECT_TRUE(service.observe_move(0, 2));
+  EXPECT_EQ(service.database().reported_cell(0), 2u);
+  // One hop from the new anchor: silent again.
+  EXPECT_FALSE(service.observe_move(0, 3));
+}
+
+TEST_F(ServiceTest, ExtendedPolicyParametersValidated) {
+  LocationService::Config config;
+  config.timer_period = 0;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+  config = {};
+  config.distance_threshold = 0;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, DatabaseRejectsExtendedPoliciesDirectly) {
+  LocationDatabase db(1, areas_, {0});
+  EXPECT_THROW(db.observe_move(0, 1, ReportPolicy::kEveryTSteps),
+               std::invalid_argument);
+  EXPECT_THROW(db.observe_move(0, 1, ReportPolicy::kDistanceThreshold),
+               std::invalid_argument);
+}
+
+TEST_F(ServiceTest, ImperfectDetectionReportsMisses) {
+  LocationService::Config config;
+  config.detection_probability = 0.2;
+  LocationService service = make_service(config);
+  prob::Rng rng(3);
+  std::size_t total_misses = 0;
+  const UserId users[] = {0, 1, 2, 3};
+  const CellId truth[] = {0, 7, 20, 35};
+  for (int call = 0; call < 30; ++call) {
+    total_misses += service.locate(users, truth, rng).missed_detections;
+  }
+  EXPECT_GT(total_misses, 0u);
+}
+
+TEST_F(ServiceTest, ProfileForRespectsKind) {
+  LocationService::Config empirical;
+  empirical.profile_kind = ProfileKind::kEmpirical;
+  empirical.laplace_alpha = 1.0;
+  LocationService service = make_service(empirical);
+  // Feed a heavily-biased trace for user 0 inside area 0.
+  for (int t = 0; t < 50; ++t) {
+    service.observe_move(0, 1);
+    service.tick();
+  }
+  const auto profile = service.profile_for(0, 0);
+  ASSERT_EQ(profile.size(), 9u);
+  // Cell 1 is local index 1 in area 0's cell list {0,1,2,6,7,8,12,13,14}.
+  const auto top =
+      std::max_element(profile.begin(), profile.end()) - profile.begin();
+  EXPECT_EQ(top, 1);
+  EXPECT_NEAR(std::accumulate(profile.begin(), profile.end(), 0.0), 1.0,
+              1e-12);
+}
+
+TEST_F(ServiceTest, StationaryProfileIsUniformOnTorus) {
+  LocationService::Config config;
+  config.profile_kind = ProfileKind::kStationary;
+  const LocationService service = make_service(config);
+  const auto profile = service.profile_for(0, 0);
+  for (const double p : profile) EXPECT_NEAR(p, 1.0 / 9.0, 1e-9);
+}
+
+TEST_F(ServiceTest, AdaptivePolicyLocates) {
+  LocationService::Config config;
+  config.paging_policy = PagingPolicy::kAdaptive;
+  LocationService service = make_service(config);
+  prob::Rng rng(11);
+  const UserId users[] = {0, 1, 2};
+  const CellId truth[] = {0, 7, 20};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_EQ(outcome.fallback_pages, 0u);
+  EXPECT_GE(outcome.cells_paged, 3u);
+  EXPECT_LE(outcome.rounds_used, config.max_paging_rounds);
+  // Implicit reports landed.
+  EXPECT_EQ(service.database().reported_cell(2), 20u);
+}
+
+TEST_F(ServiceTest, AdaptiveFallsBackForStaleUsers) {
+  LocationService::Config config;
+  config.paging_policy = PagingPolicy::kAdaptive;
+  config.report_policy = ReportPolicy::kNever;
+  LocationService service = make_service(config);
+  prob::Rng rng(12);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};  // registered at 0, actually far away
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_GT(outcome.fallback_pages, 0u);
+  EXPECT_EQ(service.database().reported_cell(0), 35u);
+}
+
+TEST_F(ServiceTest, GreedyLocatePagesNoMoreThanBlanketOnAverage) {
+  LocationService::Config greedy_config;
+  greedy_config.paging_policy = PagingPolicy::kGreedy;
+  LocationService::Config blanket_config;
+  blanket_config.paging_policy = PagingPolicy::kBlanketArea;
+  LocationService greedy = make_service(greedy_config);
+  LocationService blanket = make_service(blanket_config);
+  prob::Rng rng_a(4);
+  prob::Rng rng_b(4);
+  std::size_t greedy_pages = 0;
+  std::size_t blanket_pages = 0;
+  prob::Rng walk(5);
+  std::vector<CellId> cells = {0, 7, 20, 35};
+  for (int call = 0; call < 60; ++call) {
+    for (std::size_t u = 0; u < cells.size(); ++u) {
+      cells[u] = mobility_.step(cells[u], walk);
+      greedy.observe_move(static_cast<UserId>(u), cells[u]);
+      blanket.observe_move(static_cast<UserId>(u), cells[u]);
+    }
+    greedy.tick();
+    blanket.tick();
+    const UserId users[] = {0, 1, 2, 3};
+    greedy_pages += greedy.locate(users, cells, rng_a).cells_paged;
+    blanket_pages += blanket.locate(users, cells, rng_b).cells_paged;
+  }
+  EXPECT_LT(greedy_pages, blanket_pages);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

@@ -1,0 +1,203 @@
+// Tests for the Yellow Pages / Signature planners (Section 5 variants)
+// and the bandwidth-limited planner.
+#include "core/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bandwidth.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "test_util.h"
+
+namespace confcall::core {
+namespace {
+
+TEST(ScoreCellOrder, SumEqualsGreedyOrder) {
+  const Instance instance = testing::mixed_instance(3, 8, 1);
+  EXPECT_EQ(score_cell_order(instance, CellScore::kSumProb, 3),
+            greedy_cell_order(instance));
+}
+
+TEST(ScoreCellOrder, MaxScoreRanksByColumnMax) {
+  // Column maxima: cell0 = 0.8 (device 1), cell1 = 0.6, cell2 = 0.4.
+  const Instance instance(2, 3, {0.0, 0.6, 0.4,  //
+                                 0.8, 0.1, 0.1});
+  const auto order = score_cell_order(instance, CellScore::kMaxProb, 1);
+  EXPECT_EQ(order, (std::vector<CellId>{0, 1, 2}));
+}
+
+TEST(ScoreCellOrder, TopKInterpolates) {
+  const Instance instance = testing::mixed_instance(4, 10, 2);
+  EXPECT_EQ(score_cell_order(instance, CellScore::kTopK, 1),
+            score_cell_order(instance, CellScore::kMaxProb, 1));
+  EXPECT_EQ(score_cell_order(instance, CellScore::kTopK, 4),
+            score_cell_order(instance, CellScore::kSumProb, 4));
+}
+
+TEST(ScoreCellOrder, TopKValidatesK) {
+  const Instance instance = Instance::uniform(2, 3);
+  EXPECT_THROW(score_cell_order(instance, CellScore::kTopK, 0),
+               std::invalid_argument);
+  EXPECT_THROW(score_cell_order(instance, CellScore::kTopK, 3),
+               std::invalid_argument);
+}
+
+TEST(YellowPages, FindsObviousCellFirst) {
+  // One device almost surely in cell 2: any-of search should page it
+  // first and stop there most of the time.
+  const Instance instance(2, 4, {0.05, 0.05, 0.85, 0.05,  //
+                                 0.25, 0.25, 0.25, 0.25});
+  const PlanResult plan = plan_yellow_pages(instance, 2);
+  EXPECT_EQ(plan.strategy.group(0)[0], 2u);
+  EXPECT_LT(plan.expected_paging, 4.0);
+}
+
+TEST(YellowPages, CheapestObjective) {
+  // Finding one of m is never dearer than finding all m with the same
+  // strategy; the planners should preserve that ordering.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::mixed_instance(3, 9, seed + 5);
+    const double any = plan_yellow_pages(instance, 3).expected_paging;
+    const double all = plan_greedy(instance, 3).expected_paging;
+    EXPECT_LE(any, all + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(Signature, MonotoneInK) {
+  // Needing more signers can only cost more pages.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = testing::mixed_instance(4, 10, seed + 15);
+    double previous = 0.0;
+    for (std::size_t k = 1; k <= 4; ++k) {
+      const double ep = plan_signature(instance, 3, k).expected_paging;
+      EXPECT_GE(ep, previous - 1e-9) << "seed=" << seed << " k=" << k;
+      previous = ep;
+    }
+  }
+}
+
+TEST(Signature, KEqualsMMatchesConferencePlanner) {
+  const Instance instance = testing::mixed_instance(3, 9, 23);
+  const PlanResult via_signature = plan_signature(instance, 3, 3);
+  const PlanResult via_greedy = plan_greedy(instance, 3);
+  // Same order (kTopK with k=m is kSumProb), same DP, same objective
+  // (Pr[>=m of m] = Pr[all m]).
+  EXPECT_NEAR(via_signature.expected_paging, via_greedy.expected_paging,
+              1e-10);
+}
+
+TEST(Signature, ValidatesK) {
+  const Instance instance = Instance::uniform(3, 5);
+  EXPECT_THROW(plan_signature(instance, 2, 0), std::invalid_argument);
+  EXPECT_THROW(plan_signature(instance, 2, 4), std::invalid_argument);
+}
+
+TEST(Signature, CloseToExactOnSmallInstances) {
+  // No approximation guarantee is claimed for k < m (open problem in the
+  // paper), but on small instances the planner should stay within a
+  // modest factor of the exact optimum.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance instance = testing::random_instance(3, 7, seed + 60, 0.7);
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const double planned =
+          plan_signature(instance, 2, k).expected_paging;
+      const double optimal =
+          solve_exact_d2(instance, Objective::k_of_m(k)).expected_paging;
+      EXPECT_GE(planned, optimal - 1e-9);
+      EXPECT_LE(planned, 2.0 * optimal) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(YellowPagesHardFamily, ConstructionIsValid) {
+  EXPECT_THROW(yellow_pages_hard_instance(3), std::invalid_argument);
+  const Instance instance = yellow_pages_hard_instance(6);
+  EXPECT_EQ(instance.num_devices(), 6u);
+  EXPECT_EQ(instance.num_cells(), 5u);
+  EXPECT_DOUBLE_EQ(instance.prob(0, 0), 1.0);
+  // Decoy sums exceed cell 0's sum, so the sum order pages decoys first.
+  EXPECT_GT(instance.cell_weight(1), instance.cell_weight(0));
+}
+
+TEST(YellowPagesHardFamily, MaxScoreIsOptimalSumScoreIsNot) {
+  const Instance instance = yellow_pages_hard_instance(8);
+  const double max_score =
+      plan_yellow_pages(instance, 2, CellScore::kMaxProb).expected_paging;
+  const double sum_score =
+      plan_yellow_pages(instance, 2, CellScore::kSumProb).expected_paging;
+  EXPECT_NEAR(max_score, 1.0, 1e-9);  // page the certain cell, stop
+  EXPECT_GT(sum_score, 1.5);
+}
+
+TEST(YellowPagesHardFamily, SumScoreRatioGrowsWithM) {
+  // The paper's "no constant factor" claim: the ratio increases along the
+  // family (logarithmically for d = 2).
+  double previous = 1.0;
+  for (const std::size_t m : {6u, 12u, 24u, 48u}) {
+    const Instance instance = yellow_pages_hard_instance(m);
+    const double sum_score =
+        plan_yellow_pages(instance, 2, CellScore::kSumProb).expected_paging;
+    const double optimal =
+        plan_yellow_pages(instance, 2, CellScore::kMaxProb).expected_paging;
+    const double ratio = sum_score / optimal;
+    EXPECT_GT(ratio, previous) << "m=" << m;
+    previous = ratio;
+  }
+  EXPECT_GT(previous, 2.5);  // already past any small constant at m = 48
+}
+
+TEST(Bandwidth, PlanRespectsCap) {
+  const Instance instance = testing::mixed_instance(2, 12, 31);
+  const PlanResult plan = plan_bandwidth_limited(instance, 5, 4);
+  for (const std::size_t size : plan.group_sizes) {
+    EXPECT_LE(size, 4u);
+  }
+}
+
+TEST(Bandwidth, InfeasibleCapThrows) {
+  const Instance instance = Instance::uniform(1, 10);
+  EXPECT_THROW(plan_bandwidth_limited(instance, 3, 3), std::invalid_argument);
+  EXPECT_THROW(plan_bandwidth_limited(instance, 3, 0), std::invalid_argument);
+}
+
+TEST(Bandwidth, LooserCapNeverHurts) {
+  const Instance instance = testing::mixed_instance(2, 12, 32);
+  double previous = 1e300;
+  for (const std::size_t cap : {3u, 4u, 6u, 12u}) {
+    const double ep =
+        plan_bandwidth_limited(instance, 4, cap).expected_paging;
+    EXPECT_LE(ep, previous + 1e-12) << "cap=" << cap;
+    previous = ep;
+  }
+}
+
+TEST(Bandwidth, MinRoundsForBandwidth) {
+  EXPECT_EQ(min_rounds_for_bandwidth(10, 3), 4u);
+  EXPECT_EQ(min_rounds_for_bandwidth(9, 3), 3u);
+  EXPECT_EQ(min_rounds_for_bandwidth(1, 5), 1u);
+  EXPECT_THROW(min_rounds_for_bandwidth(0, 3), std::invalid_argument);
+  EXPECT_THROW(min_rounds_for_bandwidth(3, 0), std::invalid_argument);
+}
+
+TEST(Bandwidth, ChunkedBlanketCoversInOrder) {
+  const Strategy s = chunked_blanket(7, 3);
+  EXPECT_EQ(s.num_rounds(), 3u);
+  EXPECT_EQ(s.group(0), (std::vector<CellId>{0, 1, 2}));
+  EXPECT_EQ(s.group(2), (std::vector<CellId>{6}));
+}
+
+TEST(Bandwidth, PlannedBeatsChunkedBlanket) {
+  const Instance instance = testing::mixed_instance(2, 12, 33);
+  const std::size_t cap = 4;
+  const std::size_t rounds = min_rounds_for_bandwidth(12, cap);
+  const double planned =
+      plan_bandwidth_limited(instance, rounds, cap).expected_paging;
+  const double blanket =
+      expected_paging(instance, chunked_blanket(12, cap));
+  EXPECT_LE(planned, blanket + 1e-9);
+}
+
+}  // namespace
+}  // namespace confcall::core

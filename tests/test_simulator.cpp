@@ -1,0 +1,256 @@
+// End-to-end tests for the location-management simulator.
+#include "cellular/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace confcall::cellular {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.grid_rows = 6;
+  config.grid_cols = 6;
+  config.la_tile_rows = 3;
+  config.la_tile_cols = 3;
+  config.num_users = 12;
+  config.steps = 300;
+  config.warmup_steps = 50;
+  config.call_rate = 0.4;
+  config.group_min = 2;
+  config.group_max = 3;
+  config.seed = 42;
+  return config;
+}
+
+TEST(Simulator, RunsAndServesCalls) {
+  const SimReport report = run_simulation(small_config());
+  EXPECT_EQ(report.steps, 350u);
+  EXPECT_GT(report.calls_served, 50u);
+  EXPECT_GT(report.cells_paged_total, 0u);
+  EXPECT_EQ(report.pages_per_call.count(), report.calls_served);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const SimReport a = run_simulation(small_config());
+  const SimReport b = run_simulation(small_config());
+  EXPECT_EQ(a.calls_served, b.calls_served);
+  EXPECT_EQ(a.cells_paged_total, b.cells_paged_total);
+  EXPECT_EQ(a.reports_sent, b.reports_sent);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SimConfig config = small_config();
+  config.seed = 43;
+  const SimReport a = run_simulation(small_config());
+  const SimReport b = run_simulation(config);
+  EXPECT_NE(a.cells_paged_total, b.cells_paged_total);
+}
+
+TEST(Simulator, ValidatesConfig) {
+  SimConfig config = small_config();
+  config.num_users = 0;
+  EXPECT_THROW(run_simulation(config), std::invalid_argument);
+  config = small_config();
+  config.max_paging_rounds = 0;
+  EXPECT_THROW(run_simulation(config), std::invalid_argument);
+}
+
+TEST(Simulator, GreedyPagesNoMoreThanBlanket) {
+  // With an up-to-date database (area-crossing reports), multi-round
+  // greedy paging must beat paging the whole LA every time.
+  SimConfig blanket = small_config();
+  blanket.paging_policy = PagingPolicy::kBlanketArea;
+  SimConfig greedy = small_config();
+  greedy.paging_policy = PagingPolicy::kGreedy;
+  const SimReport blanket_report = run_simulation(blanket);
+  const SimReport greedy_report = run_simulation(greedy);
+  EXPECT_EQ(blanket_report.calls_served, greedy_report.calls_served);
+  EXPECT_LT(greedy_report.pages_per_call.mean(),
+            blanket_report.pages_per_call.mean());
+}
+
+TEST(Simulator, MoreRoundsReduceMeanPaging) {
+  SimConfig d1 = small_config();
+  d1.max_paging_rounds = 1;
+  SimConfig d4 = small_config();
+  d4.max_paging_rounds = 4;
+  const SimReport report1 = run_simulation(d1);
+  const SimReport report4 = run_simulation(d4);
+  EXPECT_LT(report4.pages_per_call.mean(), report1.pages_per_call.mean());
+  EXPECT_GE(report4.rounds_per_call.mean(), report1.rounds_per_call.mean());
+}
+
+TEST(Simulator, ReportPolicyTradeoff) {
+  // The paper's framing: silence => no uplink reports but huge paging;
+  // area-crossing reporting => some reports, far less paging.
+  SimConfig silent = small_config();
+  silent.report_policy = ReportPolicy::kNever;
+  SimConfig crossing = small_config();
+  crossing.report_policy = ReportPolicy::kOnAreaCrossing;
+  const SimReport silent_report = run_simulation(silent);
+  const SimReport crossing_report = run_simulation(crossing);
+  EXPECT_EQ(silent_report.reports_sent, 0u);
+  EXPECT_GT(crossing_report.reports_sent, 0u);
+  EXPECT_GT(silent_report.pages_per_call.mean(),
+            crossing_report.pages_per_call.mean());
+}
+
+TEST(Simulator, HexAndMooreTopologiesRun) {
+  for (const Neighborhood hood :
+       {Neighborhood::kMoore, Neighborhood::kHexagonal}) {
+    SimConfig config = small_config();
+    config.neighborhood = hood;
+    config.steps = 150;
+    const SimReport report = run_simulation(config);
+    EXPECT_GT(report.calls_served, 20u);
+    EXPECT_GT(report.cells_paged_total, 0u);
+  }
+}
+
+TEST(Simulator, TimerAndDistancePoliciesRun) {
+  for (const ReportPolicy policy :
+       {ReportPolicy::kEveryTSteps, ReportPolicy::kDistanceThreshold}) {
+    SimConfig config = small_config();
+    config.report_policy = policy;
+    config.timer_period = 8;
+    config.distance_threshold = 2;
+    const SimReport report = run_simulation(config);
+    EXPECT_GT(report.calls_served, 20u);
+    EXPECT_GT(report.reports_sent, 0u);
+  }
+}
+
+TEST(Simulator, TimerReportVolumeMatchesPeriod) {
+  SimConfig config = small_config();
+  config.report_policy = ReportPolicy::kEveryTSteps;
+  config.timer_period = 10;
+  config.call_rate = 0.0;  // reporting only
+  const SimReport report = run_simulation(config);
+  const double expected = static_cast<double>(config.num_users) *
+                          static_cast<double>(report.steps) / 10.0;
+  EXPECT_NEAR(static_cast<double>(report.reports_sent), expected,
+              0.05 * expected + config.num_users);
+}
+
+TEST(Simulator, TighterDistanceThresholdReportsMore) {
+  SimConfig loose = small_config();
+  loose.report_policy = ReportPolicy::kDistanceThreshold;
+  loose.distance_threshold = 4;
+  loose.call_rate = 0.0;
+  SimConfig tight = loose;
+  tight.distance_threshold = 1;
+  const SimReport loose_report = run_simulation(loose);
+  const SimReport tight_report = run_simulation(tight);
+  EXPECT_GT(tight_report.reports_sent, loose_report.reports_sent);
+}
+
+TEST(Simulator, CellCrossingEliminatesFallback) {
+  // Reporting every cell keeps the database exact, so the search never
+  // needs the whole-grid recovery sweep.
+  SimConfig config = small_config();
+  config.report_policy = ReportPolicy::kOnCellCrossing;
+  const SimReport report = run_simulation(config);
+  EXPECT_EQ(report.fallback_pages, 0u);
+}
+
+TEST(Simulator, AdaptivePolicyRuns) {
+  SimConfig config = small_config();
+  config.paging_policy = PagingPolicy::kAdaptive;
+  config.steps = 150;
+  const SimReport report = run_simulation(config);
+  EXPECT_GT(report.calls_served, 20u);
+  // Rounds never exceed the delay constraint plus the recovery sweep.
+  EXPECT_LE(report.rounds_per_call.max(),
+            static_cast<double>(config.max_paging_rounds) + 1.0);
+}
+
+TEST(Simulator, ProfileKindsAllWork) {
+  for (const ProfileKind kind :
+       {ProfileKind::kEmpirical, ProfileKind::kStationary,
+        ProfileKind::kLastSeen}) {
+    SimConfig config = small_config();
+    config.profile_kind = kind;
+    config.steps = 120;
+    const SimReport report = run_simulation(config);
+    EXPECT_GT(report.calls_served, 10u);
+  }
+}
+
+TEST(Simulator, WirelessCostCombinesWeights) {
+  const SimReport report = run_simulation(small_config());
+  EXPECT_DOUBLE_EQ(
+      report.wireless_cost(2.0, 0.5),
+      2.0 * report.reports_sent + 0.5 * report.cells_paged_total);
+}
+
+TEST(Simulator, ImperfectDetectionCostsMorePaging) {
+  // Section 5's extension: pages go unanswered with probability 1 - q,
+  // so misses trigger re-sweeps and the paging bill grows as q falls.
+  double previous = 0.0;
+  for (const double q : {1.0, 0.8, 0.5}) {
+    SimConfig config = small_config();
+    config.detection_probability = q;
+    const SimReport report = run_simulation(config);
+    EXPECT_GE(report.pages_per_call.mean(), previous - 1e-9) << "q=" << q;
+    previous = report.pages_per_call.mean();
+    if (q < 1.0) {
+      EXPECT_GT(report.missed_detections, 0u);
+    } else {
+      EXPECT_EQ(report.missed_detections, 0u);
+    }
+  }
+}
+
+TEST(Simulator, CollisionLossesCostEvenMore) {
+  SimConfig plain = small_config();
+  plain.detection_probability = 0.7;
+  SimConfig collide = plain;
+  collide.collision_losses = true;
+  const SimReport plain_report = run_simulation(plain);
+  const SimReport collide_report = run_simulation(collide);
+  // Collisions can only add misses on average (callees do share cells on
+  // a 36-cell grid with 12 users).
+  EXPECT_GE(collide_report.missed_detections + 5,
+            plain_report.missed_detections);
+}
+
+TEST(Simulator, DetectionModelValidation) {
+  SimConfig config = small_config();
+  config.detection_probability = 0.0;
+  EXPECT_THROW(run_simulation(config), std::invalid_argument);
+  config.detection_probability = 1.5;
+  EXPECT_THROW(run_simulation(config), std::invalid_argument);
+  config.detection_probability = 0.5;
+  config.paging_policy = PagingPolicy::kAdaptive;
+  EXPECT_THROW(run_simulation(config), std::invalid_argument);
+}
+
+TEST(Simulator, EveryCalleeEventuallyRegistered) {
+  // Even with heavy losses the recovery path terminates and the call is
+  // served (force-registration after max sweeps).
+  SimConfig config = small_config();
+  config.detection_probability = 0.3;
+  config.collision_losses = true;
+  config.max_recovery_sweeps = 2;
+  config.steps = 200;
+  const SimReport report = run_simulation(config);
+  EXPECT_GT(report.calls_served, 20u);
+  EXPECT_GT(report.fallback_pages, 0u);
+}
+
+TEST(Simulator, SingleCalleeWorkload) {
+  // min = max = 1 reproduces the classical one-device paging workload.
+  SimConfig config = small_config();
+  config.group_min = 1;
+  config.group_max = 1;
+  const SimReport report = run_simulation(config);
+  EXPECT_GT(report.calls_served, 50u);
+  // A single callee in a 9-cell LA: mean paging must stay below 9 plus
+  // occasional fallback sweeps.
+  EXPECT_LT(report.pages_per_call.mean(), 12.0);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

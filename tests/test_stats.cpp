@@ -1,0 +1,103 @@
+// Tests for the streaming statistics accumulator.
+#include "prob/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prob/rng.h"
+
+namespace confcall::prob {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0, 7.5, -1.25};
+  RunningStats stats;
+  for (const double x : xs) stats.add(x);
+
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.25);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(42);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.5);
+
+  RunningStats other;
+  other.merge(stats);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(43);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  // 95% CI of 10k uniforms should comfortably contain 0.5.
+  EXPECT_LT(std::abs(large.mean() - 0.5), 3.0 * large.ci95_half_width());
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(1e12 + static_cast<double>(i % 2));
+  }
+  EXPECT_NEAR(stats.mean(), 1e12 + 0.5, 1e-3);
+  EXPECT_NEAR(stats.variance(), 0.25025, 1e-3);
+}
+
+}  // namespace
+}  // namespace confcall::prob

@@ -1,0 +1,123 @@
+// Tests for the table printer and CLI parser.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace confcall::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.set_align(0, Align::kLeft);
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Right-aligned numbers: "22" ends flush with header column.
+  const auto line_end = text.find('\n');
+  ASSERT_NE(line_end, std::string::npos);
+  // Every data line has the same width as the header line.
+  std::size_t prev = 0;
+  std::size_t width = line_end;
+  std::size_t pos;
+  while ((pos = text.find('\n', prev)) != std::string::npos) {
+    EXPECT_EQ(pos - prev, width);
+    prev = pos + 1;
+  }
+}
+
+TEST(TextTable, ValidatesShape) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.set_align(2, Align::kLeft), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string text = table.to_string();
+  // Header rule plus explicit separator -> at least two dashed lines.
+  std::size_t dashes = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("-", pos)) != std::string::npos) {
+    ++dashes;
+    pos += 1;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"name", "note"});
+  table.add_row({"plain", "ok"});
+  table.add_separator();  // dropped in CSV
+  table.add_row({"with,comma", "with \"quote\""});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(csv,
+            "name,note\n"
+            "plain,ok\n"
+            "\"with,comma\",\"with \"\"quote\"\"\"\n");
+}
+
+TEST(TextTable, CsvHasOneLinePerDataRow) {
+  TextTable table({"x", "y"});
+  for (int i = 0; i < 5; ++i) {
+    table.add_row({std::to_string(i), std::to_string(i * i)});
+  }
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 6);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(TextTable::fmt(-7LL), "-7");
+}
+
+TEST(Cli, ParsesBothFlagForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--beta", "7", "--verbose"};
+  const Cli cli(5, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_string("missing", "fallback"), "fallback");
+}
+
+TEST(Cli, BooleanValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1"};
+  const Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Cli cli(3, argv);
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, HasMarksFlagUsed) {
+  const char* argv[] = {"prog", "--present"};
+  const Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("present"));
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_TRUE(cli.unused().empty());
+}
+
+}  // namespace
+}  // namespace confcall::support

@@ -1,0 +1,54 @@
+// Shared helpers for the test suite: deterministic random instance
+// generators and brute-force reference implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "prob/distribution.h"
+#include "prob/rng.h"
+
+namespace confcall::testing {
+
+/// A random instance with Dirichlet(alpha) rows — alpha = 1 gives flat
+/// random distributions, alpha < 1 spiky ones.
+inline core::Instance random_instance(std::size_t m, std::size_t c,
+                                      std::uint64_t seed,
+                                      double alpha = 1.0) {
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rows.push_back(prob::dirichlet_vector(c, alpha, rng));
+  }
+  return core::Instance::from_rows(rows);
+}
+
+/// A random instance whose rows come from a mix of families, to stress
+/// planners with heterogeneous devices.
+inline core::Instance mixed_instance(std::size_t m, std::size_t c,
+                                     std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    switch (i % 4) {
+      case 0:
+        rows.push_back(prob::uniform_vector(c));
+        break;
+      case 1:
+        rows.push_back(prob::zipf_vector(c, 1.2, rng));
+        break;
+      case 2:
+        rows.push_back(prob::peaked_vector(c, 0.7, rng));
+        break;
+      default:
+        rows.push_back(prob::dirichlet_vector(c, 0.5, rng));
+        break;
+    }
+  }
+  return core::Instance::from_rows(rows);
+}
+
+}  // namespace confcall::testing

@@ -1,0 +1,69 @@
+// Tests for the named simulation scenarios.
+#include "cellular/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace confcall::cellular {
+namespace {
+
+TEST(Workload, AllScenariosAreDistinctAndNamed) {
+  const auto scenarios = all_scenarios();
+  ASSERT_EQ(scenarios.size(), 3u);
+  std::set<std::string> names;
+  for (const auto& scenario : scenarios) {
+    EXPECT_FALSE(scenario.name.empty());
+    EXPECT_FALSE(scenario.description.empty());
+    names.insert(scenario.name);
+  }
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(Workload, ScenariosRunToCompletion) {
+  for (auto scenario : all_scenarios(7)) {
+    // Shrink for test speed; shape parameters stay as configured.
+    scenario.config.steps = 150;
+    scenario.config.warmup_steps = 30;
+    const SimReport report = run_simulation(scenario.config);
+    EXPECT_GT(report.calls_served, 0u) << scenario.name;
+    EXPECT_GT(report.cells_paged_total, 0u) << scenario.name;
+  }
+}
+
+TEST(Workload, SeedPropagates) {
+  const auto a = campus_scenario(1);
+  const auto b = campus_scenario(2);
+  EXPECT_EQ(a.config.seed, 1u);
+  EXPECT_EQ(b.config.seed, 2u);
+}
+
+TEST(Workload, UrbanCarriesMoreTotalTrafficThanCampus) {
+  // Dense urban has ~2.5x the call rate and triple the users; over the
+  // same horizon its total paging bill must dominate the campus's (even
+  // though its smaller LAs make each individual call cheaper).
+  auto urban = dense_urban_scenario(3);
+  auto campus = campus_scenario(3);
+  urban.config.steps = 400;
+  urban.config.warmup_steps = 50;
+  campus.config.steps = 400;
+  campus.config.warmup_steps = 50;
+  const SimReport urban_report = run_simulation(urban.config);
+  const SimReport campus_report = run_simulation(campus.config);
+  EXPECT_GT(urban_report.calls_served, campus_report.calls_served);
+  EXPECT_GT(urban_report.cells_paged_total,
+            campus_report.cells_paged_total);
+}
+
+TEST(Workload, HighwayReportsDominatePaging) {
+  // Fast movement over LA boundaries with sparse calls: uplink reports
+  // outnumber pages (the other end of the paper's tradeoff).
+  auto highway = highway_scenario(4);
+  highway.config.steps = 800;
+  highway.config.warmup_steps = 50;
+  const SimReport report = run_simulation(highway.config);
+  EXPECT_GT(report.reports_sent, report.cells_paged_total);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

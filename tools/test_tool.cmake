@@ -1,0 +1,43 @@
+# End-to-end exercise of confcall_plan: valid runs in both formats plus
+# error-path checks (missing file, bad flag).
+file(WRITE ${WORK}/instance.txt
+"conference-call-instance v1
+m 2
+c 4
+0.4 0.3 0.2 0.1
+0.1 0.1 0.4 0.4
+")
+execute_process(
+  COMMAND ${TOOL} --instance ${WORK}/instance.txt --rounds 2
+  OUTPUT_VARIABLE out RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "greedy run failed: ${code}")
+endif()
+if(NOT out MATCHES "expected paging")
+  message(FATAL_ERROR "missing expected paging in output: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --instance ${WORK}/instance.txt --rounds 2
+          --planner exact --objective any --format csv
+  OUTPUT_VARIABLE csv RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "csv run failed: ${code}")
+endif()
+if(NOT csv MATCHES "expected_paging")
+  message(FATAL_ERROR "missing csv header: ${csv}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --instance ${WORK}/missing.txt --rounds 2
+  ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR "missing file should fail")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --instance ${WORK}/instance.txt --rounds 2 --oops 1
+  ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown flag should fail")
+endif()
