@@ -1,0 +1,67 @@
+#include "cellular/faults.h"
+
+#include <stdexcept>
+
+namespace confcall::cellular {
+
+namespace {
+
+void check_rate(double rate, const char* what) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_rate(cell_outage_rate, "cell_outage_rate");
+  check_rate(report_loss_rate, "report_loss_rate");
+  check_rate(round_drop_rate, "round_drop_rate");
+  if (cell_outage_rate > 0.0 && outage_duration == 0) {
+    throw std::invalid_argument(
+        "FaultConfig: outage_duration must be >= 1 when outages are "
+        "enabled");
+  }
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_cells)
+    : config_(config), rng_(config.seed), outage_remaining_(num_cells, 0) {
+  config_.validate();
+  if (num_cells == 0) {
+    throw std::invalid_argument("FaultPlan: zero cells");
+  }
+}
+
+void FaultPlan::begin_step() {
+  if (config_.cell_outage_rate <= 0.0) return;
+  for (std::size_t& remaining : outage_remaining_) {
+    if (remaining > 0 && --remaining == 0) --cells_out_;
+  }
+  if (rng_.next_double() < config_.cell_outage_rate) {
+    const std::size_t cell = static_cast<std::size_t>(
+        rng_.next_below(outage_remaining_.size()));
+    if (outage_remaining_[cell] == 0) {
+      ++cells_out_;
+      ++stats_.outages_started;
+    }
+    outage_remaining_[cell] = config_.outage_duration;
+  }
+}
+
+bool FaultPlan::drop_report() {
+  if (config_.report_loss_rate <= 0.0) return false;
+  if (rng_.next_double() >= config_.report_loss_rate) return false;
+  ++stats_.reports_dropped;
+  return true;
+}
+
+bool FaultPlan::drop_round() {
+  if (config_.round_drop_rate <= 0.0) return false;
+  if (rng_.next_double() >= config_.round_drop_rate) return false;
+  ++stats_.rounds_dropped;
+  return true;
+}
+
+}  // namespace confcall::cellular

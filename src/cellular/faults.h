@@ -1,0 +1,106 @@
+// Deterministic fault injection for the cellular substrate.
+//
+// The paper's Section 5 already admits an imperfect network: a paged
+// device answers only with probability q, and responses can collide.
+// Production networks fail in more structured ways — a base station goes
+// dark for a while, an uplink report is lost before it reaches the HLR,
+// a paging channel is overloaded for a whole round. A FaultPlan injects
+// exactly those three fault classes into a simulation, deterministically:
+// it draws from its own seeded stream, so (a) a plan with all rates zero
+// is perfectly inert (it never draws, and the surrounding simulation is
+// byte-identical to a run without it), and (b) the injected fault
+// sequence is reproducible given the config.
+//
+// Every injection is counted on the plan itself (FaultStats), so the
+// consuming layer (LocationService / run_simulation) can prove
+// conservation: each drop the plan reports is observed exactly once as a
+// lost report or a dead paging round downstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellular/topology.h"
+#include "prob/rng.h"
+
+namespace confcall::cellular {
+
+/// Fault intensities. All rates are probabilities per opportunity; zero
+/// disables that fault class entirely (no randomness is consumed for it).
+struct FaultConfig {
+  /// P[a new cell outage starts] per simulation step. The failed cell is
+  /// chosen uniformly; a cell in outage is paged at full cost but no
+  /// device inside it can answer.
+  double cell_outage_rate = 0.0;
+  /// Steps a failed cell stays dark (>= 1 when outages are enabled).
+  std::size_t outage_duration = 20;
+  /// P[an uplink location report is lost] — the device pays the uplink
+  /// cost but the database silently goes stale.
+  double report_loss_rate = 0.0;
+  /// P[a whole paging round is dropped] — channel overload: the round's
+  /// pages are spent but nobody hears them.
+  double round_drop_rate = 0.0;
+  /// Seed of the plan's private random stream (independent of the
+  /// simulation seed, so faults do not perturb mobility or workload).
+  std::uint64_t seed = 0xfa17;
+
+  /// Throws std::invalid_argument with a specific message when a rate is
+  /// outside [0, 1] or the duration is zero while outages are enabled.
+  void validate() const;
+
+  /// True when any fault class is enabled.
+  [[nodiscard]] bool any_enabled() const noexcept {
+    return cell_outage_rate > 0.0 || report_loss_rate > 0.0 ||
+           round_drop_rate > 0.0;
+  }
+};
+
+/// Injection-side counters, for conservation checks against the
+/// observation-side counters in LocateOutcome / SimReport.
+struct FaultStats {
+  std::size_t outages_started = 0;   ///< fresh cell outages begun
+  std::size_t reports_dropped = 0;   ///< uplink reports swallowed
+  std::size_t rounds_dropped = 0;    ///< paging rounds lost to overload
+};
+
+/// The injector: owns the fault stream and the per-cell outage clocks.
+class FaultPlan {
+ public:
+  /// Validates the config. `num_cells` must match the grid the plan will
+  /// be used with (outages pick a uniform cell).
+  FaultPlan(const FaultConfig& config, std::size_t num_cells);
+
+  /// Advances outage clocks by one step and possibly starts a new
+  /// outage. Call once per simulation step, before movement/paging.
+  void begin_step();
+
+  /// Is this cell currently dark?
+  [[nodiscard]] bool cell_out(CellId cell) const {
+    return outage_remaining_.at(cell) > 0;
+  }
+
+  /// Number of currently dark cells.
+  [[nodiscard]] std::size_t cells_out() const noexcept { return cells_out_; }
+
+  /// Draws the report-loss fault for one uplink report. Counts and
+  /// returns true when the report must be swallowed. Never draws when
+  /// the rate is zero.
+  bool drop_report();
+
+  /// Draws the channel-overload fault for one paging round. Counts and
+  /// returns true when the round is dead. Never draws when the rate is
+  /// zero.
+  bool drop_round();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+  prob::Rng rng_;
+  std::vector<std::size_t> outage_remaining_;  // steps left dark, per cell
+  std::size_t cells_out_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace confcall::cellular

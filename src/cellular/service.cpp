@@ -8,6 +8,7 @@
 #include "core/adaptive.h"
 #include "core/evaluator.h"
 #include "core/greedy.h"
+#include "core/planner.h"
 
 namespace confcall::cellular {
 
@@ -30,6 +31,46 @@ std::vector<CellId> checked_initial_cells(const GridTopology& grid,
 
 }  // namespace
 
+void RetryPolicy::validate() const {
+  if (backoff_base != 0 && backoff_base > backoff_cap) {
+    throw std::invalid_argument(
+        "RetryPolicy: backoff_base exceeds backoff_cap");
+  }
+}
+
+void LocationService::Config::validate() const {
+  if (max_paging_rounds == 0) {
+    throw std::invalid_argument(
+        "LocationService: max_paging_rounds must be >= 1");
+  }
+  if (timer_period == 0) {
+    throw std::invalid_argument("LocationService: timer_period must be >= 1");
+  }
+  if (distance_threshold == 0) {
+    throw std::invalid_argument(
+        "LocationService: distance_threshold must be >= 1");
+  }
+  if (!(laplace_alpha >= 0.0)) {
+    throw std::invalid_argument(
+        "LocationService: laplace_alpha must be >= 0");
+  }
+  if (!(detection_probability > 0.0 && detection_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "LocationService: detection_probability must be in (0, 1]");
+  }
+  if (detection_probability < 1.0 &&
+      paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "LocationService: the adaptive policy assumes perfect detection");
+  }
+  if (planner != nullptr && paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "LocationService: planner override is incompatible with the "
+        "adaptive policy");
+  }
+  retry.validate();
+}
+
 LocationService::LocationService(const GridTopology& grid,
                                  const LocationAreas& areas,
                                  const MarkovMobility& mobility,
@@ -41,25 +82,7 @@ LocationService::LocationService(const GridTopology& grid,
       config_(config),
       db_(checked_initial_cells(grid, initial_cells).size(), areas,
           checked_initial_cells(grid, initial_cells)) {
-  if (config_.max_paging_rounds == 0) {
-    throw std::invalid_argument("LocationService: zero paging rounds");
-  }
-  if (config_.timer_period == 0) {
-    throw std::invalid_argument("LocationService: zero timer period");
-  }
-  if (config_.distance_threshold == 0) {
-    throw std::invalid_argument("LocationService: zero distance threshold");
-  }
-  if (config_.detection_probability <= 0.0 ||
-      config_.detection_probability > 1.0) {
-    throw std::invalid_argument(
-        "LocationService: detection_probability must be in (0, 1]");
-  }
-  if (config_.detection_probability < 1.0 &&
-      config_.paging_policy == PagingPolicy::kAdaptive) {
-    throw std::invalid_argument(
-        "LocationService: the adaptive policy assumes perfect detection");
-  }
+  config_.validate();
   visit_counts_.assign(initial_cells.size(),
                        std::vector<double>(grid_->num_cells(), 0.0));
   if (config_.profile_kind == ProfileKind::kStationary) {
@@ -67,31 +90,52 @@ LocationService::LocationService(const GridTopology& grid,
   }
 }
 
+void LocationService::attach_faults(FaultPlan* faults) {
+  if (faults != nullptr &&
+      config_.paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "LocationService: the adaptive policy assumes a fault-free "
+        "network");
+  }
+  faults_ = faults;
+}
+
 bool LocationService::observe_move(UserId user, CellId new_cell) {
   if (user >= num_users() || new_cell >= grid_->num_cells()) {
     throw std::invalid_argument("observe_move: out of range");
   }
   visit_counts_[user][new_cell] += 1.0;
+  bool wants_report = false;
   switch (config_.report_policy) {
+    case ReportPolicy::kNever:
+      break;
+    case ReportPolicy::kOnAreaCrossing:
+      wants_report = areas_->area_of(new_cell) != db_.reported_area(user);
+      break;
+    case ReportPolicy::kOnCellCrossing:
+      wants_report = new_cell != db_.reported_cell(user);
+      break;
     case ReportPolicy::kEveryTSteps:
       // tick() runs after the per-step observe batch, so the clock reads
       // the number of completed steps since the last report; reporting at
       // clock == T gives an exact period of T steps.
-      if (db_.steps_since_report(user) >= config_.timer_period) {
-        db_.record_report(user, new_cell);
-        return true;
-      }
-      return false;
+      wants_report = db_.steps_since_report(user) >= config_.timer_period;
+      break;
     case ReportPolicy::kDistanceThreshold:
-      if (grid_->distance(db_.reported_cell(user), new_cell) >=
-          config_.distance_threshold) {
-        db_.record_report(user, new_cell);
-        return true;
-      }
-      return false;
-    default:
-      return db_.observe_move(user, new_cell, config_.report_policy);
+      wants_report = grid_->distance(db_.reported_cell(user), new_cell) >=
+                     config_.distance_threshold;
+      break;
   }
+  if (!wants_report) return false;
+  if (faults_ != nullptr && faults_->drop_report()) {
+    // The device paid the uplink cost but the network never heard it:
+    // the record stays stale, and the device will keep re-triggering on
+    // later movement because the stale record still violates the policy.
+    ++reports_lost_;
+    return true;
+  }
+  db_.record_report(user, new_cell);
+  return true;
 }
 
 void LocationService::tick() { db_.tick(); }
@@ -125,6 +169,24 @@ bool LocationService::page_answered(std::size_t cohabitants,
   return rng.next_double() < q;
 }
 
+core::Strategy LocationService::plan_area_strategy(
+    std::span<const UserId> group_users, std::size_t area,
+    std::size_t num_cells, std::size_t d) const {
+  if (config_.paging_policy == PagingPolicy::kBlanketArea) {
+    return core::Strategy::blanket(num_cells);
+  }
+  std::vector<prob::ProbabilityVector> rows;
+  rows.reserve(group_users.size());
+  for (const UserId user : group_users) {
+    rows.push_back(profile_for(user, area));
+  }
+  const core::Instance instance = core::Instance::from_rows(rows);
+  if (config_.planner != nullptr) {
+    return config_.planner->plan(instance, d);
+  }
+  return core::plan_greedy(instance, d).strategy;
+}
+
 LocationService::AreaOutcome LocationService::execute_area_strategy(
     const core::Strategy& strategy, std::span<const UserId> users,
     std::span<const CellId> true_cells,
@@ -142,15 +204,27 @@ LocationService::AreaOutcome LocationService::execute_area_strategy(
   for (std::size_t r = 0; r < strategy.num_rounds(); ++r) {
     area.pages += strategy.group(r).size();
     area.rounds = r + 1;
-    for (std::size_t i = 0; i < users.size(); ++i) {
-      if (found[i] || local_of[i] == kUnknownLocal) continue;
-      if (strategy.round_of(static_cast<core::CellId>(local_of[i])) != r) {
-        continue;
-      }
-      if (page_answered(cohabitant_count(true_cells[i]), rng)) {
-        found[i] = true;
-      } else {
-        ++outcome.missed_detections;
+    if (faults_ != nullptr && faults_->drop_round()) {
+      // Channel overload: the round's pages are spent, nobody hears them.
+      ++outcome.dropped_rounds;
+    } else {
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        if (found[i] || local_of[i] == kUnknownLocal) continue;
+        if (strategy.round_of(static_cast<core::CellId>(local_of[i])) !=
+            r) {
+          continue;
+        }
+        if (faults_ != nullptr && faults_->cell_out(true_cells[i])) {
+          // The device's base station is dark: the page is spent but can
+          // never be answered. No detection draw happens.
+          ++outcome.outage_pages;
+          continue;
+        }
+        if (page_answered(cohabitant_count(true_cells[i]), rng)) {
+          found[i] = true;
+        } else {
+          ++outcome.missed_detections;
+        }
       }
     }
     bool everyone_found = true;
@@ -164,6 +238,81 @@ LocationService::AreaOutcome LocationService::execute_area_strategy(
   }
   area.ran_all_rounds = true;
   return area;
+}
+
+void LocationService::run_recovery(std::span<const UserId> users,
+                                   std::span<const CellId> true_cells,
+                                   std::vector<std::size_t> missing,
+                                   std::size_t first_sweep_pages,
+                                   LocateOutcome& outcome, prob::Rng& rng) {
+  const RetryPolicy& retry = config_.retry;
+  std::size_t attempt = 0;
+  while (!missing.empty() && attempt < retry.max_retries) {
+    const std::size_t sweep_pages =
+        attempt == 0 ? first_sweep_pages : grid_->num_cells();
+    if (retry.page_budget != 0 &&
+        outcome.cells_paged + sweep_pages > retry.page_budget) {
+      outcome.budget_exhausted = true;
+      break;
+    }
+    std::size_t backoff = 0;
+    if (retry.backoff_base != 0) {
+      backoff = retry.backoff_cap;
+      if (attempt < 63 && (retry.backoff_base << attempt) < backoff) {
+        backoff = retry.backoff_base << attempt;
+      }
+    }
+    if (retry.round_deadline != 0 &&
+        outcome.rounds_used + backoff + 1 > retry.round_deadline) {
+      outcome.budget_exhausted = true;
+      break;
+    }
+    outcome.rounds_used += backoff;
+    outcome.backoff_rounds += backoff;
+
+    outcome.cells_paged += sweep_pages;
+    outcome.fallback_pages += sweep_pages;
+    outcome.rounds_used += 1;
+    ++outcome.retries;
+
+    if (faults_ != nullptr && faults_->drop_round()) {
+      ++outcome.dropped_rounds;
+    } else {
+      std::vector<std::size_t> still_missing;
+      for (const std::size_t i : missing) {
+        if (faults_ != nullptr && faults_->cell_out(true_cells[i])) {
+          // Sweeping pages the dark cell too; the device cannot answer.
+          ++outcome.outage_pages;
+          still_missing.push_back(i);
+          continue;
+        }
+        std::size_t cohabitants = 0;
+        for (const std::size_t other : missing) {
+          if (true_cells[other] == true_cells[i]) ++cohabitants;
+        }
+        if (page_answered(cohabitants, rng)) {
+          db_.record_report(users[i], true_cells[i]);
+        } else {
+          ++outcome.missed_detections;
+          still_missing.push_back(i);
+        }
+      }
+      missing = std::move(still_missing);
+    }
+    ++attempt;
+  }
+  // Whatever recovery could not find is force-registered: the network
+  // commits the caller-supplied truth (modelling the device eventually
+  // answering a persistent page out-of-band) but the call is accounted
+  // as abandoned — it never heard those callees within its budget.
+  if (!missing.empty()) {
+    outcome.abandoned = true;
+    outcome.forced_registrations += missing.size();
+    for (const std::size_t i : missing) {
+      db_.record_report(users[i], true_cells[i]);
+    }
+  }
+  outcome.degraded = outcome.retries > 0 || outcome.abandoned;
 }
 
 LocationService::LocateOutcome LocationService::locate(
@@ -234,16 +383,8 @@ LocationService::LocateOutcome LocationService::locate(
       area_outcome.ran_all_rounds = adaptive.cells_paged == cells.size();
       found.assign(indices.size(), true);
     } else {
-      core::Strategy strategy = core::Strategy::blanket(cells.size());
-      if (config_.paging_policy != PagingPolicy::kBlanketArea) {
-        std::vector<prob::ProbabilityVector> rows;
-        rows.reserve(indices.size());
-        for (const UserId user : group_users) {
-          rows.push_back(profile_for(user, area));
-        }
-        strategy =
-            core::plan_greedy(core::Instance::from_rows(rows), d).strategy;
-      }
+      const core::Strategy strategy =
+          plan_area_strategy(group_users, area, cells.size(), d);
       area_outcome = execute_area_strategy(strategy, group_users,
                                            group_cells, local_of, found,
                                            outcome, rng);
@@ -265,44 +406,20 @@ LocationService::LocateOutcome LocationService::locate(
     }
   }
 
-  // Recovery sweeps: blanket-page until every callee answers. The first
-  // sweep may skip areas already paged in full — but only when nothing
-  // was MISSED inside them (a missed device needs its cell re-paged).
+  // Recovery sweeps: blanket-page until every callee answers or the
+  // retry policy cuts the call off. The first sweep may skip areas
+  // already paged in full — but only when nothing was MISSED inside them
+  // (a missed device needs its cell re-paged).
   std::size_t not_fully_paged = 0;
   for (std::size_t area = 0; area < areas_->num_areas(); ++area) {
     if (!area_paged_fully[area]) {
       not_fully_paged += areas_->cells_in(area).size();
     }
   }
-  std::size_t sweep = 0;
-  while (!missing.empty() && sweep < config_.max_recovery_sweeps) {
-    const std::size_t sweep_pages =
-        (sweep == 0 && !any_missed_detection) ? not_fully_paged
-                                              : grid_->num_cells();
-    outcome.cells_paged += sweep_pages;
-    outcome.fallback_pages += sweep_pages;
-    outcome.rounds_used += 1;
-    std::vector<std::size_t> still_missing;
-    for (const std::size_t i : missing) {
-      std::size_t cohabitants = 0;
-      for (const std::size_t other : missing) {
-        if (true_cells[other] == true_cells[i]) ++cohabitants;
-      }
-      if (page_answered(cohabitants, rng)) {
-        db_.record_report(users[i], true_cells[i]);
-      } else {
-        ++outcome.missed_detections;
-        still_missing.push_back(i);
-      }
-    }
-    missing = std::move(still_missing);
-    ++sweep;
-  }
-  // Persistent paging always succeeds eventually; model the tail as the
-  // device finally answering without further accounted sweeps.
-  for (const std::size_t i : missing) {
-    db_.record_report(users[i], true_cells[i]);
-  }
+  const std::size_t first_sweep_pages =
+      any_missed_detection ? grid_->num_cells() : not_fully_paged;
+  run_recovery(users, true_cells, std::move(missing), first_sweep_pages,
+               outcome, rng);
   return outcome;
 }
 

@@ -10,6 +10,12 @@
 // the GSM blanket, the paper's Fig. 1 planner, or the Section 5 adaptive
 // variant — including the imperfect-detection recovery path.
 //
+// Degraded modes: an attached FaultPlan (faults.h) injects cell outages,
+// uplink-report loss and per-round channel drops; recovery is governed by
+// a RetryPolicy (bounded retries with exponential backoff, a per-call
+// page budget and a hard round deadline) instead of an unbounded sweep
+// loop, and every degradation is accounted in LocateOutcome.
+//
 // The service never reads ground truth on its own: callers (a simulator,
 // a test harness, in principle a real radio layer) supply the devices'
 // actual cells at locate() time, standing in for the base stations that
@@ -21,12 +27,17 @@
 #include <span>
 #include <vector>
 
+#include "cellular/faults.h"
 #include "cellular/location_db.h"
 #include "cellular/mobility.h"
 #include "cellular/topology.h"
 #include "core/strategy.h"
 #include "prob/distribution.h"
 #include "prob/rng.h"
+
+namespace confcall::core {
+class Planner;
+}  // namespace confcall::core
 
 namespace confcall::cellular {
 
@@ -42,6 +53,36 @@ enum class ProfileKind {
   kEmpirical,   ///< smoothed visit counts observed so far
   kStationary,  ///< mobility chain's stationary distribution
   kLastSeen,    ///< t-step prediction from the last reported cell
+};
+
+/// Governs the recovery path of locate(): how many whole-grid sweeps a
+/// missing callee earns, how long the network waits between them, and
+/// when the call is cut off. The defaults reproduce the historical
+/// behaviour (8 immediate sweeps, no budget, no deadline).
+struct RetryPolicy {
+  /// Recovery sweeps before the remaining callees are force-registered.
+  /// 0 = no recovery: a missing callee is abandoned immediately (and the
+  /// call counted as such).
+  std::size_t max_retries = 8;
+  /// Idle paging rounds before retry k: backoff_base << k, capped at
+  /// backoff_cap. 0 = retry immediately (the historical behaviour).
+  /// Waiting costs delay (rounds_used) but no pages — it models letting
+  /// an overloaded channel or a transient outage clear.
+  std::size_t backoff_base = 0;
+  /// Upper bound on a single backoff wait, in rounds.
+  std::size_t backoff_cap = 8;
+  /// Per-call page budget gating recovery: a sweep that would push
+  /// cells_paged past this is not started (budget_exhausted). 0 = none.
+  /// The planned per-area phase is never gated — only recovery is
+  /// optional work.
+  std::size_t page_budget = 0;
+  /// Hard deadline in total rounds (search + backoff + sweeps); a retry
+  /// that cannot finish by the deadline is not started. 0 = none.
+  std::size_t round_deadline = 0;
+
+  /// Throws std::invalid_argument with a specific message on nonsense
+  /// (backoff_base > backoff_cap with backoff enabled).
+  void validate() const;
 };
 
 /// A network-side location management service over one cell grid.
@@ -63,30 +104,55 @@ class LocationService {
     /// Section 5 response collisions: detection probability divides by
     /// the number of sought devices sharing the paged cell.
     bool collision_losses = false;
-    /// Whole-grid recovery sweeps before force-registering a device.
-    std::size_t max_recovery_sweeps = 8;
+    /// Recovery behaviour (replaces the old max_recovery_sweeps knob).
+    RetryPolicy retry;
+    /// Optional planner override: when set (non-owning, must outlive the
+    /// service) and paging_policy == kGreedy, per-area strategies come
+    /// from this planner instead of the built-in Fig. 1 call — pass a
+    /// core::ResilientPlanner to keep serving locate() through planner
+    /// failures. Ignored under kBlanketArea and kAdaptive.
+    const core::Planner* planner = nullptr;
+
+    /// Consolidated validation with one specific message per rejection.
+    /// Called by the constructor; exposed so SimConfig and tests can
+    /// check a configuration without building a service.
+    void validate() const;
   };
 
   /// Registers `initial_cells.size()` devices at their starting cells (a
   /// power-on attach). Throws std::invalid_argument on an invalid config
-  /// (detection probability outside (0,1], adaptive policy combined with
-  /// imperfect detection) or empty user set. The topology objects must
+  /// (see Config::validate) or empty user set. The topology objects must
   /// outlive the service.
   LocationService(const GridTopology& grid, const LocationAreas& areas,
                   const MarkovMobility& mobility, Config config,
                   std::vector<CellId> initial_cells);
+
+  /// Attaches a fault injector (non-owning; must outlive the service,
+  /// nullptr detaches). The caller advances the plan's outage clocks via
+  /// FaultPlan::begin_step. Throws std::invalid_argument under the
+  /// adaptive paging policy, whose conditioning assumes a fault-free
+  /// network.
+  void attach_faults(FaultPlan* faults);
 
   [[nodiscard]] std::size_t num_users() const noexcept {
     return visit_counts_.size();
   }
 
   /// Ingests one movement event; returns true when the reporting policy
-  /// sent an uplink report (which the caller accounts).
+  /// sent an uplink report (which the caller accounts — a report lost to
+  /// an injected fault still returns true: the uplink cost was paid,
+  /// only the database missed it, and reports_lost() counts it).
   bool observe_move(UserId user, CellId new_cell);
 
   /// Advances the per-device "steps since last report" clocks; call once
   /// per global time step after the observe_move batch.
   void tick();
+
+  /// Uplink reports swallowed by the fault plan since construction
+  /// (observation-side twin of FaultStats::reports_dropped).
+  [[nodiscard]] std::size_t reports_lost() const noexcept {
+    return reports_lost_;
+  }
 
   /// Result of one locate() request.
   struct LocateOutcome {
@@ -97,14 +163,35 @@ class LocationService {
     std::size_t fallback_pages = 0;
     /// Pages that hit a sought device's cell but went unanswered.
     std::size_t missed_detections = 0;
+    /// Pages spent on a sought callee's cell while that cell was dark
+    /// (in injected outage): the page could never be answered.
+    std::size_t outage_pages = 0;
+    /// Paging rounds (planned or recovery) lost to injected channel
+    /// drops: their pages are spent, nobody hears them.
+    std::size_t dropped_rounds = 0;
+    /// Recovery sweeps actually run for this call.
+    std::size_t retries = 0;
+    /// Idle rounds spent backing off between retries.
+    std::size_t backoff_rounds = 0;
+    /// Callees force-registered without ever answering (recovery
+    /// exhausted, budget hit, or retries disabled).
+    std::size_t forced_registrations = 0;
+    /// The page budget or round deadline cut recovery short.
+    bool budget_exhausted = false;
+    /// The call needed the degraded path (any retry, or abandonment).
+    bool degraded = false;
+    /// At least one callee was abandoned (force-registered unfound).
+    bool abandoned = false;
   };
 
   /// Locates `users` (their actual cells supplied positionally in
   /// `true_cells` by the caller's radio layer). Plans per reported
-  /// location area, executes the search under the detection model using
-  /// `rng`, updates the database with every answer, and runs recovery
-  /// sweeps until everyone is found. Throws std::invalid_argument on
-  /// size mismatches or out-of-range cells.
+  /// location area, executes the search under the detection and fault
+  /// models using `rng`, updates the database with every answer, and
+  /// runs recovery sweeps under the RetryPolicy. Callees still missing
+  /// when recovery ends are force-registered and accounted as abandoned.
+  /// Throws std::invalid_argument on size mismatches or out-of-range
+  /// cells.
   LocateOutcome locate(std::span<const UserId> users,
                        std::span<const CellId> true_cells, prob::Rng& rng);
 
@@ -131,12 +218,22 @@ class LocationService {
                                     const std::vector<std::size_t>& local_of,
                                     std::vector<bool>& found,
                                     LocateOutcome& outcome, prob::Rng& rng);
+  core::Strategy plan_area_strategy(std::span<const UserId> group_users,
+                                    std::size_t area, std::size_t num_cells,
+                                    std::size_t d) const;
+  void run_recovery(std::span<const UserId> users,
+                    std::span<const CellId> true_cells,
+                    std::vector<std::size_t> missing,
+                    std::size_t first_sweep_pages, LocateOutcome& outcome,
+                    prob::Rng& rng);
 
   const GridTopology* grid_;
   const LocationAreas* areas_;
   const MarkovMobility* mobility_;
   Config config_;
   LocationDatabase db_;
+  FaultPlan* faults_ = nullptr;
+  std::size_t reports_lost_ = 0;
   std::vector<std::vector<double>> visit_counts_;  // per user, per cell
   std::vector<double> stationary_;  // cached when profile kind needs it
 };

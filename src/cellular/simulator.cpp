@@ -8,10 +8,60 @@
 
 namespace confcall::cellular {
 
-SimReport run_simulation(const SimConfig& config) {
-  if (config.num_users == 0) {
-    throw std::invalid_argument("SimConfig: zero users");
+void SimConfig::validate() const {
+  if (grid_rows == 0 || grid_cols == 0) {
+    throw std::invalid_argument("SimConfig: grid must be at least 1x1");
   }
+  if (la_tile_rows == 0 || la_tile_cols == 0) {
+    throw std::invalid_argument("SimConfig: LA tiles must be at least 1x1");
+  }
+  if (num_users == 0) {
+    throw std::invalid_argument("SimConfig: num_users must be >= 1");
+  }
+  if (!(stay_probability >= 0.0 && stay_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "SimConfig: stay_probability must be in [0, 1]");
+  }
+  if (!(call_rate >= 0.0 && call_rate <= 1.0)) {
+    throw std::invalid_argument("SimConfig: call_rate must be in [0, 1]");
+  }
+  if (group_min == 0) {
+    throw std::invalid_argument("SimConfig: group_min must be >= 1");
+  }
+  if (group_min > group_max) {
+    throw std::invalid_argument("SimConfig: group_min exceeds group_max");
+  }
+  if (group_max > num_users) {
+    throw std::invalid_argument("SimConfig: group_max exceeds num_users");
+  }
+  faults.validate();
+  // Service-level rules (paging rounds, detection model, retry policy,
+  // policy parameters) are checked once, in LocationService::Config.
+  service_config().validate();
+  if (faults.any_enabled() && paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "SimConfig: the adaptive policy assumes a fault-free network");
+  }
+}
+
+LocationService::Config SimConfig::service_config() const {
+  LocationService::Config service_config;
+  service_config.report_policy = report_policy;
+  service_config.timer_period = timer_period;
+  service_config.distance_threshold = distance_threshold;
+  service_config.paging_policy = paging_policy;
+  service_config.profile_kind = profile_kind;
+  service_config.max_paging_rounds = max_paging_rounds;
+  service_config.laplace_alpha = laplace_alpha;
+  service_config.last_seen_horizon = last_seen_horizon;
+  service_config.detection_probability = detection_probability;
+  service_config.collision_losses = collision_losses;
+  service_config.retry = retry;
+  return service_config;
+}
+
+SimReport run_simulation(const SimConfig& config) {
+  config.validate();
   const GridTopology grid(config.grid_rows, config.grid_cols,
                           config.toroidal, config.neighborhood);
   const LocationAreas areas =
@@ -27,26 +77,23 @@ SimReport run_simulation(const SimConfig& config) {
         static_cast<CellId>(rng.next_below(grid.num_cells())));
   }
 
-  LocationService::Config service_config;
-  service_config.report_policy = config.report_policy;
-  service_config.timer_period = config.timer_period;
-  service_config.distance_threshold = config.distance_threshold;
-  service_config.paging_policy = config.paging_policy;
-  service_config.profile_kind = config.profile_kind;
-  service_config.max_paging_rounds = config.max_paging_rounds;
-  service_config.laplace_alpha = config.laplace_alpha;
-  service_config.last_seen_horizon = config.last_seen_horizon;
-  service_config.detection_probability = config.detection_probability;
-  service_config.collision_losses = config.collision_losses;
-  service_config.max_recovery_sweeps = config.max_recovery_sweeps;
-  LocationService service(grid, areas, mobility, service_config,
+  LocationService service(grid, areas, mobility, config.service_config(),
                           user_cells);
+  // The fault stream is separate from the simulation stream, so a plan
+  // with all rates zero leaves the run byte-identical to a fault-free
+  // build. The adaptive policy refuses any attached plan (validate()
+  // already guarantees its rates are zero), so it runs bare.
+  FaultPlan faults(config.faults, grid.num_cells());
+  if (config.paging_policy != PagingPolicy::kAdaptive) {
+    service.attach_faults(&faults);
+  }
 
   const CallGenerator calls(config.call_rate, config.num_users,
                             config.group_min, config.group_max);
   SimReport report;
 
   const auto move_users = [&] {
+    faults.begin_step();
     for (std::size_t u = 0; u < config.num_users; ++u) {
       user_cells[u] = mobility.step(user_cells[u], rng);
       if (service.observe_move(static_cast<UserId>(u), user_cells[u])) {
@@ -74,10 +121,20 @@ SimReport run_simulation(const SimConfig& config) {
     report.cells_paged_total += outcome.cells_paged;
     report.fallback_pages += outcome.fallback_pages;
     report.missed_detections += outcome.missed_detections;
+    report.outage_pages += outcome.outage_pages;
+    report.dropped_rounds += outcome.dropped_rounds;
+    report.retries_total += outcome.retries;
+    report.backoff_rounds += outcome.backoff_rounds;
+    report.forced_registrations += outcome.forced_registrations;
+    if (outcome.degraded) ++report.calls_degraded;
+    if (outcome.abandoned) ++report.calls_abandoned;
+    if (outcome.budget_exhausted) ++report.budget_exhaustions;
     report.pages_per_call.add(static_cast<double>(outcome.cells_paged));
     report.rounds_per_call.add(static_cast<double>(outcome.rounds_used));
   }
   report.steps = config.warmup_steps + config.steps;
+  report.reports_lost = service.reports_lost();
+  report.faults_injected = faults.stats();
   return report;
 }
 

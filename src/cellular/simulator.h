@@ -5,12 +5,15 @@
 // (events.h), and a LocationService (service.h) tracks reports and pages
 // callees under a delay constraint. Wireless cost = uplink reports +
 // downlink pages, reproducing the reporting/paging tradeoff the paper
-// frames (experiment E9).
+// frames (experiment E9). A FaultConfig (faults.h) additionally injects
+// cell outages, report loss and paging-channel drops, and a RetryPolicy
+// bounds the degraded-mode recovery (experiment E12).
 #pragma once
 
 #include <cstdint>
 
 #include "cellular/events.h"
+#include "cellular/faults.h"
 #include "cellular/service.h"
 #include "prob/stats.h"
 
@@ -52,12 +55,27 @@ struct SimConfig {
   /// devices share a paged cell, each answers the page successfully with
   /// probability detection_probability / (devices in that cell).
   bool collision_losses = false;
-  /// Recovery sweeps before a missing device is force-registered (models
-  /// the device eventually answering a persistent page).
-  std::size_t max_recovery_sweeps = 8;
+  /// Recovery behaviour: sweep count, backoff, page budget, deadline
+  /// (replaces the old max_recovery_sweeps knob; retry.max_retries is
+  /// its direct successor).
+  RetryPolicy retry;
+  /// Structured fault injection (all rates zero = fault-free; the run is
+  /// then byte-identical to a build without the fault layer).
+  FaultConfig faults;
   double report_cost = 1.0;  ///< uplink cost per location report
   double page_cost = 1.0;    ///< downlink cost per cell paged
   std::uint64_t seed = 1;
+
+  /// Consolidated validation: one specific std::invalid_argument message
+  /// per rejected field/combination (zero users, group sizes out of
+  /// range, rates outside [0, 1], zero paging rounds, adaptive policy
+  /// with imperfect detection or faults, ...). run_simulation calls it
+  /// first; exposed so harnesses can check configs up front.
+  void validate() const;
+
+  /// The LocationService::Config this simulation drives (also used by
+  /// validate() so service-level rules are checked in one place).
+  [[nodiscard]] LocationService::Config service_config() const;
 };
 
 /// Aggregated results of one simulation run.
@@ -73,6 +91,28 @@ struct SimReport {
   /// Pages that hit a sought device's cell but went unanswered
   /// (detection_probability < 1 only).
   std::size_t missed_detections = 0;
+  /// Uplink reports swallowed by injected faults (counted inside
+  /// reports_sent: the device paid for them, the database missed them).
+  std::size_t reports_lost = 0;
+  /// Pages spent on sought callees' cells while those cells were dark.
+  std::size_t outage_pages = 0;
+  /// Paging rounds lost whole to injected channel drops.
+  std::size_t dropped_rounds = 0;
+  /// Recovery sweeps run across all calls.
+  std::size_t retries_total = 0;
+  /// Idle rounds spent in retry backoff across all calls.
+  std::size_t backoff_rounds = 0;
+  /// Calls that needed the degraded path (any retry or abandonment).
+  std::size_t calls_degraded = 0;
+  /// Calls that force-registered at least one callee unfound.
+  std::size_t calls_abandoned = 0;
+  /// Callees force-registered without answering, across all calls.
+  std::size_t forced_registrations = 0;
+  /// Calls whose recovery was cut short by page budget / deadline.
+  std::size_t budget_exhaustions = 0;
+  /// Injection-side fault counters (what the FaultPlan actually did),
+  /// for conservation checks against the observation counters above.
+  FaultStats faults_injected;
   prob::RunningStats pages_per_call;
   prob::RunningStats rounds_per_call;
 
@@ -85,8 +125,8 @@ struct SimReport {
 };
 
 /// Runs one simulation to completion. Deterministic given the config
-/// (including its seed). Throws std::invalid_argument on inconsistent
-/// configuration (zero users, group sizes out of range, d = 0, ...).
+/// (including its seeds). Throws std::invalid_argument on inconsistent
+/// configuration (see SimConfig::validate).
 SimReport run_simulation(const SimConfig& config);
 
 }  // namespace confcall::cellular

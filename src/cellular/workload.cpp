@@ -75,9 +75,29 @@ Scenario highway_scenario(std::uint64_t seed) {
   return scenario;
 }
 
+Scenario degraded_urban_scenario(std::uint64_t seed) {
+  Scenario scenario = dense_urban_scenario(seed);
+  scenario.name = "degraded-urban";
+  scenario.description =
+      "dense-urban under structured faults: sporadic cell outages, 10% "
+      "uplink report loss, 5% paging-round drops; recovery bounded by "
+      "4 retries with exponential backoff and a 4000-page call budget";
+  SimConfig& config = scenario.config;
+  config.faults.cell_outage_rate = 0.05;
+  config.faults.outage_duration = 40;
+  config.faults.report_loss_rate = 0.10;
+  config.faults.round_drop_rate = 0.05;
+  config.faults.seed = seed ^ 0xfa17;
+  config.retry.max_retries = 4;
+  config.retry.backoff_base = 1;
+  config.retry.backoff_cap = 8;
+  config.retry.page_budget = 4000;
+  return scenario;
+}
+
 std::vector<Scenario> all_scenarios(std::uint64_t seed) {
   return {dense_urban_scenario(seed), campus_scenario(seed),
-          highway_scenario(seed)};
+          highway_scenario(seed), degraded_urban_scenario(seed)};
 }
 
 }  // namespace confcall::cellular

@@ -33,6 +33,12 @@ Scenario campus_scenario(std::uint64_t seed = 1);
 /// Reporting dominates the wireless bill.
 Scenario highway_scenario(std::uint64_t seed = 1);
 
+/// The dense-urban deployment on a bad day: cell outages, lost uplink
+/// reports and overloaded paging rounds, with a bounded backoff retry
+/// policy. The preset exercised by the fault-tolerance experiment (E12)
+/// and the degraded-mode tests.
+Scenario degraded_urban_scenario(std::uint64_t seed = 1);
+
 /// All presets, for sweep harnesses.
 std::vector<Scenario> all_scenarios(std::uint64_t seed = 1);
 

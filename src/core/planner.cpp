@@ -6,6 +6,7 @@
 #include "core/evaluator.h"
 #include "core/exact.h"
 #include "core/greedy.h"
+#include "core/resilient_planner.h"
 
 namespace confcall::core {
 
@@ -78,6 +79,7 @@ std::vector<std::unique_ptr<Planner>> default_planners() {
   planners.push_back(std::make_unique<BlanketPlanner>());
   planners.push_back(std::make_unique<GreedyPlanner>());
   planners.push_back(std::make_unique<TypedExactPlanner>());
+  planners.push_back(ResilientPlanner::standard());
   return planners;
 }
 

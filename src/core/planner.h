@@ -116,8 +116,8 @@ std::vector<PlannerComparison> compare_planners(
     std::span<const Planner* const> planners,
     const Objective& objective = Objective::all_of());
 
-/// The built-in planner set used by examples: blanket, greedy, capped
-/// greedy (cap = c/2), typed exact.
+/// The built-in planner set used by examples: blanket, greedy, typed
+/// exact, and the resilient fallback chain (resilient_planner.h).
 std::vector<std::unique_ptr<Planner>> default_planners();
 
 }  // namespace confcall::core

@@ -1,0 +1,88 @@
+#include "core/resilient_planner.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+namespace confcall::core {
+
+ResilientPlanner::ResilientPlanner(
+    std::vector<std::unique_ptr<Planner>> chain, Budget budget)
+    : chain_(std::move(chain)),
+      budget_(budget),
+      served_(chain_.size(), 0) {
+  if (chain_.empty()) {
+    throw std::invalid_argument("ResilientPlanner: empty chain");
+  }
+  for (const auto& tier : chain_) {
+    if (tier == nullptr) {
+      throw std::invalid_argument("ResilientPlanner: null tier");
+    }
+  }
+  if (budget_.time_limit_seconds < 0.0) {
+    throw std::invalid_argument(
+        "ResilientPlanner: negative time limit");
+  }
+}
+
+std::unique_ptr<ResilientPlanner> ResilientPlanner::standard(
+    Budget budget) {
+  std::vector<std::unique_ptr<Planner>> chain;
+  chain.push_back(std::make_unique<TypedExactPlanner>());
+  chain.push_back(std::make_unique<GreedyPlanner>());
+  chain.push_back(std::make_unique<BlanketPlanner>());
+  return std::make_unique<ResilientPlanner>(std::move(chain), budget);
+}
+
+std::string ResilientPlanner::name() const {
+  std::string name = "resilient(";
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    if (i > 0) name += '>';
+    name += chain_[i]->name();
+  }
+  name += ')';
+  return name;
+}
+
+Strategy ResilientPlanner::plan(const Instance& instance,
+                                std::size_t num_rounds) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto over_budget = [&] {
+    if (budget_.time_limit_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    return elapsed.count() > budget_.time_limit_seconds;
+  };
+
+  std::exception_ptr last_error;
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const bool final_tier = i + 1 == chain_.size();
+    // A non-final tier is not even attempted once the clock ran out:
+    // its answer would arrive after the call-setup deadline. The final
+    // tier always runs — returning SOMETHING is the whole point.
+    if (!final_tier && over_budget()) {
+      ++failovers_;
+      continue;
+    }
+    try {
+      Strategy strategy = chain_[i]->plan(instance, num_rounds);
+      if (!final_tier && over_budget()) {
+        // The tier answered, but too late to use; degrade onward.
+        ++failovers_;
+        continue;
+      }
+      ++served_[i];
+      last_tier_ = i;
+      return strategy;
+    } catch (const std::invalid_argument&) {
+      ++failovers_;
+      last_error = std::current_exception();
+    } catch (const std::runtime_error&) {
+      ++failovers_;
+      last_error = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last_error);
+}
+
+}  // namespace confcall::core

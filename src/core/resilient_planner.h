@@ -1,0 +1,89 @@
+// Degraded-mode planning: a fallback chain of planners.
+//
+// Planners fail in practice: the typed exact solver rejects instances
+// whose node count exceeds its limit, a capped planner rejects infeasible
+// budgets, and a deadline-bound deployment cannot wait for a slow tier.
+// A ResilientPlanner wraps an ordered chain (preferred tier first,
+// cheapest last) and guarantees an answer: each tier is tried in turn,
+// std::invalid_argument / std::runtime_error failures and wall-clock
+// budget overruns degrade to the next tier, and the tier that finally
+// served each call is counted so deployments can watch their degradation
+// rate. The last tier is the safety net — it runs even when the budget
+// is already blown (a blanket plan is instant and always valid).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace confcall::core {
+
+/// A planner that degrades through a fallback chain instead of failing.
+/// plan() is const like every Planner, but the telemetry counters mutate
+/// under it — the class is not thread-safe.
+class ResilientPlanner final : public Planner {
+ public:
+  struct Budget {
+    /// Wall-clock limit per plan() call, in seconds. When a tier leaves
+    /// less than nothing on the clock, remaining non-final tiers are
+    /// skipped (their result would arrive after the call-setup deadline)
+    /// and the final tier serves. 0 = unlimited.
+    double time_limit_seconds = 0.0;
+  };
+
+  /// Takes ownership of the chain (preferred first). Throws
+  /// std::invalid_argument on an empty chain, a null entry, or a
+  /// negative time limit.
+  explicit ResilientPlanner(std::vector<std::unique_ptr<Planner>> chain,
+                            Budget budget = Budget{0.0});
+
+  /// The standard production chain: typed-exact -> greedy Fig. 1 ->
+  /// blanket.
+  static std::unique_ptr<ResilientPlanner> standard(Budget budget = Budget{0.0});
+
+  /// "resilient(exact-typed>greedy-fig1>blanket)".
+  [[nodiscard]] std::string name() const override;
+
+  /// Tries each tier in order; returns the first strategy produced in
+  /// budget. Only if every tier fails (possible when even the last tier
+  /// rejects the instance) does the last tier's error propagate.
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds) const override;
+
+  /// How many plan() calls each tier served (index-aligned with the
+  /// chain).
+  [[nodiscard]] std::span<const std::uint64_t> served_counts() const {
+    return served_;
+  }
+
+  /// Tier index that served the most recent successful plan().
+  [[nodiscard]] std::size_t last_tier() const noexcept { return last_tier_; }
+
+  /// Total tier failures/skips across all plan() calls (a measure of how
+  /// often the deployment is degraded).
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_;
+  }
+
+  [[nodiscard]] std::size_t num_tiers() const noexcept {
+    return chain_.size();
+  }
+
+  /// The tier planners, for inspection (e.g. their names).
+  [[nodiscard]] const Planner& tier(std::size_t index) const {
+    return *chain_.at(index);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Planner>> chain_;
+  Budget budget_;
+  mutable std::vector<std::uint64_t> served_;
+  mutable std::size_t last_tier_ = 0;
+  mutable std::uint64_t failovers_ = 0;
+};
+
+}  // namespace confcall::core

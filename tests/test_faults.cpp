@@ -1,0 +1,180 @@
+// Tests for the deterministic fault-injection layer.
+#include "cellular/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace confcall::cellular {
+namespace {
+
+FaultConfig all_on() {
+  FaultConfig config;
+  config.cell_outage_rate = 0.3;
+  config.outage_duration = 5;
+  config.report_loss_rate = 0.4;
+  config.round_drop_rate = 0.2;
+  config.seed = 99;
+  return config;
+}
+
+TEST(FaultConfig, ValidateNamesTheOffendingField) {
+  const auto message_of = [](const FaultConfig& config) -> std::string {
+    try {
+      config.validate();
+    } catch (const std::invalid_argument& error) {
+      return error.what();
+    }
+    return "";
+  };
+  FaultConfig config;
+  config.cell_outage_rate = -0.1;
+  EXPECT_NE(message_of(config).find("cell_outage_rate"), std::string::npos);
+  config = {};
+  config.report_loss_rate = 1.5;
+  EXPECT_NE(message_of(config).find("report_loss_rate"), std::string::npos);
+  config = {};
+  config.round_drop_rate = 2.0;
+  EXPECT_NE(message_of(config).find("round_drop_rate"), std::string::npos);
+  config = {};
+  config.cell_outage_rate = 0.1;
+  config.outage_duration = 0;
+  EXPECT_NE(message_of(config).find("outage_duration"), std::string::npos);
+  // NaN rates must not sneak through the comparisons.
+  config = {};
+  config.report_loss_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message_of(config).find("report_loss_rate"), std::string::npos);
+  // A duration of zero is fine while outages are disabled.
+  config = {};
+  config.outage_duration = 0;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(FaultConfig, AnyEnabledReflectsRates) {
+  FaultConfig config;
+  EXPECT_FALSE(config.any_enabled());
+  config.report_loss_rate = 0.01;
+  EXPECT_TRUE(config.any_enabled());
+}
+
+TEST(FaultPlan, RejectsZeroCellsAndBadConfig) {
+  EXPECT_THROW(FaultPlan(FaultConfig{}, 0), std::invalid_argument);
+  FaultConfig bad;
+  bad.round_drop_rate = -1.0;
+  EXPECT_THROW(FaultPlan(bad, 4), std::invalid_argument);
+}
+
+TEST(FaultPlan, ZeroRatesAreCompletelyInert) {
+  FaultPlan plan(FaultConfig{}, 16);
+  for (int step = 0; step < 200; ++step) {
+    plan.begin_step();
+    EXPECT_FALSE(plan.drop_report());
+    EXPECT_FALSE(plan.drop_round());
+  }
+  EXPECT_EQ(plan.cells_out(), 0u);
+  EXPECT_EQ(plan.stats().outages_started, 0u);
+  EXPECT_EQ(plan.stats().reports_dropped, 0u);
+  EXPECT_EQ(plan.stats().rounds_dropped, 0u);
+  for (CellId cell = 0; cell < 16; ++cell) {
+    EXPECT_FALSE(plan.cell_out(cell));
+  }
+}
+
+TEST(FaultPlan, DeterministicGivenSeed) {
+  FaultPlan a(all_on(), 36);
+  FaultPlan b(all_on(), 36);
+  for (int step = 0; step < 300; ++step) {
+    a.begin_step();
+    b.begin_step();
+    EXPECT_EQ(a.cells_out(), b.cells_out());
+    EXPECT_EQ(a.drop_report(), b.drop_report());
+    EXPECT_EQ(a.drop_round(), b.drop_round());
+    for (CellId cell = 0; cell < 36; ++cell) {
+      ASSERT_EQ(a.cell_out(cell), b.cell_out(cell)) << "step " << step;
+    }
+  }
+  EXPECT_EQ(a.stats().outages_started, b.stats().outages_started);
+  EXPECT_EQ(a.stats().reports_dropped, b.stats().reports_dropped);
+  EXPECT_EQ(a.stats().rounds_dropped, b.stats().rounds_dropped);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultConfig other = all_on();
+  other.seed = 100;
+  FaultPlan a(all_on(), 36);
+  FaultPlan b(other, 36);
+  std::size_t disagreements = 0;
+  for (int step = 0; step < 300; ++step) {
+    a.begin_step();
+    b.begin_step();
+    if (a.drop_report() != b.drop_report()) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0u);
+}
+
+TEST(FaultPlan, OutageClocksExpireOnSchedule) {
+  // rate = 1 with duration 1: every begin_step expires yesterday's
+  // outage and starts today's, so exactly one cell is ever dark.
+  FaultConfig config;
+  config.cell_outage_rate = 1.0;
+  config.outage_duration = 1;
+  config.seed = 7;
+  FaultPlan plan(config, 9);
+  for (int step = 0; step < 50; ++step) {
+    plan.begin_step();
+    EXPECT_EQ(plan.cells_out(), 1u);
+    std::size_t dark = 0;
+    for (CellId cell = 0; cell < 9; ++cell) {
+      if (plan.cell_out(cell)) ++dark;
+    }
+    EXPECT_EQ(dark, plan.cells_out());
+  }
+  EXPECT_EQ(plan.stats().outages_started, 50u);
+}
+
+TEST(FaultPlan, LongerOutagesAccumulate) {
+  FaultConfig config;
+  config.cell_outage_rate = 1.0;
+  config.outage_duration = 100;  // longer than the horizon: nothing expires
+  config.seed = 8;
+  FaultPlan plan(config, 64);
+  for (int step = 0; step < 30; ++step) plan.begin_step();
+  // One outage draw per step; repeats refresh instead of double-count.
+  EXPECT_GT(plan.cells_out(), 10u);
+  EXPECT_LE(plan.cells_out(), 30u);
+  EXPECT_EQ(plan.stats().outages_started, plan.cells_out());
+}
+
+TEST(FaultPlan, CertainDropRatesAlwaysFireAndCount) {
+  FaultConfig config;
+  config.report_loss_rate = 1.0;
+  config.round_drop_rate = 1.0;
+  FaultPlan plan(config, 4);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(plan.drop_report());
+    EXPECT_TRUE(plan.drop_round());
+  }
+  EXPECT_EQ(plan.stats().reports_dropped, 25u);
+  EXPECT_EQ(plan.stats().rounds_dropped, 25u);
+}
+
+TEST(FaultPlan, DropRatesApproximateTheirProbability) {
+  FaultConfig config;
+  config.report_loss_rate = 0.25;
+  config.seed = 11;
+  FaultPlan plan(config, 4);
+  std::size_t dropped = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (plan.drop_report()) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(plan.stats().reports_dropped, dropped);
+}
+
+}  // namespace
+}  // namespace confcall::cellular

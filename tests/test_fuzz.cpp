@@ -4,9 +4,13 @@
 // exploring interleavings no hand-written scenario covers.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "cellular/service.h"
 #include "core/evaluator.h"
 #include "core/greedy.h"
+#include "core/io.h"
 #include "prob/distribution.h"
 #include "test_util.h"
 
@@ -41,9 +45,30 @@ TEST(Fuzz, LocationServiceInvariantsUnderRandomOps) {
         rng.next_below(3));
     config.max_paging_rounds = 1 + rng.next_below(4);
     if (rng.next_below(3) == 0) config.detection_probability = 0.6;
+    if (config.paging_policy == cellular::PagingPolicy::kGreedy &&
+        rng.next_below(2) == 0) {
+      config.retry.max_retries = rng.next_below(4);
+      config.retry.backoff_base = rng.next_below(3);
+      config.retry.page_budget = rng.next_below(2) == 0
+                                     ? 0
+                                     : 5 + rng.next_below(100);
+    }
     cellular::LocationService service(grid, areas, mobility, config, cells);
 
+    // Half the runs get random structured faults on top.
+    cellular::FaultConfig fault_config;
+    if (rng.next_below(2) == 0) {
+      fault_config.cell_outage_rate = 0.2 * rng.next_double();
+      fault_config.outage_duration = 1 + rng.next_below(30);
+      fault_config.report_loss_rate = 0.4 * rng.next_double();
+      fault_config.round_drop_rate = 0.3 * rng.next_double();
+      fault_config.seed = seed ^ 0xfa17;
+    }
+    cellular::FaultPlan faults(fault_config, grid.num_cells());
+    service.attach_faults(&faults);
+
     for (int op = 0; op < 300; ++op) {
+      faults.begin_step();
       switch (rng.next_below(3)) {
         case 0: {  // move everyone one step
           for (std::size_t u = 0; u < users; ++u) {
@@ -96,6 +121,45 @@ TEST(Fuzz, LocationServiceInvariantsUnderRandomOps) {
         EXPECT_EQ(service.database().reported_area(static_cast<UserId>(u)),
                   areas.area_of(reported));
       }
+    }
+    // Fault conservation: every report the plan swallowed was observed
+    // by the service as lost, and vice versa.
+    EXPECT_EQ(service.reports_lost(), faults.stats().reports_dropped);
+  }
+}
+
+TEST(Fuzz, ParsersRejectGarbageWithoutCrashing) {
+  // Hostile-input sweep: random byte soup into both text parsers. The
+  // only acceptable outcomes are a parsed value or std::invalid_argument
+  // — never a crash, hang, or any other exception type.
+  const char charset[] =
+      "0123456789.eE+-{}|, \t\n#nanifconference-call-instance vmc";
+  prob::Rng rng(0xbadf00d);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text;
+    const std::size_t length = rng.next_below(120);
+    for (std::size_t k = 0; k < length; ++k) {
+      text.push_back(charset[rng.next_below(sizeof(charset) - 1)]);
+    }
+    // Half the instance attempts get a valid header prefix so the row
+    // parser and Instance validation see plenty of traffic too.
+    std::string instance_text = text;
+    if (iter % 2 == 0) {
+      instance_text = "conference-call-instance v1 m 2 c 3\n" + text;
+    }
+    try {
+      const core::Instance parsed = core::instance_from_text(instance_text);
+      EXPECT_GE(parsed.num_devices(), 1u);
+      EXPECT_GE(parsed.num_cells(), 1u);
+    } catch (const std::invalid_argument&) {
+      // expected for garbage
+    }
+    try {
+      const core::Strategy parsed =
+          core::strategy_from_text(text, 1 + rng.next_below(12));
+      EXPECT_GE(parsed.num_rounds(), 1u);
+    } catch (const std::invalid_argument&) {
+      // expected for garbage
     }
   }
 }

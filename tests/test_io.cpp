@@ -53,6 +53,66 @@ TEST(InstanceIo, RejectsMalformedInput) {
       std::invalid_argument);
 }
 
+TEST(InstanceIo, RejectsTruncatedHeaders) {
+  // Every prefix of a valid header must be rejected cleanly, never read
+  // past the end or crash.
+  const char* truncations[] = {
+      "conference-call-instance",
+      "conference-call-instance v1",
+      "conference-call-instance v1 m",
+      "conference-call-instance v1 m 2",
+      "conference-call-instance v1 m 2 c",
+      "conference-call-instance v1 m 2 c 3",  // header ok, no rows
+      "# only a comment\n",
+  };
+  for (const char* text : truncations) {
+    EXPECT_THROW(instance_from_text(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(InstanceIo, RejectsNonFiniteProbabilities) {
+  // std::from_chars accepts "nan"/"inf" spellings; Instance validation
+  // must catch them (and negatives) before they poison a planner.
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 nan nan"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 inf 0.0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 -inf 1.0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      instance_from_text("conference-call-instance v1 m 1 c 2 -0.5 1.5"),
+      std::invalid_argument);
+}
+
+TEST(InstanceIo, RejectsOversizedCounts) {
+  // Counts that overflow size_t parse as out-of-range, not as garbage
+  // allocations.
+  EXPECT_THROW(instance_from_text("conference-call-instance v1 "
+                                  "m 99999999999999999999999 c 1 1.0"),
+               std::invalid_argument);
+  EXPECT_THROW(instance_from_text("conference-call-instance v1 "
+                                  "m 1 c 18446744073709551616 1.0"),
+               std::invalid_argument);
+  // Huge but parseable counts fail the token-count check, not allocate.
+  EXPECT_THROW(instance_from_text("conference-call-instance v1 "
+                                  "m 4294967295 c 4294967295 1.0"),
+               std::invalid_argument);
+  EXPECT_THROW(instance_from_text("conference-call-instance v1 "
+                                  "m -1 c 1 1.0"),
+               std::invalid_argument);
+}
+
+TEST(StrategyIo, RejectsOversizedCellIds) {
+  // 2^32 does not fit CellId: out-of-range, not wraparound.
+  EXPECT_THROW(strategy_from_text("{4294967296}|{0}", 2),
+               std::invalid_argument);
+  // In-range number, out-of-partition cell.
+  EXPECT_THROW(strategy_from_text("{5}|{0,1}", 2), std::invalid_argument);
+}
+
 TEST(StrategyIo, RoundTripThroughToString) {
   const Strategy original = Strategy::from_groups({{2, 0}, {1}, {3, 4}}, 5);
   const Strategy parsed = strategy_from_text(original.to_string(), 5);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "cellular/profile.h"
+#include "core/resilient_planner.h"
 
 namespace confcall::cellular {
 namespace {
@@ -246,6 +247,159 @@ TEST_F(ServiceTest, GreedyLocatePagesNoMoreThanBlanketOnAverage) {
     blanket_pages += blanket.locate(users, cells, rng_b).cells_paged;
   }
   EXPECT_LT(greedy_pages, blanket_pages);
+}
+
+TEST_F(ServiceTest, RetryPolicyValidated) {
+  LocationService::Config config;
+  config.retry.backoff_base = 16;
+  config.retry.backoff_cap = 4;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
+  config = {};
+  config.retry.backoff_base = 4;
+  config.retry.backoff_cap = 4;  // equal is fine
+  EXPECT_NO_THROW(make_service(config));
+}
+
+TEST_F(ServiceTest, AttachFaultsRejectsAdaptivePolicy) {
+  LocationService::Config config;
+  config.paging_policy = PagingPolicy::kAdaptive;
+  LocationService service = make_service(config);
+  FaultPlan plan(FaultConfig{}, grid_.num_cells());
+  EXPECT_THROW(service.attach_faults(&plan), std::invalid_argument);
+  // nullptr detach is always allowed.
+  LocationService greedy = make_service({});
+  greedy.attach_faults(&plan);
+  greedy.attach_faults(nullptr);
+}
+
+TEST_F(ServiceTest, DroppedReportLeavesDatabaseStale) {
+  FaultConfig faulty;
+  faulty.report_loss_rate = 1.0;  // every report is swallowed
+  FaultPlan plan(faulty, grid_.num_cells());
+  LocationService service = make_service({});
+  service.attach_faults(&plan);
+  // An area-crossing move fires the policy (uplink cost paid)...
+  EXPECT_TRUE(service.observe_move(0, 3));
+  // ...but the network never heard it.
+  EXPECT_EQ(service.database().reported_cell(0), 0u);
+  EXPECT_EQ(service.reports_lost(), 1u);
+  EXPECT_EQ(plan.stats().reports_dropped, 1u);
+}
+
+TEST_F(ServiceTest, DarkCellPagesAreCountedAndCallAbandoned) {
+  // One fresh outage per step that never expires: after enough steps the
+  // callee's cell is dark, every page on it is wasted, and the bounded
+  // retry policy must abandon rather than spin.
+  FaultConfig faulty;
+  faulty.cell_outage_rate = 1.0;
+  faulty.outage_duration = 10000;
+  faulty.seed = 3;
+  FaultPlan plan(faulty, grid_.num_cells());
+  for (int step = 0; step < 400; ++step) plan.begin_step();
+  ASSERT_TRUE(plan.cell_out(0));
+  LocationService::Config config;
+  config.retry.max_retries = 2;
+  LocationService service = make_service(config);
+  service.attach_faults(&plan);
+  prob::Rng rng(5);
+  const UserId users[] = {0};
+  const CellId truth[] = {0};
+  const auto outcome = service.locate(users, truth, rng);
+  // Strategy phase + both recovery sweeps all paged the dark cell.
+  EXPECT_GE(outcome.outage_pages, 3u);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_TRUE(outcome.abandoned);
+  EXPECT_EQ(outcome.forced_registrations, 1u);
+}
+
+TEST_F(ServiceTest, PageBudgetAbandonsInsteadOfSweeping) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.retry.page_budget = 10;  // less than one 36-cell sweep
+  LocationService service = make_service(config);
+  prob::Rng rng(6);
+  // Stale: registered at 0, actually at 35 — recovery would need a full
+  // sweep, which the budget forbids.
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_TRUE(outcome.budget_exhausted);
+  EXPECT_TRUE(outcome.abandoned);
+  EXPECT_EQ(outcome.forced_registrations, 1u);
+  EXPECT_EQ(outcome.fallback_pages, 0u);
+  EXPECT_LE(outcome.cells_paged, 10u);
+  // Force-registration still commits the truth.
+  EXPECT_EQ(service.database().reported_cell(0), 35u);
+}
+
+TEST_F(ServiceTest, RoundDeadlineCutsRecoveryShort) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.retry.backoff_base = 4;
+  config.retry.backoff_cap = 8;
+  config.retry.round_deadline = 4;  // search rounds alone nearly fill it
+  LocationService service = make_service(config);
+  prob::Rng rng(7);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  // The first retry needs 4 backoff rounds + 1 sweep round: over the
+  // deadline, so recovery never starts.
+  EXPECT_TRUE(outcome.budget_exhausted);
+  EXPECT_TRUE(outcome.abandoned);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_LE(outcome.rounds_used, 4u);
+}
+
+TEST_F(ServiceTest, BackoffSpendsRoundsNotPages) {
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.retry.backoff_base = 2;
+  config.retry.backoff_cap = 8;
+  LocationService with_backoff = make_service(config);
+  LocationService::Config plain;
+  plain.report_policy = ReportPolicy::kNever;
+  LocationService without_backoff = make_service(plain);
+  prob::Rng rng_a(8);
+  prob::Rng rng_b(8);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto slow = with_backoff.locate(users, truth, rng_a);
+  const auto fast = without_backoff.locate(users, truth, rng_b);
+  EXPECT_GT(slow.backoff_rounds, 0u);
+  EXPECT_EQ(fast.backoff_rounds, 0u);
+  EXPECT_EQ(slow.cells_paged, fast.cells_paged);
+  EXPECT_EQ(slow.rounds_used, fast.rounds_used + slow.backoff_rounds);
+}
+
+TEST_F(ServiceTest, ResilientPlannerServesLocate) {
+  const auto resilient = core::ResilientPlanner::standard();
+  LocationService::Config config;
+  config.planner = resilient.get();
+  LocationService service = make_service(config);
+  prob::Rng rng(9);
+  // Users 0 and 2 registered in different location areas, so the chain
+  // plans two independent instances.
+  const UserId users[] = {0, 2};
+  const CellId truth[] = {0, 20};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_EQ(outcome.fallback_pages, 0u);
+  EXPECT_GE(outcome.cells_paged, 1u);
+  // The chain served from some tier for each of the two areas planned.
+  std::uint64_t total_served = 0;
+  for (const std::uint64_t count : resilient->served_counts()) {
+    total_served += count;
+  }
+  EXPECT_EQ(total_served, 2u);
+}
+
+TEST_F(ServiceTest, PlannerOverrideRejectedUnderAdaptive) {
+  const auto resilient = core::ResilientPlanner::standard();
+  LocationService::Config config;
+  config.planner = resilient.get();
+  config.paging_policy = PagingPolicy::kAdaptive;
+  EXPECT_THROW(make_service(config), std::invalid_argument);
 }
 
 }  // namespace

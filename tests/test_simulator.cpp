@@ -233,11 +233,155 @@ TEST(Simulator, EveryCalleeEventuallyRegistered) {
   SimConfig config = small_config();
   config.detection_probability = 0.3;
   config.collision_losses = true;
-  config.max_recovery_sweeps = 2;
+  config.retry.max_retries = 2;
   config.steps = 200;
   const SimReport report = run_simulation(config);
   EXPECT_GT(report.calls_served, 20u);
   EXPECT_GT(report.fallback_pages, 0u);
+}
+
+TEST(Simulator, SeedRegressionPinned) {
+  // Byte-for-byte pins captured from the pre-fault-layer seed build.
+  // With all fault rates zero and the retry policy at defaults the
+  // simulation must not consume a single extra rng draw; any drift here
+  // means the fault layer is not inert when disabled.
+  const SimReport plain = run_simulation(small_config());
+  EXPECT_EQ(plain.calls_served, 113u);
+  EXPECT_EQ(plain.reports_sent, 556u);
+  EXPECT_EQ(plain.cells_paged_total, 853u);
+  EXPECT_EQ(plain.fallback_pages, 0u);
+  EXPECT_EQ(plain.missed_detections, 0u);
+  EXPECT_EQ(plain.pages_per_call.mean(), 7.5486725663716809);
+  EXPECT_EQ(plain.rounds_per_call.mean(), 1.9469026548672574);
+
+  SimConfig lossy = small_config();
+  lossy.detection_probability = 0.6;
+  lossy.collision_losses = true;
+  const SimReport noisy = run_simulation(lossy);
+  EXPECT_EQ(noisy.calls_served, 121u);
+  EXPECT_EQ(noisy.reports_sent, 558u);
+  EXPECT_EQ(noisy.cells_paged_total, 7874u);
+  EXPECT_EQ(noisy.fallback_pages, 6264u);
+  EXPECT_EQ(noisy.missed_detections, 236u);
+  EXPECT_EQ(noisy.pages_per_call.mean(), 65.074380165289256);
+  EXPECT_EQ(noisy.rounds_per_call.mean(), 4.2975206611570265);
+}
+
+TEST(Simulator, ZeroRetriesAbandonsInsteadOfLooping) {
+  // max_retries = 0 with heavy losses: the recovery loop never runs, so
+  // any callee missed on the first sweep is force-registered and the
+  // call is counted abandoned — previously this was silently folded
+  // into the sweep stats.
+  SimConfig config = small_config();
+  config.detection_probability = 0.3;
+  config.collision_losses = true;
+  config.retry.max_retries = 0;
+  config.steps = 200;
+  const SimReport report = run_simulation(config);
+  EXPECT_GT(report.calls_served, 20u);
+  EXPECT_GT(report.calls_abandoned, 0u);
+  EXPECT_GT(report.forced_registrations, 0u);
+  EXPECT_GE(report.forced_registrations, report.calls_abandoned);
+  EXPECT_EQ(report.retries_total, 0u);
+  // Abandoned calls still count as served (the conference proceeds with
+  // whoever answered), so abandoned <= served.
+  EXPECT_LE(report.calls_abandoned, report.calls_served);
+}
+
+TEST(Simulator, ValidationMessagesAreSpecific) {
+  const auto message_of = [](SimConfig config) -> std::string {
+    try {
+      config.validate();
+    } catch (const std::invalid_argument& error) {
+      return error.what();
+    }
+    return "";
+  };
+
+  SimConfig config = small_config();
+  config.num_users = 0;
+  EXPECT_NE(message_of(config).find("num_users"), std::string::npos);
+
+  config = small_config();
+  config.stay_probability = 1.5;
+  EXPECT_NE(message_of(config).find("stay_probability"), std::string::npos);
+
+  config = small_config();
+  config.group_min = 5;
+  config.group_max = 4;
+  EXPECT_NE(message_of(config).find("group_min"), std::string::npos);
+
+  config = small_config();
+  config.faults.report_loss_rate = -0.5;
+  EXPECT_NE(message_of(config).find("report_loss_rate"), std::string::npos);
+
+  config = small_config();
+  config.retry.backoff_base = 9;
+  config.retry.backoff_cap = 2;
+  EXPECT_NE(message_of(config).find("backoff"), std::string::npos);
+
+  config = small_config();
+  config.paging_policy = PagingPolicy::kAdaptive;
+  config.faults.cell_outage_rate = 0.1;
+  EXPECT_NE(message_of(config).find("adaptive"), std::string::npos);
+}
+
+TEST(Simulator, FaultConservationInjectedEqualsObserved) {
+  // Every injected fault must surface in exactly one observation-side
+  // counter: dropped uplink reports in reports_lost, dropped paging
+  // rounds in dropped_rounds. Outages are time-based (counted per
+  // outage event, observed per page), so they are asserted as activity
+  // rather than equality.
+  SimConfig config = small_config();
+  config.faults.cell_outage_rate = 0.05;
+  config.faults.outage_duration = 30;
+  config.faults.report_loss_rate = 0.2;
+  config.faults.round_drop_rate = 0.1;
+  config.retry.max_retries = 4;
+  const SimReport report = run_simulation(config);
+  EXPECT_EQ(report.reports_lost, report.faults_injected.reports_dropped);
+  EXPECT_EQ(report.dropped_rounds, report.faults_injected.rounds_dropped);
+  EXPECT_GT(report.faults_injected.outages_started, 0u);
+  EXPECT_GT(report.outage_pages, 0u);
+  EXPECT_GT(report.reports_lost, 0u);
+  EXPECT_GT(report.dropped_rounds, 0u);
+}
+
+TEST(Simulator, BackoffRoundsInflateRoundsPerCall) {
+  // Exponential backoff spends rounds between retries; under heavy
+  // losses, a policy with backoff must report more rounds per call than
+  // the same policy retrying immediately.
+  SimConfig immediate = small_config();
+  immediate.detection_probability = 0.4;
+  immediate.retry.max_retries = 4;
+  immediate.retry.backoff_base = 0;
+  SimConfig backoff = immediate;
+  backoff.retry.backoff_base = 2;
+  backoff.retry.backoff_cap = 16;
+  const SimReport fast = run_simulation(immediate);
+  const SimReport slow = run_simulation(backoff);
+  EXPECT_EQ(fast.backoff_rounds, 0u);
+  EXPECT_GT(slow.backoff_rounds, 0u);
+  EXPECT_GT(slow.rounds_per_call.mean(), fast.rounds_per_call.mean());
+}
+
+TEST(Simulator, PageBudgetBoundsRecoveryCost) {
+  // A tight per-call page budget must cut recovery sweeps short (budget
+  // exhaustions recorded, remaining callees force-registered) and hence
+  // strictly bound the worst-case paging bill per call.
+  SimConfig unbounded = small_config();
+  unbounded.detection_probability = 0.3;
+  unbounded.collision_losses = true;
+  unbounded.retry.max_retries = 8;
+  SimConfig capped = unbounded;
+  capped.retry.page_budget = 50;
+  const SimReport free_report = run_simulation(unbounded);
+  const SimReport capped_report = run_simulation(capped);
+  EXPECT_EQ(free_report.budget_exhaustions, 0u);
+  EXPECT_GT(capped_report.budget_exhaustions, 0u);
+  EXPECT_LE(capped_report.pages_per_call.max(), 50.0 + 36.0);
+  EXPECT_LT(capped_report.pages_per_call.max(),
+            free_report.pages_per_call.max());
 }
 
 TEST(Simulator, SingleCalleeWorkload) {

@@ -10,14 +10,14 @@ namespace {
 
 TEST(Workload, AllScenariosAreDistinctAndNamed) {
   const auto scenarios = all_scenarios();
-  ASSERT_EQ(scenarios.size(), 3u);
+  ASSERT_EQ(scenarios.size(), 4u);
   std::set<std::string> names;
   for (const auto& scenario : scenarios) {
     EXPECT_FALSE(scenario.name.empty());
     EXPECT_FALSE(scenario.description.empty());
     names.insert(scenario.name);
   }
-  EXPECT_EQ(names.size(), 3u);
+  EXPECT_EQ(names.size(), 4u);
 }
 
 TEST(Workload, ScenariosRunToCompletion) {
@@ -53,6 +53,27 @@ TEST(Workload, UrbanCarriesMoreTotalTrafficThanCampus) {
   EXPECT_GT(urban_report.calls_served, campus_report.calls_served);
   EXPECT_GT(urban_report.cells_paged_total,
             campus_report.cells_paged_total);
+}
+
+TEST(Workload, DegradedUrbanActuallyDegrades) {
+  // The degraded preset must exercise every fault class and the bounded
+  // retry policy: faults are injected, observed, and some calls end up
+  // on the degraded path.
+  auto degraded = degraded_urban_scenario(6);
+  degraded.config.steps = 400;
+  degraded.config.warmup_steps = 50;
+  const SimReport report = run_simulation(degraded.config);
+  EXPECT_GT(report.faults_injected.outages_started, 0u);
+  EXPECT_GT(report.faults_injected.reports_dropped, 0u);
+  EXPECT_GT(report.faults_injected.rounds_dropped, 0u);
+  EXPECT_GT(report.reports_lost, 0u);
+  EXPECT_GT(report.calls_degraded, 0u);
+  // And the same run without faults is strictly cheaper per call.
+  auto clean = degraded;
+  clean.config.faults = FaultConfig{};
+  const SimReport clean_report = run_simulation(clean.config);
+  EXPECT_LT(clean_report.pages_per_call.mean(),
+            report.pages_per_call.mean());
 }
 
 TEST(Workload, HighwayReportsDominatePaging) {
