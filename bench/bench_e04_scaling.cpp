@@ -67,6 +67,24 @@ BENCHMARK(BM_PlanGreedy_SweepDevices)
     ->Range(1, 64)
     ->Complexity(benchmark::oN);
 
+// The prefix stop-probability table is the O(mc) term of Theorem 4.8;
+// measured alone it must stay linear in c (flat column layout, one
+// compensated accumulation pass — no per-entry recompute).
+void BM_StopByPrefix(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const core::Instance instance = make_instance(8, c, c + 5);
+  const auto order = core::greedy_cell_order(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::stop_by_prefix(instance, order, core::Objective::all_of()));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(c));
+}
+BENCHMARK(BM_StopByPrefix)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
 // The DP dominates end-to-end planning; measure it in isolation too.
 void BM_DpOverOrder(benchmark::State& state) {
   const auto c = static_cast<std::size_t>(state.range(0));

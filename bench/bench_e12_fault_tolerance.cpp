@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cellular/simulator.h"
+#include "support/cli.h"
 #include "support/table.h"
 
 namespace {
@@ -66,7 +67,13 @@ bool check_invariants(const cellular::SimReport& report, bool faulted) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  try {
+    smoke = support::parse_bench_flags(argc, argv).smoke;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_e12_fault_tolerance: " << error.what() << "\n";
+    return 2;
+  }
   std::cout << "E12: degraded-mode paging under structured faults"
             << (smoke ? " (smoke)" : "") << "\n";
 

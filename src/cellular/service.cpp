@@ -1,6 +1,7 @@
 #include "cellular/service.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <stdexcept>
 
@@ -13,6 +14,26 @@
 namespace confcall::cellular {
 
 namespace {
+
+/// FNV-1a over 64-bit words, used to fingerprint a planning input. A
+/// collision would silently serve a stale strategy; at 64 bits and a few
+/// thousand live signatures per service that risk is negligible for a
+/// simulation component (and the worst case is one suboptimally-ordered
+/// search, not an incorrect one — every strategy still pages every cell).
+class SignatureHasher {
+ public:
+  void add(std::uint64_t word) noexcept {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (word >> shift) & 0xff;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add(double value) noexcept { add(std::bit_cast<std::uint64_t>(value)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
 
 /// Validated before LocationDatabase construction (which would otherwise
 /// surface out-of-range cells as std::out_of_range from area lookups).
@@ -169,6 +190,36 @@ bool LocationService::page_answered(std::size_t cohabitants,
   return rng.next_double() < q;
 }
 
+std::uint64_t LocationService::plan_signature(const core::Instance& instance,
+                                              std::size_t area,
+                                              std::size_t d) const {
+  SignatureHasher hasher;
+  hasher.add(static_cast<std::uint64_t>(d));
+  hasher.add(static_cast<std::uint64_t>(instance.num_cells()));
+  hasher.add(static_cast<std::uint64_t>(instance.num_devices()));
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    for (const double p : instance.row(static_cast<core::DeviceId>(i))) {
+      hasher.add(p);
+    }
+  }
+  // Fold in the area's outage state so a fault taking cells down (or
+  // bringing them back) forces a replan. Only hashed while some cell of
+  // THIS area is dark: the all-up state signs identically whether or not
+  // a fault plan is attached, keeping a zero-rate plan perfectly inert.
+  if (faults_ != nullptr) {
+    const auto& cells = areas_->cells_in(area);
+    bool any_out = false;
+    for (const CellId cell : cells) any_out |= faults_->cell_out(cell);
+    if (any_out) {
+      hasher.add(std::uint64_t{0x07a6efa17ULL});  // outage-state marker
+      for (const CellId cell : cells) {
+        hasher.add(static_cast<std::uint64_t>(faults_->cell_out(cell)));
+      }
+    }
+  }
+  return hasher.value();
+}
+
 core::Strategy LocationService::plan_area_strategy(
     std::span<const UserId> group_users, std::size_t area,
     std::size_t num_cells, std::size_t d) const {
@@ -181,6 +232,30 @@ core::Strategy LocationService::plan_area_strategy(
     rows.push_back(profile_for(user, area));
   }
   const core::Instance instance = core::Instance::from_rows(rows);
+
+  if (config_.enable_plan_cache) {
+    const std::uint64_t signature = plan_signature(instance, area, d);
+    PlanCacheShard& shard = plan_cache_[area];
+    for (const PlanCacheEntry& entry : shard.entries) {
+      if (entry.signature == signature) {
+        ++plan_cache_stats_.hits;
+        return entry.strategy;
+      }
+    }
+    core::Strategy strategy =
+        config_.planner != nullptr
+            ? config_.planner->plan(instance, d)
+            : core::plan_greedy(instance, d).strategy;
+    if (shard.entries.size() < PlanCacheShard::kCapacity) {
+      shard.entries.push_back(PlanCacheEntry{signature, strategy});
+    } else {
+      shard.entries[shard.next_slot] = PlanCacheEntry{signature, strategy};
+      shard.next_slot = (shard.next_slot + 1) % PlanCacheShard::kCapacity;
+    }
+    ++plan_cache_stats_.misses;
+    return strategy;
+  }
+
   if (config_.planner != nullptr) {
     return config_.planner->plan(instance, d);
   }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -112,6 +113,15 @@ class LocationService {
     /// core::ResilientPlanner to keep serving locate() through planner
     /// failures. Ignored under kBlanketArea and kAdaptive.
     const core::Planner* planner = nullptr;
+    /// Reuse each area's last planned strategy while its planning inputs
+    /// are unchanged. The cache key is a content signature of everything
+    /// the planner reads (callee profiles, delay budget, area size, and
+    /// the area's injected-outage state), so a hit returns exactly the
+    /// strategy a fresh plan would produce: locate() results are
+    /// identical with the cache on or off, only the Fig. 1 DP cost is
+    /// skipped. Profile refreshes and fault transitions change the
+    /// signature and force a replan.
+    bool enable_plan_cache = true;
 
     /// Consolidated validation with one specific message per rejection.
     /// Called by the constructor; exposed so SimConfig and tests can
@@ -200,6 +210,23 @@ class LocationService {
   [[nodiscard]] prob::ProbabilityVector profile_for(UserId user,
                                                     std::size_t area) const;
 
+  /// Plan-cache hit/miss counters since construction. Only planned
+  /// searches count: the blanket policy never plans and the adaptive
+  /// policy re-plans by design, so neither touches the cache.
+  struct PlanCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::size_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] const PlanCacheStats& plan_cache_stats() const noexcept {
+    return plan_cache_stats_;
+  }
+
   /// The database record, for inspection.
   [[nodiscard]] const LocationDatabase& database() const { return db_; }
 
@@ -221,6 +248,9 @@ class LocationService {
   core::Strategy plan_area_strategy(std::span<const UserId> group_users,
                                     std::size_t area, std::size_t num_cells,
                                     std::size_t d) const;
+  [[nodiscard]] std::uint64_t plan_signature(const core::Instance& instance,
+                                             std::size_t area,
+                                             std::size_t d) const;
   void run_recovery(std::span<const UserId> users,
                     std::span<const CellId> true_cells,
                     std::vector<std::size_t> missing,
@@ -236,6 +266,26 @@ class LocationService {
   std::size_t reports_lost_ = 0;
   std::vector<std::vector<double>> visit_counts_;  // per user, per cell
   std::vector<double> stationary_;  // cached when profile kind needs it
+
+  /// A cached strategy plus the signature of the planning inputs it was
+  /// built from.
+  struct PlanCacheEntry {
+    std::uint64_t signature;
+    core::Strategy strategy;
+  };
+  /// Per-area cache shard: a handful of entries (one per live signature —
+  /// in practice one per conference-subgroup size and outage state) with
+  /// round-robin eviction, so churning profile kinds (kLastSeen changes
+  /// every tick) stay bounded while steady workloads keep every live
+  /// signature resident. Mutable because caching is invisible to callers
+  /// of the const planning path.
+  struct PlanCacheShard {
+    static constexpr std::size_t kCapacity = 8;
+    std::vector<PlanCacheEntry> entries;
+    std::size_t next_slot = 0;
+  };
+  mutable std::map<std::size_t, PlanCacheShard> plan_cache_;
+  mutable PlanCacheStats plan_cache_stats_;
 };
 
 }  // namespace confcall::cellular

@@ -5,6 +5,8 @@
 
 #include "cellular/mobility.h"
 #include "cellular/topology.h"
+#include "prob/rng.h"
+#include "support/thread_pool.h"
 
 namespace confcall::cellular {
 
@@ -57,7 +59,33 @@ LocationService::Config SimConfig::service_config() const {
   service_config.detection_probability = detection_probability;
   service_config.collision_losses = collision_losses;
   service_config.retry = retry;
+  service_config.enable_plan_cache = enable_plan_cache;
   return service_config;
+}
+
+void SimReport::merge(const SimReport& other) {
+  steps += other.steps;
+  calls_served += other.calls_served;
+  reports_sent += other.reports_sent;
+  cells_paged_total += other.cells_paged_total;
+  fallback_pages += other.fallback_pages;
+  missed_detections += other.missed_detections;
+  reports_lost += other.reports_lost;
+  outage_pages += other.outage_pages;
+  dropped_rounds += other.dropped_rounds;
+  retries_total += other.retries_total;
+  backoff_rounds += other.backoff_rounds;
+  calls_degraded += other.calls_degraded;
+  calls_abandoned += other.calls_abandoned;
+  forced_registrations += other.forced_registrations;
+  budget_exhaustions += other.budget_exhaustions;
+  faults_injected.outages_started += other.faults_injected.outages_started;
+  faults_injected.reports_dropped += other.faults_injected.reports_dropped;
+  faults_injected.rounds_dropped += other.faults_injected.rounds_dropped;
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  pages_per_call.merge(other.pages_per_call);
+  rounds_per_call.merge(other.rounds_per_call);
 }
 
 SimReport run_simulation(const SimConfig& config) {
@@ -135,7 +163,31 @@ SimReport run_simulation(const SimConfig& config) {
   report.steps = config.warmup_steps + config.steps;
   report.reports_lost = service.reports_lost();
   report.faults_injected = faults.stats();
+  report.plan_cache_hits = service.plan_cache_stats().hits;
+  report.plan_cache_misses = service.plan_cache_stats().misses;
   return report;
+}
+
+SimBatchReport run_simulation_batch(const SimConfig& base,
+                                    std::size_t replications,
+                                    std::size_t num_threads) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_simulation_batch: zero replications");
+  }
+  base.validate();  // fail fast on the calling thread, not inside a worker
+
+  SimBatchReport batch;
+  batch.replications = replications;
+  batch.runs.resize(replications);
+  const support::ThreadPool pool(num_threads);
+  pool.parallel_for(replications, [&](std::size_t r) {
+    SimConfig config = base;
+    config.seed = prob::mix_seed(base.seed, r);
+    config.faults.seed = prob::mix_seed(base.faults.seed, r);
+    batch.runs[r] = run_simulation(config);
+  });
+  for (const SimReport& run : batch.runs) batch.aggregate.merge(run);
+  return batch;
 }
 
 }  // namespace confcall::cellular

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cellular/events.h"
 #include "cellular/faults.h"
@@ -62,6 +63,10 @@ struct SimConfig {
   /// Structured fault injection (all rates zero = fault-free; the run is
   /// then byte-identical to a build without the fault layer).
   FaultConfig faults;
+  /// Per-area strategy reuse while planning inputs are unchanged (see
+  /// LocationService::Config::enable_plan_cache). Results are identical
+  /// either way; only planning cost differs.
+  bool enable_plan_cache = true;
   double report_cost = 1.0;  ///< uplink cost per location report
   double page_cost = 1.0;    ///< downlink cost per cell paged
   std::uint64_t seed = 1;
@@ -113,8 +118,26 @@ struct SimReport {
   /// Injection-side fault counters (what the FaultPlan actually did),
   /// for conservation checks against the observation counters above.
   FaultStats faults_injected;
+  /// Plan-cache counters (planned searches only; see
+  /// LocationService::PlanCacheStats).
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
   prob::RunningStats pages_per_call;
   prob::RunningStats rounds_per_call;
+
+  [[nodiscard]] double plan_cache_hit_rate() const noexcept {
+    const std::size_t total = plan_cache_hits + plan_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(plan_cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Folds another run's counters and statistics into this report
+  /// (replication aggregation). Counter sums are order-free; the
+  /// RunningStats merges are floating-point, so callers that need
+  /// reproducible aggregates must merge in a fixed order
+  /// (run_simulation_batch merges in replication order).
+  void merge(const SimReport& other);
 
   /// report_cost * reports + page_cost * pages, with the weights used.
   [[nodiscard]] double wireless_cost(double report_cost,
@@ -128,5 +151,27 @@ struct SimReport {
 /// (including its seeds). Throws std::invalid_argument on inconsistent
 /// configuration (see SimConfig::validate).
 SimReport run_simulation(const SimConfig& config);
+
+/// A batch of independent replications of one configuration.
+struct SimBatchReport {
+  std::size_t replications = 0;
+  /// Every counter summed and every RunningStats merged across the
+  /// replications, in replication order.
+  SimReport aggregate;
+  /// Per-replication reports, in replication order.
+  std::vector<SimReport> runs;
+};
+
+/// Runs `replications` independent copies of `base` across up to
+/// `num_threads` threads (0 = all hardware threads). Replication r
+/// reseeds both streams by substream index — prob::mix_seed(seed, r) for
+/// the simulation and prob::mix_seed(faults.seed, r) for the fault plan —
+/// and results are collected and merged in replication order, so the
+/// batch output depends only on (config, replications): bit-identical
+/// for every thread count. Throws std::invalid_argument on zero
+/// replications or an invalid base config.
+SimBatchReport run_simulation_batch(const SimConfig& base,
+                                    std::size_t replications,
+                                    std::size_t num_threads = 0);
 
 }  // namespace confcall::cellular

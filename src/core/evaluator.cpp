@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "prob/stats.h"
+
 namespace confcall::core {
 
 namespace {
@@ -27,17 +29,22 @@ std::vector<double> stop_by_round(const Instance& instance,
   // Validate k against m up front (throws for bad k).
   (void)objective.required(m);
 
-  std::vector<double> prefix(m, 0.0);  // q_i = P_i(L_r)
+  // Compensated accumulation of q_i = P_i(L_r): the running sums stay
+  // unclamped (so no drift is baked into later rounds) and the clamp is
+  // applied only to the value handed to the objective.
+  std::vector<prob::KahanSum> prefix(m);
+  std::vector<double> clamped(m, 0.0);
   std::vector<double> by_round(d, 0.0);
   for (std::size_t r = 0; r < d; ++r) {
     for (const CellId cell : strategy.group(r)) {
       for (std::size_t i = 0; i < m; ++i) {
-        prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+        prefix[i].add(instance.prob(static_cast<DeviceId>(i), cell));
       }
     }
-    // Clamp accumulated float drift; probabilities cannot exceed 1.
-    for (double& q : prefix) q = std::min(q, 1.0);
-    by_round[r] = objective.stop_probability(prefix);
+    for (std::size_t i = 0; i < m; ++i) {
+      clamped[i] = std::min(prefix[i].value(), 1.0);
+    }
+    by_round[r] = objective.stop_probability(clamped);
   }
   by_round[d - 1] = 1.0;  // every cell has been paged
   return by_round;
@@ -145,6 +152,47 @@ PagingOutcome execute_strategy(const Strategy& strategy,
   return outcome;
 }
 
+namespace {
+
+/// Raw first/second moments of `trials` executed paging runs.
+struct TrialMoments {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+TrialMoments run_trials(const Instance& instance, const Strategy& strategy,
+                        std::size_t trials, prob::Rng& rng,
+                        const Objective& objective) {
+  TrialMoments moments;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::vector<CellId> locations = sample_locations(instance, rng);
+    const PagingOutcome outcome =
+        execute_strategy(strategy, locations, objective);
+    const double paged = static_cast<double>(outcome.cells_paged);
+    moments.sum += paged;
+    moments.sum_sq += paged * paged;
+  }
+  return moments;
+}
+
+MonteCarloEstimate estimate_from_moments(const TrialMoments& moments,
+                                         std::size_t trials) {
+  MonteCarloEstimate estimate;
+  estimate.trials = trials;
+  estimate.mean = moments.sum / static_cast<double>(trials);
+  const double variance =
+      trials > 1
+          ? std::max(0.0, (moments.sum_sq -
+                           moments.sum * moments.sum /
+                               static_cast<double>(trials)) /
+                              static_cast<double>(trials - 1))
+          : 0.0;
+  estimate.std_error = std::sqrt(variance / static_cast<double>(trials));
+  return estimate;
+}
+
+}  // namespace
+
 MonteCarloEstimate monte_carlo_paging(const Instance& instance,
                                       const Strategy& strategy,
                                       std::size_t trials, prob::Rng& rng,
@@ -153,26 +201,43 @@ MonteCarloEstimate monte_carlo_paging(const Instance& instance,
   if (trials == 0) {
     throw std::invalid_argument("monte_carlo_paging: zero trials");
   }
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const std::vector<CellId> locations = sample_locations(instance, rng);
-    const PagingOutcome outcome =
-        execute_strategy(strategy, locations, objective);
-    const double paged = static_cast<double>(outcome.cells_paged);
-    sum += paged;
-    sum_sq += paged * paged;
+  return estimate_from_moments(
+      run_trials(instance, strategy, trials, rng, objective), trials);
+}
+
+MonteCarloEstimate monte_carlo_paging_parallel(
+    const Instance& instance, const Strategy& strategy, std::size_t trials,
+    std::uint64_t seed, const support::ThreadPool& pool,
+    const Objective& objective, std::size_t shards) {
+  check_compatible(instance, strategy);
+  if (trials == 0) {
+    throw std::invalid_argument("monte_carlo_paging_parallel: zero trials");
   }
-  MonteCarloEstimate estimate;
-  estimate.trials = trials;
-  estimate.mean = sum / static_cast<double>(trials);
-  const double variance =
-      trials > 1 ? std::max(0.0, (sum_sq - sum * sum /
-                                               static_cast<double>(trials)) /
-                                     static_cast<double>(trials - 1))
-                 : 0.0;
-  estimate.std_error = std::sqrt(variance / static_cast<double>(trials));
-  return estimate;
+  if (shards == 0) shards = std::min<std::size_t>(64, trials);
+  if (shards > trials) {
+    throw std::invalid_argument(
+        "monte_carlo_paging_parallel: more shards than trials");
+  }
+
+  // Shard s runs base (+1 for the first `extra` shards) trials from its
+  // own substream; moments land in index-addressed slots and are merged
+  // in shard order, so the estimate is bit-identical for any pool size.
+  const std::size_t base = trials / shards;
+  const std::size_t extra = trials % shards;
+  std::vector<TrialMoments> per_shard(shards);
+  pool.parallel_for(shards, [&](std::size_t s) {
+    prob::Rng rng = prob::Rng::substream(seed, s);
+    const std::size_t shard_trials = base + (s < extra ? 1 : 0);
+    per_shard[s] = run_trials(instance, strategy, shard_trials, rng,
+                              objective);
+  });
+
+  TrialMoments total;
+  for (const TrialMoments& moments : per_shard) {
+    total.sum += moments.sum;
+    total.sum_sq += moments.sum_sq;
+  }
+  return estimate_from_moments(total, trials);
 }
 
 prob::Rational expected_paging_exact(const RationalInstance& instance,

@@ -11,6 +11,7 @@
 #include "core/strategy.h"
 #include "prob/rational.h"
 #include "prob/rng.h"
+#include "support/thread_pool.h"
 
 namespace confcall::core {
 
@@ -63,6 +64,18 @@ struct MonteCarloEstimate {
 MonteCarloEstimate monte_carlo_paging(
     const Instance& instance, const Strategy& strategy, std::size_t trials,
     prob::Rng& rng, const Objective& objective = Objective::all_of());
+
+/// Sharded, thread-count-invariant Monte-Carlo estimate. The `trials` are
+/// split across a FIXED number of shards (`shards` = 0 picks
+/// min(64, trials)); shard s draws from prob::Rng::substream(seed, s) and
+/// its sample moments are merged in shard order, so the estimate depends
+/// only on (seed, trials, shards) — never on the pool size or thread
+/// scheduling. Throws std::invalid_argument on zero trials or when shards
+/// exceeds trials.
+MonteCarloEstimate monte_carlo_paging_parallel(
+    const Instance& instance, const Strategy& strategy, std::size_t trials,
+    std::uint64_t seed, const support::ThreadPool& pool,
+    const Objective& objective = Objective::all_of(), std::size_t shards = 0);
 
 /// Samples one cell per device from the instance's rows.
 std::vector<CellId> sample_locations(const Instance& instance, prob::Rng& rng);

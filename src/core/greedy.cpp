@@ -1,11 +1,13 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/evaluator.h"
+#include "prob/stats.h"
 
 namespace confcall::core {
 
@@ -28,16 +30,31 @@ std::vector<double> stop_by_prefix(const Instance& instance,
   if (order.size() != c) {
     throw std::invalid_argument("stop_by_prefix: order length != cells");
   }
-  std::vector<double> prefix(m, 0.0);
-  std::vector<double> stop(c + 1, 0.0);
-  stop[0] = objective.stop_probability(prefix);  // 0 for every objective
+  // Gather the probability columns in paging order once, transposed: the
+  // j-th step then reads one contiguous m-run instead of m strided loads
+  // across the row-major matrix.
+  std::vector<double> columns(m * c);
   for (std::size_t j = 0; j < c; ++j) {
     const CellId cell = order[j];
     for (std::size_t i = 0; i < m; ++i) {
-      prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+      columns[j * m + i] = instance.prob(static_cast<DeviceId>(i), cell);
     }
-    for (double& q : prefix) q = std::min(q, 1.0);
-    stop[j + 1] = objective.stop_probability(prefix);
+  }
+
+  // Compensated per-device prefix mass, clamped only at the point of use
+  // so no drift is carried into later prefixes (large-c instances used to
+  // saturate q_i above 1 and flatten the tail of F).
+  std::vector<prob::KahanSum> prefix(m);
+  std::vector<double> clamped(m, 0.0);
+  std::vector<double> stop(c + 1, 0.0);
+  stop[0] = objective.stop_probability(clamped);  // 0 for every objective
+  for (std::size_t j = 0; j < c; ++j) {
+    const double* column = columns.data() + j * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      prefix[i].add(column[i]);
+      clamped[i] = std::min(prefix[i].value(), 1.0);
+    }
+    stop[j + 1] = objective.stop_probability(clamped);
   }
   stop[c] = 1.0;  // all cells paged: the objective is certainly met
   return stop;
@@ -76,42 +93,54 @@ PlanResult plan_dp_over_order(const Instance& instance,
 
   const std::vector<double> stop = stop_by_prefix(instance, order, objective);
 
-  // E[l][k]: minimal conditional expected paging for an (l+1)-round
-  // strategy over the last k cells of the order; X[l][k]: the minimizing
-  // first-group size (lines 15–25 of Fig. 1, 0-based here).
+  // E(ℓ, k): minimal conditional expected paging for an (ℓ+1)-round
+  // strategy over the last k cells of the order (lines 15–25 of Fig. 1,
+  // 0-based here). Row ℓ only reads row ℓ−1, so the value table is two
+  // flat (c+1)-rows ping-ponged per level; only the minimizing first-group
+  // sizes need all d levels (for the backtrack), and they fit u32. Total
+  // working set is O(dc) int32 + O(c) doubles — the paper's O(m + dc)
+  // space — where the old vector-of-vectors kept d doubled rows plus d
+  // size_t rows behind separate allocations.
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<std::vector<double>> best(d, std::vector<double>(c + 1, kInf));
-  std::vector<std::vector<std::size_t>> choice(
-      d, std::vector<std::size_t>(c + 1, 0));
+  std::vector<double> prev(c + 1, kInf);  // row l-1 of E
+  std::vector<double> cur(c + 1, kInf);   // row l being filled
+  std::vector<std::uint32_t> choice(d * (c + 1), 0);
   for (std::size_t k = 1; k <= c; ++k) {
     if (k <= cap) {
-      best[0][k] = static_cast<double>(k);
-      choice[0][k] = k;
+      prev[k] = static_cast<double>(k);
+      choice[k] = static_cast<std::uint32_t>(k);
     }
   }
   for (std::size_t l = 1; l < d; ++l) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    std::uint32_t* const choice_row = choice.data() + l * (c + 1);
     for (std::size_t k = l + 1; k <= c; ++k) {
       // x = cells paged now; the remaining k-x cells must fit into l
       // groups of at most `cap` cells, and every group is non-empty.
       const std::size_t x_max = std::min({k - l, cap});
       const std::size_t x_min = k > l * cap ? k - l * cap : 1;
       const double denom = 1.0 - stop[c - k];
+      double best_value = kInf;
+      std::uint32_t best_x = 0;
       for (std::size_t x = x_min; x <= x_max; ++x) {
-        if (best[l - 1][k - x] == kInf) continue;
+        if (prev[k - x] == kInf) continue;
         const double continue_prob =
             denom <= 0.0
                 ? 0.0
                 : std::max(0.0, (1.0 - stop[c - k + x]) / denom);
-        const double value = static_cast<double>(x) +
-                             continue_prob * best[l - 1][k - x];
-        if (value < best[l][k]) {
-          best[l][k] = value;
-          choice[l][k] = x;
+        const double value =
+            static_cast<double>(x) + continue_prob * prev[k - x];
+        if (value < best_value) {
+          best_value = value;
+          best_x = static_cast<std::uint32_t>(x);
         }
       }
+      cur[k] = best_value;
+      choice_row[k] = best_x;
     }
+    std::swap(prev, cur);
   }
-  if (best[d - 1][c] == kInf) {
+  if (prev[c] == kInf) {  // prev holds row d-1 after the final swap
     throw std::logic_error("plan_dp_over_order: no feasible plan (bug)");
   }
 
@@ -119,7 +148,7 @@ PlanResult plan_dp_over_order(const Instance& instance,
   std::vector<std::size_t> sizes(d, 0);
   std::size_t remaining = c;
   for (std::size_t l = d; l-- > 0;) {
-    const std::size_t x = choice[l][remaining];
+    const std::size_t x = choice[l * (c + 1) + remaining];
     sizes[d - 1 - l] = x;
     remaining -= x;
   }

@@ -34,6 +34,19 @@ class SplitMix64 {
 /// xoshiro256** 1.0 (Blackman & Vigna) — the library's workhorse generator.
 /// Satisfies UniformRandomBitGenerator so it can also feed <random> if a
 /// caller insists, but the member helpers below are the supported API.
+/// Collapses a (seed, stream) pair into one well-mixed 64-bit sub-seed.
+/// Two SplitMix64 finalizations keep distinct streams of the same seed —
+/// and the same stream of adjacent seeds — statistically independent.
+/// Parallel code derives one sub-seed per TASK INDEX (never per thread),
+/// which is what makes sharded results thread-count invariant.
+constexpr std::uint64_t mix_seed(std::uint64_t seed,
+                                 std::uint64_t stream) noexcept {
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^
+                   (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  return inner.next();
+}
+
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -43,6 +56,15 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5eedc0ffee123456ULL) noexcept {
     SplitMix64 sm(seed);
     for (auto& w : s_) w = sm.next();
+  }
+
+  /// An independent generator for substream `stream` of `seed`. Shards of
+  /// a parallel computation each take substream(seed, shard_index); the
+  /// resulting draws depend only on (seed, shard_index), never on which
+  /// thread ran the shard.
+  [[nodiscard]] static Rng substream(std::uint64_t seed,
+                                     std::uint64_t stream) noexcept {
+    return Rng(mix_seed(seed, stream));
   }
 
   static constexpr result_type min() noexcept { return 0; }

@@ -7,6 +7,28 @@
 
 namespace confcall::prob {
 
+/// Kahan compensated accumulator. Probability prefix sums (the q_i of
+/// Lemma 2.1 and the F[j] of Fig. 1) add thousands of small terms on
+/// large-c instances; naive summation drifts by O(c·eps) which then has
+/// to be clamped away at 1.0, silently flattening the tail of the
+/// stop-probability curve. Compensated summation keeps the error at
+/// O(eps) independent of the term count.
+class KahanSum {
+ public:
+  void add(double x) noexcept {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
 /// Welford online accumulator: numerically stable running mean/variance,
 /// plus min/max. Value semantics; merging two accumulators is supported so
 /// per-shard results can be combined.

@@ -71,4 +71,20 @@ std::vector<std::string> Cli::unused() const {
   return result;
 }
 
+BenchFlags parse_bench_flags(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  BenchFlags flags;
+  flags.smoke = cli.get_bool("smoke", false);
+  const std::int64_t threads = cli.get_int("threads", 0);
+  if (threads < 0) {
+    throw std::invalid_argument("--threads must be >= 0");
+  }
+  flags.threads = static_cast<std::size_t>(threads);
+  flags.out = cli.get_string("out", "");
+  for (const auto& name : cli.unused()) {
+    throw std::invalid_argument("unknown flag --" + name);
+  }
+  return flags;
+}
+
 }  // namespace confcall::support

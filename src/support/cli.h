@@ -38,4 +38,19 @@ class Cli {
   mutable std::map<std::string, bool> used_;
 };
 
+/// The flag set shared by the bench binaries, parsed in one place so each
+/// bench stops hand-rolling its own argv scan:
+///   --smoke       CI-sized run (same sweeps, shorter horizon)
+///   --threads N   worker threads for parallel sections (0 = hardware)
+///   --out FILE    machine-readable output path (benches that emit one)
+struct BenchFlags {
+  bool smoke = false;
+  std::size_t threads = 0;
+  std::string out;
+};
+
+/// Parses the shared bench flags. Throws std::invalid_argument on a
+/// malformed command line, an unknown flag, or a negative thread count.
+[[nodiscard]] BenchFlags parse_bench_flags(int argc, const char* const* argv);
+
 }  // namespace confcall::support

@@ -1,0 +1,52 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace confcall::support {
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t num_tasks, const std::function<void(std::size_t)>& fn) const {
+  if (num_tasks == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= num_tasks) return;
+      try {
+        fn(task);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining tasks: siblings may be mid-flight anyway, and a
+        // deterministic "first error wins" beats a half-run abort.
+      }
+    }
+  };
+
+  // The caller is one of the workers; extra threads only help when there
+  // is both capacity (> 1) and enough tasks to share.
+  const std::size_t helpers =
+      std::min(num_threads_ > 0 ? num_threads_ - 1 : 0, num_tasks - 1);
+  std::vector<std::thread> threads;
+  threads.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& thread : threads) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace confcall::support

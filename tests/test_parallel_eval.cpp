@@ -1,0 +1,100 @@
+// Tests for the sharded Monte-Carlo evaluator (core/evaluator.h,
+// monte_carlo_paging_parallel): thread-count invariance, agreement with
+// the sequential estimator and the analytic Lemma 2.1 value, and argument
+// validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "prob/distribution.h"
+#include "prob/rng.h"
+#include "support/thread_pool.h"
+
+namespace confcall::core {
+namespace {
+
+Instance random_instance(std::size_t m, std::size_t c, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<prob::ProbabilityVector> rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    rows.push_back(prob::dirichlet_vector(c, 1.0, rng));
+  }
+  return Instance::from_rows(rows);
+}
+
+TEST(MonteCarloParallel, BitIdenticalAcrossThreadCounts) {
+  const Instance instance = random_instance(3, 24, 5);
+  const Strategy strategy = plan_greedy(instance, 3).strategy;
+  MonteCarloEstimate reference;
+  bool first = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const support::ThreadPool pool(threads);
+    const MonteCarloEstimate estimate =
+        monte_carlo_paging_parallel(instance, strategy, 20'000, 17, pool);
+    if (first) {
+      reference = estimate;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(estimate.mean, reference.mean) << threads << " threads";
+    EXPECT_EQ(estimate.std_error, reference.std_error);
+    EXPECT_EQ(estimate.trials, reference.trials);
+  }
+  EXPECT_EQ(reference.trials, 20'000u);
+}
+
+TEST(MonteCarloParallel, ShardCountIsPartOfTheContract) {
+  // Different shard counts may legitimately differ (different substream
+  // layout); the same shard count must not.
+  const Instance instance = random_instance(2, 12, 6);
+  const Strategy strategy = plan_greedy(instance, 2).strategy;
+  const support::ThreadPool pool(2);
+  const MonteCarloEstimate a =
+      monte_carlo_paging_parallel(instance, strategy, 5'000, 3, pool,
+                                  Objective::all_of(), 16);
+  const MonteCarloEstimate b =
+      monte_carlo_paging_parallel(instance, strategy, 5'000, 3, pool,
+                                  Objective::all_of(), 16);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.std_error, b.std_error);
+}
+
+TEST(MonteCarloParallel, AgreesWithAnalyticExpectation) {
+  const Instance instance = random_instance(3, 16, 7);
+  const Strategy strategy = plan_greedy(instance, 3).strategy;
+  const double analytic = expected_paging(instance, strategy);
+  const support::ThreadPool pool(4);
+  const MonteCarloEstimate estimate =
+      monte_carlo_paging_parallel(instance, strategy, 200'000, 11, pool);
+  EXPECT_NEAR(estimate.mean, analytic, 5.0 * estimate.std_error);
+  EXPECT_GT(estimate.std_error, 0.0);
+}
+
+TEST(MonteCarloParallel, UnevenTrialSplitStillRunsAllTrials) {
+  // 1000 trials over 64 default shards: 1000 % 64 != 0 exercises the
+  // remainder distribution.
+  const Instance instance = random_instance(2, 8, 8);
+  const Strategy strategy = plan_greedy(instance, 2).strategy;
+  const support::ThreadPool pool(3);
+  const MonteCarloEstimate estimate =
+      monte_carlo_paging_parallel(instance, strategy, 1'000, 2, pool);
+  EXPECT_EQ(estimate.trials, 1'000u);
+}
+
+TEST(MonteCarloParallel, RejectsBadArguments) {
+  const Instance instance = random_instance(2, 8, 9);
+  const Strategy strategy = plan_greedy(instance, 2).strategy;
+  const support::ThreadPool pool(2);
+  EXPECT_THROW(
+      monte_carlo_paging_parallel(instance, strategy, 0, 1, pool),
+      std::invalid_argument);
+  EXPECT_THROW(monte_carlo_paging_parallel(instance, strategy, 4, 1, pool,
+                                           Objective::all_of(), 9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::core

@@ -10,11 +10,18 @@
 //                 [--planner greedy|blanket|exact|typed|cap<N>]
 //                 [--objective all|any|k] [--k K]
 //                 [--format text|csv]
+//                 [--mc TRIALS] [--threads N] [--mc-seed S]
+//
+// --mc TRIALS cross-checks the analytic expected paging with a sharded
+// Monte-Carlo execution of the strategy on --threads N workers (0 = all
+// hardware threads). The estimate depends only on (--mc, --mc-seed),
+// never on the thread count.
 //
 // Example:
 //   ./tools/confcall_plan --instance area.txt --rounds 3 --planner greedy
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/evaluator.h"
@@ -22,6 +29,7 @@
 #include "core/planner.h"
 #include "support/cli.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -60,14 +68,22 @@ int main(int argc, char** argv) {
     const std::string objective_name = cli.get_string("objective", "all");
     const auto k = static_cast<std::size_t>(cli.get_int("k", 1));
     const std::string format = cli.get_string("format", "text");
+    const std::int64_t mc_trials = cli.get_int("mc", 0);
+    const std::int64_t threads = cli.get_int("threads", 0);
+    const auto mc_seed =
+        static_cast<std::uint64_t>(cli.get_int("mc-seed", 1));
     for (const auto& flag : cli.unused()) {
       throw std::invalid_argument("unknown flag --" + flag);
     }
     if (path.empty() || rounds == 0) {
       std::cerr << "usage: confcall_plan --instance FILE --rounds D "
                    "[--planner greedy|blanket|exact|typed|cap<N>] "
-                   "[--objective all|any|k] [--k K] [--format text|csv]\n";
+                   "[--objective all|any|k] [--k K] [--format text|csv] "
+                   "[--mc TRIALS] [--threads N] [--mc-seed S]\n";
       return 2;
+    }
+    if (mc_trials < 0 || threads < 0) {
+      throw std::invalid_argument("--mc and --threads must be >= 0");
     }
 
     std::ifstream file(path);
@@ -88,17 +104,34 @@ int main(int argc, char** argv) {
     const double stddev =
         std::sqrt(core::paging_variance(instance, strategy, objective));
 
+    std::optional<core::MonteCarloEstimate> mc;
+    if (mc_trials > 0) {
+      const support::ThreadPool pool(static_cast<std::size_t>(threads));
+      mc = core::monte_carlo_paging_parallel(
+          instance, strategy, static_cast<std::size_t>(mc_trials), mc_seed,
+          pool, objective);
+    }
+
     if (format == "csv") {
-      support::TextTable table({"planner", "objective", "m", "c", "d",
-                                "strategy", "expected_paging",
-                                "expected_rounds", "paging_stddev"});
-      table.add_row({planner->name(), objective.to_string(),
-                     support::TextTable::fmt(instance.num_devices()),
-                     support::TextTable::fmt(instance.num_cells()),
-                     support::TextTable::fmt(rounds),
-                     strategy.to_string(), support::TextTable::fmt(ep, 6),
-                     support::TextTable::fmt(rounds_used, 6),
-                     support::TextTable::fmt(stddev, 6)});
+      std::vector<std::string> header{"planner", "objective", "m", "c", "d",
+                                      "strategy", "expected_paging",
+                                      "expected_rounds", "paging_stddev"};
+      std::vector<std::string> row{
+          planner->name(), objective.to_string(),
+          support::TextTable::fmt(instance.num_devices()),
+          support::TextTable::fmt(instance.num_cells()),
+          support::TextTable::fmt(rounds),
+          strategy.to_string(), support::TextTable::fmt(ep, 6),
+          support::TextTable::fmt(rounds_used, 6),
+          support::TextTable::fmt(stddev, 6)};
+      if (mc) {
+        header.insert(header.end(), {"mc_mean", "mc_std_error", "mc_trials"});
+        row.insert(row.end(), {support::TextTable::fmt(mc->mean, 6),
+                               support::TextTable::fmt(mc->std_error, 6),
+                               support::TextTable::fmt(mc->trials)});
+      }
+      support::TextTable table(header);
+      table.add_row(row);
       std::cout << table.to_csv();
     } else if (format == "text") {
       std::cout << "instance        : m=" << instance.num_devices()
@@ -111,6 +144,10 @@ int main(int argc, char** argv) {
                 << ")\n"
                 << "expected rounds : " << rounds_used << " of " << rounds
                 << " allowed\n";
+      if (mc) {
+        std::cout << "monte carlo     : " << mc->mean << " +/- "
+                  << mc->std_error << " (" << mc->trials << " trials)\n";
+      }
     } else {
       throw std::invalid_argument("unknown format '" + format + "'");
     }
