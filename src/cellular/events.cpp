@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace confcall::cellular {
 
@@ -38,6 +39,43 @@ CallEvent CallGenerator::maybe_call(prob::Rng& rng) const {
   event.participants.assign(pool.begin(),
                             pool.begin() + static_cast<std::ptrdiff_t>(group));
   return event;
+}
+
+void BurstConfig::validate() const {
+  const auto check = [](double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(std::string("BurstConfig: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  check(base_rate, "base_rate");
+  check(burst_rate, "burst_rate");
+  check(p_enter, "p_enter");
+  check(p_exit, "p_exit");
+}
+
+BurstyCallGenerator::BurstyCallGenerator(const BurstConfig& config,
+                                         std::size_t num_users,
+                                         std::size_t group_min,
+                                         std::size_t group_max)
+    : config_(config),
+      quiet_(config.base_rate, num_users, group_min, group_max),
+      bursting_(config.burst_rate, num_users, group_min, group_max) {
+  config_.validate();
+}
+
+CallEvent BurstyCallGenerator::maybe_call(prob::Rng& rng) {
+  // One draw per step for the modulation chain, unconditionally, so the
+  // arrival stream downstream of a given step depends only on the chain
+  // state — not on how the state was reached.
+  const double flip = rng.next_double();
+  if (in_burst_) {
+    if (flip < config_.p_exit) in_burst_ = false;
+  } else if (flip < config_.p_enter) {
+    in_burst_ = true;
+    ++bursts_entered_;
+  }
+  return (in_burst_ ? bursting_ : quiet_).maybe_call(rng);
 }
 
 }  // namespace confcall::cellular

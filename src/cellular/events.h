@@ -41,4 +41,50 @@ class CallGenerator {
   std::size_t group_max_;
 };
 
+/// Markov-modulated on/off arrivals: the burst workload that actually
+/// creates overload. A two-state background chain (off = quiet, on =
+/// burst) modulates the per-step call probability; the paper's regime of
+/// interest — sequential paging under heavy traffic — lives inside the
+/// bursts, where demand transiently exceeds the admission controller's
+/// sustained token rate.
+struct BurstConfig {
+  bool enabled = false;
+  double base_rate = 0.1;   ///< call probability per step while quiet
+  double burst_rate = 1.0;  ///< call probability per step while bursting
+  double p_enter = 0.02;    ///< P[quiet -> burst] per step
+  double p_exit = 0.10;     ///< P[burst -> quiet] per step
+
+  /// Throws std::invalid_argument when any probability leaves [0, 1].
+  void validate() const;
+};
+
+/// The modulated generator. One rng draw per step advances the on/off
+/// chain, then the state's CallGenerator draws the arrival, so the
+/// sequence is deterministic given the seed (and statefully burst-y:
+/// mean burst length 1/p_exit steps, duty cycle
+/// p_enter / (p_enter + p_exit)).
+class BurstyCallGenerator {
+ public:
+  /// Throws std::invalid_argument on a bad BurstConfig or group range
+  /// (see CallGenerator).
+  BurstyCallGenerator(const BurstConfig& config, std::size_t num_users,
+                      std::size_t group_min, std::size_t group_max);
+
+  /// Advances the modulation chain, then draws at most one call.
+  [[nodiscard]] CallEvent maybe_call(prob::Rng& rng);
+
+  [[nodiscard]] bool in_burst() const noexcept { return in_burst_; }
+  /// Quiet -> burst transitions so far.
+  [[nodiscard]] std::size_t bursts_entered() const noexcept {
+    return bursts_entered_;
+  }
+
+ private:
+  BurstConfig config_;
+  CallGenerator quiet_;
+  CallGenerator bursting_;
+  bool in_burst_ = false;
+  std::size_t bursts_entered_ = 0;
+};
+
 }  // namespace confcall::cellular

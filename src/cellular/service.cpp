@@ -222,8 +222,11 @@ std::uint64_t LocationService::plan_signature(const core::Instance& instance,
 
 core::Strategy LocationService::plan_area_strategy(
     std::span<const UserId> group_users, std::size_t area,
-    std::size_t num_cells, std::size_t d) const {
-  if (config_.paging_policy == PagingPolicy::kBlanketArea) {
+    std::size_t num_cells, std::size_t d, bool plan_cheap) const {
+  if (config_.paging_policy == PagingPolicy::kBlanketArea || plan_cheap) {
+    // Degraded health plans with the cheap tier directly: a blanket area
+    // page costs zero planning work and one round, which is exactly what
+    // an overloaded control plane can still afford.
     return core::Strategy::blanket(num_cells);
   }
   std::vector<prob::ProbabilityVector> rows;
@@ -319,6 +322,7 @@ void LocationService::run_recovery(std::span<const UserId> users,
                                    std::span<const CellId> true_cells,
                                    std::vector<std::size_t> missing,
                                    std::size_t first_sweep_pages,
+                                   std::size_t round_cap,
                                    LocateOutcome& outcome, prob::Rng& rng) {
   const RetryPolicy& retry = config_.retry;
   std::size_t attempt = 0;
@@ -340,6 +344,13 @@ void LocationService::run_recovery(std::span<const UserId> users,
     if (retry.round_deadline != 0 &&
         outcome.rounds_used + backoff + 1 > retry.round_deadline) {
       outcome.budget_exhausted = true;
+      break;
+    }
+    // The propagated deadline is a hard wall: a sweep that cannot finish
+    // before it is not started, so an admitted call never runs past its
+    // deadline — it abandons instead.
+    if (outcome.rounds_used + backoff + 1 > round_cap) {
+      outcome.deadline_limited = true;
       break;
     }
     outcome.rounds_used += backoff;
@@ -392,7 +403,7 @@ void LocationService::run_recovery(std::span<const UserId> users,
 
 LocationService::LocateOutcome LocationService::locate(
     std::span<const UserId> users, std::span<const CellId> true_cells,
-    prob::Rng& rng) {
+    prob::Rng& rng, const LocateContext& context) {
   if (users.size() != true_cells.size() || users.empty()) {
     throw std::invalid_argument(
         "locate: need one true cell per user, at least one user");
@@ -401,6 +412,24 @@ LocationService::LocateOutcome LocationService::locate(
     if (users[i] >= num_users() || true_cells[i] >= grid_->num_cells()) {
       throw std::invalid_argument("locate: out of range");
     }
+  }
+  if (config_.paging_policy == PagingPolicy::kAdaptive &&
+      (!context.deadline.is_unbounded() || context.plan_cheap)) {
+    throw std::invalid_argument(
+        "locate: the adaptive policy assumes the full delay budget");
+  }
+  // Convert the propagated deadline into this call's round budget.
+  // kUnknownLocal doubles as "no cap" (it is SIZE_MAX).
+  std::size_t round_cap = kUnknownLocal;
+  if (!context.deadline.is_unbounded()) {
+    if (config_.clock == nullptr || config_.round_duration_ns == 0) {
+      throw std::invalid_argument(
+          "locate: a bounded deadline needs Config::clock and a nonzero "
+          "round_duration_ns");
+    }
+    round_cap = static_cast<std::size_t>(
+        context.deadline.remaining_ns(*config_.clock) /
+        config_.round_duration_ns);
   }
 
   LocateOutcome outcome;
@@ -437,11 +466,22 @@ LocationService::LocateOutcome LocationService::locate(
       }
     }
 
-    const std::size_t d =
-        std::min(config_.max_paging_rounds, cells.size());
+    std::size_t d = std::min(config_.max_paging_rounds, cells.size());
+    if (round_cap < d) {
+      // Not enough time for the configured delay budget: plan for the
+      // rounds the deadline still affords (a tighter d pages more
+      // aggressively — quality degrades before latency). With no rounds
+      // left at all the planned phase is skipped outright and the
+      // callees fall through to abandonment accounting below.
+      d = round_cap;
+      outcome.deadline_limited = true;
+    }
     std::vector<bool> found(indices.size(), false);
     AreaOutcome area_outcome;
-    if (config_.paging_policy == PagingPolicy::kAdaptive && all_present) {
+    if (d == 0) {
+      area_outcome.ran_all_rounds = false;
+    } else if (config_.paging_policy == PagingPolicy::kAdaptive &&
+               all_present) {
       std::vector<core::CellId> local_true(indices.size());
       for (std::size_t k = 0; k < indices.size(); ++k) {
         local_true[k] = static_cast<core::CellId>(local_of[k]);
@@ -458,8 +498,8 @@ LocationService::LocateOutcome LocationService::locate(
       area_outcome.ran_all_rounds = adaptive.cells_paged == cells.size();
       found.assign(indices.size(), true);
     } else {
-      const core::Strategy strategy =
-          plan_area_strategy(group_users, area, cells.size(), d);
+      const core::Strategy strategy = plan_area_strategy(
+          group_users, area, cells.size(), d, context.plan_cheap);
       area_outcome = execute_area_strategy(strategy, group_users,
                                            group_cells, local_of, found,
                                            outcome, rng);
@@ -494,7 +534,7 @@ LocationService::LocateOutcome LocationService::locate(
   const std::size_t first_sweep_pages =
       any_missed_detection ? grid_->num_cells() : not_fully_paged;
   run_recovery(users, true_cells, std::move(missing), first_sweep_pages,
-               outcome, rng);
+               round_cap, outcome, rng);
   return outcome;
 }
 

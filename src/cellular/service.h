@@ -16,6 +16,12 @@
 // page budget and a hard round deadline) instead of an unbounded sweep
 // loop, and every degradation is accounted in LocateOutcome.
 //
+// Overload: locate() accepts a LocateContext carrying the call's
+// propagated support::Deadline (converted to a round budget through the
+// configured round duration — plan quality degrades before latency does)
+// and a plan_cheap flag set by admission control under degraded health,
+// which bypasses the planner tiers entirely and blanket-pages the area.
+//
 // The service never reads ground truth on its own: callers (a simulator,
 // a test harness, in principle a real radio layer) supply the devices'
 // actual cells at locate() time, standing in for the base stations that
@@ -35,6 +41,7 @@
 #include "core/strategy.h"
 #include "prob/distribution.h"
 #include "prob/rng.h"
+#include "support/overload.h"
 
 namespace confcall::core {
 class Planner;
@@ -122,6 +129,17 @@ class LocationService {
     /// skipped. Profile refreshes and fault transitions change the
     /// signature and force a replan.
     bool enable_plan_cache = true;
+    /// Virtual duration of one paging round, used to convert a
+    /// propagated Deadline into a per-call round budget. 0 (the default)
+    /// rejects bounded deadlines — a service that enforces deadlines
+    /// must say what a round costs.
+    std::uint64_t round_duration_ns = 0;
+    /// Time source the deadlines are read against (non-owning; must
+    /// outlive the service). The simulator injects a ManualClock so
+    /// deadline behaviour is deterministic; a real deployment passes
+    /// &support::SteadyClockSource::shared(). Required (with a nonzero
+    /// round_duration_ns) before locate() accepts a bounded deadline.
+    const support::ClockSource* clock = nullptr;
 
     /// Consolidated validation with one specific message per rejection.
     /// Called by the constructor; exposed so SimConfig and tests can
@@ -192,6 +210,25 @@ class LocationService {
     bool degraded = false;
     /// At least one callee was abandoned (force-registered unfound).
     bool abandoned = false;
+    /// The propagated deadline capped this call — either the planning
+    /// delay budget was reduced below the configured d, or recovery was
+    /// cut off so the admitted call never overruns its deadline.
+    bool deadline_limited = false;
+  };
+
+  /// Per-call overload context threaded into locate() by the admission
+  /// layer. The default (unbounded deadline, full-quality planning) is
+  /// exactly the historical behaviour.
+  struct LocateContext {
+    /// Absolute call-setup deadline, read against Config::clock. An
+    /// admitted call never uses more rounds than
+    /// remaining_ns / round_duration_ns; when that leaves fewer rounds
+    /// than the configured d, the call is planned for the smaller delay
+    /// budget (more aggressive paging — quality degrades, not latency).
+    support::Deadline deadline{};
+    /// Degraded health: skip the planner tiers and blanket-page each
+    /// area directly (the cheap tier — zero planning cost).
+    bool plan_cheap = false;
   };
 
   /// Locates `users` (their actual cells supplied positionally in
@@ -203,7 +240,19 @@ class LocationService {
   /// Throws std::invalid_argument on size mismatches or out-of-range
   /// cells.
   LocateOutcome locate(std::span<const UserId> users,
-                       std::span<const CellId> true_cells, prob::Rng& rng);
+                       std::span<const CellId> true_cells, prob::Rng& rng) {
+    return locate(users, true_cells, rng, LocateContext{});
+  }
+
+  /// locate() under an overload context: the call's propagated deadline
+  /// bounds total rounds (planned search + backoff + recovery sweeps),
+  /// and plan_cheap swaps planned searches for blanket area pages.
+  /// Throws std::invalid_argument on a bounded deadline without a
+  /// configured clock/round duration, or any context under the adaptive
+  /// policy (whose re-planning assumes the full delay budget).
+  LocateOutcome locate(std::span<const UserId> users,
+                       std::span<const CellId> true_cells, prob::Rng& rng,
+                       const LocateContext& context);
 
   /// The location profile the service would use for `user` over the cells
   /// of `area` right now (exposed for inspection and tests).
@@ -247,15 +296,15 @@ class LocationService {
                                     LocateOutcome& outcome, prob::Rng& rng);
   core::Strategy plan_area_strategy(std::span<const UserId> group_users,
                                     std::size_t area, std::size_t num_cells,
-                                    std::size_t d) const;
+                                    std::size_t d, bool plan_cheap) const;
   [[nodiscard]] std::uint64_t plan_signature(const core::Instance& instance,
                                              std::size_t area,
                                              std::size_t d) const;
   void run_recovery(std::span<const UserId> users,
                     std::span<const CellId> true_cells,
                     std::vector<std::size_t> missing,
-                    std::size_t first_sweep_pages, LocateOutcome& outcome,
-                    prob::Rng& rng);
+                    std::size_t first_sweep_pages, std::size_t round_cap,
+                    LocateOutcome& outcome, prob::Rng& rng);
 
   const GridTopology* grid_;
   const LocationAreas* areas_;

@@ -1,14 +1,38 @@
 #include "cellular/simulator.h"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cellular/mobility.h"
 #include "cellular/topology.h"
+#include "core/planner.h"
+#include "core/resilient_planner.h"
 #include "prob/rng.h"
 #include "support/thread_pool.h"
 
 namespace confcall::cellular {
+
+void OverloadConfig::validate() const {
+  if (!enabled) return;
+  admission.validate();
+  breaker.validate();
+  if (round_duration_ns == 0) {
+    throw std::invalid_argument(
+        "OverloadConfig: round_duration_ns must be >= 1");
+  }
+  if (step_duration_ns == 0) {
+    throw std::invalid_argument(
+        "OverloadConfig: step_duration_ns must be >= 1");
+  }
+  if (resilient_planner && planner_node_limit == 0) {
+    throw std::invalid_argument(
+        "OverloadConfig: planner_node_limit must be >= 1");
+  }
+}
 
 void SimConfig::validate() const {
   if (grid_rows == 0 || grid_cols == 0) {
@@ -37,12 +61,19 @@ void SimConfig::validate() const {
     throw std::invalid_argument("SimConfig: group_max exceeds num_users");
   }
   faults.validate();
+  burst.validate();
+  overload.validate();
   // Service-level rules (paging rounds, detection model, retry policy,
   // policy parameters) are checked once, in LocationService::Config.
   service_config().validate();
   if (faults.any_enabled() && paging_policy == PagingPolicy::kAdaptive) {
     throw std::invalid_argument(
         "SimConfig: the adaptive policy assumes a fault-free network");
+  }
+  if (overload.enabled && paging_policy == PagingPolicy::kAdaptive) {
+    throw std::invalid_argument(
+        "SimConfig: the adaptive policy assumes the full delay budget "
+        "(no admission control)");
   }
 }
 
@@ -63,9 +94,39 @@ LocationService::Config SimConfig::service_config() const {
   return service_config;
 }
 
+std::size_t SimReport::rounds_percentile(double p) const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : rounds_histogram) total += count;
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(total) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t r = 0; r < rounds_histogram.size(); ++r) {
+    seen += rounds_histogram[r];
+    if (seen >= target) return r;
+  }
+  return rounds_histogram.size() - 1;
+}
+
 void SimReport::merge(const SimReport& other) {
   steps += other.steps;
+  calls_arrived += other.calls_arrived;
   calls_served += other.calls_served;
+  calls_completed += other.calls_completed;
+  calls_shed += other.calls_shed;
+  calls_degraded_admit += other.calls_degraded_admit;
+  calls_deadline_limited += other.calls_deadline_limited;
+  breaker_trips += other.breaker_trips;
+  breaker_skips += other.breaker_skips;
+  planner_failovers += other.planner_failovers;
+  health_transitions += other.health_transitions;
+  bursts_entered += other.bursts_entered;
+  if (rounds_histogram.size() < other.rounds_histogram.size()) {
+    rounds_histogram.resize(other.rounds_histogram.size(), 0);
+  }
+  for (std::size_t r = 0; r < other.rounds_histogram.size(); ++r) {
+    rounds_histogram[r] += other.rounds_histogram[r];
+  }
   reports_sent += other.reports_sent;
   cells_paged_total += other.cells_paged_total;
   fallback_pages += other.fallback_pages;
@@ -105,8 +166,32 @@ SimReport run_simulation(const SimConfig& config) {
         static_cast<CellId>(rng.next_below(grid.num_cells())));
   }
 
-  LocationService service(grid, areas, mobility, config.service_config(),
-                          user_cells);
+  // The virtual clock: everything time-driven (token refill, deadlines,
+  // breaker cooldowns) reads it, so the run is deterministic regardless
+  // of wall-clock speed or thread placement.
+  support::ManualClock clock;
+  const OverloadConfig& overload = config.overload;
+  std::unique_ptr<core::ResilientPlanner> resilient;
+  std::optional<support::AdmissionController> admission;
+  LocationService::Config service_cfg = config.service_config();
+  if (overload.enabled) {
+    if (overload.resilient_planner) {
+      std::vector<std::unique_ptr<core::Planner>> chain;
+      chain.push_back(std::make_unique<core::TypedExactPlanner>(
+          core::Objective::all_of(), overload.planner_node_limit));
+      chain.push_back(std::make_unique<core::GreedyPlanner>());
+      chain.push_back(std::make_unique<core::BlanketPlanner>());
+      resilient = std::make_unique<core::ResilientPlanner>(
+          std::move(chain), core::ResilientPlanner::Budget{0.0}, clock,
+          overload.breaker);
+      service_cfg.planner = resilient.get();
+    }
+    service_cfg.clock = &clock;
+    service_cfg.round_duration_ns = overload.round_duration_ns;
+    admission.emplace(overload.admission, clock);
+  }
+
+  LocationService service(grid, areas, mobility, service_cfg, user_cells);
   // The fault stream is separate from the simulation stream, so a plan
   // with all rates zero leaves the run byte-identical to a fault-free
   // build. The adaptive policy refuses any attached plan (validate()
@@ -116,11 +201,20 @@ SimReport run_simulation(const SimConfig& config) {
     service.attach_faults(&faults);
   }
 
+  // Arrival workload: the classic Bernoulli stream, or the Markov-
+  // modulated on/off stream when bursts are enabled (burst rates then
+  // replace call_rate).
   const CallGenerator calls(config.call_rate, config.num_users,
                             config.group_min, config.group_max);
+  std::optional<BurstyCallGenerator> bursty;
+  if (config.burst.enabled) {
+    bursty.emplace(config.burst, config.num_users, config.group_min,
+                   config.group_max);
+  }
   SimReport report;
 
   const auto move_users = [&] {
+    clock.advance(overload.step_duration_ns);
     faults.begin_step();
     for (std::size_t u = 0; u < config.num_users; ++u) {
       user_cells[u] = mobility.step(user_cells[u], rng);
@@ -134,8 +228,28 @@ SimReport run_simulation(const SimConfig& config) {
   for (std::size_t t = 0; t < config.warmup_steps; ++t) move_users();
   for (std::size_t t = 0; t < config.steps; ++t) {
     move_users();
-    const CallEvent event = calls.maybe_call(rng);
+    const CallEvent event =
+        bursty ? bursty->maybe_call(rng) : calls.maybe_call(rng);
     if (event.participants.empty()) continue;
+    ++report.calls_arrived;
+
+    LocationService::LocateContext context;
+    if (admission) {
+      const support::AdmissionController::Decision decision = admission->admit(
+          static_cast<double>(event.participants.size()));
+      if (decision == support::AdmissionController::Decision::kShed) {
+        ++report.calls_shed;
+        continue;
+      }
+      if (decision == support::AdmissionController::Decision::kAdmitDegraded) {
+        context.plan_cheap = true;
+        ++report.calls_degraded_admit;
+      }
+      if (overload.call_deadline_ns != 0) {
+        context.deadline =
+            support::Deadline::after(overload.call_deadline_ns, clock);
+      }
+    }
 
     std::vector<CellId> true_cells;
     true_cells.reserve(event.participants.size());
@@ -143,9 +257,15 @@ SimReport run_simulation(const SimConfig& config) {
       true_cells.push_back(user_cells[user]);
     }
     const LocationService::LocateOutcome outcome =
-        service.locate(event.participants, true_cells, rng);
+        service.locate(event.participants, true_cells, rng, context);
 
     ++report.calls_served;
+    if (!outcome.abandoned) ++report.calls_completed;
+    if (outcome.deadline_limited) ++report.calls_deadline_limited;
+    if (report.rounds_histogram.size() <= outcome.rounds_used) {
+      report.rounds_histogram.resize(outcome.rounds_used + 1, 0);
+    }
+    ++report.rounds_histogram[outcome.rounds_used];
     report.cells_paged_total += outcome.cells_paged;
     report.fallback_pages += outcome.fallback_pages;
     report.missed_detections += outcome.missed_detections;
@@ -161,6 +281,19 @@ SimReport run_simulation(const SimConfig& config) {
     report.rounds_per_call.add(static_cast<double>(outcome.rounds_used));
   }
   report.steps = config.warmup_steps + config.steps;
+  if (resilient) {
+    report.breaker_trips =
+        static_cast<std::size_t>(resilient->breaker_trips());
+    report.breaker_skips =
+        static_cast<std::size_t>(resilient->breaker_skips());
+    report.planner_failovers = static_cast<std::size_t>(
+        resilient->failovers());
+  }
+  if (admission) {
+    report.health_transitions =
+        static_cast<std::size_t>(admission->health_transitions());
+  }
+  if (bursty) report.bursts_entered = bursty->bursts_entered();
   report.reports_lost = service.reports_lost();
   report.faults_injected = faults.stats();
   report.plan_cache_hits = service.plan_cache_stats().hits;

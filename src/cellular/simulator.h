@@ -17,8 +17,39 @@
 #include "cellular/faults.h"
 #include "cellular/service.h"
 #include "prob/stats.h"
+#include "support/overload.h"
 
 namespace confcall::cellular {
+
+/// Overload-protection configuration for a simulated deployment. The
+/// simulator runs a virtual clock (a support::ManualClock advanced
+/// step_duration_ns per step), so token refill, deadlines and breaker
+/// cooldowns are all deterministic: a pinned seed reproduces identical
+/// shed/degrade/breaker counters across runs and thread counts.
+struct OverloadConfig {
+  bool enabled = false;
+  /// Token bucket + health machine. Costs are charged per CALLEE, so a
+  /// 5-way conference weighs five tokens.
+  support::AdmissionOptions admission{};
+  /// Call-setup deadline per admitted call, in virtual ns (0 = none).
+  /// LocationService turns it into a round budget via round_duration_ns.
+  std::uint64_t call_deadline_ns = 0;
+  /// Virtual cost of one paging round / duration of one step.
+  std::uint64_t round_duration_ns = 1'000'000;    // 1 ms
+  std::uint64_t step_duration_ns = 10'000'000;    // 10 ms
+  /// Serve locate() through a breaker-guarded ResilientPlanner chain
+  /// (typed-exact capped at planner_node_limit -> greedy -> blanket)
+  /// instead of the built-in Fig. 1 call, so E14 can watch tiers fail
+  /// over and breakers trip under load. The node limit is the
+  /// deterministic failure signal: instances that would search past it
+  /// are rejected by the exact tier.
+  bool resilient_planner = false;
+  std::uint64_t planner_node_limit = 20'000'000;
+  support::CircuitBreakerOptions breaker{};
+
+  /// Throws std::invalid_argument with a specific message per rejection.
+  void validate() const;
+};
 
 /// Simulation parameters. Defaults give a moderate system that runs in
 /// milliseconds.
@@ -63,6 +94,13 @@ struct SimConfig {
   /// Structured fault injection (all rates zero = fault-free; the run is
   /// then byte-identical to a build without the fault layer).
   FaultConfig faults;
+  /// Bursty (Markov-modulated on/off) arrivals. When enabled, burst
+  /// rates replace call_rate. Disabled = the classic Bernoulli stream,
+  /// byte-identical to builds without the burst layer.
+  BurstConfig burst;
+  /// Admission control, deadlines and breaker-guarded planning. Disabled
+  /// = no admission layer at all, byte-identical to older builds.
+  OverloadConfig overload;
   /// Per-area strategy reuse while planning inputs are unchanged (see
   /// LocationService::Config::enable_plan_cache). Results are identical
   /// either way; only planning cost differs.
@@ -86,7 +124,28 @@ struct SimConfig {
 /// Aggregated results of one simulation run.
 struct SimReport {
   std::size_t steps = 0;
+  /// Conference-call arrivals. Conservation invariant (checked by E14
+  /// and the soak harness): calls_arrived == calls_completed +
+  /// calls_abandoned + calls_shed, with calls_served = completed +
+  /// abandoned (every admitted call is served one way or the other).
+  std::size_t calls_arrived = 0;
   std::size_t calls_served = 0;
+  /// Admitted calls where every callee answered within budget.
+  std::size_t calls_completed = 0;
+  /// Arrivals rejected by admission control (never reached locate()).
+  std::size_t calls_shed = 0;
+  /// Calls admitted under degraded health (served with the cheap plan).
+  std::size_t calls_degraded_admit = 0;
+  /// Admitted calls the propagated deadline truncated (planning budget
+  /// cut or recovery cut off; see LocateOutcome::deadline_limited).
+  std::size_t calls_deadline_limited = 0;
+  /// Planner telemetry when OverloadConfig::resilient_planner is on.
+  std::size_t breaker_trips = 0;
+  std::size_t breaker_skips = 0;
+  std::size_t planner_failovers = 0;
+  /// Admission health-state changes (flap metric) and burst episodes.
+  std::size_t health_transitions = 0;
+  std::size_t bursts_entered = 0;
   std::size_t reports_sent = 0;
   std::size_t cells_paged_total = 0;
   /// Pages spent blanket-covering the rest of the grid because a callee
@@ -124,6 +183,15 @@ struct SimReport {
   std::size_t plan_cache_misses = 0;
   prob::RunningStats pages_per_call;
   prob::RunningStats rounds_per_call;
+  /// rounds_histogram[r] = admitted calls that used exactly r rounds.
+  /// Exact percentiles (admitted-call setup latency in rounds; multiply
+  /// by round_duration_ns for time) that merge losslessly across
+  /// replications, unlike a RunningStats.
+  std::vector<std::uint64_t> rounds_histogram;
+
+  /// Smallest r with at least `p` of the admitted-call mass at or below
+  /// it (0 when no calls were admitted). p in [0, 1].
+  [[nodiscard]] std::size_t rounds_percentile(double p) const noexcept;
 
   [[nodiscard]] double plan_cache_hit_rate() const noexcept {
     const std::size_t total = plan_cache_hits + plan_cache_misses;

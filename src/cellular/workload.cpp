@@ -95,9 +95,44 @@ Scenario degraded_urban_scenario(std::uint64_t seed) {
   return scenario;
 }
 
+Scenario overloaded_urban_scenario(std::uint64_t seed) {
+  Scenario scenario = dense_urban_scenario(seed);
+  scenario.name = "overloaded-urban";
+  scenario.description =
+      "dense-urban under Markov-modulated call bursts (10x quiet rate) "
+      "and sporadic outages, with token-bucket admission, 8ms call "
+      "deadlines and the breaker-guarded resilient planner chain";
+  SimConfig& config = scenario.config;
+  config.burst.enabled = true;
+  config.burst.base_rate = 0.1;
+  config.burst.burst_rate = 1.0;
+  config.burst.p_enter = 0.02;
+  config.burst.p_exit = 0.10;
+  config.faults.cell_outage_rate = 0.02;
+  config.faults.outage_duration = 40;
+  config.faults.seed = seed ^ 0xfa17;
+  config.retry.max_retries = 4;
+  config.retry.backoff_base = 1;
+  config.retry.backoff_cap = 8;
+  config.overload.enabled = true;
+  // Sustains the quiet load (~0.4 tokens/step at one token per callee)
+  // but not a burst (~4 tokens/step): bucket drains -> degraded -> shed.
+  config.overload.admission.bucket_capacity = 48.0;
+  config.overload.admission.refill_per_sec = 80.0;  // 0.8 tokens/step
+  config.overload.call_deadline_ns = 8'000'000;     // 8 rounds at 1ms
+  config.overload.round_duration_ns = 1'000'000;
+  config.overload.step_duration_ns = 10'000'000;
+  config.overload.resilient_planner = true;
+  // Low enough for the exact tier to overrun on the big multi-callee
+  // areas, so breakers have a deterministic failure signal to trip on.
+  config.overload.planner_node_limit = 50'000;
+  return scenario;
+}
+
 std::vector<Scenario> all_scenarios(std::uint64_t seed) {
   return {dense_urban_scenario(seed), campus_scenario(seed),
-          highway_scenario(seed), degraded_urban_scenario(seed)};
+          highway_scenario(seed), degraded_urban_scenario(seed),
+          overloaded_urban_scenario(seed)};
 }
 
 }  // namespace confcall::cellular

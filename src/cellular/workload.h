@@ -39,6 +39,13 @@ Scenario highway_scenario(std::uint64_t seed = 1);
 /// and the degraded-mode tests.
 Scenario degraded_urban_scenario(std::uint64_t seed = 1);
 
+/// The dense-urban deployment under overload: Markov-modulated call
+/// bursts (10x the quiet rate), sporadic cell outages, token-bucket
+/// admission with the three-state health machine, per-call deadlines and
+/// the breaker-guarded resilient planner chain. The preset exercised by
+/// the overload experiment (E14) and the soak harness.
+Scenario overloaded_urban_scenario(std::uint64_t seed = 1);
+
 /// All presets, for sweep harnesses.
 std::vector<Scenario> all_scenarios(std::uint64_t seed = 1);
 

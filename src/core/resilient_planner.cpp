@@ -7,10 +7,13 @@
 namespace confcall::core {
 
 ResilientPlanner::ResilientPlanner(
-    std::vector<std::unique_ptr<Planner>> chain, Budget budget)
+    std::vector<std::unique_ptr<Planner>> chain, Budget budget,
+    const support::ClockSource& clock,
+    support::CircuitBreakerOptions breaker_options)
     : chain_(std::move(chain)),
       budget_(budget),
-      served_(chain_.size(), 0) {
+      clock_(&clock),
+      served_(chain_.size()) {
   if (chain_.empty()) {
     throw std::invalid_argument("ResilientPlanner: empty chain");
   }
@@ -22,6 +25,12 @@ ResilientPlanner::ResilientPlanner(
   if (budget_.time_limit_seconds < 0.0) {
     throw std::invalid_argument(
         "ResilientPlanner: negative time limit");
+  }
+  breaker_options.validate();
+  breakers_.reserve(chain_.size() - 1);
+  for (std::size_t i = 0; i + 1 < chain_.size(); ++i) {
+    breakers_.push_back(
+        std::make_unique<support::CircuitBreaker>(breaker_options, clock));
   }
 }
 
@@ -44,11 +53,39 @@ std::string ResilientPlanner::name() const {
   return name;
 }
 
+std::vector<std::uint64_t> ResilientPlanner::served_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(served_.size());
+  for (const auto& count : served_) {
+    counts.push_back(count.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+std::uint64_t ResilientPlanner::breaker_trips() const {
+  std::uint64_t trips = 0;
+  for (const auto& breaker : breakers_) trips += breaker->trips();
+  return trips;
+}
+
 Strategy ResilientPlanner::plan(const Instance& instance,
                                 std::size_t num_rounds) const {
+  return plan_impl(instance, num_rounds, support::Deadline::unbounded());
+}
+
+Strategy ResilientPlanner::plan(const Instance& instance,
+                                std::size_t num_rounds,
+                                support::Deadline deadline) const {
+  return plan_impl(instance, num_rounds, deadline);
+}
+
+Strategy ResilientPlanner::plan_impl(const Instance& instance,
+                                     std::size_t num_rounds,
+                                     support::Deadline deadline) const {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
   const auto over_budget = [&] {
+    if (!deadline.is_unbounded() && deadline.expired(*clock_)) return true;
     if (budget_.time_limit_seconds <= 0.0) return false;
     const std::chrono::duration<double> elapsed = Clock::now() - start;
     return elapsed.count() > budget_.time_limit_seconds;
@@ -59,26 +96,41 @@ Strategy ResilientPlanner::plan(const Instance& instance,
     const bool final_tier = i + 1 == chain_.size();
     // A non-final tier is not even attempted once the clock ran out:
     // its answer would arrive after the call-setup deadline. The final
-    // tier always runs — returning SOMETHING is the whole point.
+    // tier always runs — returning SOMETHING is the whole point. A
+    // budget/deadline skip is not the tier's fault, so its breaker sees
+    // nothing.
     if (!final_tier && over_budget()) {
-      ++failovers_;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // An open breaker means this tier has been failing recently: skip it
+    // before spending any work on it.
+    if (!final_tier && !breakers_[i]->allow()) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      breaker_skips_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     try {
       Strategy strategy = chain_[i]->plan(instance, num_rounds);
       if (!final_tier && over_budget()) {
-        // The tier answered, but too late to use; degrade onward.
-        ++failovers_;
+        // The tier answered, but too late to use; that counts against
+        // its breaker just like a failure — a chronically slow tier
+        // must be skipped, not politely waited for.
+        breakers_[i]->record_failure();
+        failovers_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      ++served_[i];
-      last_tier_ = i;
+      if (!final_tier) breakers_[i]->record_success();
+      served_[i].fetch_add(1, std::memory_order_relaxed);
+      last_tier_.store(i, std::memory_order_relaxed);
       return strategy;
     } catch (const std::invalid_argument&) {
-      ++failovers_;
+      if (!final_tier) breakers_[i]->record_failure();
+      failovers_.fetch_add(1, std::memory_order_relaxed);
       last_error = std::current_exception();
     } catch (const std::runtime_error&) {
-      ++failovers_;
+      if (!final_tier) breakers_[i]->record_failure();
+      failovers_.fetch_add(1, std::memory_order_relaxed);
       last_error = std::current_exception();
     }
   }

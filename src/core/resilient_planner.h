@@ -10,21 +10,32 @@
 // served each call is counted so deployments can watch their degradation
 // rate. The last tier is the safety net — it runs even when the budget
 // is already blown (a blanket plan is instant and always valid).
+//
+// Each non-final tier additionally sits behind a support::CircuitBreaker:
+// a tier that keeps failing (or keeps answering too late) is skipped
+// outright — BEFORE burning budget on it — until its cooldown elapses and
+// a half-open probe lets it earn its place back. Breakers read time from
+// the injected ClockSource, so breaker behaviour is deterministic under a
+// ManualClock (the E14 bench and the soak harness rely on this).
+//
+// plan() is const like every Planner, but telemetry and breaker state
+// mutate under it; all of that is atomic or internally locked, so one
+// ResilientPlanner may be shared across threads (the plan cache shares
+// planners across parallel simulation replications).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "core/planner.h"
+#include "support/overload.h"
 
 namespace confcall::core {
 
 /// A planner that degrades through a fallback chain instead of failing.
-/// plan() is const like every Planner, but the telemetry counters mutate
-/// under it — the class is not thread-safe.
 class ResilientPlanner final : public Planner {
  public:
   struct Budget {
@@ -35,11 +46,14 @@ class ResilientPlanner final : public Planner {
     double time_limit_seconds = 0.0;
   };
 
-  /// Takes ownership of the chain (preferred first). Throws
-  /// std::invalid_argument on an empty chain, a null entry, or a
-  /// negative time limit.
-  explicit ResilientPlanner(std::vector<std::unique_ptr<Planner>> chain,
-                            Budget budget = Budget{0.0});
+  /// Takes ownership of the chain (preferred first). Breakers guard
+  /// every non-final tier and read `clock` (which must outlive the
+  /// planner). Throws std::invalid_argument on an empty chain, a null
+  /// entry, a negative time limit, or bad breaker options.
+  explicit ResilientPlanner(
+      std::vector<std::unique_ptr<Planner>> chain, Budget budget = Budget{0.0},
+      const support::ClockSource& clock = support::SteadyClockSource::shared(),
+      support::CircuitBreakerOptions breaker_options = {});
 
   /// The standard production chain: typed-exact -> greedy Fig. 1 ->
   /// blanket.
@@ -54,19 +68,40 @@ class ResilientPlanner final : public Planner {
   [[nodiscard]] Strategy plan(const Instance& instance,
                               std::size_t num_rounds) const override;
 
-  /// How many plan() calls each tier served (index-aligned with the
-  /// chain).
-  [[nodiscard]] std::span<const std::uint64_t> served_counts() const {
-    return served_;
-  }
+  /// Deadline-aware planning: like plan(), but non-final tiers are
+  /// skipped once `deadline` (read against this planner's clock) has
+  /// expired — the propagated call-setup deadline replaces the per-call
+  /// seconds budget. The final tier still always runs.
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t num_rounds,
+                              support::Deadline deadline) const;
+
+  /// How many plan() calls each tier served (index-aligned snapshot).
+  [[nodiscard]] std::vector<std::uint64_t> served_counts() const;
 
   /// Tier index that served the most recent successful plan().
-  [[nodiscard]] std::size_t last_tier() const noexcept { return last_tier_; }
+  [[nodiscard]] std::size_t last_tier() const noexcept {
+    return last_tier_.load(std::memory_order_relaxed);
+  }
 
   /// Total tier failures/skips across all plan() calls (a measure of how
   /// often the deployment is degraded).
   [[nodiscard]] std::uint64_t failovers() const noexcept {
-    return failovers_;
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+  /// Tier attempts refused by an open breaker (a subset of failovers()).
+  [[nodiscard]] std::uint64_t breaker_skips() const noexcept {
+    return breaker_skips_.load(std::memory_order_relaxed);
+  }
+
+  /// Breaker trips summed across all non-final tiers.
+  [[nodiscard]] std::uint64_t breaker_trips() const;
+
+  /// The breaker guarding non-final tier `index` (for telemetry).
+  [[nodiscard]] const support::CircuitBreaker& breaker(
+      std::size_t index) const {
+    return *breakers_.at(index);
   }
 
   [[nodiscard]] std::size_t num_tiers() const noexcept {
@@ -79,11 +114,20 @@ class ResilientPlanner final : public Planner {
   }
 
  private:
+  [[nodiscard]] Strategy plan_impl(const Instance& instance,
+                                   std::size_t num_rounds,
+                                   support::Deadline deadline) const;
+
   std::vector<std::unique_ptr<Planner>> chain_;
   Budget budget_;
-  mutable std::vector<std::uint64_t> served_;
-  mutable std::size_t last_tier_ = 0;
-  mutable std::uint64_t failovers_ = 0;
+  const support::ClockSource* clock_;
+  /// One breaker per non-final tier (the safety-net tier is never
+  /// broken: returning SOMETHING is its whole job).
+  mutable std::vector<std::unique_ptr<support::CircuitBreaker>> breakers_;
+  mutable std::vector<std::atomic<std::uint64_t>> served_;
+  mutable std::atomic<std::size_t> last_tier_{0};
+  mutable std::atomic<std::uint64_t> failovers_{0};
+  mutable std::atomic<std::uint64_t> breaker_skips_{0};
 };
 
 }  // namespace confcall::core

@@ -1,0 +1,332 @@
+// Unit tests for the overload-protection primitives (support/overload.h):
+// Deadline propagation, CircuitBreaker state machine, AdmissionController
+// token bucket + health hysteresis. Everything runs on a ManualClock, so
+// every transition is deterministic.
+#include "support/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace confcall::support {
+namespace {
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(Deadline, DefaultIsUnbounded) {
+  const ManualClock clock(123);
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.is_unbounded());
+  EXPECT_FALSE(deadline.expired(clock));
+  EXPECT_EQ(deadline.remaining_ns(clock), Deadline::kUnbounded);
+  EXPECT_EQ(Deadline::unbounded().expiry_ns(), Deadline::kUnbounded);
+}
+
+TEST(Deadline, AfterExpiresExactlyOnTime) {
+  ManualClock clock(1'000);
+  const Deadline deadline = Deadline::after(500, clock);
+  EXPECT_EQ(deadline.expiry_ns(), 1'500u);
+  EXPECT_FALSE(deadline.expired(clock));
+  EXPECT_EQ(deadline.remaining_ns(clock), 500u);
+  clock.advance(499);
+  EXPECT_FALSE(deadline.expired(clock));
+  EXPECT_EQ(deadline.remaining_ns(clock), 1u);
+  clock.advance(1);  // now == expiry: expired, nothing remains
+  EXPECT_TRUE(deadline.expired(clock));
+  EXPECT_EQ(deadline.remaining_ns(clock), 0u);
+}
+
+TEST(Deadline, AfterSaturatesInsteadOfWrapping) {
+  const ManualClock clock(Deadline::kUnbounded - 10);
+  const Deadline deadline = Deadline::after(100, clock);
+  EXPECT_TRUE(deadline.is_unbounded());
+}
+
+TEST(Deadline, PropagatesByValueUnchanged) {
+  // The point of absolute deadlines: every layer that copies the value
+  // sees the SAME expiry, no matter how much time earlier layers burned.
+  ManualClock clock(0);
+  const Deadline arrival = Deadline::after(1'000, clock);
+  clock.advance(600);             // upper layer burned 600ns
+  const Deadline copied = arrival;  // passed down by value
+  EXPECT_EQ(copied.remaining_ns(clock), 400u);
+}
+
+TEST(Deadline, TightenedTakesTheCloserExpiry) {
+  ManualClock clock(0);
+  const Deadline loose = Deadline::after(1'000, clock);
+  const Deadline tight = loose.tightened(300, clock);
+  EXPECT_EQ(tight.expiry_ns(), 300u);
+  // A local budget LOOSER than the propagated deadline must not extend it.
+  const Deadline not_loosened = tight.tightened(10'000, clock);
+  EXPECT_EQ(not_loosened.expiry_ns(), 300u);
+  // And tightening an unbounded deadline bounds it.
+  EXPECT_EQ(Deadline::unbounded().tightened(42, clock).expiry_ns(), 42u);
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+CircuitBreakerOptions small_breaker() {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_samples = 2;
+  options.failure_threshold = 0.5;
+  options.cooldown_ns = 1'000;
+  return options;
+}
+
+TEST(CircuitBreaker, OptionsValidateRejectsNonsense) {
+  CircuitBreakerOptions options;
+  options.window = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_samples = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_samples = options.window + 1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.failure_threshold = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.failure_threshold = 1.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.cooldown_ns = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinSamples) {
+  const ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);
+  breaker.record_failure();  // 1/1 failed, but min_samples = 2
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, TripsAtThresholdAndRejectsWhileOpen) {
+  const ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);
+  breaker.record_success();
+  breaker.record_failure();  // 1/2 = 0.5 >= threshold, min_samples met
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.rejections(), 2u);
+}
+
+TEST(CircuitBreaker, SuccessesAloneNeverTrip) {
+  const ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_success();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeRecovers) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);
+  breaker.record_failure();
+  breaker.record_failure();  // trips
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.advance(999);
+  EXPECT_FALSE(breaker.allow());  // cooldown not elapsed
+  clock.advance(1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());   // the probe slot
+  EXPECT_FALSE(breaker.allow());  // only ONE probe until its outcome lands
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  // The window was reset on close: one old failure must not re-trip.
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);
+  breaker.record_failure();
+  breaker.record_failure();
+  clock.advance(1'000);
+  ASSERT_TRUE(breaker.allow());  // probe
+  breaker.record_failure();      // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow());
+  clock.advance(1'000);  // full fresh cooldown required
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldFailures) {
+  const ManualClock clock;
+  CircuitBreakerOptions options = small_breaker();
+  options.window = 4;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  CircuitBreaker breaker(options, clock);
+  // Two failures, then enough successes to slide them out: 2/4 would
+  // trip, but by the time 4 samples exist the failures are ancient.
+  breaker.record_failure();
+  breaker.record_success();
+  breaker.record_success();
+  breaker.record_success();  // window now F S S S: 1/4 < 0.5
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_success();  // F slides out: S S S S
+  breaker.record_failure();
+  breaker.record_failure();  // S S F F: 2/4 = 0.5 -> trip
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+// ----------------------------------------------------- AdmissionController
+
+AdmissionOptions small_bucket() {
+  AdmissionOptions options;
+  options.bucket_capacity = 10.0;
+  options.refill_per_sec = 1.0;  // 1 token per virtual second
+  options.degraded_below = 0.5;
+  options.healthy_above = 0.75;
+  options.shed_below = 0.15;
+  options.recover_above = 0.35;
+  return options;
+}
+
+constexpr std::uint64_t kSecond = 1'000'000'000;
+
+TEST(AdmissionController, OptionsValidateRejectsBrokenLadder) {
+  AdmissionOptions options = small_bucket();
+  options.bucket_capacity = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.refill_per_sec = -1.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.shed_below = 0.0;  // must be > 0
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.recover_above = options.shed_below;  // must be strictly above
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.degraded_below = options.recover_above - 0.01;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.healthy_above = options.degraded_below;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = small_bucket();
+  options.healthy_above = 1.01;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(AdmissionController, AdmitsWhileHealthyShedsWhenDrained) {
+  const ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  EXPECT_EQ(admission.health(), Health::kHealthy);
+  // Capacity 10, thresholds at fills 5 (degraded) and 1.5 (shed). The
+  // health machine steps BEFORE the cost is consumed, so:
+  //   fills seen: 10, 9, 8, 7, 6 -> healthy admits
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(admission.admit(1.0), AdmissionController::Decision::kAdmit);
+  }
+  //   fills seen: 5 (not < 5), 4, 3, 2 -> degraded admits
+  EXPECT_EQ(admission.admit(1.0), AdmissionController::Decision::kAdmit);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(admission.admit(1.0),
+              AdmissionController::Decision::kAdmitDegraded);
+  }
+  //   fill 1 < 1.5 -> shedding; sheds cost nothing, so it stays shedding
+  EXPECT_EQ(admission.admit(1.0), AdmissionController::Decision::kShed);
+  EXPECT_EQ(admission.admit(1.0), AdmissionController::Decision::kShed);
+  EXPECT_EQ(admission.health(), Health::kShedding);
+  EXPECT_EQ(admission.admitted(), 6u);
+  EXPECT_EQ(admission.admitted_degraded(), 3u);
+  EXPECT_EQ(admission.shed(), 2u);
+}
+
+TEST(AdmissionController, OversizedRequestIsShedEvenWhenHealthy) {
+  const ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  EXPECT_EQ(admission.admit(11.0), AdmissionController::Decision::kShed);
+  EXPECT_EQ(admission.health(), Health::kHealthy);  // bucket untouched
+  EXPECT_DOUBLE_EQ(admission.tokens(), 10.0);
+}
+
+TEST(AdmissionController, RefillIsProportionalToElapsedTimeAndCapped) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 8; ++i) (void)admission.admit(1.0);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 2.0);
+  clock.advance(3 * kSecond);  // 1 token/sec
+  EXPECT_DOUBLE_EQ(admission.tokens(), 5.0);
+  clock.advance(1'000 * kSecond);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 10.0);  // capped at capacity
+}
+
+TEST(AdmissionController, RecoveryIsStepwiseNeverSheddingToHealthy) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 10; ++i) (void)admission.admit(1.0);  // drains to 1
+  ASSERT_EQ(admission.health(), Health::kShedding);
+  // Refill past recover_above (3.5) but below healthy_above (7.5): one
+  // step up to degraded only.
+  clock.advance(4 * kSecond);  // fill 1 -> 5
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+  // Refill past healthy_above: the second step completes recovery.
+  clock.advance(5 * kSecond);  // fill -> 10
+  EXPECT_EQ(admission.health(), Health::kHealthy);
+}
+
+TEST(AdmissionController, SheddingToHealthyFillStopsAtDegraded) {
+  // Even a single refill that jumps the fill from empty to full must
+  // pass through degraded — never shedding -> healthy in one admit().
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 10; ++i) (void)admission.admit(1.0);
+  ASSERT_EQ(admission.health(), Health::kShedding);
+  clock.advance(100 * kSecond);  // fill -> capacity
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+  EXPECT_EQ(admission.health(), Health::kHealthy);  // next observation
+}
+
+TEST(AdmissionController, HysteresisGapPreventsFlapping) {
+  // Sit the fill between degraded_below (5) and healthy_above (7.5):
+  // a degraded controller must STAY degraded there, not flap.
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 6; ++i) (void)admission.admit(1.0);  // fill 4
+  ASSERT_EQ(admission.health(), Health::kDegraded);
+  const std::uint64_t transitions = admission.health_transitions();
+  clock.advance(2 * kSecond);  // fill 6: in the gap
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(admission.health(), Health::kDegraded);
+  }
+  EXPECT_EQ(admission.health_transitions(), transitions);
+}
+
+TEST(AdmissionController, TransitionsAreCounted) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 10; ++i) (void)admission.admit(1.0);
+  // healthy -> degraded -> shedding while draining.
+  EXPECT_EQ(admission.health_transitions(), 2u);
+  clock.advance(100 * kSecond);
+  (void)admission.health();  // shedding -> degraded
+  (void)admission.health();  // degraded -> healthy
+  EXPECT_EQ(admission.health_transitions(), 4u);
+}
+
+TEST(AdmissionController, NonPositiveCostThrows) {
+  const ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  EXPECT_THROW((void)admission.admit(0.0), std::invalid_argument);
+  EXPECT_THROW((void)admission.admit(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confcall::support

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -174,6 +175,124 @@ TEST(ResilientPlanner, ServedCountsAccumulateAcrossCalls) {
     (void)planner->plan(easy, 2);
   }
   EXPECT_EQ(planner->served_counts()[0], 5u);
+  EXPECT_EQ(planner->failovers(), 0u);
+}
+
+/// Fails its first `failures` calls, then serves blanket strategies —
+/// the shape that exercises breaker trip + half-open recovery.
+class FlakyPlanner final : public Planner {
+ public:
+  explicit FlakyPlanner(int failures) : failures_left_(failures) {}
+  [[nodiscard]] std::string name() const override { return "flaky"; }
+  [[nodiscard]] Strategy plan(const Instance& instance,
+                              std::size_t) const override {
+    if (failures_left_ > 0) {
+      --failures_left_;
+      throw std::invalid_argument("flaky tier still warming up");
+    }
+    return Strategy::blanket(instance.num_cells());
+  }
+
+ private:
+  mutable int failures_left_;
+};
+
+support::CircuitBreakerOptions fast_breaker() {
+  support::CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_samples = 2;
+  options.failure_threshold = 0.5;
+  options.cooldown_ns = 1'000;
+  return options;
+}
+
+TEST(ResilientPlanner, BreakerOpensAndSkipsRepeatedlyFailingTier) {
+  const Instance instance = Instance::uniform(1, 4);
+  const support::ManualClock clock;
+  const ResilientPlanner planner(
+      chain_of(std::make_unique<ThrowingPlanner>(),
+               std::make_unique<BlanketPlanner>()),
+      {0.0}, clock, fast_breaker());
+  // Two failing calls fill min_samples and trip the breaker...
+  (void)planner.plan(instance, 2);
+  (void)planner.plan(instance, 2);
+  EXPECT_EQ(planner.breaker(0).state(),
+            support::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(planner.breaker_trips(), 1u);
+  EXPECT_EQ(planner.breaker_skips(), 0u);
+  // ...so the third call skips tier 0 outright (no attempt, no trip).
+  (void)planner.plan(instance, 2);
+  EXPECT_EQ(planner.breaker_skips(), 1u);
+  EXPECT_EQ(planner.breaker_trips(), 1u);
+  EXPECT_EQ(planner.served_counts()[1], 3u);
+}
+
+TEST(ResilientPlanner, HalfOpenProbeRestoresRecoveredTier) {
+  const Instance instance = Instance::uniform(1, 4);
+  support::ManualClock clock;
+  const ResilientPlanner planner(
+      chain_of(std::make_unique<FlakyPlanner>(/*failures=*/2),
+               std::make_unique<BlanketPlanner>()),
+      {0.0}, clock, fast_breaker());
+  (void)planner.plan(instance, 2);
+  (void)planner.plan(instance, 2);  // second failure trips the breaker
+  ASSERT_EQ(planner.breaker(0).state(),
+            support::CircuitBreaker::State::kOpen);
+  clock.advance(1'000);  // cooldown elapses on the virtual clock
+  // The next call is the half-open probe; the tier has recovered, so the
+  // probe succeeds, the breaker closes, and tier 0 serves again.
+  (void)planner.plan(instance, 2);
+  EXPECT_EQ(planner.breaker(0).state(),
+            support::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(planner.last_tier(), 0u);
+  (void)planner.plan(instance, 2);
+  EXPECT_EQ(planner.served_counts()[0], 2u);
+  EXPECT_EQ(planner.breaker_skips(), 0u);
+}
+
+TEST(ResilientPlanner, ExpiredDeadlineSkipsStraightToFinalTier) {
+  const Instance instance = Instance::uniform(2, 6);
+  support::ManualClock clock;
+  const ResilientPlanner planner(
+      chain_of(std::make_unique<TypedExactPlanner>(),
+               std::make_unique<BlanketPlanner>()),
+      {0.0}, clock, fast_breaker());
+  const support::Deadline deadline = support::Deadline::after(10, clock);
+  clock.advance(11);
+  const Strategy s = planner.plan(instance, 2, deadline);
+  EXPECT_EQ(planner.last_tier(), 1u);
+  EXPECT_EQ(s.group(0).size(), 6u);
+  // A deadline skip is not the tier's fault: its breaker saw nothing.
+  EXPECT_EQ(planner.breaker(0).state(),
+            support::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(planner.breaker_skips(), 0u);
+  EXPECT_EQ(planner.failovers(), 1u);
+  // With time on the clock, the same deadline value is honoured as live.
+  const support::Deadline fresh = support::Deadline::after(1'000'000, clock);
+  (void)planner.plan(instance, 2, fresh);
+  EXPECT_EQ(planner.last_tier(), 0u);
+}
+
+TEST(ResilientPlanner, SharedAcrossThreadsCountsEveryCall) {
+  // The header promises one planner may serve concurrent callers; the
+  // atomic counters must not lose increments.
+  const Instance instance = Instance::uniform(2, 6);
+  const auto planner = ResilientPlanner::standard();
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int call = 0; call < kCallsPerThread; ++call) {
+        (void)planner->plan(instance, 2);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : planner->served_counts()) total += count;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads * kCallsPerThread));
   EXPECT_EQ(planner->failovers(), 0u);
 }
 

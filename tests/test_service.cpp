@@ -373,6 +373,163 @@ TEST_F(ServiceTest, BackoffSpendsRoundsNotPages) {
   EXPECT_EQ(slow.rounds_used, fast.rounds_used + slow.backoff_rounds);
 }
 
+TEST_F(ServiceTest, ZeroPageBudgetNeverGatesRecovery) {
+  // page_budget = 0 is "no budget", not "no pages": recovery must run.
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.retry.page_budget = 0;
+  LocationService service = make_service(config);
+  prob::Rng rng(21);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_FALSE(outcome.budget_exhausted);
+  EXPECT_GT(outcome.fallback_pages, 0u);
+  EXPECT_FALSE(outcome.abandoned);
+}
+
+TEST_F(ServiceTest, ZeroRoundDeadlineNeverGatesRecovery) {
+  // round_deadline = 0 is "no deadline": even an 8-round backoff before
+  // the first sweep must not be refused.
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.retry.round_deadline = 0;
+  config.retry.backoff_base = 8;
+  config.retry.backoff_cap = 8;
+  LocationService service = make_service(config);
+  prob::Rng rng(22);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_FALSE(outcome.budget_exhausted);
+  EXPECT_GE(outcome.retries, 1u);
+  EXPECT_GE(outcome.backoff_rounds, 8u);
+  EXPECT_FALSE(outcome.abandoned);
+}
+
+TEST_F(ServiceTest, BackoffShiftSaturatesAtCapForLargeAttempts) {
+  // 80 retries with exponential backoff: attempts past 63 would shift
+  // past the width of the type; the policy must saturate at backoff_cap
+  // instead of hitting undefined behaviour (ASan/UBSan CI guards this).
+  FaultConfig faulty;
+  faulty.cell_outage_rate = 1.0;
+  faulty.outage_duration = 100000;
+  faulty.seed = 3;
+  FaultPlan plan(faulty, grid_.num_cells());
+  for (int step = 0; step < 400; ++step) plan.begin_step();
+  ASSERT_TRUE(plan.cell_out(0));
+  LocationService::Config config;
+  config.retry.max_retries = 80;
+  config.retry.backoff_base = 1;
+  config.retry.backoff_cap = 4;
+  LocationService service = make_service(config);
+  service.attach_faults(&plan);
+  prob::Rng rng(23);
+  const UserId users[] = {0};
+  const CellId truth[] = {0};  // a dark cell: never answered
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_EQ(outcome.retries, 80u);
+  // Backoffs 1, 2, then 4 for the remaining 78 attempts.
+  EXPECT_EQ(outcome.backoff_rounds, 1u + 2u + 78u * 4u);
+  EXPECT_TRUE(outcome.abandoned);
+}
+
+TEST_F(ServiceTest, RetryExactlyAtRoundDeadlineBoundaryStillRuns) {
+  // The planned round plus the sweep land EXACTLY on the deadline: the
+  // sweep must run (the gate is strictly "cannot finish by", not "would
+  // touch").
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.max_paging_rounds = 1;
+  config.retry.round_deadline = 2;  // 1 planned round + 1 sweep round
+  LocationService service = make_service(config);
+  prob::Rng rng(24);
+  const UserId users[] = {0};
+  const CellId truth[] = {35};
+  const auto outcome = service.locate(users, truth, rng);
+  EXPECT_EQ(outcome.retries, 1u);
+  EXPECT_EQ(outcome.rounds_used, 2u);
+  EXPECT_FALSE(outcome.budget_exhausted);
+  EXPECT_FALSE(outcome.abandoned);
+  // One round tighter and the same sweep is refused before it starts.
+  LocationService::Config tight = config;
+  tight.retry.round_deadline = 1;
+  LocationService cramped = make_service(tight);
+  prob::Rng rng_tight(24);
+  const auto cut = cramped.locate(users, truth, rng_tight);
+  EXPECT_EQ(cut.retries, 0u);
+  EXPECT_TRUE(cut.budget_exhausted);
+  EXPECT_TRUE(cut.abandoned);
+}
+
+TEST_F(ServiceTest, BoundedDeadlineNeedsClockAndRoundDuration) {
+  LocationService service = make_service({});
+  prob::Rng rng(25);
+  const support::ManualClock clock;
+  LocationService::LocateContext context;
+  context.deadline = support::Deadline::after(1'000, clock);
+  const UserId users[] = {0};
+  const CellId truth[] = {0};
+  EXPECT_THROW(service.locate(users, truth, rng, context),
+               std::invalid_argument);
+}
+
+TEST_F(ServiceTest, DeadlineCapsPlannedRoundsAndCutsRecovery) {
+  support::ManualClock clock;
+  LocationService::Config config;
+  config.report_policy = ReportPolicy::kNever;
+  config.max_paging_rounds = 3;
+  config.clock = &clock;
+  config.round_duration_ns = 100;
+  LocationService service = make_service(config);
+  prob::Rng rng(26);
+  LocationService::LocateContext context;
+  context.deadline = support::Deadline::after(250, clock);  // 2 rounds
+  const UserId users[] = {0};
+  const CellId truth[] = {35};  // stale: recovery would need a sweep
+  const auto outcome = service.locate(users, truth, rng, context);
+  // The planning budget dropped from 3 to 2 rounds, and the sweep that
+  // would have been round 3 was refused: the call abandoned instead of
+  // overrunning its deadline.
+  EXPECT_TRUE(outcome.deadline_limited);
+  EXPECT_LE(outcome.rounds_used, 2u);
+  EXPECT_TRUE(outcome.abandoned);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineAbandonsWithoutPaging) {
+  support::ManualClock clock;
+  LocationService::Config config;
+  config.clock = &clock;
+  config.round_duration_ns = 100;
+  LocationService service = make_service(config);
+  prob::Rng rng(27);
+  LocationService::LocateContext context;
+  context.deadline = support::Deadline::after(50, clock);  // < one round
+  const UserId users[] = {0};
+  const CellId truth[] = {0};
+  const auto outcome = service.locate(users, truth, rng, context);
+  EXPECT_TRUE(outcome.deadline_limited);
+  EXPECT_EQ(outcome.cells_paged, 0u);
+  EXPECT_EQ(outcome.rounds_used, 0u);
+  EXPECT_TRUE(outcome.abandoned);
+  EXPECT_EQ(outcome.forced_registrations, 1u);
+}
+
+TEST_F(ServiceTest, PlanCheapBlanketPagesTheArea) {
+  LocationService service = make_service({});
+  prob::Rng rng(28);
+  LocationService::LocateContext context;
+  context.plan_cheap = true;
+  const UserId users[] = {0};
+  const CellId truth[] = {0};
+  const auto outcome = service.locate(users, truth, rng, context);
+  // The cheap tier pages the whole 9-cell area in one round — no
+  // planning, maximum bandwidth, minimum latency.
+  EXPECT_EQ(outcome.cells_paged, 9u);
+  EXPECT_EQ(outcome.rounds_used, 1u);
+  EXPECT_FALSE(outcome.abandoned);
+}
+
 TEST_F(ServiceTest, ResilientPlannerServesLocate) {
   const auto resilient = core::ResilientPlanner::standard();
   LocationService::Config config;

@@ -10,14 +10,14 @@ namespace {
 
 TEST(Workload, AllScenariosAreDistinctAndNamed) {
   const auto scenarios = all_scenarios();
-  ASSERT_EQ(scenarios.size(), 4u);
+  ASSERT_EQ(scenarios.size(), 5u);
   std::set<std::string> names;
   for (const auto& scenario : scenarios) {
     EXPECT_FALSE(scenario.name.empty());
     EXPECT_FALSE(scenario.description.empty());
     names.insert(scenario.name);
   }
-  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.size(), 5u);
 }
 
 TEST(Workload, ScenariosRunToCompletion) {

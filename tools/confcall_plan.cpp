@@ -7,15 +7,22 @@
 // everything goes to stdout/stderr conventionally.
 //
 //   confcall_plan --instance FILE --rounds D
-//                 [--planner greedy|blanket|exact|typed|cap<N>]
+//                 [--planner greedy|blanket|exact|typed|cap<N>|resilient]
 //                 [--objective all|any|k] [--k K]
 //                 [--format text|csv]
+//                 [--deadline-ms D]
 //                 [--mc TRIALS] [--threads N] [--mc-seed S]
 //
 // --mc TRIALS cross-checks the analytic expected paging with a sharded
 // Monte-Carlo execution of the strategy on --threads N workers (0 = all
 // hardware threads). The estimate depends only on (--mc, --mc-seed),
 // never on the thread count.
+//
+// --planner resilient plans through the breaker-guarded fallback chain
+// (typed-exact > greedy > blanket) and prints per-tier/breaker telemetry;
+// --deadline-ms bounds the whole plan() call by a propagated deadline
+// (requires the resilient planner — single-tier planners have no cheaper
+// tier to degrade to).
 //
 // Example:
 //   ./tools/confcall_plan --instance area.txt --rounds 3 --planner greedy
@@ -27,7 +34,9 @@
 #include "core/evaluator.h"
 #include "core/io.h"
 #include "core/planner.h"
+#include "core/resilient_planner.h"
 #include "support/cli.h"
+#include "support/overload.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
@@ -49,12 +58,14 @@ std::unique_ptr<core::Planner> parse_planner(const std::string& name,
   if (name == "blanket") return std::make_unique<core::BlanketPlanner>();
   if (name == "exact") return std::make_unique<core::ExactPlanner>(obj);
   if (name == "typed") return std::make_unique<core::TypedExactPlanner>(obj);
+  if (name == "resilient") return core::ResilientPlanner::standard();
   if (name.rfind("cap", 0) == 0) {
     const std::size_t cap = std::stoul(name.substr(3));
     return std::make_unique<core::BandwidthLimitedPlanner>(cap, obj);
   }
-  throw std::invalid_argument("unknown planner '" + name +
-                              "' (greedy|blanket|exact|typed|cap<N>)");
+  throw std::invalid_argument(
+      "unknown planner '" + name +
+      "' (greedy|blanket|exact|typed|cap<N>|resilient)");
 }
 
 }  // namespace
@@ -72,18 +83,23 @@ int main(int argc, char** argv) {
     const std::int64_t threads = cli.get_int("threads", 0);
     const auto mc_seed =
         static_cast<std::uint64_t>(cli.get_int("mc-seed", 1));
+    const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
     for (const auto& flag : cli.unused()) {
       throw std::invalid_argument("unknown flag --" + flag);
     }
     if (path.empty() || rounds == 0) {
       std::cerr << "usage: confcall_plan --instance FILE --rounds D "
-                   "[--planner greedy|blanket|exact|typed|cap<N>] "
+                   "[--planner greedy|blanket|exact|typed|cap<N>|resilient] "
                    "[--objective all|any|k] [--k K] [--format text|csv] "
+                   "[--deadline-ms D] "
                    "[--mc TRIALS] [--threads N] [--mc-seed S]\n";
       return 2;
     }
     if (mc_trials < 0 || threads < 0) {
       throw std::invalid_argument("--mc and --threads must be >= 0");
+    }
+    if (deadline_ms < 0) {
+      throw std::invalid_argument("--deadline-ms must be >= 0");
     }
 
     std::ifstream file(path);
@@ -97,7 +113,21 @@ int main(int argc, char** argv) {
 
     const core::Objective objective = parse_objective(objective_name, k);
     const auto planner = parse_planner(planner_name, objective);
-    const core::Strategy strategy = planner->plan(instance, rounds);
+    const auto* resilient =
+        dynamic_cast<const core::ResilientPlanner*>(planner.get());
+    if (deadline_ms > 0 && resilient == nullptr) {
+      throw std::invalid_argument(
+          "--deadline-ms requires --planner resilient (single-tier "
+          "planners have no cheaper tier to degrade to)");
+    }
+    const core::Strategy strategy =
+        deadline_ms > 0
+            ? resilient->plan(
+                  instance, rounds,
+                  support::Deadline::after(
+                      static_cast<std::uint64_t>(deadline_ms) * 1'000'000u,
+                      support::SteadyClockSource::shared()))
+            : planner->plan(instance, rounds);
     const double ep = core::expected_paging(instance, strategy, objective);
     const double rounds_used =
         core::expected_rounds(instance, strategy, objective);
@@ -147,6 +177,32 @@ int main(int argc, char** argv) {
       if (mc) {
         std::cout << "monte carlo     : " << mc->mean << " +/- "
                   << mc->std_error << " (" << mc->trials << " trials)\n";
+      }
+      if (resilient != nullptr) {
+        if (deadline_ms > 0) {
+          std::cout << "deadline        : " << deadline_ms << " ms\n";
+        }
+        const std::vector<std::uint64_t> served =
+            resilient->served_counts();
+        std::cout << "served by tier  : ";
+        for (std::size_t i = 0; i < resilient->num_tiers(); ++i) {
+          std::cout << (i == 0 ? "" : " | ") << resilient->tier(i).name()
+                    << "=" << served[i];
+        }
+        std::cout << "\nserving tier    : "
+                  << resilient->tier(resilient->last_tier()).name()
+                  << " (failovers " << resilient->failovers()
+                  << ", breaker skips " << resilient->breaker_skips()
+                  << ")\n"
+                  << "breakers        : ";
+        for (std::size_t i = 0; i + 1 < resilient->num_tiers(); ++i) {
+          const auto& breaker = resilient->breaker(i);
+          std::cout << (i == 0 ? "" : " | ") << resilient->tier(i).name()
+                    << "="
+                    << support::CircuitBreaker::state_name(breaker.state())
+                    << " (trips " << breaker.trips() << ")";
+        }
+        std::cout << "\n";
       }
     } else {
       throw std::invalid_argument("unknown format '" + format + "'");
