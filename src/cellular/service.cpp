@@ -13,6 +13,41 @@
 
 namespace confcall::cellular {
 
+ServiceMetrics ServiceMetrics::create(support::MetricRegistry& registry) {
+  ServiceMetrics metrics;
+  metrics.calls = registry.counter("confcall_locate_calls_total",
+                                   "locate() calls served");
+  metrics.cache_hits =
+      registry.counter("confcall_locate_plan_cache_hits_total",
+                       "Planned searches answered from the plan cache");
+  metrics.cache_misses =
+      registry.counter("confcall_locate_plan_cache_misses_total",
+                       "Planned searches that ran the planner");
+  metrics.retries = registry.counter(
+      "confcall_locate_retries_total",
+      "Recovery sweeps run across all locate() calls");
+  metrics.abandoned = registry.counter(
+      "confcall_locate_abandoned_total",
+      "locate() calls that force-registered at least one callee unfound");
+  metrics.deadline_limited = registry.counter(
+      "confcall_locate_deadline_limited_total",
+      "locate() calls truncated by their propagated deadline");
+  // Pages and EP share one bucket layout so the realized paging cost and
+  // the paper's Lemma 2.1 prediction compare bucket-for-bucket.
+  const support::HistogramSpec paging_spec =
+      support::HistogramSpec::exponential(1.0, 2.0, 12);
+  metrics.pages = registry.histogram("confcall_locate_pages", paging_spec,
+                                     "Cells paged per locate() call");
+  metrics.ep_predicted = registry.histogram(
+      "confcall_locate_ep_predicted", paging_spec,
+      "Lemma 2.1 expected paging of each planned per-area strategy");
+  metrics.rounds = registry.histogram(
+      "confcall_locate_rounds", support::HistogramSpec::integers(128),
+      "Paging rounds used per locate() call (unit buckets; quantile() "
+      "agrees exactly with SimReport::rounds_percentile)");
+  return metrics;
+}
+
 namespace {
 
 /// FNV-1a over 64-bit words, used to fingerprint a planning input. A
@@ -222,7 +257,8 @@ std::uint64_t LocationService::plan_signature(const core::Instance& instance,
 
 core::Strategy LocationService::plan_area_strategy(
     std::span<const UserId> group_users, std::size_t area,
-    std::size_t num_cells, std::size_t d, bool plan_cheap) const {
+    std::size_t num_cells, std::size_t d, bool plan_cheap,
+    double* ep_out) const {
   if (config_.paging_policy == PagingPolicy::kBlanketArea || plan_cheap) {
     // Degraded health plans with the cheap tier directly: a blanket area
     // page costs zero planning work and one round, which is exactly what
@@ -239,9 +275,20 @@ core::Strategy LocationService::plan_area_strategy(
   if (config_.enable_plan_cache) {
     const std::uint64_t signature = plan_signature(instance, area, d);
     PlanCacheShard& shard = plan_cache_[area];
-    for (const PlanCacheEntry& entry : shard.entries) {
+    for (PlanCacheEntry& entry : shard.entries) {
       if (entry.signature == signature) {
         ++plan_cache_stats_.hits;
+        config_.metrics.cache_hits.inc();
+        if (ep_out != nullptr) {
+          // Lazily fill the cached EP: a cache populated before the EP
+          // histogram was wanted (or by an uninstrumented service) holds
+          // the -1 sentinel until the first asking hit.
+          if (entry.expected_paging < 0.0) {
+            entry.expected_paging =
+                core::expected_paging(instance, entry.strategy);
+          }
+          *ep_out = entry.expected_paging;
+        }
         return entry.strategy;
       }
     }
@@ -249,20 +296,29 @@ core::Strategy LocationService::plan_area_strategy(
         config_.planner != nullptr
             ? config_.planner->plan(instance, d)
             : core::plan_greedy(instance, d).strategy;
+    PlanCacheEntry entry{signature, strategy, -1.0};
+    if (ep_out != nullptr) {
+      entry.expected_paging = core::expected_paging(instance, strategy);
+      *ep_out = entry.expected_paging;
+    }
     if (shard.entries.size() < PlanCacheShard::kCapacity) {
-      shard.entries.push_back(PlanCacheEntry{signature, strategy});
+      shard.entries.push_back(std::move(entry));
     } else {
-      shard.entries[shard.next_slot] = PlanCacheEntry{signature, strategy};
+      shard.entries[shard.next_slot] = std::move(entry);
       shard.next_slot = (shard.next_slot + 1) % PlanCacheShard::kCapacity;
     }
     ++plan_cache_stats_.misses;
+    config_.metrics.cache_misses.inc();
     return strategy;
   }
 
-  if (config_.planner != nullptr) {
-    return config_.planner->plan(instance, d);
+  core::Strategy strategy = config_.planner != nullptr
+                                ? config_.planner->plan(instance, d)
+                                : core::plan_greedy(instance, d).strategy;
+  if (ep_out != nullptr) {
+    *ep_out = core::expected_paging(instance, strategy);
   }
-  return core::plan_greedy(instance, d).strategy;
+  return strategy;
 }
 
 LocationService::AreaOutcome LocationService::execute_area_strategy(
@@ -418,6 +474,8 @@ LocationService::LocateOutcome LocationService::locate(
     throw std::invalid_argument(
         "locate: the adaptive policy assumes the full delay budget");
   }
+  const support::Span locate_span(config_.tracer, "locate");
+  config_.metrics.calls.inc();
   // Convert the propagated deadline into this call's round budget.
   // kUnknownLocal doubles as "no cap" (it is SIZE_MAX).
   std::size_t round_cap = kUnknownLocal;
@@ -498,8 +556,15 @@ LocationService::LocateOutcome LocationService::locate(
       area_outcome.ran_all_rounds = adaptive.cells_paged == cells.size();
       found.assign(indices.size(), true);
     } else {
-      const core::Strategy strategy = plan_area_strategy(
-          group_users, area, cells.size(), d, context.plan_cheap);
+      double ep = -1.0;
+      const core::Strategy strategy = [&] {
+        const support::Span plan_span(config_.tracer, "plan");
+        return plan_area_strategy(
+            group_users, area, cells.size(), d, context.plan_cheap,
+            config_.metrics.ep_predicted.bound() ? &ep : nullptr);
+      }();
+      if (ep >= 0.0) config_.metrics.ep_predicted.observe(ep);
+      const support::Span page_span(config_.tracer, "page_rounds");
       area_outcome = execute_area_strategy(strategy, group_users,
                                            group_cells, local_of, found,
                                            outcome, rng);
@@ -533,8 +598,16 @@ LocationService::LocateOutcome LocationService::locate(
   }
   const std::size_t first_sweep_pages =
       any_missed_detection ? grid_->num_cells() : not_fully_paged;
-  run_recovery(users, true_cells, std::move(missing), first_sweep_pages,
-               round_cap, outcome, rng);
+  {
+    const support::Span recovery_span(config_.tracer, "recovery");
+    run_recovery(users, true_cells, std::move(missing), first_sweep_pages,
+                 round_cap, outcome, rng);
+  }
+  config_.metrics.pages.observe(static_cast<double>(outcome.cells_paged));
+  config_.metrics.rounds.observe(static_cast<double>(outcome.rounds_used));
+  if (outcome.retries > 0) config_.metrics.retries.inc(outcome.retries);
+  if (outcome.abandoned) config_.metrics.abandoned.inc();
+  if (outcome.deadline_limited) config_.metrics.deadline_limited.inc();
   return outcome;
 }
 

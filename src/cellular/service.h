@@ -41,7 +41,9 @@
 #include "core/strategy.h"
 #include "prob/distribution.h"
 #include "prob/rng.h"
+#include "support/metrics.h"
 #include "support/overload.h"
+#include "support/trace.h"
 
 namespace confcall::core {
 class Planner;
@@ -93,6 +95,32 @@ struct RetryPolicy {
   void validate() const;
 };
 
+/// The locate-path metric handles, registered on a caller-owned
+/// MetricRegistry by create() and passed into LocationService::Config by
+/// value. A default-constructed ServiceMetrics is fully unbound: every
+/// operation no-ops, so an uninstrumented service pays only null checks
+/// (bench_e15_observability holds the instrumented path within 5% of it).
+struct ServiceMetrics {
+  support::Counter calls;             ///< confcall_locate_calls_total
+  support::Counter cache_hits;        ///< confcall_locate_plan_cache_hits_total
+  support::Counter cache_misses;      ///< confcall_locate_plan_cache_misses_total
+  support::Counter retries;           ///< confcall_locate_retries_total
+  support::Counter abandoned;         ///< confcall_locate_abandoned_total
+  support::Counter deadline_limited;  ///< confcall_locate_deadline_limited_total
+  support::Histogram pages;           ///< confcall_locate_pages per call
+  support::Histogram rounds;          ///< confcall_locate_rounds per call
+  /// Lemma 2.1 expected paging of each planned per-area strategy — the
+  /// paper's EP objective tracked live, on the same bucket layout as the
+  /// observed `pages` histogram so predicted and realized paging cost
+  /// compare directly.
+  support::Histogram ep_predicted;    ///< confcall_locate_ep_predicted
+
+  /// Registers the confcall_locate_* family on `registry` (idempotent)
+  /// and returns bound handles. The registry must outlive every service
+  /// holding the handles.
+  [[nodiscard]] static ServiceMetrics create(support::MetricRegistry& registry);
+};
+
 /// A network-side location management service over one cell grid.
 class LocationService {
  public:
@@ -140,6 +168,13 @@ class LocationService {
     /// &support::SteadyClockSource::shared(). Required (with a nonzero
     /// round_duration_ns) before locate() accepts a bounded deadline.
     const support::ClockSource* clock = nullptr;
+    /// Locate-path metric handles (see ServiceMetrics). Default = all
+    /// unbound = the byte-inert uninstrumented service.
+    ServiceMetrics metrics{};
+    /// Span sink for per-call locate / plan / page_rounds / recovery
+    /// spans (non-owning; must outlive the service). nullptr = no
+    /// tracing, zero cost.
+    support::Tracer* tracer = nullptr;
 
     /// Consolidated validation with one specific message per rejection.
     /// Called by the constructor; exposed so SimConfig and tests can
@@ -294,9 +329,15 @@ class LocationService {
                                     const std::vector<std::size_t>& local_of,
                                     std::vector<bool>& found,
                                     LocateOutcome& outcome, prob::Rng& rng);
+  /// `ep_out`, when non-null, receives the Lemma 2.1 expected paging of
+  /// the returned strategy (or stays untouched on the blanket/cheap path,
+  /// which never builds an instance). The value is cached alongside the
+  /// strategy, so attaching the EP histogram does not re-run the
+  /// evaluator on cache hits.
   core::Strategy plan_area_strategy(std::span<const UserId> group_users,
                                     std::size_t area, std::size_t num_cells,
-                                    std::size_t d, bool plan_cheap) const;
+                                    std::size_t d, bool plan_cheap,
+                                    double* ep_out = nullptr) const;
   [[nodiscard]] std::uint64_t plan_signature(const core::Instance& instance,
                                              std::size_t area,
                                              std::size_t d) const;
@@ -317,10 +358,13 @@ class LocationService {
   std::vector<double> stationary_;  // cached when profile kind needs it
 
   /// A cached strategy plus the signature of the planning inputs it was
-  /// built from.
+  /// built from, and its Lemma 2.1 expected paging (-1 until someone
+  /// asks — computed lazily only when the EP histogram is attached, so
+  /// the uninstrumented hot path never pays for the evaluator).
   struct PlanCacheEntry {
     std::uint64_t signature;
     core::Strategy strategy;
+    double expected_paging = -1.0;
   };
   /// Per-area cache shard: a handful of entries (one per live signature —
   /// in practice one per conference-subgroup size and outage state) with

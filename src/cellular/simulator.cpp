@@ -147,6 +147,7 @@ void SimReport::merge(const SimReport& other) {
   plan_cache_misses += other.plan_cache_misses;
   pages_per_call.merge(other.pages_per_call);
   rounds_per_call.merge(other.rounds_per_call);
+  metrics.merge(other.metrics);
 }
 
 SimReport run_simulation(const SimConfig& config) {
@@ -171,9 +172,16 @@ SimReport run_simulation(const SimConfig& config) {
   // of wall-clock speed or thread placement.
   support::ManualClock clock;
   const OverloadConfig& overload = config.overload;
+  // The per-run registry (collect_metrics only). Declared before the
+  // planner and service so the handles they hold never outlive it.
+  std::unique_ptr<support::MetricRegistry> registry;
+  if (config.collect_metrics) {
+    registry = std::make_unique<support::MetricRegistry>();
+  }
   std::unique_ptr<core::ResilientPlanner> resilient;
   std::optional<support::AdmissionController> admission;
   LocationService::Config service_cfg = config.service_config();
+  if (registry) service_cfg.metrics = ServiceMetrics::create(*registry);
   if (overload.enabled) {
     if (overload.resilient_planner) {
       std::vector<std::unique_ptr<core::Planner>> chain;
@@ -183,12 +191,13 @@ SimReport run_simulation(const SimConfig& config) {
       chain.push_back(std::make_unique<core::BlanketPlanner>());
       resilient = std::make_unique<core::ResilientPlanner>(
           std::move(chain), core::ResilientPlanner::Budget{0.0}, clock,
-          overload.breaker);
+          overload.breaker, registry.get());
       service_cfg.planner = resilient.get();
     }
     service_cfg.clock = &clock;
     service_cfg.round_duration_ns = overload.round_duration_ns;
     admission.emplace(overload.admission, clock);
+    if (registry) admission->bind_metrics(*registry);
   }
 
   LocationService service(grid, areas, mobility, service_cfg, user_cells);
@@ -298,6 +307,7 @@ SimReport run_simulation(const SimConfig& config) {
   report.faults_injected = faults.stats();
   report.plan_cache_hits = service.plan_cache_stats().hits;
   report.plan_cache_misses = service.plan_cache_stats().misses;
+  if (registry) report.metrics = registry->snapshot();
   return report;
 }
 

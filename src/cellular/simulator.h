@@ -17,6 +17,7 @@
 #include "cellular/faults.h"
 #include "cellular/service.h"
 #include "prob/stats.h"
+#include "support/metrics.h"
 #include "support/overload.h"
 
 namespace confcall::cellular {
@@ -105,6 +106,14 @@ struct SimConfig {
   /// LocationService::Config::enable_plan_cache). Results are identical
   /// either way; only planning cost differs.
   bool enable_plan_cache = true;
+  /// Attach a per-run MetricRegistry (locate / planner / admission
+  /// series) and return its snapshot in SimReport::metrics. Off by
+  /// default: the uninstrumented run is byte-identical to older builds.
+  /// With it on, every metric is driven by the deterministic virtual
+  /// clock and the seeded call sequence, so snapshots are bit-identical
+  /// across runs and (after the batch's fixed-order merge) across
+  /// thread counts.
+  bool collect_metrics = false;
   double report_cost = 1.0;  ///< uplink cost per location report
   double page_cost = 1.0;    ///< downlink cost per cell paged
   std::uint64_t seed = 1;
@@ -192,6 +201,11 @@ struct SimReport {
   /// Smallest r with at least `p` of the admitted-call mass at or below
   /// it (0 when no calls were admitted). p in [0, 1].
   [[nodiscard]] std::size_t rounds_percentile(double p) const noexcept;
+
+  /// Registry snapshot of the run (empty unless SimConfig::collect_metrics).
+  /// merge() folds these too — counters and histogram buckets sum — so a
+  /// batch aggregate carries one merged registry view.
+  support::RegistrySnapshot metrics;
 
   [[nodiscard]] double plan_cache_hit_rate() const noexcept {
     const std::size_t total = plan_cache_hits + plan_cache_misses;

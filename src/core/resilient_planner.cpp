@@ -9,11 +9,9 @@ namespace confcall::core {
 ResilientPlanner::ResilientPlanner(
     std::vector<std::unique_ptr<Planner>> chain, Budget budget,
     const support::ClockSource& clock,
-    support::CircuitBreakerOptions breaker_options)
-    : chain_(std::move(chain)),
-      budget_(budget),
-      clock_(&clock),
-      served_(chain_.size()) {
+    support::CircuitBreakerOptions breaker_options,
+    support::MetricRegistry* registry)
+    : chain_(std::move(chain)), budget_(budget), clock_(&clock) {
   if (chain_.empty()) {
     throw std::invalid_argument("ResilientPlanner: empty chain");
   }
@@ -27,20 +25,49 @@ ResilientPlanner::ResilientPlanner(
         "ResilientPlanner: negative time limit");
   }
   breaker_options.validate();
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<support::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  served_metric_.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    served_metric_.push_back(registry_->counter(
+        "confcall_planner_tier_served_total",
+        "plan() calls served per fallback-chain tier (0 = preferred)",
+        {{"tier", std::to_string(i)}}));
+  }
+  failovers_metric_ = registry_->counter(
+      "confcall_planner_failovers_total",
+      "Tier failures and skips across all plan() calls");
+  breaker_skips_metric_ = registry_->counter(
+      "confcall_planner_breaker_skips_total",
+      "Tier attempts refused by an open breaker (subset of failovers)");
+  plan_latency_metric_ = registry_->histogram(
+      "confcall_planner_plan_latency_ns",
+      support::HistogramSpec::exponential(256.0, 4.0, 16),
+      "End-to-end plan() latency on the planner's injected clock "
+      "(all-zero under a ManualClock)");
   breakers_.reserve(chain_.size() - 1);
   for (std::size_t i = 0; i + 1 < chain_.size(); ++i) {
     breakers_.push_back(
         std::make_unique<support::CircuitBreaker>(breaker_options, clock));
+    breakers_.back()->bind_metrics(registry_->counter(
+        "confcall_planner_breaker_trips_total",
+        "Breaker trips per guarded (non-final) tier",
+        {{"tier", std::to_string(i)}}));
   }
 }
 
 std::unique_ptr<ResilientPlanner> ResilientPlanner::standard(
-    Budget budget) {
+    Budget budget, support::MetricRegistry* registry) {
   std::vector<std::unique_ptr<Planner>> chain;
   chain.push_back(std::make_unique<TypedExactPlanner>());
   chain.push_back(std::make_unique<GreedyPlanner>());
   chain.push_back(std::make_unique<BlanketPlanner>());
-  return std::make_unique<ResilientPlanner>(std::move(chain), budget);
+  return std::make_unique<ResilientPlanner>(
+      std::move(chain), budget, support::SteadyClockSource::shared(),
+      support::CircuitBreakerOptions{}, registry);
 }
 
 std::string ResilientPlanner::name() const {
@@ -55,9 +82,9 @@ std::string ResilientPlanner::name() const {
 
 std::vector<std::uint64_t> ResilientPlanner::served_counts() const {
   std::vector<std::uint64_t> counts;
-  counts.reserve(served_.size());
-  for (const auto& count : served_) {
-    counts.push_back(count.load(std::memory_order_relaxed));
+  counts.reserve(served_metric_.size());
+  for (const support::Counter& counter : served_metric_) {
+    counts.push_back(counter.value());
   }
   return counts;
 }
@@ -84,6 +111,14 @@ Strategy ResilientPlanner::plan_impl(const Instance& instance,
                                      support::Deadline deadline) const {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
+  // Latency is observed on the INJECTED clock, not steady_clock: under a
+  // ManualClock every call records 0 and the simulator's snapshots stay
+  // bit-identical across thread counts and runs.
+  const std::uint64_t start_ns = clock_->now_ns();
+  const auto observe_latency = [&] {
+    plan_latency_metric_.observe(
+        static_cast<double>(clock_->now_ns() - start_ns));
+  };
   const auto over_budget = [&] {
     if (!deadline.is_unbounded() && deadline.expired(*clock_)) return true;
     if (budget_.time_limit_seconds <= 0.0) return false;
@@ -100,14 +135,14 @@ Strategy ResilientPlanner::plan_impl(const Instance& instance,
     // budget/deadline skip is not the tier's fault, so its breaker sees
     // nothing.
     if (!final_tier && over_budget()) {
-      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failovers_metric_.inc();
       continue;
     }
     // An open breaker means this tier has been failing recently: skip it
     // before spending any work on it.
     if (!final_tier && !breakers_[i]->allow()) {
-      failovers_.fetch_add(1, std::memory_order_relaxed);
-      breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+      failovers_metric_.inc();
+      breaker_skips_metric_.inc();
       continue;
     }
     try {
@@ -117,23 +152,25 @@ Strategy ResilientPlanner::plan_impl(const Instance& instance,
         // its breaker just like a failure — a chronically slow tier
         // must be skipped, not politely waited for.
         breakers_[i]->record_failure();
-        failovers_.fetch_add(1, std::memory_order_relaxed);
+        failovers_metric_.inc();
         continue;
       }
       if (!final_tier) breakers_[i]->record_success();
-      served_[i].fetch_add(1, std::memory_order_relaxed);
+      served_metric_[i].inc();
       last_tier_.store(i, std::memory_order_relaxed);
+      observe_latency();
       return strategy;
     } catch (const std::invalid_argument&) {
       if (!final_tier) breakers_[i]->record_failure();
-      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failovers_metric_.inc();
       last_error = std::current_exception();
     } catch (const std::runtime_error&) {
       if (!final_tier) breakers_[i]->record_failure();
-      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failovers_metric_.inc();
       last_error = std::current_exception();
     }
   }
+  observe_latency();
   std::rethrow_exception(last_error);
 }
 

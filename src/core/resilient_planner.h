@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "support/metrics.h"
 #include "support/overload.h"
 
 namespace confcall::core {
@@ -48,16 +49,24 @@ class ResilientPlanner final : public Planner {
 
   /// Takes ownership of the chain (preferred first). Breakers guard
   /// every non-final tier and read `clock` (which must outlive the
-  /// planner). Throws std::invalid_argument on an empty chain, a null
-  /// entry, a negative time limit, or bad breaker options.
+  /// planner). Telemetry (per-tier served counts, failovers, breaker
+  /// skips/trips, plan latency) lives in a support::MetricRegistry: pass
+  /// one to share a registry with other components (it must outlive the
+  /// planner), or pass nullptr and the planner owns a private registry —
+  /// the telemetry getters below work either way. Throws
+  /// std::invalid_argument on an empty chain, a null entry, a negative
+  /// time limit, or bad breaker options.
   explicit ResilientPlanner(
       std::vector<std::unique_ptr<Planner>> chain, Budget budget = Budget{0.0},
       const support::ClockSource& clock = support::SteadyClockSource::shared(),
-      support::CircuitBreakerOptions breaker_options = {});
+      support::CircuitBreakerOptions breaker_options = {},
+      support::MetricRegistry* registry = nullptr);
 
   /// The standard production chain: typed-exact -> greedy Fig. 1 ->
-  /// blanket.
-  static std::unique_ptr<ResilientPlanner> standard(Budget budget = Budget{0.0});
+  /// blanket. `registry` as in the constructor (nullptr = private).
+  static std::unique_ptr<ResilientPlanner> standard(
+      Budget budget = Budget{0.0},
+      support::MetricRegistry* registry = nullptr);
 
   /// "resilient(exact-typed>greedy-fig1>blanket)".
   [[nodiscard]] std::string name() const override;
@@ -77,6 +86,8 @@ class ResilientPlanner final : public Planner {
                               support::Deadline deadline) const;
 
   /// How many plan() calls each tier served (index-aligned snapshot).
+  /// Thin adapter over the registry counters, kept for existing callers;
+  /// new code should read metrics_snapshot() for one consistent cut.
   [[nodiscard]] std::vector<std::uint64_t> served_counts() const;
 
   /// Tier index that served the most recent successful plan().
@@ -87,12 +98,20 @@ class ResilientPlanner final : public Planner {
   /// Total tier failures/skips across all plan() calls (a measure of how
   /// often the deployment is degraded).
   [[nodiscard]] std::uint64_t failovers() const noexcept {
-    return failovers_.load(std::memory_order_relaxed);
+    return failovers_metric_.value();
   }
 
   /// Tier attempts refused by an open breaker (a subset of failovers()).
   [[nodiscard]] std::uint64_t breaker_skips() const noexcept {
-    return breaker_skips_.load(std::memory_order_relaxed);
+    return breaker_skips_metric_.value();
+  }
+
+  /// One consistent cut of the planner's telemetry registry
+  /// (confcall_planner_* series; the whole shared registry when one was
+  /// injected). Reporting paths should print from a single snapshot
+  /// instead of stitching together racing getter calls.
+  [[nodiscard]] support::RegistrySnapshot metrics_snapshot() const {
+    return registry_->snapshot();
   }
 
   /// Breaker trips summed across all non-final tiers.
@@ -124,10 +143,15 @@ class ResilientPlanner final : public Planner {
   /// One breaker per non-final tier (the safety-net tier is never
   /// broken: returning SOMETHING is its whole job).
   mutable std::vector<std::unique_ptr<support::CircuitBreaker>> breakers_;
-  mutable std::vector<std::atomic<std::uint64_t>> served_;
   mutable std::atomic<std::size_t> last_tier_{0};
-  mutable std::atomic<std::uint64_t> failovers_{0};
-  mutable std::atomic<std::uint64_t> breaker_skips_{0};
+  /// Private fallback registry when no shared one is injected; registry_
+  /// points at whichever holds the confcall_planner_* series.
+  std::unique_ptr<support::MetricRegistry> owned_registry_;
+  support::MetricRegistry* registry_ = nullptr;
+  std::vector<support::Counter> served_metric_;  // per tier, {tier=i}
+  support::Counter failovers_metric_;
+  support::Counter breaker_skips_metric_;
+  support::Histogram plan_latency_metric_;
 };
 
 }  // namespace confcall::core

@@ -1,0 +1,474 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace confcall::support {
+namespace {
+
+bool valid_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  const auto head = static_cast<unsigned char>(s.front());
+  if (!(std::isalpha(head) != 0 || s.front() == '_')) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    const auto u = static_cast<unsigned char>(c);
+    return std::isalnum(u) != 0 || c == '_';
+  });
+}
+
+void validate_identity(const std::string& name, const MetricLabels& labels) {
+  if (!valid_identifier(name)) {
+    throw std::invalid_argument("metric name '" + name +
+                                "' must match [a-zA-Z_][a-zA-Z0-9_]*");
+  }
+  for (const auto& [key, value] : labels) {
+    (void)value;
+    if (!valid_identifier(key)) {
+      throw std::invalid_argument("label name '" + key + "' on metric '" +
+                                  name +
+                                  "' must match [a-zA-Z_][a-zA-Z0-9_]*");
+    }
+  }
+}
+
+MetricLabels sorted_labels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string metric_key(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += label;
+    key += "=\"";
+    key += escape_label_value(value);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+// JSON requires shortest-round-trip doubles; %.17g is the portable
+// sufficient precision and keeps exports bit-stable for the E15 gate.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* metric_type_name(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+HistogramSpec HistogramSpec::exponential(double start, double factor,
+                                         std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument(
+        "HistogramSpec::exponential requires start > 0, factor > 1, "
+        "count >= 1");
+  }
+  HistogramSpec spec;
+  spec.upper_bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    spec.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  spec.validate();
+  return spec;
+}
+
+HistogramSpec HistogramSpec::integers(std::size_t max_value) {
+  HistogramSpec spec;
+  spec.upper_bounds.reserve(max_value + 1);
+  for (std::size_t v = 0; v <= max_value; ++v) {
+    spec.upper_bounds.push_back(static_cast<double>(v));
+  }
+  spec.validate();
+  return spec;
+}
+
+void HistogramSpec::validate() const {
+  if (upper_bounds.empty()) {
+    throw std::invalid_argument("HistogramSpec needs at least one bound");
+  }
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (!std::isfinite(upper_bounds[i])) {
+      throw std::invalid_argument("HistogramSpec bounds must be finite");
+    }
+    if (i > 0 && !(upper_bounds[i] > upper_bounds[i - 1])) {
+      throw std::invalid_argument(
+          "HistogramSpec bounds must be strictly increasing");
+    }
+  }
+}
+
+namespace detail {
+HistogramCell::HistogramCell(HistogramSpec spec_in)
+    : spec(std::move(spec_in)), counts(spec.upper_bounds.size() + 1) {}
+}  // namespace detail
+
+void Histogram::observe(double value) const noexcept {
+  if (cell_ == nullptr) return;
+  const auto& bounds = cell_->spec.upper_bounds;
+  // First bound >= value; past-the-end means the overflow bucket.
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds.begin());
+  cell_->counts[index].fetch_add(1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  cell_->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double p) const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0 || upper_bounds.empty()) return 0.0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  // Same rank rounding as cellular::SimReport::rounds_percentile, so the
+  // two percentile sources agree on integers() buckets.
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(total) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target) {
+      return i < upper_bounds.size() ? upper_bounds[i] : upper_bounds.back();
+    }
+  }
+  return upper_bounds.back();
+}
+
+std::string MetricSnapshot::key() const { return metric_key(name, labels); }
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& theirs : other.metrics) {
+    const std::string key = theirs.key();
+    auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), key,
+        [](const MetricSnapshot& m, const std::string& k) {
+          return m.key() < k;
+        });
+    if (it == metrics.end() || it->key() != key) {
+      metrics.insert(it, theirs);
+      continue;
+    }
+    if (it->type != theirs.type) {
+      throw std::invalid_argument("RegistrySnapshot::merge: metric '" + key +
+                                  "' has mismatched types");
+    }
+    switch (theirs.type) {
+      case MetricType::kCounter:
+        it->counter_value += theirs.counter_value;
+        break;
+      case MetricType::kGauge:
+        it->gauge_value += theirs.gauge_value;
+        break;
+      case MetricType::kHistogram: {
+        auto& mine = it->histogram;
+        if (mine.upper_bounds != theirs.histogram.upper_bounds) {
+          throw std::invalid_argument("RegistrySnapshot::merge: histogram '" +
+                                      key + "' has mismatched bucket bounds");
+        }
+        for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+          mine.counts[i] += theirs.histogram.counts[i];
+        }
+        mine.count += theirs.histogram.count;
+        mine.sum += theirs.histogram.sum;
+        break;
+      }
+    }
+  }
+}
+
+const MetricSnapshot* RegistrySnapshot::find(
+    std::string_view name, const MetricLabels& labels) const noexcept {
+  for (const auto& metric : metrics) {
+    if (metric.name == name && metric.labels == labels) return &metric;
+  }
+  return nullptr;
+}
+
+MetricRegistry::Shard& MetricRegistry::shard_for(
+    const std::string& name) noexcept {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(
+    Shard& shard, MetricType type, const std::string& name,
+    const MetricLabels& labels, const std::string& help,
+    const HistogramSpec* spec) {
+  const std::string key = metric_key(name, labels);
+  auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) {
+    Entry& entry = it->second;
+    if (entry.type != type) {
+      throw std::invalid_argument(
+          "metric '" + key + "' already registered as " +
+          metric_type_name(entry.type) + ", requested " +
+          metric_type_name(type));
+    }
+    if (type == MetricType::kHistogram &&
+        entry.histogram->spec.upper_bounds != spec->upper_bounds) {
+      throw std::invalid_argument("histogram '" + key +
+                                  "' re-registered with different buckets");
+    }
+    return entry;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.name = name;
+  entry.labels = labels;
+  entry.help = help;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = &shard.counters.emplace_back();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = &shard.gauges.emplace_back();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = &shard.histograms.emplace_back(*spec);
+      break;
+  }
+  return shard.by_key.emplace(key, std::move(entry)).first->second;
+}
+
+Counter MetricRegistry::counter(const std::string& name,
+                                const std::string& help,
+                                const MetricLabels& labels) {
+  validate_identity(name, labels);
+  const MetricLabels canonical = sorted_labels(labels);
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return Counter(find_or_create(shard, MetricType::kCounter, name, canonical,
+                                help, nullptr)
+                     .counter);
+}
+
+Gauge MetricRegistry::gauge(const std::string& name, const std::string& help,
+                            const MetricLabels& labels) {
+  validate_identity(name, labels);
+  const MetricLabels canonical = sorted_labels(labels);
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return Gauge(
+      find_or_create(shard, MetricType::kGauge, name, canonical, help, nullptr)
+          .gauge);
+}
+
+Histogram MetricRegistry::histogram(const std::string& name,
+                                    const HistogramSpec& spec,
+                                    const std::string& help,
+                                    const MetricLabels& labels) {
+  validate_identity(name, labels);
+  spec.validate();
+  const MetricLabels canonical = sorted_labels(labels);
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return Histogram(find_or_create(shard, MetricType::kHistogram, name,
+                                  canonical, help, &spec)
+                       .histogram);
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  RegistrySnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.by_key) {
+      (void)key;
+      MetricSnapshot metric;
+      metric.name = entry.name;
+      metric.labels = entry.labels;
+      metric.help = entry.help;
+      metric.type = entry.type;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          metric.counter_value =
+              entry.counter->value.load(std::memory_order_relaxed);
+          break;
+        case MetricType::kGauge:
+          metric.gauge_value =
+              entry.gauge->value.load(std::memory_order_relaxed);
+          break;
+        case MetricType::kHistogram: {
+          metric.histogram.upper_bounds = entry.histogram->spec.upper_bounds;
+          metric.histogram.counts.reserve(entry.histogram->counts.size());
+          for (const auto& bucket : entry.histogram->counts) {
+            metric.histogram.counts.push_back(
+                bucket.load(std::memory_order_relaxed));
+          }
+          metric.histogram.count =
+              entry.histogram->count.load(std::memory_order_relaxed);
+          metric.histogram.sum =
+              entry.histogram->sum.load(std::memory_order_relaxed);
+          break;
+        }
+      }
+      snapshot.metrics.push_back(std::move(metric));
+    }
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.key() < b.key();
+            });
+  return snapshot;
+}
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n";
+  const char* section_names[] = {"counters", "gauges", "histograms"};
+  const MetricType section_types[] = {MetricType::kCounter, MetricType::kGauge,
+                                      MetricType::kHistogram};
+  for (int section = 0; section < 3; ++section) {
+    os << "  \"" << section_names[section] << "\": {";
+    bool first = true;
+    for (const auto& metric : snapshot.metrics) {
+      if (metric.type != section_types[section]) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n    \"" << json_escape(metric.key()) << "\": ";
+      switch (metric.type) {
+        case MetricType::kCounter:
+          os << metric.counter_value;
+          break;
+        case MetricType::kGauge:
+          os << json_number(metric.gauge_value);
+          break;
+        case MetricType::kHistogram: {
+          const auto& h = metric.histogram;
+          os << "{\"count\": " << h.count
+             << ", \"sum\": " << json_number(h.sum)
+             << ", \"p50\": " << json_number(h.quantile(0.50))
+             << ", \"p99\": " << json_number(h.quantile(0.99))
+             << ", \"buckets\": [";
+          for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << h.counts[i];
+          }
+          os << "]}";
+          break;
+        }
+      }
+    }
+    os << (first ? "}" : "\n  }");
+    if (section < 2) os << ",";
+    os << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  // HELP/TYPE are per metric family (name), emitted once even when many
+  // label sets share the name; the sorted snapshot groups them already.
+  std::string last_family;
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name != last_family) {
+      last_family = metric.name;
+      if (!metric.help.empty()) {
+        os << "# HELP " << metric.name << " " << metric.help << "\n";
+      }
+      os << "# TYPE " << metric.name << " " << metric_type_name(metric.type)
+         << "\n";
+    }
+    switch (metric.type) {
+      case MetricType::kCounter:
+        os << metric.key() << " " << metric.counter_value << "\n";
+        break;
+      case MetricType::kGauge:
+        os << metric.key() << " " << prom_number(metric.gauge_value) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const auto& h = metric.histogram;
+        std::uint64_t cumulative = 0;
+        auto bucket_key = [&metric](const std::string& le) {
+          MetricLabels labels = metric.labels;
+          labels.emplace_back("le", le);
+          std::sort(labels.begin(), labels.end());
+          return metric_key(metric.name + "_bucket", labels);
+        };
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+          cumulative += h.counts[i];
+          os << bucket_key(prom_number(h.upper_bounds[i])) << " " << cumulative
+             << "\n";
+        }
+        cumulative += h.counts.back();
+        os << bucket_key("+Inf") << " " << cumulative << "\n";
+        os << metric_key(metric.name + "_sum", metric.labels) << " "
+           << prom_number(h.sum) << "\n";
+        os << metric_key(metric.name + "_count", metric.labels) << " "
+           << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace confcall::support

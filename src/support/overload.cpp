@@ -106,11 +106,17 @@ bool CircuitBreaker::allow() {
   return true;
 }
 
+void CircuitBreaker::bind_metrics(Counter trips) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trips_metric_ = trips;
+}
+
 void CircuitBreaker::trip_locked() {
   state_ = State::kOpen;
   open_until_ns_ = clock_->now_ns() + options_.cooldown_ns;
   probe_in_flight_ = false;
   ++trips_;
+  trips_metric_.inc();
   // A fresh cooldown deserves a fresh verdict: the window restarts so
   // stale pre-trip failures cannot instantly re-trip a recovering
   // dependency.
@@ -249,7 +255,33 @@ void AdmissionController::step_health_locked() {
   if (next != health_) {
     health_ = next;
     ++health_transitions_;
+    transition_metric_[static_cast<std::size_t>(next)].inc();
   }
+}
+
+void AdmissionController::bind_metrics(MetricRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  admitted_metric_ = registry.counter(
+      "confcall_admission_admitted_total",
+      "Arrivals admitted at full quality by the token bucket");
+  admitted_degraded_metric_ = registry.counter(
+      "confcall_admission_degraded_total",
+      "Arrivals admitted under degraded health (cheap plan tier)");
+  shed_metric_ = registry.counter(
+      "confcall_admission_shed_total",
+      "Arrivals rejected by admission control (shedding or empty bucket)");
+  const Health states[] = {Health::kHealthy, Health::kDegraded,
+                           Health::kShedding};
+  for (const Health state : states) {
+    transition_metric_[static_cast<std::size_t>(state)] = registry.counter(
+        "confcall_admission_health_transitions_total",
+        "Health-machine transitions, labelled by the state entered",
+        {{"to", health_name(state)}});
+  }
+  tokens_metric_ = registry.gauge(
+      "confcall_admission_tokens",
+      "Token-bucket fill after the most recent admit()");
+  tokens_metric_.set(tokens_);
 }
 
 AdmissionController::Decision AdmissionController::admit(double cost) {
@@ -261,14 +293,19 @@ AdmissionController::Decision AdmissionController::admit(double cost) {
   step_health_locked();
   if (health_ == Health::kShedding || tokens_ < cost) {
     ++shed_;
+    shed_metric_.inc();
+    tokens_metric_.set(tokens_);
     return Decision::kShed;
   }
   tokens_ -= cost;
+  tokens_metric_.set(tokens_);
   if (health_ == Health::kDegraded) {
     ++admitted_degraded_;
+    admitted_degraded_metric_.inc();
     return Decision::kAdmitDegraded;
   }
   ++admitted_;
+  admitted_metric_.inc();
   return Decision::kAdmit;
 }
 

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <vector>
 
+#include "support/metrics.h"
+
 namespace confcall::support {
 
 /// A monotonic nanosecond clock, injectable for determinism.
@@ -169,6 +171,12 @@ class CircuitBreaker {
     return options_;
   }
 
+  /// Mirrors every future trip into `trips` (a registry counter handle,
+  /// typically labelled with the guarded tier). The internal trips()
+  /// counter keeps counting regardless; the handle is an additional,
+  /// registry-visible sink.
+  void bind_metrics(Counter trips);
+
   static const char* state_name(State state) noexcept;
 
  private:
@@ -187,6 +195,7 @@ class CircuitBreaker {
   std::size_t failures_in_window_ = 0;
   std::uint64_t trips_ = 0;
   std::uint64_t rejections_ = 0;
+  Counter trips_metric_;
 };
 
 /// Service health as seen by admission control.
@@ -253,6 +262,14 @@ class AdmissionController {
   /// Health-state changes since construction (flap metric).
   [[nodiscard]] std::uint64_t health_transitions() const;
 
+  /// Registers the controller's metric family on `registry` and mirrors
+  /// every future decision into it: confcall_admission_admitted_total /
+  /// _degraded_total / _shed_total, health transitions labelled by the
+  /// state entered (confcall_admission_health_transitions_total{to=...}),
+  /// and the bucket fill as the confcall_admission_tokens gauge (updated
+  /// on every admit()). The registry must outlive the controller.
+  void bind_metrics(MetricRegistry& registry);
+
  private:
   void refill_locked();
   void step_health_locked();
@@ -267,6 +284,11 @@ class AdmissionController {
   std::uint64_t admitted_degraded_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t health_transitions_ = 0;
+  Counter admitted_metric_;
+  Counter admitted_degraded_metric_;
+  Counter shed_metric_;
+  Counter transition_metric_[3];  // indexed by the Health entered
+  Gauge tokens_metric_;
 };
 
 }  // namespace confcall::support

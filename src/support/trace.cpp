@@ -1,0 +1,101 @@
+#include "support/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace confcall::support {
+namespace {
+
+// Parent stack per thread: the innermost open span, if any, parents the
+// next one constructed on the same thread.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += *s;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity, const ClockSource& clock)
+    : clock_(&clock), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("Tracer capacity must be >= 1");
+  }
+  ring_.reserve(capacity_);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) return ring_;  // not yet wrapped
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(next_slot_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t Tracer::next_span_id() noexcept {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_slot_] = span;
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+Span::Span(Tracer* tracer, const char* name) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  record_.name = name;
+  record_.span_id = tracer_->next_span_id();
+  record_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
+  record_.start_ns = tracer_->clock().now_ns();
+  t_span_stack.push_back(record_.span_id);
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  record_.end_ns = tracer_->clock().now_ns();
+  // Scoping guarantees LIFO, so our id is on top.
+  t_span_stack.pop_back();
+  tracer_->record(record_);
+}
+
+std::string to_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"name\": \"" << json_escape(span.name)
+       << "\", \"span_id\": " << span.span_id
+       << ", \"parent_id\": " << span.parent_id
+       << ", \"start_ns\": " << span.start_ns
+       << ", \"end_ns\": " << span.end_ns << "}";
+  }
+  os << (spans.empty() ? "]" : "\n]");
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace confcall::support

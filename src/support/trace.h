@@ -1,0 +1,106 @@
+// Span tracing: a ring-buffer sink plus an RAII Span guard, built on the
+// same injectable ClockSource as the overload primitives so traces are
+// deterministic under ManualClock (every span in a simulated locate gets
+// exact virtual-time bounds, reproducible bit-for-bit).
+//
+// This is deliberately tiny — not OpenTelemetry. The system needs to
+// answer "where did this locate's budget go: planning, paging rounds, or
+// recovery?", which takes a name, a parent, and two timestamps. Spans
+// nest via a thread_local parent stack: a Span opened while another Span
+// on the same thread is alive records that span as its parent, so the
+// plan / page-rounds / recovery children hang off the per-call locate
+// span without any context plumbing through the call graph.
+//
+// The sink is a fixed-capacity ring: tracing N spans costs one short
+// locked append each and the memory never grows, so a Tracer can stay
+// attached to a long simulation and keep only the most recent window.
+// A null Tracer* disables tracing at the call site for free — the Span
+// constructor does not even read the clock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/overload.h"
+
+namespace confcall::support {
+
+/// One finished span. `name` must be a string literal (or otherwise
+/// outlive the Tracer) — spans are recorded on hot paths and must not
+/// allocate.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+
+  [[nodiscard]] std::uint64_t duration_ns() const noexcept {
+    return end_ns - start_ns;
+  }
+};
+
+/// Fixed-capacity ring-buffer span sink. Internally locked; spans may
+/// finish on any thread. The clock must outlive the tracer.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1024,
+                  const ClockSource& clock = SteadyClockSource::shared());
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The retained spans, oldest first. At most `capacity` of them — the
+  /// ring overwrites, which recorded() exposes.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans ever recorded (>= snapshot().size(); the difference is
+  /// how many the ring has dropped).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const ClockSource& clock() const noexcept { return *clock_; }
+
+ private:
+  friend class Span;
+  [[nodiscard]] std::uint64_t next_span_id() noexcept;
+  void record(const SpanRecord& span);
+
+  const ClockSource* clock_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+/// RAII span guard: records [construction, destruction) into the tracer.
+/// Constructing with a null tracer is a no-op (the standard pattern for
+/// optionally-traced code paths). Non-copyable, non-movable — a Span is
+/// pinned to the scope it measures, and the thread_local parent stack
+/// requires destruction on the constructing thread in LIFO order, which
+/// scoping guarantees.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// This span's id while open (0 when the tracer is null).
+  [[nodiscard]] std::uint64_t id() const noexcept { return record_.span_id; }
+
+ private:
+  Tracer* tracer_;
+  SpanRecord record_;
+};
+
+/// Spans as a JSON array (oldest first), fields name/span_id/parent_id/
+/// start_ns/end_ns — consumed by tests and dumpable from benches.
+[[nodiscard]] std::string to_json(const std::vector<SpanRecord>& spans);
+
+}  // namespace confcall::support

@@ -1,0 +1,373 @@
+// Unit tests for the metrics substrate (support/metrics.h): handle
+// semantics (unbound no-ops), registry identity rules, histogram bucket
+// arithmetic and quantile edge cases, snapshot merging, and both
+// exporters' wire formats.
+#include "support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace confcall::support {
+namespace {
+
+// ----------------------------------------------------------- handles
+
+TEST(MetricHandles, UnboundHandlesNoOp) {
+  const Counter counter;
+  const Gauge gauge;
+  const Histogram histogram;
+  EXPECT_FALSE(counter.bound());
+  EXPECT_FALSE(gauge.bound());
+  EXPECT_FALSE(histogram.bound());
+  counter.inc();
+  counter.inc(41);
+  gauge.set(3.5);
+  histogram.observe(7.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricHandles, CounterAndGaugeReadBack) {
+  MetricRegistry registry;
+  const Counter counter = registry.counter("calls_total", "calls");
+  const Gauge gauge = registry.gauge("tokens", "token fill");
+  counter.inc();
+  counter.inc(9);
+  gauge.set(2.5);
+  EXPECT_EQ(counter.value(), 10u);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.set(-1.0);
+  EXPECT_EQ(gauge.value(), -1.0);
+}
+
+TEST(MetricHandles, CopiedHandlesShareTheCell) {
+  MetricRegistry registry;
+  const Counter a = registry.counter("shared_total", "help");
+  const Counter b = a;
+  b.inc(3);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+// ---------------------------------------------------------- registry
+
+TEST(MetricRegistry, RegistrationIsIdempotent) {
+  MetricRegistry registry;
+  const Counter a = registry.counter("hits_total", "help");
+  const Counter b = registry.counter("hits_total", "help");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(registry.snapshot().metrics.size(), 1u);
+}
+
+TEST(MetricRegistry, LabelsMakeDistinctSeries) {
+  MetricRegistry registry;
+  const Counter t0 =
+      registry.counter("served_total", "help", {{"tier", "0"}});
+  const Counter t1 =
+      registry.counter("served_total", "help", {{"tier", "1"}});
+  t0.inc(5);
+  t1.inc(7);
+  const RegistrySnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 2u);
+  const MetricSnapshot* m0 = snapshot.find("served_total", {{"tier", "0"}});
+  const MetricSnapshot* m1 = snapshot.find("served_total", {{"tier", "1"}});
+  ASSERT_NE(m0, nullptr);
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m0->counter_value, 5u);
+  EXPECT_EQ(m1->counter_value, 7u);
+  EXPECT_EQ(snapshot.find("served_total", {{"tier", "2"}}), nullptr);
+}
+
+TEST(MetricRegistry, TypeMismatchThrows) {
+  MetricRegistry registry;
+  (void)registry.counter("thing", "help");
+  EXPECT_THROW((void)registry.gauge("thing", "help"), std::invalid_argument);
+  EXPECT_THROW(
+      (void)registry.histogram("thing", HistogramSpec::integers(4), "help"),
+      std::invalid_argument);
+}
+
+TEST(MetricRegistry, HistogramSpecMismatchThrows) {
+  MetricRegistry registry;
+  (void)registry.histogram("lat", HistogramSpec::integers(4), "help");
+  EXPECT_THROW(
+      (void)registry.histogram("lat", HistogramSpec::integers(5), "help"),
+      std::invalid_argument);
+  // Identical spec re-registers fine.
+  (void)registry.histogram("lat", HistogramSpec::integers(4), "help");
+}
+
+TEST(MetricRegistry, MalformedNamesThrow) {
+  MetricRegistry registry;
+  EXPECT_THROW((void)registry.counter("", "help"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("9lives", "help"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("has space", "help"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("ok_total", "help", {{"bad-label", "v"}}),
+               std::invalid_argument);
+  // Label VALUES are free-form (they get escaped on export).
+  (void)registry.counter("ok_total", "help", {{"label", "spaces are fine"}});
+}
+
+TEST(MetricRegistry, SnapshotSortedByKey) {
+  MetricRegistry registry;
+  (void)registry.counter("zeta_total", "help");
+  (void)registry.counter("alpha_total", "help");
+  (void)registry.counter("alpha_total", "help", {{"tier", "1"}});
+  const RegistrySnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  for (std::size_t i = 1; i < snapshot.metrics.size(); ++i) {
+    EXPECT_LT(snapshot.metrics[i - 1].key(), snapshot.metrics[i].key());
+  }
+}
+
+TEST(MetricRegistry, ConcurrentIncrementsAreExact) {
+  MetricRegistry registry;
+  const Counter counter = registry.counter("racing_total", "help");
+  const Histogram histogram =
+      registry.histogram("racing_hist", HistogramSpec::integers(8), "help");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(static_cast<double>(i % 8));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const RegistrySnapshot snapshot = registry.snapshot();
+  const MetricSnapshot* hist = snapshot.find("racing_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->histogram.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------------------- histograms
+
+TEST(HistogramSpec, ExponentialLayout) {
+  const HistogramSpec spec = HistogramSpec::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(spec.upper_bounds.size(), 4u);
+  EXPECT_EQ(spec.upper_bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  spec.validate();
+}
+
+TEST(HistogramSpec, IntegersLayout) {
+  const HistogramSpec spec = HistogramSpec::integers(3);
+  EXPECT_EQ(spec.upper_bounds, (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+  spec.validate();
+}
+
+TEST(HistogramSpec, ValidateRejectsBadBounds) {
+  EXPECT_THROW(HistogramSpec{}.validate(), std::invalid_argument);
+  EXPECT_THROW((HistogramSpec{{1.0, 1.0}}).validate(), std::invalid_argument);
+  EXPECT_THROW((HistogramSpec{{2.0, 1.0}}).validate(), std::invalid_argument);
+}
+
+/// Observations land by Prometheus `le` semantics: bucket i counts
+/// values <= bound[i]; anything past the last bound is overflow.
+TEST(Histogram, LeBucketSemantics) {
+  MetricRegistry registry;
+  const Histogram histogram = registry.histogram(
+      "lat", HistogramSpec{{1.0, 2.0, 4.0}}, "help");
+  histogram.observe(1.0);   // == bound -> bucket 0
+  histogram.observe(1.5);   // bucket 1
+  histogram.observe(4.0);   // bucket 2 (le)
+  histogram.observe(99.0);  // overflow
+  const RegistrySnapshot snapshot = registry.snapshot();
+  const MetricSnapshot* m = snapshot.find("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->histogram.counts,
+            (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(m->histogram.count, 4u);
+  EXPECT_EQ(m->histogram.sum, 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+// Edge case: a histogram nobody observed reads 0 at every quantile and
+// exports without dividing by zero.
+TEST(Histogram, ZeroObservationsQuantileIsZero) {
+  MetricRegistry registry;
+  (void)registry.histogram("empty", HistogramSpec::integers(4), "help");
+  const RegistrySnapshot snapshot = registry.snapshot();
+  const MetricSnapshot* m = snapshot.find("empty");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->histogram.quantile(0.0), 0.0);
+  EXPECT_EQ(m->histogram.quantile(0.5), 0.0);
+  EXPECT_EQ(m->histogram.quantile(1.0), 0.0);
+  EXPECT_NE(to_json(registry.snapshot()).find("\"empty\""),
+            std::string::npos);
+}
+
+// Edge case: all mass saturating one bucket — including the overflow
+// bucket, where quantile() must clamp to the last finite bound instead
+// of inventing +Inf.
+TEST(Histogram, SingleBucketSaturation) {
+  MetricRegistry registry;
+  const Histogram mid =
+      registry.histogram("mid", HistogramSpec{{1.0, 2.0, 4.0}}, "help");
+  for (int i = 0; i < 100; ++i) mid.observe(1.5);
+  const Histogram over =
+      registry.histogram("over", HistogramSpec{{1.0, 2.0, 4.0}}, "help");
+  for (int i = 0; i < 100; ++i) over.observe(1000.0);
+  const RegistrySnapshot snapshot = registry.snapshot();
+  const MetricSnapshot* m = snapshot.find("mid");
+  const MetricSnapshot* o = snapshot.find("over");
+  ASSERT_NE(m, nullptr);
+  ASSERT_NE(o, nullptr);
+  for (const double p : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(m->histogram.quantile(p), 2.0) << "p=" << p;
+    EXPECT_EQ(o->histogram.quantile(p), 4.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, QuantileRankRounding) {
+  // 10 observations of value i in bucket i (integers spec): the rank
+  // target is uint64(p*total + 0.5), matching SimReport::rounds_percentile.
+  MetricRegistry registry;
+  const Histogram histogram =
+      registry.histogram("ranks", HistogramSpec::integers(9), "help");
+  for (int i = 0; i < 10; ++i) histogram.observe(static_cast<double>(i));
+  const RegistrySnapshot snapshot = registry.snapshot();
+  const MetricSnapshot* m = snapshot.find("ranks");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->histogram.quantile(0.0), 0.0);
+  EXPECT_EQ(m->histogram.quantile(0.5), 4.0);   // target 5 -> 5th obs
+  EXPECT_EQ(m->histogram.quantile(0.95), 9.0);  // target 10 (9.5 + .5)
+  EXPECT_EQ(m->histogram.quantile(1.0), 9.0);
+}
+
+// ------------------------------------------------------------- merge
+
+TEST(RegistrySnapshotMerge, CountersGaugesHistogramsFold) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.counter("calls_total", "help").inc(3);
+  b.counter("calls_total", "help").inc(4);
+  a.gauge("tokens", "help").set(1.5);
+  b.gauge("tokens", "help").set(2.25);
+  const HistogramSpec spec = HistogramSpec::integers(4);
+  a.histogram("rounds", spec, "help").observe(1.0);
+  b.histogram("rounds", spec, "help").observe(1.0);
+  b.histogram("rounds", spec, "help").observe(3.0);
+
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.find("calls_total")->counter_value, 7u);
+  EXPECT_EQ(merged.find("tokens")->gauge_value, 3.75);
+  const HistogramSnapshot& h = merged.find("rounds")->histogram;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 5.0);
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{0, 2, 0, 1, 0, 0}));
+}
+
+// Edge case: merging snapshots with disjoint metric sets keeps both
+// sides (a batch where only some replications tripped a breaker still
+// aggregates), and the result stays key-sorted.
+TEST(RegistrySnapshotMerge, DisjointRangesUnion) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.counter("aaa_total", "help").inc(1);
+  a.counter("mmm_total", "help").inc(2);
+  b.counter("bbb_total", "help").inc(3);
+  b.counter("zzz_total", "help").inc(4);
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.metrics.size(), 4u);
+  EXPECT_EQ(merged.find("aaa_total")->counter_value, 1u);
+  EXPECT_EQ(merged.find("bbb_total")->counter_value, 3u);
+  EXPECT_EQ(merged.find("mmm_total")->counter_value, 2u);
+  EXPECT_EQ(merged.find("zzz_total")->counter_value, 4u);
+  for (std::size_t i = 1; i < merged.metrics.size(); ++i) {
+    EXPECT_LT(merged.metrics[i - 1].key(), merged.metrics[i].key());
+  }
+}
+
+TEST(RegistrySnapshotMerge, MergeIntoEmptyEqualsCopy) {
+  MetricRegistry a;
+  a.counter("calls_total", "help").inc(5);
+  a.histogram("rounds", HistogramSpec::integers(2), "help").observe(1.0);
+  RegistrySnapshot merged;
+  merged.merge(a.snapshot());
+  EXPECT_EQ(to_json(merged), to_json(a.snapshot()));
+}
+
+TEST(RegistrySnapshotMerge, MismatchesThrow) {
+  MetricRegistry a;
+  MetricRegistry b;
+  MetricRegistry c;
+  a.counter("thing", "help").inc();
+  b.gauge("thing", "help").set(1.0);
+  RegistrySnapshot merged = a.snapshot();
+  EXPECT_THROW(merged.merge(b.snapshot()), std::invalid_argument);
+
+  MetricRegistry d;
+  MetricRegistry e;
+  (void)d.histogram("lat", HistogramSpec::integers(4), "help");
+  (void)e.histogram("lat", HistogramSpec::integers(5), "help");
+  RegistrySnapshot dm = d.snapshot();
+  EXPECT_THROW(dm.merge(e.snapshot()), std::invalid_argument);
+}
+
+// --------------------------------------------------------- exporters
+
+TEST(Exporters, JsonShapeAndStability) {
+  MetricRegistry registry;
+  registry.counter("confcall_x_total", "help").inc(2);
+  registry.gauge("confcall_fill", "help").set(0.5);
+  registry.histogram("confcall_lat", HistogramSpec{{1.0, 2.0}}, "help")
+      .observe(1.5);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"confcall_x_total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [0, 1, 0]"), std::string::npos);
+  // Same registry state -> byte-identical export (the E15 determinism
+  // gate rests on this).
+  EXPECT_EQ(json, to_json(registry.snapshot()));
+}
+
+TEST(Exporters, PrometheusTextFormat) {
+  MetricRegistry registry;
+  registry
+      .counter("confcall_served_total", "served calls", {{"tier", "0"}})
+      .inc(3);
+  registry.histogram("confcall_lat_ns", HistogramSpec{{1.0, 2.0}}, "latency")
+      .observe(1.5);
+  registry.histogram("confcall_lat_ns", HistogramSpec{{1.0, 2.0}}, "latency")
+      .observe(9.0);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# HELP confcall_served_total served calls"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE confcall_served_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("confcall_served_total{tier=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE confcall_lat_ns histogram"),
+            std::string::npos);
+  // Cumulative le buckets: 0 <= 1.0, 1 <= 2.0, 2 total at +Inf.
+  EXPECT_NE(text.find("confcall_lat_ns_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("confcall_lat_ns_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("confcall_lat_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("confcall_lat_ns_count 2"), std::string::npos);
+  EXPECT_NE(text.find("confcall_lat_ns_sum 10.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confcall::support

@@ -1,0 +1,171 @@
+// Integration tests for the observability layer as wired into the
+// cellular stack: byte-inert defaults, registry/SimReport agreement,
+// snapshot determinism, locate-path spans, and the contract that every
+// metric the system can emit is catalogued in docs/OBSERVABILITY.md
+// (the doc is diffed against the runtime registry listing, so the
+// catalogue cannot silently rot).
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cellular/simulator.h"
+#include "cellular/workload.h"
+#include "prob/rng.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace confcall::cellular {
+namespace {
+
+/// A small overloaded deployment: admission + deadlines + the resilient
+/// planner chain, so ALL THREE instrumented components (locate path,
+/// planner tiers, admission controller) register their series.
+SimConfig observed_config() {
+  SimConfig config = overloaded_urban_scenario(77).config;
+  config.steps = 250;
+  config.warmup_steps = 30;
+  config.collect_metrics = true;
+  return config;
+}
+
+TEST(Observability, MetricsOffByDefaultAndByteInert) {
+  SimConfig config = observed_config();
+  config.collect_metrics = false;
+  const SimReport off = run_simulation(config);
+  EXPECT_TRUE(off.metrics.empty());
+
+  // Turning metrics on changes NOTHING about the simulation itself.
+  const SimReport on = run_simulation(observed_config());
+  EXPECT_FALSE(on.metrics.empty());
+  EXPECT_EQ(off.calls_served, on.calls_served);
+  EXPECT_EQ(off.cells_paged_total, on.cells_paged_total);
+  EXPECT_EQ(off.reports_sent, on.reports_sent);
+  EXPECT_EQ(off.calls_shed, on.calls_shed);
+  EXPECT_EQ(off.rounds_histogram, on.rounds_histogram);
+}
+
+TEST(Observability, SnapshotAgreesWithSimReportCounters) {
+  const SimReport report = run_simulation(observed_config());
+  const auto counter = [&](const char* name) {
+    const support::MetricSnapshot* metric = report.metrics.find(name);
+    return metric == nullptr ? std::uint64_t{0} : metric->counter_value;
+  };
+  EXPECT_EQ(counter("confcall_locate_calls_total"), report.calls_served);
+  EXPECT_EQ(counter("confcall_locate_plan_cache_hits_total"),
+            report.plan_cache_hits);
+  EXPECT_EQ(counter("confcall_locate_plan_cache_misses_total"),
+            report.plan_cache_misses);
+  EXPECT_EQ(counter("confcall_locate_retries_total"), report.retries_total);
+  EXPECT_EQ(counter("confcall_locate_abandoned_total"),
+            report.calls_abandoned);
+  EXPECT_EQ(counter("confcall_admission_shed_total"), report.calls_shed);
+  EXPECT_EQ(counter("confcall_planner_failovers_total"),
+            report.planner_failovers);
+  EXPECT_EQ(counter("confcall_planner_breaker_skips_total"),
+            report.breaker_skips);
+
+  const support::MetricSnapshot* pages =
+      report.metrics.find("confcall_locate_pages");
+  ASSERT_NE(pages, nullptr);
+  EXPECT_EQ(pages->histogram.count, report.calls_served);
+  EXPECT_EQ(pages->histogram.sum,
+            static_cast<double>(report.cells_paged_total));
+}
+
+// The registry's unit-bucket rounds histogram and the SimReport's
+// rounds_histogram observe the same per-call values and must agree on
+// every percentile (same rank rounding by construction).
+TEST(Observability, RoundsPercentileAgreesWithRegistryQuantile) {
+  const SimReport report = run_simulation(observed_config());
+  ASSERT_GT(report.calls_served, 0u);
+  const support::MetricSnapshot* rounds =
+      report.metrics.find("confcall_locate_rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->histogram.count, report.calls_served);
+  for (const double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(static_cast<double>(report.rounds_percentile(p)),
+              rounds->histogram.quantile(p))
+        << "percentile " << p;
+  }
+}
+
+TEST(Observability, SnapshotsDeterministicAcrossRunsAndThreads) {
+  const SimConfig config = observed_config();
+  const std::string first = support::to_json(run_simulation(config).metrics);
+  const std::string second = support::to_json(run_simulation(config).metrics);
+  EXPECT_EQ(first, second);
+
+  const SimBatchReport batch1 = run_simulation_batch(config, 4, 1);
+  const SimBatchReport batch4 = run_simulation_batch(config, 4, 4);
+  EXPECT_EQ(support::to_json(batch1.aggregate.metrics),
+            support::to_json(batch4.aggregate.metrics));
+}
+
+TEST(Observability, LocateEmitsNestedSpans) {
+  const GridTopology grid(6, 6, true, Neighborhood::kVonNeumann);
+  const LocationAreas areas = LocationAreas::tiles(grid, 3, 3);
+  const MarkovMobility mobility(grid, 0.9);
+  LocationService::Config config;
+  config.max_paging_rounds = 3;
+  support::ManualClock clock(0);
+  support::Tracer tracer(64, clock);
+  config.tracer = &tracer;
+  prob::Rng rng(7);
+  std::vector<CellId> cells(8);
+  for (auto& cell : cells) {
+    cell = static_cast<CellId>(rng.next_below(grid.num_cells()));
+  }
+  LocationService service(grid, areas, mobility, config, cells);
+  const std::vector<UserId> users = {0, 1};
+  const std::vector<CellId> truth = {cells[0], cells[1]};
+  (void)service.locate(users, truth, rng);
+
+  const std::vector<support::SpanRecord> spans = tracer.snapshot();
+  std::uint64_t locate_id = 0;
+  for (const auto& span : spans) {
+    if (std::string(span.name) == "locate") locate_id = span.span_id;
+  }
+  ASSERT_NE(locate_id, 0u) << "no locate span recorded";
+  std::set<std::string> children;
+  for (const auto& span : spans) {
+    if (span.parent_id == locate_id) children.insert(span.name);
+  }
+  EXPECT_TRUE(children.count("plan") == 1) << "missing plan child span";
+  EXPECT_TRUE(children.count("page_rounds") == 1)
+      << "missing page_rounds child span";
+}
+
+// Every metric the instrumented system can register must be documented:
+// diff the runtime registry listing against docs/OBSERVABILITY.md.
+TEST(Observability, EveryEmittedMetricIsCatalogued) {
+  const SimReport report = run_simulation(observed_config());
+  ASSERT_FALSE(report.metrics.empty());
+
+  const std::string doc_path =
+      std::string(CONFCALL_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+  std::ifstream file(doc_path);
+  ASSERT_TRUE(file.is_open()) << "cannot open " << doc_path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string doc = buffer.str();
+
+  std::set<std::string> names;
+  for (const auto& metric : report.metrics.metrics) {
+    names.insert(metric.name);
+  }
+  EXPECT_GE(names.size(), 15u);  // all three component families present
+  // Labelled metrics are catalogued as `name{label="..."}`, so match the
+  // backticked name prefix rather than requiring the closing backtick.
+  for (const std::string& name : names) {
+    EXPECT_NE(doc.find("`" + name), std::string::npos)
+        << "metric '" << name
+        << "' is emitted at runtime but missing from docs/OBSERVABILITY.md";
+  }
+}
+
+}  // namespace
+}  // namespace confcall::cellular

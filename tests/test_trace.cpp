@@ -1,0 +1,122 @@
+// Unit tests for the span tracer (support/trace.h): RAII timing against
+// a ManualClock, parent linkage through the thread_local stack, ring
+// eviction, null-tracer no-ops, and the JSON dump.
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace confcall::support {
+namespace {
+
+TEST(Tracer, RejectsZeroCapacity) {
+  EXPECT_THROW(Tracer tracer(0), std::invalid_argument);
+}
+
+TEST(Tracer, NullTracerSpansAreFreeNoOps) {
+  const Span span(nullptr, "nothing");
+  EXPECT_EQ(span.id(), 0u);
+}
+
+TEST(Tracer, SpanRecordsManualClockBounds) {
+  ManualClock clock(1'000);
+  Tracer tracer(8, clock);
+  {
+    const Span span(&tracer, "work");
+    clock.advance(250);
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].start_ns, 1'000u);
+  EXPECT_EQ(spans[0].end_ns, 1'250u);
+  EXPECT_EQ(spans[0].duration_ns(), 250u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(Tracer, NestedSpansLinkToParent) {
+  ManualClock clock(0);
+  Tracer tracer(8, clock);
+  std::uint64_t outer_id = 0;
+  {
+    const Span outer(&tracer, "locate");
+    outer_id = outer.id();
+    clock.advance(10);
+    {
+      const Span inner(&tracer, "plan");
+      clock.advance(5);
+    }
+    {
+      const Span inner(&tracer, "page_rounds");
+      clock.advance(7);
+    }
+  }
+  // Children close (and record) before the parent: plan, page_rounds,
+  // locate, oldest first.
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "plan");
+  EXPECT_STREQ(spans[1].name, "page_rounds");
+  EXPECT_STREQ(spans[2].name, "locate");
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[1].parent_id, outer_id);
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[2].span_id, outer_id);
+  EXPECT_EQ(spans[0].start_ns, 10u);
+  EXPECT_EQ(spans[0].end_ns, 15u);
+  EXPECT_EQ(spans[2].duration_ns(), 22u);
+}
+
+TEST(Tracer, RingEvictsOldestAndCountsAll) {
+  ManualClock clock(0);
+  Tracer tracer(3, clock);
+  for (int i = 0; i < 5; ++i) {
+    const Span span(&tracer, i % 2 == 0 ? "even" : "odd");
+    clock.advance(1);
+  }
+  EXPECT_EQ(tracer.recorded(), 5u);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest-first window over the last three spans (indices 2, 3, 4).
+  EXPECT_EQ(spans[0].start_ns, 2u);
+  EXPECT_EQ(spans[1].start_ns, 3u);
+  EXPECT_EQ(spans[2].start_ns, 4u);
+}
+
+TEST(Tracer, ParentStackIsPerThread) {
+  ManualClock clock(0);
+  Tracer tracer(8, clock);
+  const Span outer(&tracer, "main_thread_root");
+  std::thread worker([&] {
+    // A span on another thread must NOT pick up this thread-unrelated
+    // open span as its parent.
+    const Span span(&tracer, "worker_root");
+  });
+  worker.join();
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "worker_root");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+}
+
+TEST(Tracer, JsonDump) {
+  ManualClock clock(100);
+  Tracer tracer(4, clock);
+  {
+    const Span span(&tracer, "work");
+    clock.advance(11);
+  }
+  const std::string json = to_json(tracer.snapshot());
+  EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_ns\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"end_ns\": 111"), std::string::npos);
+  EXPECT_EQ(to_json(std::vector<SpanRecord>{}), "[]\n");
+}
+
+}  // namespace
+}  // namespace confcall::support

@@ -12,6 +12,7 @@
 //                 [--format text|csv]
 //                 [--deadline-ms D]
 //                 [--mc TRIALS] [--threads N] [--mc-seed S]
+//                 [--metrics[=json|prom]]
 //
 // --mc TRIALS cross-checks the analytic expected paging with a sharded
 // Monte-Carlo execution of the strategy on --threads N workers (0 = all
@@ -23,6 +24,11 @@
 // --deadline-ms bounds the whole plan() call by a propagated deadline
 // (requires the resilient planner — single-tier planners have no cheaper
 // tier to degrade to).
+//
+// --metrics dumps the run's metric registry after planning, as JSON
+// (default) or Prometheus text (--metrics=prom). The resilient-planner
+// telemetry printed in text format comes from the same single registry
+// snapshot, so its numbers are always mutually consistent.
 //
 // Example:
 //   ./tools/confcall_plan --instance area.txt --rounds 3 --planner greedy
@@ -36,6 +42,7 @@
 #include "core/planner.h"
 #include "core/resilient_planner.h"
 #include "support/cli.h"
+#include "support/metrics.h"
 #include "support/overload.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -53,12 +60,16 @@ core::Objective parse_objective(const std::string& name, std::size_t k) {
 }
 
 std::unique_ptr<core::Planner> parse_planner(const std::string& name,
-                                             const core::Objective& obj) {
+                                             const core::Objective& obj,
+                                             support::MetricRegistry& registry) {
   if (name == "greedy") return std::make_unique<core::GreedyPlanner>(obj);
   if (name == "blanket") return std::make_unique<core::BlanketPlanner>();
   if (name == "exact") return std::make_unique<core::ExactPlanner>(obj);
   if (name == "typed") return std::make_unique<core::TypedExactPlanner>(obj);
-  if (name == "resilient") return core::ResilientPlanner::standard();
+  if (name == "resilient") {
+    return core::ResilientPlanner::standard(
+        core::ResilientPlanner::Budget{0.0}, &registry);
+  }
   if (name.rfind("cap", 0) == 0) {
     const std::size_t cap = std::stoul(name.substr(3));
     return std::make_unique<core::BandwidthLimitedPlanner>(cap, obj);
@@ -84,6 +95,13 @@ int main(int argc, char** argv) {
     const auto mc_seed =
         static_cast<std::uint64_t>(cli.get_int("mc-seed", 1));
     const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+    const bool want_metrics = cli.has("metrics");
+    const std::string metrics_format =
+        want_metrics ? cli.get_string("metrics", "json") : "json";
+    if (metrics_format != "json" && metrics_format != "prom" &&
+        !metrics_format.empty()) {
+      throw std::invalid_argument("--metrics takes json or prom");
+    }
     for (const auto& flag : cli.unused()) {
       throw std::invalid_argument("unknown flag --" + flag);
     }
@@ -92,7 +110,8 @@ int main(int argc, char** argv) {
                    "[--planner greedy|blanket|exact|typed|cap<N>|resilient] "
                    "[--objective all|any|k] [--k K] [--format text|csv] "
                    "[--deadline-ms D] "
-                   "[--mc TRIALS] [--threads N] [--mc-seed S]\n";
+                   "[--mc TRIALS] [--threads N] [--mc-seed S] "
+                   "[--metrics[=json|prom]]\n";
       return 2;
     }
     if (mc_trials < 0 || threads < 0) {
@@ -112,7 +131,8 @@ int main(int argc, char** argv) {
         core::instance_from_text(buffer.str());
 
     const core::Objective objective = parse_objective(objective_name, k);
-    const auto planner = parse_planner(planner_name, objective);
+    support::MetricRegistry registry;
+    const auto planner = parse_planner(planner_name, objective, registry);
     const auto* resilient =
         dynamic_cast<const core::ResilientPlanner*>(planner.get());
     if (deadline_ms > 0 && resilient == nullptr) {
@@ -141,6 +161,18 @@ int main(int argc, char** argv) {
           instance, strategy, static_cast<std::size_t>(mc_trials), mc_seed,
           pool, objective);
     }
+
+    // One consistent cut of the registry, taken after planning finished:
+    // every telemetry number below (and the --metrics dump) comes from
+    // this snapshot, never from getters racing a live planner.
+    const support::RegistrySnapshot metrics_snapshot = registry.snapshot();
+    const auto snapshot_counter = [&](const std::string& name,
+                                      const support::MetricLabels& labels =
+                                          {}) -> std::uint64_t {
+      const support::MetricSnapshot* metric =
+          metrics_snapshot.find(name, labels);
+      return metric == nullptr ? 0 : metric->counter_value;
+    };
 
     if (format == "csv") {
       std::vector<std::string> header{"planner", "objective", "m", "c", "d",
@@ -182,30 +214,41 @@ int main(int argc, char** argv) {
         if (deadline_ms > 0) {
           std::cout << "deadline        : " << deadline_ms << " ms\n";
         }
-        const std::vector<std::uint64_t> served =
-            resilient->served_counts();
         std::cout << "served by tier  : ";
         for (std::size_t i = 0; i < resilient->num_tiers(); ++i) {
           std::cout << (i == 0 ? "" : " | ") << resilient->tier(i).name()
-                    << "=" << served[i];
+                    << "="
+                    << snapshot_counter("confcall_planner_tier_served_total",
+                                        {{"tier", std::to_string(i)}});
         }
         std::cout << "\nserving tier    : "
                   << resilient->tier(resilient->last_tier()).name()
-                  << " (failovers " << resilient->failovers()
-                  << ", breaker skips " << resilient->breaker_skips()
+                  << " (failovers "
+                  << snapshot_counter("confcall_planner_failovers_total")
+                  << ", breaker skips "
+                  << snapshot_counter("confcall_planner_breaker_skips_total")
                   << ")\n"
                   << "breakers        : ";
         for (std::size_t i = 0; i + 1 < resilient->num_tiers(); ++i) {
-          const auto& breaker = resilient->breaker(i);
           std::cout << (i == 0 ? "" : " | ") << resilient->tier(i).name()
                     << "="
-                    << support::CircuitBreaker::state_name(breaker.state())
-                    << " (trips " << breaker.trips() << ")";
+                    << support::CircuitBreaker::state_name(
+                           resilient->breaker(i).state())
+                    << " (trips "
+                    << snapshot_counter(
+                           "confcall_planner_breaker_trips_total",
+                           {{"tier", std::to_string(i)}})
+                    << ")";
         }
         std::cout << "\n";
       }
     } else {
       throw std::invalid_argument("unknown format '" + format + "'");
+    }
+    if (want_metrics) {
+      std::cout << (metrics_format == "prom"
+                        ? support::to_prometheus(metrics_snapshot)
+                        : support::to_json(metrics_snapshot));
     }
     return 0;
   } catch (const std::exception& error) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Markdown link lint: fail on dead intra-repo links.
+
+Scans the repo's top-level markdown plus docs/*.md for inline links
+[text](target) and checks every relative target (after stripping any
+#anchor) against the working tree. External links (http/https/mailto)
+are ignored — CI must not depend on the network. Exit code 1 lists
+every dead link as file:line.
+
+Usage: python3 tools/docs_lint.py [repo_root]
+"""
+import glob
+import os
+import re
+import sys
+
+# Inline links, excluding images; the target group stops at the first
+# unescaped ')' (no nested-paren targets in this repo).
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def lint_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target.split("#")[0]))
+                if not os.path.exists(resolved):
+                    errors.append("%s:%d: dead link -> %s" %
+                                  (os.path.relpath(path, root), lineno, target))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    files = sorted(
+        glob.glob(os.path.join(root, "*.md")) +
+        glob.glob(os.path.join(root, "docs", "*.md")))
+    if not files:
+        print("docs_lint: no markdown files found under %s" % root)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(lint_file(path, root))
+    for error in errors:
+        print(error)
+    print("docs_lint: %d file(s), %d dead link(s)" % (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
