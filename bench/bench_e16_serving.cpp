@@ -1,0 +1,252 @@
+// Experiment E16 — cost and fidelity of the serving surface.
+//
+// PR5 turned tracing always-on (behind a deterministic 1-in-N sample)
+// and put the registry behind a live HTTP scrape endpoint. Both are only
+// acceptable if serving stays fast and the scrape tells the truth. This
+// harness measures and gates three claims, and emits BENCH_E16.json:
+//
+//   * Sampled-tracing overhead: locate() throughput on the E15 workload
+//     with metrics bound, untraced vs traced through a SamplingTracer at
+//     1 in 64 (the serving daemon's default). Sides are interleaved,
+//     best-of-N each, like E15. Gate: sampled-traced throughput >= 95%
+//     of untraced — the always-on budget E15's full tracer (~71% of
+//     untraced throughput, i.e. ~29% overhead) blows.
+//   * Scrape fidelity: GET /metrics through the real HTTP server must be
+//     BYTE-IDENTICAL to to_prometheus(registry.snapshot()) taken
+//     in-process with no concurrent writers. The scrape is the same
+//     snapshot, not a parallel bookkeeping path.
+//   * Scrape latency under load: p99 of ~200 GET /metrics round-trips
+//     while a background thread hammers locate() into the same registry.
+//     Gate is deliberately loose (<= 250 ms) — it catches lock-ordering
+//     accidents that would make scrapes block behind the hot path, not
+//     container jitter.
+//
+// Flags (shared bench set): --smoke, --threads N (unused, accepted for
+// uniformity), --out FILE (default BENCH_E16.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cellular/service.h"
+#include "cellular/topology.h"
+#include "prob/rng.h"
+#include "support/cli.h"
+#include "support/http.h"
+#include "support/metrics.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+#include "support/trace.h"
+
+namespace {
+
+using namespace confcall;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr std::size_t kSampleEvery = 64;  // the serving daemon's default
+
+/// A ready-to-locate service over the E15 grid with metrics bound and an
+/// optional tracer attached, plus the state the locate loop needs.
+struct Harness {
+  cellular::GridTopology grid{12, 12, true,
+                              cellular::Neighborhood::kVonNeumann};
+  cellular::LocationAreas areas = cellular::LocationAreas::tiles(grid, 3, 3);
+  cellular::MarkovMobility mobility{grid, 0.9};
+  prob::Rng rng{1313};
+  std::vector<cellular::CellId> cells;
+  cellular::LocationService service;
+
+  Harness(support::MetricRegistry& registry, support::Tracer* tracer)
+      : cells(make_cells(rng, grid)),
+        service(grid, areas, mobility, make_config(registry, tracer),
+                cells) {}
+
+  static std::vector<cellular::CellId> make_cells(
+      prob::Rng& rng, const cellular::GridTopology& grid) {
+    std::vector<cellular::CellId> cells(96);
+    for (auto& cell : cells) {
+      cell = static_cast<cellular::CellId>(rng.next_below(grid.num_cells()));
+    }
+    return cells;
+  }
+
+  static cellular::LocationService::Config make_config(
+      support::MetricRegistry& registry, support::Tracer* tracer) {
+    cellular::LocationService::Config config;
+    config.profile_kind = cellular::ProfileKind::kStationary;
+    config.max_paging_rounds = 3;
+    config.enable_plan_cache = true;
+    config.metrics = cellular::ServiceMetrics::create(registry);
+    config.tracer = tracer;
+    return config;
+  }
+
+  void locate_once() {
+    cellular::UserId users[3];
+    cellular::CellId truth[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+      users[i] = static_cast<cellular::UserId>(i * 32 + rng.next_below(32));
+      truth[i] = cells[users[i]];
+    }
+    (void)service.locate(users, truth, rng);
+  }
+};
+
+/// One timed pass: locates per second with metrics bound, either
+/// untraced or traced through a 1-in-kSampleEvery SamplingTracer.
+double run_side(bool traced, bool smoke, std::size_t* calls_out) {
+  support::MetricRegistry registry;
+  support::SamplingTracer tracer(kSampleEvery, /*capacity=*/4096);
+  Harness harness(registry, traced ? &tracer : nullptr);
+
+  const std::size_t n = smoke ? 2000 : 20000;
+  const auto loop_start = Clock::now();
+  for (std::size_t t = 0; t < n; ++t) harness.locate_once();
+  const double elapsed = seconds_since(loop_start);
+  *calls_out = n;
+  return elapsed > 0.0 ? static_cast<double>(n) / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::BenchFlags flags;
+  try {
+    flags = support::parse_bench_flags(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_e16_serving: " << error.what() << "\n";
+    return 2;
+  }
+  const bool smoke = flags.smoke;
+  const std::string out_path =
+      flags.out.empty() ? "BENCH_E16.json" : flags.out;
+  std::cout << "E16: serving surface — sampled tracing and live scrape"
+            << (smoke ? " (smoke)" : "") << "\n";
+
+  // ---- 1. Sampled-tracing overhead: interleaved best-of-N per side
+  // (same defence against one-sided interference as E15).
+  const int passes = 3;
+  std::size_t calls = 0;
+  double best_untraced = 0.0, best_sampled = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    best_untraced =
+        std::max(best_untraced, run_side(false, smoke, &calls));
+    best_sampled = std::max(best_sampled, run_side(true, smoke, &calls));
+  }
+  const double sampled_ratio =
+      best_untraced > 0.0 ? best_sampled / best_untraced : 0.0;
+  const bool overhead_ok = sampled_ratio >= 0.95;
+
+  // ---- 2. Scrape fidelity: populate a registry, then compare the HTTP
+  // scrape against the in-process render with no concurrent writers.
+  bool scrape_identical = false;
+  {
+    support::MetricRegistry registry;
+    support::SamplingTracer tracer(kSampleEvery, 4096);
+    Harness harness(registry, &tracer);
+    for (std::size_t t = 0; t < (smoke ? 500 : 5000); ++t) {
+      harness.locate_once();
+    }
+    support::HttpServer server;  // ephemeral port, defaults
+    support::install_observability_routes(server, &registry, &tracer);
+    server.start();
+    const support::HttpClientResponse scraped =
+        support::http_get("127.0.0.1", server.port(), "/metrics");
+    const std::string in_process =
+        support::to_prometheus(registry.snapshot());
+    scrape_identical = scraped.status == 200 && scraped.body == in_process;
+    server.stop();
+  }
+
+  // ---- 3. Scrape latency under load: a writer thread hammers locate()
+  // into the registry while we time GET /metrics round-trips.
+  double p50_ms = 0.0, p99_ms = 0.0;
+  {
+    support::MetricRegistry registry;
+    support::SamplingTracer tracer(kSampleEvery, 4096);
+    Harness harness(registry, &tracer);
+    support::HttpServer server;
+    support::install_observability_routes(server, &registry, &tracer);
+    server.start();
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      while (!stop.load(std::memory_order_relaxed)) harness.locate_once();
+    });
+    const std::size_t scrapes = smoke ? 50 : 200;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(scrapes);
+    for (std::size_t i = 0; i < scrapes; ++i) {
+      const auto start = Clock::now();
+      const support::HttpClientResponse response =
+          support::http_get("127.0.0.1", server.port(), "/metrics");
+      if (response.status == 200) {
+        latencies_ms.push_back(seconds_since(start) * 1000.0);
+      }
+    }
+    stop.store(true);
+    writer.join();
+    server.stop();
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    if (!latencies_ms.empty()) {
+      p50_ms = latencies_ms[latencies_ms.size() / 2];
+      p99_ms = latencies_ms[(latencies_ms.size() * 99) / 100];
+    }
+  }
+  const bool latency_ok = p99_ms > 0.0 && p99_ms <= 250.0;
+
+  // ---- Report.
+  support::TextTable table({"metric", "value"});
+  table.add_row({"locates/sec (metrics, untraced)",
+                 support::TextTable::fmt(best_untraced, 0)});
+  table.add_row({"locates/sec (metrics, sampled 1/" +
+                     support::TextTable::fmt(kSampleEvery) + ")",
+                 support::TextTable::fmt(best_sampled, 0)});
+  table.add_row({"sampled-trace throughput ratio",
+                 support::TextTable::fmt(100.0 * sampled_ratio, 2) + "%"});
+  table.add_row({"scrape == in-process snapshot",
+                 scrape_identical ? "yes" : "NO"});
+  table.add_row({"scrape p50 under load",
+                 support::TextTable::fmt(p50_ms, 2) + " ms"});
+  table.add_row({"scrape p99 under load",
+                 support::TextTable::fmt(p99_ms, 2) + " ms"});
+  std::cout << "\n" << table;
+
+  const bool ok = overhead_ok && scrape_identical && latency_ok;
+  std::cout << "\ninvariants (sampled tracing >= 95% of untraced, scrape "
+            << "byte-identical to the in-process snapshot, scrape p99 <= "
+            << "250 ms under load): " << (ok ? "PASS" : "FAIL (BUG)")
+            << "\n";
+
+  // ---- Machine-readable trajectory record.
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"experiment\": \"E16\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"locate_calls_per_side\": " << calls << ",\n"
+       << "  \"sample_every\": " << kSampleEvery << ",\n"
+       << "  \"overhead\": {\n"
+       << "    \"locates_per_sec_untraced\": " << best_untraced << ",\n"
+       << "    \"locates_per_sec_sampled\": " << best_sampled << ",\n"
+       << "    \"sampled_throughput_ratio\": " << sampled_ratio << "\n"
+       << "  },\n"
+       << "  \"scrape\": {\n"
+       << "    \"byte_identical\": "
+       << (scrape_identical ? "true" : "false") << ",\n"
+       << "    \"p50_ms\": " << p50_ms << ",\n"
+       << "    \"p99_ms\": " << p99_ms << "\n"
+       << "  },\n"
+       << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  return ok ? 0 : 1;
+}

@@ -173,7 +173,10 @@ class LocationService {
     ServiceMetrics metrics{};
     /// Span sink for per-call locate / plan / page_rounds / recovery
     /// spans (non-owning; must outlive the service). nullptr = no
-    /// tracing, zero cost.
+    /// tracing, zero cost. For always-on deployments pass a
+    /// support::SamplingTracer: 1-in-N sampling decided at the locate
+    /// root keeps throughput within 5% of untraced (E16) and never
+    /// tears a trace.
     support::Tracer* tracer = nullptr;
 
     /// Consolidated validation with one specific message per rejection.

@@ -1,0 +1,514 @@
+#include "support/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace confcall::support {
+namespace {
+
+constexpr int kStopSentinel = -1;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// Applies the remaining read budget as the socket receive timeout, so a
+// blocked recv wakes up in time to notice the expired deadline.
+void arm_recv_timeout(int fd, std::uint64_t remaining_ns) {
+  timeval tv{};
+  // At least 1 ms so a nearly-expired deadline still sets a real timeout
+  // instead of "block forever" (tv == 0).
+  const std::uint64_t us = std::max<std::uint64_t>(remaining_ns / 1000, 1000);
+  tv.tv_sec = static_cast<time_t>(us / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(us % 1'000'000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void arm_send_timeout(int fd, std::uint64_t budget_ns) {
+  timeval tv{};
+  const std::uint64_t us = std::max<std::uint64_t>(budget_ns / 1000, 1000);
+  tv.tv_sec = static_cast<time_t>(us / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(us % 1'000'000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away or timed out; nothing to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << ' '
+     << http_status_reason(response.status) << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  send_all(fd, render_response(response));
+}
+
+HttpResponse plain_status(int status, const std::string& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body + "\n";
+  return response;
+}
+
+/// Reads one request; returns false (with `error` filled) on a
+/// malformed, oversized or timed-out request.
+bool read_request(int fd, const HttpServerOptions& options,
+                  HttpRequest* request, HttpResponse* error) {
+  const Deadline deadline =
+      Deadline::after(options.read_deadline_ns, SteadyClockSource::shared());
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (true) {
+    const std::uint64_t remaining =
+        deadline.remaining_ns(SteadyClockSource::shared());
+    if (remaining == 0) {
+      *error = plain_status(408, "request read deadline exceeded");
+      return false;
+    }
+    arm_recv_timeout(fd, remaining);
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;  // timeout slice elapsed; the deadline check decides
+      }
+      *error = plain_status(400, "read error");
+      return false;
+    }
+    if (n == 0) {  // client closed before a full request
+      *error = plain_status(400, "connection closed mid-request");
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > options.max_request_bytes) {
+      *error = plain_status(431, "request too large");
+      return false;
+    }
+    if (header_end == std::string::npos) {
+      header_end = buffer.find("\r\n\r\n");
+      if (header_end == std::string::npos) continue;
+    }
+    // Headers complete: parse enough to know the body length.
+    std::istringstream head(buffer.substr(0, header_end));
+    std::string request_line;
+    std::getline(head, request_line);
+    if (!request_line.empty() && request_line.back() == '\r') {
+      request_line.pop_back();
+    }
+    std::istringstream rl(request_line);
+    std::string target;
+    std::string version;
+    if (!(rl >> request->method >> target >> version) ||
+        version.rfind("HTTP/1.", 0) != 0) {
+      *error = plain_status(400, "malformed request line");
+      return false;
+    }
+    request->headers.clear();
+    std::string line;
+    while (std::getline(head, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      request->headers.emplace_back(lower(trim(line.substr(0, colon))),
+                                    trim(line.substr(colon + 1)));
+    }
+    const std::size_t query_pos = target.find('?');
+    request->path = target.substr(0, query_pos);
+    request->query = query_pos == std::string::npos
+                         ? std::string{}
+                         : target.substr(query_pos + 1);
+    std::size_t content_length = 0;
+    const std::string length_header = request->header("content-length");
+    if (!length_header.empty()) {
+      try {
+        content_length = std::stoul(length_header);
+      } catch (const std::exception&) {
+        *error = plain_status(400, "bad Content-Length");
+        return false;
+      }
+    }
+    if (header_end + 4 + content_length > options.max_request_bytes) {
+      *error = plain_status(431, "request too large");
+      return false;
+    }
+    if (buffer.size() >= header_end + 4 + content_length) {
+      request->body = buffer.substr(header_end + 4, content_length);
+      return true;
+    }
+    // else: keep reading body bytes under the same deadline
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  const std::string needle = lower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == needle) return value;
+  }
+  return {};
+}
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void HttpServerOptions::validate() const {
+  if (workers == 0) {
+    throw std::invalid_argument("HttpServerOptions: workers must be >= 1");
+  }
+  if (max_pending_connections == 0) {
+    throw std::invalid_argument(
+        "HttpServerOptions: max_pending_connections must be >= 1");
+  }
+  if (read_deadline_ns == 0) {
+    throw std::invalid_argument(
+        "HttpServerOptions: read_deadline_ns must be >= 1");
+  }
+  if (max_request_bytes == 0) {
+    throw std::invalid_argument(
+        "HttpServerOptions: max_request_bytes must be >= 1");
+  }
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  options_.validate();
+  pending_.reserve(options_.max_pending_connections);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& method, const std::string& path,
+                        Handler handler) {
+  if (running_) {
+    throw std::logic_error("HttpServer: register routes before start()");
+  }
+  routes_[{method, path}] = std::move(handler);
+}
+
+void HttpServer::start() {
+  if (running_) throw std::logic_error("HttpServer: already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("HttpServer: socket");
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("HttpServer: bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("HttpServer: listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    throw_errno("HttpServer: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd);
+
+  running_ = true;
+  // One parallel_for hosts the whole server: task 0 is the blocking
+  // accept loop, tasks 1..workers serve connections. The pool is sized
+  // so every task runs concurrently; the hosting thread participates as
+  // one of them and parallel_for's join IS the server shutdown barrier.
+  const std::size_t tasks = options_.workers + 1;
+  pool_thread_ = std::thread([this, tasks] {
+    const ThreadPool pool(tasks);
+    pool.parallel_for(tasks, [this](std::size_t task) {
+      if (task == 0) {
+        accept_loop();
+      } else {
+        worker_loop();
+      }
+    });
+  });
+}
+
+void HttpServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Closing the listener unblocks accept(); the acceptor then enqueues
+  // one stop sentinel per worker BEHIND any accepted connections, so the
+  // drain is graceful: everything accepted before stop() is still
+  // served.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  queue_cv_.notify_all();
+  if (pool_thread_.joinable()) pool_thread_.join();
+  port_ = 0;
+}
+
+void HttpServer::accept_loop() {
+  while (true) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_ && (errno == EINTR || errno == ECONNABORTED)) continue;
+      break;  // listener closed: shutting down
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (shed) {
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      arm_send_timeout(fd, options_.read_deadline_ns);
+      send_response(fd, plain_status(503, "connection queue full"));
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  // Drain barrier: one sentinel per worker, queued after every accepted
+  // connection.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+      pending_.push_back(kStopSentinel);
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = kStopSentinel;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !pending_.empty(); });
+      fd = pending_.front();
+      pending_.erase(pending_.begin());
+    }
+    if (fd == kStopSentinel) return;
+    serve_connection(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  arm_send_timeout(fd, options_.read_deadline_ns);
+  HttpRequest request;
+  HttpResponse error;
+  if (!read_request(fd, options_, &request, &error)) {
+    send_response(fd, error);
+    ::close(fd);
+    return;
+  }
+  HttpResponse response;
+  const auto route = routes_.find({request.method, request.path});
+  if (route != routes_.end()) {
+    try {
+      response = route->second(request);
+    } catch (const std::exception& e) {
+      response = plain_status(500, std::string("handler error: ") + e.what());
+    }
+  } else {
+    // Exact path under another method -> 405, unknown path -> 404.
+    bool path_known = false;
+    for (const auto& [key, handler] : routes_) {
+      (void)handler;
+      if (key.second == request.path) {
+        path_known = true;
+        break;
+      }
+    }
+    response = path_known ? plain_status(405, "method not allowed")
+                          : plain_status(404, "not found");
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  send_response(fd, response);
+  ::close(fd);
+}
+
+void install_observability_routes(HttpServer& server, MetricRegistry* registry,
+                                  Tracer* tracer,
+                                  AdmissionController* admission) {
+  if (registry == nullptr) {
+    throw std::invalid_argument(
+        "install_observability_routes: registry is required");
+  }
+  server.handle("GET", "/metrics", [registry](const HttpRequest&) {
+    HttpResponse response;
+    // One consistent cut: the scrape is byte-identical to what an
+    // in-process to_prometheus(snapshot()) at the same instant renders
+    // (the E16 gate).
+    response.body = to_prometheus(registry->snapshot());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  });
+  server.handle("GET", "/vars", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.body = to_json(registry->snapshot());
+    response.content_type = "application/json";
+    return response;
+  });
+  server.handle("GET", "/healthz", [admission](const HttpRequest&) {
+    Health health = Health::kHealthy;
+    if (admission != nullptr) health = admission->health();
+    HttpResponse response;
+    response.status = health == Health::kShedding ? 503 : 200;
+    response.body = std::string(health_name(health)) + "\n";
+    return response;
+  });
+  server.handle("GET", "/traces", [tracer](const HttpRequest&) {
+    HttpResponse response;
+    response.body = to_trace_event_json(
+        tracer == nullptr ? std::vector<SpanRecord>{} : tracer->snapshot());
+    response.content_type = "application/json";
+    return response;
+  });
+}
+
+HttpClientResponse http_request(const std::string& host, std::uint16_t port,
+                                const std::string& method,
+                                const std::string& target,
+                                const std::string& body,
+                                std::uint64_t timeout_ns) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("http_request: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("http_request: bad host '" + host + "'");
+  }
+  arm_recv_timeout(fd, timeout_ns);
+  arm_send_timeout(fd, timeout_ns);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("http_request: connect");
+  }
+  std::ostringstream os;
+  os << method << ' ' << target << " HTTP/1.1\r\n"
+     << "Host: " << host << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  const std::string request = os.str();
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      throw_errno("http_request: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  const Deadline deadline =
+      Deadline::after(timeout_ns, SteadyClockSource::shared());
+  while (true) {
+    if (deadline.expired(SteadyClockSource::shared())) {
+      ::close(fd);
+      throw std::runtime_error("http_request: response timeout");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("http_request: recv");
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpClientResponse response;
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    throw std::runtime_error("http_request: malformed response");
+  }
+  const std::size_t space = raw.find(' ');
+  response.status = std::stoi(raw.substr(space + 1));
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+HttpClientResponse http_get(const std::string& host, std::uint16_t port,
+                            const std::string& target,
+                            std::uint64_t timeout_ns) {
+  return http_request(host, port, "GET", target, "", timeout_ns);
+}
+
+}  // namespace confcall::support

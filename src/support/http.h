@@ -1,0 +1,182 @@
+// Minimal dependency-free HTTP/1.1 server for the observability scrape
+// endpoints — deliberately a scrape server, not a web framework.
+//
+// The serving daemon (tools/confcall_serve) needs four read-mostly
+// routes (/metrics, /vars, /healthz, /traces) that a Prometheus scraper
+// or a curl can hit while the locate loop runs. That workload shapes the
+// design:
+//
+//   * POSIX sockets only, loopback by default. No TLS, no keep-alive,
+//     no chunked encoding: one request per connection, `Connection:
+//     close`, which every scraper and curl speaks.
+//   * A blocking accept loop plus a small fixed worker set, all run as
+//     one parallel_for on a support::ThreadPool (task 0 accepts, tasks
+//     1..N serve), so the server reuses the existing pool machinery
+//     instead of growing its own thread lifecycle code.
+//   * Bounded connections: accepted sockets wait in a fixed-capacity
+//     queue; when it is full the acceptor answers 503 immediately and
+//     closes, so a scrape storm sheds instead of queueing unboundedly —
+//     the same philosophy as the admission controller.
+//   * Deadline-guarded reads: each connection gets a support::Deadline
+//     for reading the request; a client that trickles bytes (or sends
+//     nothing) is answered 408 and closed when it expires. Writes are
+//     bounded by SO_SNDTIMEO.
+//
+// Handlers run on the worker tasks and must be thread-safe; the
+// observability handlers only take registry/tracer snapshots, which are
+// internally locked. stop() is a graceful drain: the listener closes
+// first, already-accepted connections are still served, then the
+// workers exit.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/overload.h"
+#include "support/thread_pool.h"
+
+namespace confcall::support {
+
+class MetricRegistry;
+class Tracer;
+class AdmissionController;
+
+/// One parsed request. Header names are lower-cased; values are
+/// whitespace-trimmed.
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET"
+  std::string path;    ///< target without the query string
+  std::string query;   ///< after '?', may be empty
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  [[nodiscard]] std::string header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+[[nodiscard]] const char* http_status_reason(int status) noexcept;
+
+struct HttpServerOptions {
+  /// Loopback by default: the scrape surface is not an internet-facing
+  /// server.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+  /// Handler tasks (>= 1); the accept loop adds one more pool task.
+  std::size_t workers = 2;
+  /// Accepted-but-unserved connection bound; beyond it the acceptor
+  /// answers 503 and closes (>= 1).
+  std::size_t max_pending_connections = 64;
+  /// Per-connection budget for reading the full request (>= 1 ns).
+  std::uint64_t read_deadline_ns = 2'000'000'000;
+  /// Request size cap, head + body (>= 1; oversized requests get 431).
+  std::size_t max_request_bytes = 1 << 16;
+
+  /// Throws std::invalid_argument with a specific message per violation.
+  void validate() const;
+};
+
+/// The server. Register routes, start(), scrape, stop(). Not copyable
+/// or movable (worker tasks hold `this`).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Throws std::invalid_argument on bad options.
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();  ///< stops and joins if still running
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact (method, path) matches. Must be
+  /// called before start(); throws std::logic_error afterwards. A path
+  /// registered under a different method answers 405; an unknown path
+  /// 404.
+  void handle(const std::string& method, const std::string& path,
+              Handler handler);
+
+  /// Binds, listens, and launches the accept + worker tasks. Throws
+  /// std::runtime_error (with errno text) when the socket setup fails,
+  /// std::logic_error when already started.
+  void start();
+
+  /// Graceful drain: close the listener, serve what was already
+  /// accepted, join every task. Idempotent.
+  void stop();
+
+  /// The bound port (resolves an ephemeral request); 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Requests answered by a handler (any status), and connections the
+  /// full pending queue shed with an immediate 503.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return connections_shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  HttpServerOptions options_;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread pool_thread_;  ///< runs the parallel_for hosting all tasks
+  // Pending accepted sockets (bounded; -1 entries are stop sentinels).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<int> pending_;
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
+};
+
+/// Wires the standard observability surface onto `server` (all GET):
+///   /metrics  Prometheus text from ONE consistent registry snapshot
+///   /vars     the same snapshot as JSON
+///   /healthz  the admission health machine: healthy/degraded -> 200,
+///             shedding -> 503 (no controller: always 200 "healthy")
+///   /traces   recent sampled spans as Chrome trace_event JSON (no
+///             tracer: an empty trace)
+/// The pointees must outlive the server; registry is required.
+/// Throws std::invalid_argument on a null registry.
+void install_observability_routes(HttpServer& server,
+                                  MetricRegistry* registry,
+                                  Tracer* tracer = nullptr,
+                                  AdmissionController* admission = nullptr);
+
+/// A minimal blocking client for tests, benches and smoke checks: one
+/// request, reads to connection close. Throws std::runtime_error on
+/// connect/send/timeout failures.
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+[[nodiscard]] HttpClientResponse http_request(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body = "",
+    std::uint64_t timeout_ns = 5'000'000'000);
+[[nodiscard]] HttpClientResponse http_get(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    std::uint64_t timeout_ns = 5'000'000'000);
+
+}  // namespace confcall::support

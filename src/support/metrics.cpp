@@ -56,6 +56,23 @@ std::string escape_label_value(const std::string& value) {
   return out;
 }
 
+// The exposition format's HELP escaping: backslash and newline only
+// (label VALUES additionally escape the double quote — see
+// escape_label_value above; both run before anything reaches a scraper,
+// which the /metrics endpoint now makes externally visible).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string metric_key(const std::string& name, const MetricLabels& labels) {
   if (labels.empty()) return name;
   std::string key = name;
@@ -432,7 +449,8 @@ std::string to_prometheus(const RegistrySnapshot& snapshot) {
     if (metric.name != last_family) {
       last_family = metric.name;
       if (!metric.help.empty()) {
-        os << "# HELP " << metric.name << " " << metric.help << "\n";
+        os << "# HELP " << metric.name << " " << escape_help(metric.help)
+           << "\n";
       }
       os << "# TYPE " << metric.name << " " << metric_type_name(metric.type)
          << "\n";

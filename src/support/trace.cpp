@@ -10,6 +10,12 @@ namespace {
 // next one constructed on the same thread.
 thread_local std::vector<std::uint64_t> t_span_stack;
 
+// Open spans (on this thread) belonging to a trace whose root was not
+// sampled. While nonzero, every new Span joins the suppressed trace
+// instead of consulting the sampler — the root's verdict covers the
+// whole tree, so sampling can never tear a trace apart.
+thread_local std::size_t t_suppressed_depth = 0;
+
 std::string json_escape(const char* s) {
   std::string out;
   for (; *s != '\0'; ++s) {
@@ -21,6 +27,18 @@ std::string json_escape(const char* s) {
     }
   }
   return out;
+}
+
+// Nanoseconds as a microsecond count with a fixed three-digit fraction
+// ("1234.567"): trace_event ts/dur are conventionally microseconds, and
+// the fixed-point rendering keeps full ns precision while staying
+// byte-deterministic (no double formatting involved).
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.';
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
 }
 
 }  // namespace
@@ -64,8 +82,36 @@ void Tracer::record(const SpanRecord& span) {
   ++recorded_;
 }
 
+SamplingTracer::SamplingTracer(std::size_t sample_every, std::size_t capacity,
+                               const ClockSource& clock)
+    : Tracer(capacity, clock), every_(sample_every) {
+  if (every_ == 0) {
+    throw std::invalid_argument(
+        "SamplingTracer sample_every must be >= 1 (1 keeps everything)");
+  }
+}
+
+bool SamplingTracer::sample_root() noexcept {
+  const std::uint64_t seen =
+      roots_seen_.fetch_add(1, std::memory_order_relaxed);
+  const bool keep = seen % every_ == 0;
+  if (keep) roots_sampled_.fetch_add(1, std::memory_order_relaxed);
+  return keep;
+}
+
 Span::Span(Tracer* tracer, const char* name) : tracer_(tracer) {
   if (tracer_ == nullptr) return;
+  if (t_suppressed_depth > 0) {
+    // Inside an unsampled trace: inherit the root's verdict, pay nothing.
+    ++t_suppressed_depth;
+    suppressed_ = true;
+    return;
+  }
+  if (t_span_stack.empty() && !tracer_->sample_root()) {
+    t_suppressed_depth = 1;
+    suppressed_ = true;
+    return;
+  }
   record_.name = name;
   record_.span_id = tracer_->next_span_id();
   record_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
@@ -74,6 +120,10 @@ Span::Span(Tracer* tracer, const char* name) : tracer_(tracer) {
 }
 
 Span::~Span() {
+  if (suppressed_) {
+    --t_suppressed_depth;
+    return;
+  }
   if (tracer_ == nullptr) return;
   record_.end_ns = tracer_->clock().now_ns();
   // Scoping guarantees LIFO, so our id is on top.
@@ -95,6 +145,24 @@ std::string to_json(const std::vector<SpanRecord>& spans) {
   }
   os << (spans.empty() ? "]" : "\n]");
   os << "\n";
+  return os.str();
+}
+
+std::string to_trace_event_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"name\": \"" << json_escape(span.name)
+       << "\", \"cat\": \"confcall\", \"ph\": \"X\", \"ts\": ";
+    append_us(os, span.start_ns);
+    os << ", \"dur\": ";
+    append_us(os, span.duration_ns());
+    os << ", \"pid\": 1, \"tid\": 1, \"args\": {\"span_id\": "
+       << span.span_id << ", \"parent_id\": " << span.parent_id << "}}";
+  }
+  os << (spans.empty() ? "]" : "\n]") << ", \"displayTimeUnit\": \"ns\"}\n";
   return os.str();
 }
 

@@ -1,0 +1,224 @@
+// Unit tests for the scrape server (support/http.h): option validation,
+// route dispatch (exact match, 404/405, POST bodies), the observability
+// routes (scrape-vs-snapshot byte identity, health mapping, traces), and
+// the read-deadline guard. Every test binds an ephemeral loopback port
+// and talks to it through the blocking http client.
+#include "support/http.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/metrics.h"
+#include "support/overload.h"
+#include "support/trace.h"
+
+namespace confcall::support {
+namespace {
+
+TEST(HttpServerOptions, ValidatesEveryKnob) {
+  HttpServerOptions options;
+  options.workers = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.max_pending_connections = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.read_deadline_ns = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.max_request_bytes = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(HttpServerOptions{}.validate());
+}
+
+TEST(HttpServer, DispatchesRoutesAndEchoesBody) {
+  HttpServer server;
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  server.handle("POST", "/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.method + " " + request.path + " " + request.body;
+    return response;
+  });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const HttpClientResponse ping = http_get("127.0.0.1", server.port(),
+                                           "/ping");
+  EXPECT_EQ(ping.status, 200);
+  EXPECT_EQ(ping.body, "pong");
+
+  const HttpClientResponse echo = http_request(
+      "127.0.0.1", server.port(), "POST", "/echo", "hello there");
+  EXPECT_EQ(echo.status, 200);
+  EXPECT_EQ(echo.body, "POST /echo hello there");
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, UnknownPath404KnownPathWrongMethod405) {
+  HttpServer server;
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/nope").status, 404);
+  EXPECT_EQ(http_request("127.0.0.1", server.port(), "POST", "/ping")
+                .status,
+            405);
+  server.stop();
+}
+
+TEST(HttpServer, RegisteringAfterStartThrows) {
+  HttpServer server;
+  server.start();
+  EXPECT_THROW(
+      server.handle("GET", "/late",
+                    [](const HttpRequest&) { return HttpResponse{}; }),
+      std::logic_error);
+  server.stop();
+}
+
+TEST(HttpServer, SilentClientGets408WhenReadDeadlineExpires) {
+  HttpServerOptions options;
+  options.read_deadline_ns = 50'000'000;  // 50 ms
+  HttpServer server(options);
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+
+  // Connect and send NOTHING: the worker's deadline-guarded read must
+  // answer 408 instead of holding the connection forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string raw;
+  char chunk[512];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 408", 0), 0u) << raw;
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, RequiresARegistry) {
+  HttpServer server;
+  EXPECT_THROW(install_observability_routes(server, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ObservabilityRoutes, MetricsScrapeIsByteIdenticalToSnapshot) {
+  MetricRegistry registry;
+  const Counter calls = registry.counter("confcall_test_calls_total",
+                                         "calls served");
+  calls.inc(41);
+  const Gauge depth = registry.gauge("confcall_test_depth", "queue depth");
+  depth.set(2.5);
+
+  HttpServer server;
+  install_observability_routes(server, &registry);
+  server.start();
+  const HttpClientResponse scraped =
+      http_get("127.0.0.1", server.port(), "/metrics");
+  server.stop();
+  EXPECT_EQ(scraped.status, 200);
+  // The scrape IS the snapshot — same renderer, same consistent cut.
+  EXPECT_EQ(scraped.body, to_prometheus(registry.snapshot()));
+
+  HttpServer json_server;
+  install_observability_routes(json_server, &registry);
+  json_server.start();
+  const HttpClientResponse vars =
+      http_get("127.0.0.1", json_server.port(), "/vars");
+  json_server.stop();
+  EXPECT_EQ(vars.status, 200);
+  EXPECT_EQ(vars.body, to_json(registry.snapshot()));
+}
+
+TEST(ObservabilityRoutes, HealthzMapsAdmissionHealth) {
+  MetricRegistry registry;
+  ManualClock clock;
+  AdmissionController admission(AdmissionOptions{}, clock);
+  HttpServer server;
+  install_observability_routes(server, &registry, nullptr, &admission);
+  server.start();
+
+  const HttpClientResponse healthy =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_EQ(healthy.body, "healthy\n");
+
+  // Drain the bucket below the shed threshold (default 15% of 64): the
+  // health machine flips to shedding, which must map to 503.
+  (void)admission.admit(60.0);
+  EXPECT_EQ(admission.health(), Health::kShedding);
+  const HttpClientResponse shedding =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(shedding.status, 503);
+  EXPECT_EQ(shedding.body, "shedding\n");
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, HealthzWithoutAdmissionIsAlwaysHealthy) {
+  MetricRegistry registry;
+  HttpServer server;
+  install_observability_routes(server, &registry);
+  server.start();
+  const HttpClientResponse health =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "healthy\n");
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, TracesServeSampledSpans) {
+  MetricRegistry registry;
+  ManualClock clock;
+  SamplingTracer tracer(1, 64, clock);
+  {
+    const Span span(&tracer, "locate");
+    clock.advance(1'000);
+  }
+  HttpServer server;
+  install_observability_routes(server, &registry, &tracer);
+  server.start();
+  const HttpClientResponse traces =
+      http_get("127.0.0.1", server.port(), "/traces");
+  server.stop();
+  EXPECT_EQ(traces.status, 200);
+  EXPECT_EQ(traces.body, to_trace_event_json(tracer.snapshot()));
+  EXPECT_NE(traces.body.find("\"name\": \"locate\""), std::string::npos);
+
+  // No tracer attached: an empty, still-valid trace document.
+  HttpServer bare;
+  install_observability_routes(bare, &registry);
+  bare.start();
+  const HttpClientResponse empty =
+      http_get("127.0.0.1", bare.port(), "/traces");
+  bare.stop();
+  EXPECT_EQ(empty.body,
+            "{\"traceEvents\": [], \"displayTimeUnit\": \"ns\"}\n");
+}
+
+}  // namespace
+}  // namespace confcall::support

@@ -369,5 +369,40 @@ TEST(Exporters, PrometheusTextFormat) {
   EXPECT_NE(text.find("confcall_lat_ns_sum 10.5"), std::string::npos);
 }
 
+TEST(Exporters, PrometheusEscapesLabelValuesAndHelp) {
+  // The exposition format requires backslash, double-quote and newline
+  // escaped inside label values, and backslash/newline inside HELP text
+  // — an unescaped value silently corrupts the whole scrape for parsers.
+  MetricRegistry registry;
+  registry
+      .counter("confcall_escape_total", "line one\nwith a \\ backslash",
+               {{"path", "C:\\temp\n\"quoted\""}})
+      .inc(1);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(
+      text.find(
+          "confcall_escape_total{path=\"C:\\\\temp\\n\\\"quoted\\\"\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP confcall_escape_total "
+                      "line one\\nwith a \\\\ backslash"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside any line: every line starts with
+  // '#' or the metric name.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    if (!line.empty()) {
+      EXPECT_TRUE(line[0] == '#' ||
+                  line.rfind("confcall_escape_total", 0) == 0)
+          << line;
+    }
+    pos = end + 1;
+  }
+}
+
 }  // namespace
 }  // namespace confcall::support

@@ -1,14 +1,21 @@
 // Unit tests for the span tracer (support/trace.h): RAII timing against
 // a ManualClock, parent linkage through the thread_local stack, ring
-// eviction, null-tracer no-ops, and the JSON dump.
+// eviction, null-tracer no-ops, the deterministic 1-in-N SamplingTracer
+// (whole-tree suppression, wraparound, thread-pool integrity), and the
+// JSON / trace_event dumps.
 #include "support/trace.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_pool.h"
 
 namespace confcall::support {
 namespace {
@@ -104,6 +111,160 @@ TEST(Tracer, ParentStackIsPerThread) {
   EXPECT_EQ(spans[0].parent_id, 0u);
 }
 
+TEST(SamplingTracer, RejectsZeroSampleRateAndCapacity) {
+  EXPECT_THROW(SamplingTracer tracer(0), std::invalid_argument);
+  EXPECT_THROW(SamplingTracer tracer(4, 0), std::invalid_argument);
+}
+
+TEST(SamplingTracer, KeepsExactlyOneInN) {
+  ManualClock clock(0);
+  SamplingTracer tracer(4, 64, clock);
+  for (int i = 0; i < 16; ++i) {
+    const Span span(&tracer, "root");
+    clock.advance(1);
+  }
+  // Deterministic stride: roots 0, 4, 8, 12 of the 16 are kept.
+  EXPECT_EQ(tracer.roots_seen(), 16u);
+  EXPECT_EQ(tracer.roots_sampled(), 4u);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[1].start_ns, 4u);
+  EXPECT_EQ(spans[2].start_ns, 8u);
+  EXPECT_EQ(spans[3].start_ns, 12u);
+}
+
+TEST(SamplingTracer, SampleEveryOneKeepsEverything) {
+  ManualClock clock(0);
+  SamplingTracer tracer(1, 64, clock);
+  for (int i = 0; i < 5; ++i) {
+    const Span span(&tracer, "root");
+  }
+  EXPECT_EQ(tracer.roots_sampled(), 5u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+}
+
+TEST(SamplingTracer, TracesAreNeverTorn) {
+  // The sampling decision is made once, at the root: children of a kept
+  // root are all kept, children of a dropped root are all dropped — a
+  // retained trace is always a complete tree.
+  ManualClock clock(0);
+  SamplingTracer tracer(2, 64, clock);
+  for (int call = 0; call < 6; ++call) {
+    const Span locate(&tracer, "locate");
+    clock.advance(1);
+    {
+      const Span plan(&tracer, "plan");
+      {
+        const Span inner(&tracer, "dp");
+        clock.advance(1);
+      }
+    }
+    const Span pages(&tracer, "page_rounds");
+    clock.advance(1);
+  }
+  // Calls 0, 2, 4 are kept, each contributing the full 4-span tree.
+  EXPECT_EQ(tracer.roots_seen(), 6u);
+  EXPECT_EQ(tracer.roots_sampled(), 3u);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 12u);
+  std::set<std::uint64_t> roots;
+  std::map<std::uint64_t, int> children_of;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id == 0) {
+      EXPECT_STREQ(span.name, "locate");
+      roots.insert(span.span_id);
+    }
+  }
+  EXPECT_EQ(roots.size(), 3u);
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id == 0) continue;
+    // Every non-root span hangs off a kept locate (directly or through
+    // the kept plan span) — never off a dropped trace.
+    const bool parent_present =
+        std::any_of(spans.begin(), spans.end(), [&](const SpanRecord& other) {
+          return other.span_id == span.parent_id;
+        });
+    EXPECT_TRUE(parent_present) << span.name;
+    ++children_of[span.parent_id];
+  }
+  // Each kept locate parents plan + page_rounds, each kept plan parents
+  // the dp span.
+  for (const std::uint64_t root : roots) {
+    EXPECT_EQ(children_of[root], 2);
+  }
+}
+
+TEST(SamplingTracer, SuppressedSpansPayNoClockReads) {
+  // An unsampled trace must not touch the clock: with every_ = 2 and two
+  // calls, only the first call's spans read the ManualClock.
+  ManualClock clock(0);
+  SamplingTracer tracer(2, 64, clock);
+  {
+    const Span kept(&tracer, "kept");
+    clock.advance(10);
+  }
+  {
+    const Span dropped(&tracer, "dropped");
+    const Span child(&tracer, "dropped_child");
+    EXPECT_EQ(dropped.id(), 0u);
+    EXPECT_EQ(child.id(), 0u);
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "kept");
+}
+
+TEST(SamplingTracer, RingWrapsUnderSampling) {
+  // Capacity 3, keep 1 in 2 over 10 roots -> 5 recorded, ring keeps the
+  // newest 3 (roots 4, 6, 8) and recorded() exposes the drop.
+  ManualClock clock(0);
+  SamplingTracer tracer(2, 3, clock);
+  for (int i = 0; i < 10; ++i) {
+    const Span span(&tracer, "root");
+    clock.advance(1);
+  }
+  EXPECT_EQ(tracer.roots_sampled(), 5u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].start_ns, 4u);
+  EXPECT_EQ(spans[1].start_ns, 6u);
+  EXPECT_EQ(spans[2].start_ns, 8u);
+}
+
+TEST(SamplingTracer, ThreadPoolWorkersKeepTreesIntact) {
+  // Spans opened concurrently on thread-pool workers: the suppressed
+  // depth and parent stack are thread-local, so every kept trace is a
+  // complete root+child pair and exactly one trace per N roots survives
+  // in total (arrival order decides which).
+  SamplingTracer tracer(4, 4096);
+  const ThreadPool pool(4);
+  constexpr std::size_t kCalls = 400;
+  pool.parallel_for(kCalls, [&](std::size_t) {
+    const Span root(&tracer, "locate");
+    const Span child(&tracer, "plan");
+  });
+  EXPECT_EQ(tracer.roots_seen(), kCalls);
+  EXPECT_EQ(tracer.roots_sampled(), kCalls / 4);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  EXPECT_EQ(spans.size(), 2 * (kCalls / 4));
+  std::set<std::uint64_t> root_ids;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id == 0) {
+      EXPECT_STREQ(span.name, "locate");
+      root_ids.insert(span.span_id);
+    }
+  }
+  EXPECT_EQ(root_ids.size(), kCalls / 4);
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id == 0) continue;
+    EXPECT_STREQ(span.name, "plan");
+    // Each child's parent is one of the kept roots — never a dropped one.
+    EXPECT_TRUE(root_ids.count(span.parent_id) == 1) << span.parent_id;
+  }
+}
+
 TEST(Tracer, JsonDump) {
   ManualClock clock(100);
   Tracer tracer(4, clock);
@@ -116,6 +277,32 @@ TEST(Tracer, JsonDump) {
   EXPECT_NE(json.find("\"start_ns\": 100"), std::string::npos);
   EXPECT_NE(json.find("\"end_ns\": 111"), std::string::npos);
   EXPECT_EQ(to_json(std::vector<SpanRecord>{}), "[]\n");
+}
+
+TEST(Tracer, TraceEventJsonDump) {
+  ManualClock clock(1'234'567);
+  Tracer tracer(4, clock);
+  {
+    const Span outer(&tracer, "locate");
+    clock.advance(2'500);
+    const Span inner(&tracer, "plan \"quoted\"");
+    clock.advance(499);
+  }
+  const std::string json = to_trace_event_json(tracer.snapshot());
+  // Complete events with microsecond ts/dur carrying full ns precision
+  // as fixed three-decimal fractions.
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"locate\", \"cat\": \"confcall\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1234.567"), std::string::npos);   // start
+  EXPECT_NE(json.find("\"dur\": 2.999"), std::string::npos);     // locate
+  EXPECT_NE(json.find("\"ts\": 1237.067"), std::string::npos);   // plan
+  EXPECT_NE(json.find("\"dur\": 0.499"), std::string::npos);
+  EXPECT_NE(json.find("plan \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_EQ(to_trace_event_json({}),
+            "{\"traceEvents\": [], \"displayTimeUnit\": \"ns\"}\n");
 }
 
 }  // namespace

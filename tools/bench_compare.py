@@ -2,7 +2,7 @@
 """Compare two bench JSON files and warn on regressions.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
-                        [--strict]
+                        [--strict] [--strict-paths SUBSTR[,SUBSTR...]]
 
 Walks both JSON trees, pairs numeric leaves by path (array elements pair
 by index), and reports every metric that moved by more than the threshold
@@ -18,7 +18,11 @@ Other numeric fields (configuration echoes, arrival counts) are reported
 as informational drift but never count as regressions.
 
 Exit code is 0 unless --strict is given AND a regression was found, so CI
-can run this as a warn-only step by default.
+can run this as a warn-only step by default. --strict-paths upgrades just
+the regressions whose path contains one of the given substrings to fatal
+(exit 1) while everything else stays warn-only — for gating a few
+load-bearing metrics (e.g. metrics_throughput_ratio) without making every
+noisy timing a build breaker.
 """
 
 import argparse
@@ -81,7 +85,11 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10)
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when a regression exceeds the threshold")
+    parser.add_argument("--strict-paths", default="",
+                        help="comma-separated path substrings whose "
+                             "regressions are fatal even without --strict")
     args = parser.parse_args()
+    strict_paths = [token for token in args.strict_paths.split(",") if token]
 
     with open(args.baseline) as handle:
         base = dict(leaves(json.load(handle)))
@@ -89,6 +97,7 @@ def main():
         curr = dict(leaves(json.load(handle)))
 
     regressions = []
+    fatal = []
     drifted = []
     for path in sorted(base.keys() & curr.keys()):
         sense = direction(path)
@@ -105,6 +114,8 @@ def main():
             sense == "higher" and new < old)
         if worse:
             regressions.append(entry)
+            if any(token in path for token in strict_paths):
+                fatal.append(entry)
         else:
             drifted.append(f"{entry} [{sense}]")
 
@@ -125,8 +136,13 @@ def main():
     if missing:
         print(f"metrics dropped since baseline: {', '.join(missing[:8])}"
               + (" ..." if len(missing) > 8 else ""))
+    if fatal:
+        print(f"::error::{len(fatal)} gated metric(s) regressed "
+              f"(--strict-paths {args.strict_paths}):")
+        for entry in fatal:
+            print(f"  FATAL       {entry}")
 
-    return 1 if (args.strict and regressions) else 0
+    return 1 if (fatal or (args.strict and regressions)) else 0
 
 
 if __name__ == "__main__":

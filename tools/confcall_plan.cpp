@@ -12,7 +12,7 @@
 //                 [--format text|csv]
 //                 [--deadline-ms D]
 //                 [--mc TRIALS] [--threads N] [--mc-seed S]
-//                 [--metrics[=json|prom]]
+//                 [--metrics[=json|prom]] [--trace-out FILE]
 //
 // --mc TRIALS cross-checks the analytic expected paging with a sharded
 // Monte-Carlo execution of the strategy on --threads N workers (0 = all
@@ -30,10 +30,16 @@
 // telemetry printed in text format comes from the same single registry
 // snapshot, so its numbers are always mutually consistent.
 //
+// --trace-out FILE writes the run's spans (a plan_request root with plan
+// and monte_carlo children) as Chrome trace_event JSON — load the file
+// directly in chrome://tracing or Perfetto. Same exporter as the serving
+// daemon's /traces endpoint.
+//
 // Example:
 //   ./tools/confcall_plan --instance area.txt --rounds 3 --planner greedy
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -46,6 +52,7 @@
 #include "support/overload.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
     const auto mc_seed =
         static_cast<std::uint64_t>(cli.get_int("mc-seed", 1));
     const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+    const std::string trace_out = cli.get_string("trace-out", "");
     const bool want_metrics = cli.has("metrics");
     const std::string metrics_format =
         want_metrics ? cli.get_string("metrics", "json") : "json";
@@ -111,7 +119,7 @@ int main(int argc, char** argv) {
                    "[--objective all|any|k] [--k K] [--format text|csv] "
                    "[--deadline-ms D] "
                    "[--mc TRIALS] [--threads N] [--mc-seed S] "
-                   "[--metrics[=json|prom]]\n";
+                   "[--metrics[=json|prom]] [--trace-out FILE]\n";
       return 2;
     }
     if (mc_trials < 0 || threads < 0) {
@@ -140,14 +148,28 @@ int main(int argc, char** argv) {
           "--deadline-ms requires --planner resilient (single-tier "
           "planners have no cheaper tier to degrade to)");
     }
-    const core::Strategy strategy =
-        deadline_ms > 0
-            ? resilient->plan(
-                  instance, rounds,
-                  support::Deadline::after(
-                      static_cast<std::uint64_t>(deadline_ms) * 1'000'000u,
-                      support::SteadyClockSource::shared()))
-            : planner->plan(instance, rounds);
+    // A base Tracer (keep everything) only when --trace-out asks for it;
+    // null tracer = every Span below is a free no-op.
+    std::unique_ptr<support::Tracer> tracer;
+    if (!trace_out.empty()) {
+      tracer = std::make_unique<support::Tracer>(256);
+    }
+    // The root span covers the whole request so the plan / monte_carlo
+    // children hang off one tree, exactly like a locate span in the
+    // serving daemon's /traces.
+    std::optional<support::Span> root_span;
+    root_span.emplace(tracer.get(), "plan_request");
+    const core::Strategy strategy = [&] {
+      const support::Span span(tracer.get(), "plan");
+      return deadline_ms > 0
+                 ? resilient->plan(
+                       instance, rounds,
+                       support::Deadline::after(
+                           static_cast<std::uint64_t>(deadline_ms) *
+                               1'000'000u,
+                           support::SteadyClockSource::shared()))
+                 : planner->plan(instance, rounds);
+    }();
     const double ep = core::expected_paging(instance, strategy, objective);
     const double rounds_used =
         core::expected_rounds(instance, strategy, objective);
@@ -156,10 +178,20 @@ int main(int argc, char** argv) {
 
     std::optional<core::MonteCarloEstimate> mc;
     if (mc_trials > 0) {
+      const support::Span span(tracer.get(), "monte_carlo");
       const support::ThreadPool pool(static_cast<std::size_t>(threads));
       mc = core::monte_carlo_paging_parallel(
           instance, strategy, static_cast<std::size_t>(mc_trials), mc_seed,
           pool, objective);
+    }
+    root_span.reset();  // close the root before exporting
+    if (tracer) {
+      std::ofstream trace_file(trace_out);
+      if (!trace_file) {
+        throw std::runtime_error("cannot write trace file '" + trace_out +
+                                 "'");
+      }
+      trace_file << support::to_trace_event_json(tracer->snapshot());
     }
 
     // One consistent cut of the registry, taken after planning finished:

@@ -1,0 +1,361 @@
+// confcall_serve — the location-management service as a long-running
+// daemon with a live observability surface.
+//
+// Loads a named scenario (cellular/workload.h), builds the same stack the
+// simulator builds — grid, location areas, mobility, LocationService,
+// fault plan, admission control, resilient planner — but drives it on the
+// REAL clock: a paced locate loop moves users and serves arriving
+// conference calls while an embedded HTTP server (support/http.h) exposes
+//
+//   GET  /metrics   Prometheus text, one consistent registry snapshot
+//   GET  /vars      the same snapshot as JSON
+//   GET  /healthz   admission health: healthy/degraded -> 200,
+//                   shedding -> 503 (scenarios without admission
+//                   control always report healthy)
+//   GET  /traces    recent sampled spans, Chrome trace_event JSON
+//   POST /locate    serve one conference call right now and report the
+//                   outcome as JSON (503 when admission sheds it)
+//
+// Tracing is always on at a deterministic 1-in-N sample (--trace-every,
+// default 64; 0 disables) through support::SamplingTracer, so /traces
+// stays populated at well under the 5% overhead budget (bench_e16).
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop the locate loop, drain the
+// HTTP server (accepted connections are still answered), dump a final
+// registry snapshot (--snapshot-out, JSON), and exit 0.
+//
+//   confcall_serve [--scenario dense-urban|campus|highway|degraded-urban|
+//                              overloaded-urban]
+//                  [--port P] [--port-file FILE] [--workers N]
+//                  [--steps N] [--step-ms MS]
+//                  [--trace-every N] [--trace-capacity N]
+//                  [--seed S] [--snapshot-out FILE]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// resolved port for scripts (the CI smoke test starts the daemon with an
+// ephemeral port, reads the file, curls /healthz and /metrics, then
+// SIGTERMs and asserts a clean exit). --steps 0 runs until a signal.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cellular/simulator.h"
+#include "cellular/workload.h"
+#include "core/planner.h"
+#include "core/resilient_planner.h"
+#include "prob/rng.h"
+#include "support/cli.h"
+#include "support/http.h"
+#include "support/metrics.h"
+#include "support/overload.h"
+#include "support/trace.h"
+
+namespace {
+
+using namespace confcall;
+
+// Async-signal-safe stop flag: the handlers only store.
+std::atomic<bool> g_stop{false};
+
+void on_signal(int /*signum*/) { g_stop.store(true); }
+
+constexpr const char* kUsage =
+    "usage: confcall_serve"
+    " [--scenario dense-urban|campus|highway|degraded-urban|"
+    "overloaded-urban]"
+    " [--port P] [--port-file FILE] [--workers N]"
+    " [--steps N] [--step-ms MS]"
+    " [--trace-every N] [--trace-capacity N]"
+    " [--seed S] [--snapshot-out FILE]\n"
+    "\n"
+    "Runs the location-management service as a daemon: a paced locate\n"
+    "loop over the chosen scenario plus an HTTP observability surface\n"
+    "(GET /metrics /vars /healthz /traces, POST /locate). --port 0 binds\n"
+    "an ephemeral port (--port-file writes the resolved one); --steps 0\n"
+    "serves until SIGINT/SIGTERM, which drain gracefully and dump a\n"
+    "final snapshot to --snapshot-out.\n";
+
+cellular::Scenario find_scenario(const std::string& name,
+                                 std::uint64_t seed) {
+  for (cellular::Scenario& scenario : cellular::all_scenarios(seed)) {
+    if (scenario.name == name) return std::move(scenario);
+  }
+  std::string names;
+  for (const cellular::Scenario& scenario : cellular::all_scenarios(seed)) {
+    names += names.empty() ? scenario.name : "|" + scenario.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + name + "' (" + names +
+                              ")");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const support::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      std::cout << kUsage;
+      return 0;
+    }
+    const std::string scenario_name =
+        cli.get_string("scenario", "dense-urban");
+    const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+    const std::string port_file = cli.get_string("port-file", "");
+    const auto workers = static_cast<std::size_t>(cli.get_int("workers", 2));
+    const std::int64_t steps = cli.get_int("steps", 0);
+    const std::int64_t step_ms = cli.get_int("step-ms", 10);
+    const std::int64_t trace_every = cli.get_int("trace-every", 64);
+    const std::int64_t trace_capacity = cli.get_int("trace-capacity", 2048);
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const std::string snapshot_out = cli.get_string("snapshot-out", "");
+    for (const auto& flag : cli.unused()) {
+      throw std::invalid_argument("unknown flag --" + flag);
+    }
+    if (steps < 0 || step_ms < 0 || trace_every < 0 || trace_capacity < 1) {
+      throw std::invalid_argument(
+          "--steps/--step-ms/--trace-every must be >= 0, "
+          "--trace-capacity >= 1");
+    }
+
+    const cellular::Scenario scenario = find_scenario(scenario_name, seed);
+    const cellular::SimConfig& config = scenario.config;
+    config.validate();
+
+    // The simulator's stack, assembled on the REAL clock: token refill,
+    // call deadlines and breaker cooldowns all track wall time here,
+    // where run_simulation drives them from a virtual ManualClock.
+    const support::ClockSource& clock = support::SteadyClockSource::shared();
+    const cellular::GridTopology grid(config.grid_rows, config.grid_cols,
+                                      config.toroidal, config.neighborhood);
+    const cellular::LocationAreas areas = cellular::LocationAreas::tiles(
+        grid, config.la_tile_rows, config.la_tile_cols);
+    const cellular::MarkovMobility mobility(grid, config.stay_probability);
+    prob::Rng rng(config.seed);
+    std::vector<cellular::CellId> user_cells;
+    user_cells.reserve(config.num_users);
+    for (std::size_t u = 0; u < config.num_users; ++u) {
+      user_cells.push_back(
+          static_cast<cellular::CellId>(rng.next_below(grid.num_cells())));
+    }
+
+    support::MetricRegistry registry;
+    std::unique_ptr<support::SamplingTracer> tracer;
+    if (trace_every > 0) {
+      tracer = std::make_unique<support::SamplingTracer>(
+          static_cast<std::size_t>(trace_every),
+          static_cast<std::size_t>(trace_capacity), clock);
+    }
+
+    const cellular::OverloadConfig& overload = config.overload;
+    std::unique_ptr<core::ResilientPlanner> resilient;
+    std::optional<support::AdmissionController> admission;
+    cellular::LocationService::Config service_cfg = config.service_config();
+    service_cfg.metrics = cellular::ServiceMetrics::create(registry);
+    service_cfg.tracer = tracer.get();
+    if (overload.enabled) {
+      if (overload.resilient_planner) {
+        std::vector<std::unique_ptr<core::Planner>> chain;
+        chain.push_back(std::make_unique<core::TypedExactPlanner>(
+            core::Objective::all_of(), overload.planner_node_limit));
+        chain.push_back(std::make_unique<core::GreedyPlanner>());
+        chain.push_back(std::make_unique<core::BlanketPlanner>());
+        resilient = std::make_unique<core::ResilientPlanner>(
+            std::move(chain), core::ResilientPlanner::Budget{0.0}, clock,
+            overload.breaker, &registry);
+        service_cfg.planner = resilient.get();
+      }
+      service_cfg.clock = &clock;
+      service_cfg.round_duration_ns = overload.round_duration_ns;
+      admission.emplace(overload.admission, clock);
+      admission->bind_metrics(registry);
+    }
+
+    cellular::LocationService service(grid, areas, mobility, service_cfg,
+                                      user_cells);
+    cellular::FaultPlan faults(config.faults, grid.num_cells());
+    if (config.paging_policy != cellular::PagingPolicy::kAdaptive) {
+      service.attach_faults(&faults);
+    }
+    const cellular::CallGenerator calls(config.call_rate, config.num_users,
+                                        config.group_min, config.group_max);
+    // Forced arrivals for POST /locate: same group-size law, rate 1.
+    const cellular::CallGenerator forced_calls(1.0, config.num_users,
+                                               config.group_min,
+                                               config.group_max);
+    std::optional<cellular::BurstyCallGenerator> bursty;
+    if (config.burst.enabled) {
+      bursty.emplace(config.burst, config.num_users, config.group_min,
+                     config.group_max);
+    }
+
+    const support::Counter steps_metric = registry.counter(
+        "confcall_serve_steps_total", "Locate-loop steps the daemon ran");
+    const support::Counter arrivals_metric = registry.counter(
+        "confcall_serve_calls_arrived_total",
+        "Conference-call arrivals (loop traffic plus POST /locate)");
+    const support::Counter shed_metric = registry.counter(
+        "confcall_serve_calls_shed_total",
+        "Arrivals rejected by admission control");
+
+    // One mutex serializes every touch of the simulation state (service,
+    // user cells, rng, generators) between the locate loop and the POST
+    // /locate handler. Registry/tracer/admission are internally locked
+    // and stay readable by the scrape handlers without it.
+    std::mutex sim_mutex;
+
+    // One paced step: move everyone, then maybe serve one arriving call.
+    // Returns false when the call was shed.
+    const auto serve_call = [&](const cellular::CallEvent& event,
+                                cellular::LocationService::LocateOutcome*
+                                    outcome_out) {
+      arrivals_metric.inc();
+      cellular::LocationService::LocateContext context;
+      if (admission) {
+        const support::AdmissionController::Decision decision =
+            admission->admit(static_cast<double>(event.participants.size()));
+        if (decision == support::AdmissionController::Decision::kShed) {
+          shed_metric.inc();
+          return false;
+        }
+        if (decision ==
+            support::AdmissionController::Decision::kAdmitDegraded) {
+          context.plan_cheap = true;
+        }
+        if (overload.call_deadline_ns != 0) {
+          context.deadline =
+              support::Deadline::after(overload.call_deadline_ns, clock);
+        }
+      }
+      std::vector<cellular::CellId> true_cells;
+      true_cells.reserve(event.participants.size());
+      for (const cellular::UserId user : event.participants) {
+        true_cells.push_back(user_cells[user]);
+      }
+      const cellular::LocationService::LocateOutcome outcome =
+          service.locate(event.participants, true_cells, rng, context);
+      if (outcome_out != nullptr) *outcome_out = outcome;
+      return true;
+    };
+
+    const auto step_once = [&] {
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      faults.begin_step();
+      for (std::size_t u = 0; u < config.num_users; ++u) {
+        user_cells[u] = mobility.step(user_cells[u], rng);
+        (void)service.observe_move(static_cast<cellular::UserId>(u),
+                                   user_cells[u]);
+      }
+      service.tick();
+      steps_metric.inc();
+      const cellular::CallEvent event =
+          bursty ? bursty->maybe_call(rng) : calls.maybe_call(rng);
+      if (!event.participants.empty()) (void)serve_call(event, nullptr);
+    };
+
+    // Warmup (movement only, unpaced) so the location database is warm
+    // before the first scrape or locate.
+    for (std::size_t t = 0; t < config.warmup_steps; ++t) {
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      faults.begin_step();
+      for (std::size_t u = 0; u < config.num_users; ++u) {
+        user_cells[u] = mobility.step(user_cells[u], rng);
+        (void)service.observe_move(static_cast<cellular::UserId>(u),
+                                   user_cells[u]);
+      }
+      service.tick();
+    }
+
+    support::HttpServerOptions http_options;
+    http_options.port = port;
+    http_options.workers = workers;
+    support::HttpServer server(http_options);
+    support::install_observability_routes(
+        server, &registry, tracer.get(),
+        admission ? &*admission : nullptr);
+    server.handle("POST", "/locate", [&](const support::HttpRequest&) {
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      const cellular::CallEvent event = forced_calls.maybe_call(rng);
+      cellular::LocationService::LocateOutcome outcome;
+      const bool admitted = serve_call(event, &outcome);
+      support::HttpResponse response;
+      response.content_type = "application/json";
+      std::ostringstream os;
+      if (!admitted) {
+        response.status = 503;
+        os << "{\"admitted\": false, \"participants\": "
+           << event.participants.size() << "}\n";
+      } else {
+        os << "{\"admitted\": true, \"participants\": "
+           << event.participants.size()
+           << ", \"cells_paged\": " << outcome.cells_paged
+           << ", \"rounds_used\": " << outcome.rounds_used
+           << ", \"retries\": " << outcome.retries
+           << ", \"abandoned\": " << (outcome.abandoned ? "true" : "false")
+           << ", \"degraded\": " << (outcome.degraded ? "true" : "false")
+           << ", \"deadline_limited\": "
+           << (outcome.deadline_limited ? "true" : "false") << "}\n";
+      }
+      response.body = os.str();
+      return response;
+    });
+
+    (void)std::signal(SIGINT, on_signal);
+    (void)std::signal(SIGTERM, on_signal);
+    server.start();
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) {
+        throw std::runtime_error("cannot write port file '" + port_file +
+                                 "'");
+      }
+      out << server.port() << "\n";
+    }
+    std::cout << "confcall_serve: scenario=" << scenario.name
+              << " serving on 127.0.0.1:" << server.port()
+              << " (trace-every=" << trace_every << ")" << std::endl;
+
+    std::uint64_t steps_run = 0;
+    while (!g_stop.load()) {
+      if (steps > 0 && steps_run >= static_cast<std::uint64_t>(steps)) break;
+      step_once();
+      ++steps_run;
+      if (step_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+      }
+    }
+
+    // Graceful drain: the listener closes first, accepted connections
+    // are still answered, then the final snapshot is cut.
+    server.stop();
+    const support::RegistrySnapshot snapshot = registry.snapshot();
+    if (!snapshot_out.empty()) {
+      std::ofstream out(snapshot_out);
+      if (!out) {
+        throw std::runtime_error("cannot write snapshot file '" +
+                                 snapshot_out + "'");
+      }
+      out << support::to_json(snapshot);
+    }
+    std::cout << "confcall_serve: stopped after " << steps_run
+              << " steps, served " << server.requests_served()
+              << " http requests (" << server.connections_shed()
+              << " shed)";
+    if (tracer) {
+      std::cout << ", sampled " << tracer->roots_sampled() << "/"
+                << tracer->roots_seen() << " traces";
+    }
+    std::cout << std::endl;
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "confcall_serve: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition lint for the /metrics scrape.
+
+Validates a scrape body (file argument, or stdin with -) against the
+text exposition format the way a scraper would parse it:
+
+  * every non-comment line is  name{labels} value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable float value
+  * label values are well-formed quoted strings (backslash, double-quote
+    and newline escaped — the PR5 escaping fix is what this catches)
+  * every sample name is covered by a preceding # TYPE (histogram
+    samples may extend the family name with _bucket/_sum/_count)
+  * # TYPE declares a known type and no family is declared twice
+  * at least one sample exists (an empty scrape means the daemon wired
+    no registry)
+
+Exit code 1 lists every violation as line:N. Used by CI's confcall_serve
+smoke step: curl /metrics | python3 tools/prom_lint.py -
+
+Usage: python3 tools/prom_lint.py FILE|-
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# One label: name="value" with only escaped \ " and n inside the quotes.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name, types):
+    """The declared family a sample belongs to, or None."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def lint(text):
+    errors = []
+    types = {}
+    samples = 0
+    for number, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line:{number} malformed # TYPE: {line!r}")
+                continue
+            if parts[2] in types:
+                errors.append(f"line:{number} duplicate # TYPE {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and free comments
+        match = NAME_RE.match(line)
+        if match is None:
+            errors.append(f"line:{number} no metric name: {line!r}")
+            continue
+        name = match.group(0)
+        rest = line[match.end():]
+        if rest.startswith("{"):
+            closing = rest.find("}")
+            if closing < 0:
+                errors.append(f"line:{number} unterminated label set")
+                continue
+            labels = rest[1:closing]
+            rest = rest[closing + 1:]
+            stripped = LABEL_RE.sub("", labels)
+            if stripped.strip(", ") != "":
+                errors.append(
+                    f"line:{number} malformed labels (bad escaping?): "
+                    f"{labels!r}")
+        value = rest.strip().split(" ")[0]
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line:{number} unparseable value {value!r}")
+            continue
+        if family_of(name, types) is None:
+            errors.append(f"line:{number} sample {name} has no # TYPE")
+        samples += 1
+    if samples == 0:
+        errors.append("no samples at all: empty or comment-only scrape")
+    return errors, samples, len(types)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1]) as handle:
+            text = handle.read()
+    errors, samples, families = lint(text)
+    if errors:
+        for error in errors:
+            print(error)
+        return 1
+    print(f"prom_lint: OK ({samples} samples, {families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
