@@ -32,6 +32,7 @@ void OverloadConfig::validate() const {
     throw std::invalid_argument(
         "OverloadConfig: planner_node_limit must be >= 1");
   }
+  if (slo.enabled) slo.validate();
 }
 
 void SimConfig::validate() const {
@@ -121,6 +122,9 @@ void SimReport::merge(const SimReport& other) {
   planner_failovers += other.planner_failovers;
   health_transitions += other.health_transitions;
   bursts_entered += other.bursts_entered;
+  slo_control_steps += other.slo_control_steps;
+  slo_breaches += other.slo_breaches;
+  slo_pre_breach_signals += other.slo_pre_breach_signals;
   if (rounds_histogram.size() < other.rounds_histogram.size()) {
     rounds_histogram.resize(other.rounds_histogram.size(), 0);
   }
@@ -172,10 +176,12 @@ SimReport run_simulation(const SimConfig& config) {
   // of wall-clock speed or thread placement.
   support::ManualClock clock;
   const OverloadConfig& overload = config.overload;
-  // The per-run registry (collect_metrics only). Declared before the
-  // planner and service so the handles they hold never outlive it.
+  // The per-run registry (collect_metrics, or the SLO controller's
+  // sensor). Declared before the planner and service so the handles
+  // they hold never outlive it.
+  const bool slo_enabled = overload.enabled && overload.slo.enabled;
   std::unique_ptr<support::MetricRegistry> registry;
-  if (config.collect_metrics) {
+  if (config.collect_metrics || slo_enabled) {
     registry = std::make_unique<support::MetricRegistry>();
   }
   std::unique_ptr<core::ResilientPlanner> resilient;
@@ -198,6 +204,20 @@ SimReport run_simulation(const SimConfig& config) {
     service_cfg.round_duration_ns = overload.round_duration_ns;
     admission.emplace(overload.admission, clock);
     if (registry) admission->bind_metrics(*registry);
+  }
+  // The feedback controller closes the loop AFTER every sensor series
+  // is registered, so its baseline snapshot already covers them.
+  std::unique_ptr<support::SloController> slo;
+  if (slo_enabled) {
+    slo = std::make_unique<support::SloController>(
+        overload.slo, *registry, *admission, clock,
+        overload.round_duration_ns);
+    if (resilient) {
+      for (std::size_t i = 0; i + 1 < resilient->num_tiers(); ++i) {
+        slo->add_breaker(&resilient->mutable_breaker(i));
+      }
+    }
+    slo->bind_metrics(*registry);
   }
 
   LocationService service(grid, areas, mobility, service_cfg, user_cells);
@@ -232,27 +252,33 @@ SimReport run_simulation(const SimConfig& config) {
       }
     }
     service.tick();
+    // Control steps land on the virtual clock's period grid, so the
+    // loop is as deterministic as the rest of the run.
+    if (slo) slo->maybe_step();
   };
 
-  for (std::size_t t = 0; t < config.warmup_steps; ++t) move_users();
-  for (std::size_t t = 0; t < config.steps; ++t) {
-    move_users();
+  // One traffic step: draw an arrival, run it through admission and the
+  // locate path. `record` gates every SimReport write so warmup traffic
+  // (config.warmup_calls) exercises the full stack — draining buckets,
+  // tripping breakers, feeding the SLO controller — without polluting
+  // the measured window.
+  const auto place_call = [&](bool record) {
     const CallEvent event =
         bursty ? bursty->maybe_call(rng) : calls.maybe_call(rng);
-    if (event.participants.empty()) continue;
-    ++report.calls_arrived;
+    if (event.participants.empty()) return;
+    if (record) ++report.calls_arrived;
 
     LocationService::LocateContext context;
     if (admission) {
       const support::AdmissionController::Decision decision = admission->admit(
           static_cast<double>(event.participants.size()));
       if (decision == support::AdmissionController::Decision::kShed) {
-        ++report.calls_shed;
-        continue;
+        if (record) ++report.calls_shed;
+        return;
       }
       if (decision == support::AdmissionController::Decision::kAdmitDegraded) {
         context.plan_cheap = true;
-        ++report.calls_degraded_admit;
+        if (record) ++report.calls_degraded_admit;
       }
       if (overload.call_deadline_ns != 0) {
         context.deadline =
@@ -267,6 +293,7 @@ SimReport run_simulation(const SimConfig& config) {
     }
     const LocationService::LocateOutcome outcome =
         service.locate(event.participants, true_cells, rng, context);
+    if (!record) return;
 
     ++report.calls_served;
     if (!outcome.abandoned) ++report.calls_completed;
@@ -288,6 +315,15 @@ SimReport run_simulation(const SimConfig& config) {
     if (outcome.budget_exhausted) ++report.budget_exhaustions;
     report.pages_per_call.add(static_cast<double>(outcome.cells_paged));
     report.rounds_per_call.add(static_cast<double>(outcome.rounds_used));
+  };
+
+  for (std::size_t t = 0; t < config.warmup_steps; ++t) {
+    move_users();
+    if (config.warmup_calls) place_call(/*record=*/false);
+  }
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    move_users();
+    place_call(/*record=*/true);
   }
   report.steps = config.warmup_steps + config.steps;
   if (resilient) {
@@ -301,6 +337,13 @@ SimReport run_simulation(const SimConfig& config) {
   if (admission) {
     report.health_transitions =
         static_cast<std::size_t>(admission->health_transitions());
+  }
+  if (slo) {
+    report.slo_control_steps =
+        static_cast<std::size_t>(slo->control_steps());
+    report.slo_breaches = static_cast<std::size_t>(slo->breaches());
+    report.slo_pre_breach_signals =
+        static_cast<std::size_t>(slo->pre_breach_signals());
   }
   if (bursty) report.bursts_entered = bursty->bursts_entered();
   report.reports_lost = service.reports_lost();

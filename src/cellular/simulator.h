@@ -19,6 +19,7 @@
 #include "prob/stats.h"
 #include "support/metrics.h"
 #include "support/overload.h"
+#include "support/slo_controller.h"
 
 namespace confcall::cellular {
 
@@ -47,6 +48,15 @@ struct OverloadConfig {
   bool resilient_planner = false;
   std::uint64_t planner_node_limit = 20'000'000;
   support::CircuitBreakerOptions breaker{};
+  /// Closed-loop SLO control (slo.enabled): a SloController reads the
+  /// run's registry on the virtual clock's control-period grid and
+  /// adapts the admission token rate, degrade threshold and breaker
+  /// cooldowns to hold slo.target_p99_ns. The registry is created for
+  /// the run even when SimConfig::collect_metrics is off (the sensor
+  /// needs it); SimReport::metrics still follows collect_metrics. All
+  /// controller state is driven by the ManualClock, so runs stay
+  /// bit-identical across repeats and thread counts.
+  support::SloOptions slo{};
 
   /// Throws std::invalid_argument with a specific message per rejection.
   void validate() const;
@@ -78,6 +88,14 @@ struct SimConfig {
   std::size_t last_seen_horizon = 100;  ///< cap on prediction steps
   std::size_t steps = 2000;       ///< simulated steps with traffic
   std::size_t warmup_steps = 200;  ///< movement-only steps beforehand
+  /// When true, warmup steps also draw call arrivals and run them
+  /// through the full admission/locate path, but leave every SimReport
+  /// counter untouched. This lets closed-loop components (the SLO
+  /// controller's AIMD convergence, bucket drain to its operating
+  /// point) reach steady state before the measured window opens, so
+  /// the report captures steady-state behaviour instead of the
+  /// transient. Default off: byte-identical to the historical runs.
+  bool warmup_calls = false;
   /// Section 5's imperfect-detection extension: paging a cell finds a
   /// device located there only with this probability (1 = classic model).
   /// Missed devices are recovered by repeated whole-grid sweeps, all
@@ -155,6 +173,12 @@ struct SimReport {
   /// Admission health-state changes (flap metric) and burst episodes.
   std::size_t health_transitions = 0;
   std::size_t bursts_entered = 0;
+  /// SLO-controller telemetry when OverloadConfig::slo.enabled: control
+  /// steps run, breached control periods, and pre-breach (degrading)
+  /// periods signalled.
+  std::size_t slo_control_steps = 0;
+  std::size_t slo_breaches = 0;
+  std::size_t slo_pre_breach_signals = 0;
   std::size_t reports_sent = 0;
   std::size_t cells_paged_total = 0;
   /// Pages spent blanket-covering the rest of the grid because a callee

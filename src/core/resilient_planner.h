@@ -123,6 +123,12 @@ class ResilientPlanner final : public Planner {
     return *breakers_.at(index);
   }
 
+  /// Mutable access to the same breaker, for an actuator that tunes it
+  /// (the SLO controller's cooldown loop).
+  [[nodiscard]] support::CircuitBreaker& mutable_breaker(std::size_t index) {
+    return *breakers_.at(index);
+  }
+
   [[nodiscard]] std::size_t num_tiers() const noexcept {
     return chain_.size();
   }

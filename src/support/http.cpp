@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "support/metrics.h"
+#include "support/slo_controller.h"
 #include "support/trace.h"
 
 namespace confcall::support {
@@ -400,7 +401,8 @@ void HttpServer::serve_connection(int fd) {
 
 void install_observability_routes(HttpServer& server, MetricRegistry* registry,
                                   Tracer* tracer,
-                                  AdmissionController* admission) {
+                                  AdmissionController* admission,
+                                  SloController* slo) {
   if (registry == nullptr) {
     throw std::invalid_argument(
         "install_observability_routes: registry is required");
@@ -420,12 +422,29 @@ void install_observability_routes(HttpServer& server, MetricRegistry* registry,
     response.content_type = "application/json";
     return response;
   });
-  server.handle("GET", "/healthz", [admission](const HttpRequest&) {
+  server.handle("GET", "/healthz", [admission, slo](const HttpRequest&) {
     Health health = Health::kHealthy;
     if (admission != nullptr) health = admission->health();
+    const SloHealth verdict =
+        slo == nullptr ? SloHealth::kOk : slo->slo_health();
     HttpResponse response;
-    response.status = health == Health::kShedding ? 503 : 200;
-    response.body = std::string(health_name(health)) + "\n";
+    // Proactive health: a degrading verdict (projected breach) already
+    // drains traffic, so the flip happens BEFORE the SLO is broken.
+    response.status =
+        health == Health::kShedding || verdict != SloHealth::kOk ? 503 : 200;
+    response.content_type = "application/json";
+    std::ostringstream os;
+    os << "{\"health\": \"" << health_name(health) << "\"";
+    if (slo != nullptr) {
+      os << ", \"slo\": {\"state\": \"" << slo_health_name(verdict)
+         << "\", \"target_p99_ms\": "
+         << static_cast<double>(slo->target_p99_ns()) * 1e-6
+         << ", \"observed_p99_ms\": "
+         << static_cast<double>(slo->observed_p99_ns()) * 1e-6
+         << ", \"window_shed_fraction\": " << slo->shed_fraction() << "}";
+    }
+    os << "}\n";
+    response.body = os.str();
     return response;
   });
   server.handle("GET", "/traces", [tracer](const HttpRequest&) {

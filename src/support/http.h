@@ -49,6 +49,7 @@ namespace confcall::support {
 class MetricRegistry;
 class Tracer;
 class AdmissionController;
+class SloController;
 
 /// One parsed request. Header names are lower-cased; values are
 /// whitespace-trimmed.
@@ -153,8 +154,14 @@ class HttpServer {
 /// Wires the standard observability surface onto `server` (all GET):
 ///   /metrics  Prometheus text from ONE consistent registry snapshot
 ///   /vars     the same snapshot as JSON
-///   /healthz  the admission health machine: healthy/degraded -> 200,
-///             shedding -> 503 (no controller: always 200 "healthy")
+///   /healthz  a small JSON document: the admission health state, and —
+///             when an SloController is attached — its verdict, target
+///             vs observed p99 and the last window's shed fraction.
+///             Status keeps the load-balancer mapping: 200 while
+///             healthy/degraded, 503 while shedding; with a controller
+///             the status ALSO flips to 503 on a "degrading" verdict
+///             (projected breach) so traffic drains BEFORE the SLO is
+///             broken, not after. No admission controller: always 200.
 ///   /traces   recent sampled spans as Chrome trace_event JSON (no
 ///             tracer: an empty trace)
 /// The pointees must outlive the server; registry is required.
@@ -162,7 +169,8 @@ class HttpServer {
 void install_observability_routes(HttpServer& server,
                                   MetricRegistry* registry,
                                   Tracer* tracer = nullptr,
-                                  AdmissionController* admission = nullptr);
+                                  AdmissionController* admission = nullptr,
+                                  SloController* slo = nullptr);
 
 /// A minimal blocking client for tests, benches and smoke checks: one
 /// request, reads to connection close. Throws std::runtime_error on

@@ -261,6 +261,69 @@ void RegistrySnapshot::merge(const RegistrySnapshot& other) {
   }
 }
 
+RegistrySnapshot RegistrySnapshot::delta(const RegistrySnapshot& prev) const {
+  RegistrySnapshot out = *this;
+  std::size_t prev_matched = 0;
+  for (MetricSnapshot& mine : out.metrics) {
+    const MetricSnapshot* theirs = prev.find(mine.name, mine.labels);
+    if (theirs == nullptr) continue;  // series appeared during the window
+    ++prev_matched;
+    if (theirs->type != mine.type) {
+      throw std::invalid_argument("RegistrySnapshot::delta: metric '" +
+                                  mine.key() + "' has mismatched types");
+    }
+    switch (mine.type) {
+      case MetricType::kCounter:
+        if (theirs->counter_value > mine.counter_value) {
+          throw std::invalid_argument(
+              "RegistrySnapshot::delta: counter '" + mine.key() +
+              "' went backwards (was the registry reset?)");
+        }
+        mine.counter_value -= theirs->counter_value;
+        break;
+      case MetricType::kGauge:
+        break;  // levels, not rates: the delta reports the current value
+      case MetricType::kHistogram: {
+        if (mine.histogram.upper_bounds != theirs->histogram.upper_bounds) {
+          throw std::invalid_argument("RegistrySnapshot::delta: histogram '" +
+                                      mine.key() +
+                                      "' has mismatched bucket bounds");
+        }
+        if (theirs->histogram.count > mine.histogram.count) {
+          throw std::invalid_argument(
+              "RegistrySnapshot::delta: histogram '" + mine.key() +
+              "' went backwards (was the registry reset?)");
+        }
+        for (std::size_t i = 0; i < mine.histogram.counts.size(); ++i) {
+          if (theirs->histogram.counts[i] > mine.histogram.counts[i]) {
+            throw std::invalid_argument(
+                "RegistrySnapshot::delta: histogram '" + mine.key() +
+                "' went backwards (was the registry reset?)");
+          }
+          mine.histogram.counts[i] -= theirs->histogram.counts[i];
+        }
+        mine.histogram.count -= theirs->histogram.count;
+        mine.histogram.sum -= theirs->histogram.sum;
+        break;
+      }
+    }
+  }
+  // Every key of prev must still exist here: the registry never drops a
+  // series, so a leftover means the snapshots are from different
+  // registries.
+  if (prev_matched != prev.metrics.size()) {
+    for (const MetricSnapshot& theirs : prev.metrics) {
+      if (find(theirs.name, theirs.labels) == nullptr) {
+        throw std::invalid_argument(
+            "RegistrySnapshot::delta: metric '" + theirs.key() +
+            "' from the previous snapshot is missing here (snapshots of "
+            "different registries?)");
+      }
+    }
+  }
+  return out;
+}
+
 const MetricSnapshot* RegistrySnapshot::find(
     std::string_view name, const MetricLabels& labels) const noexcept {
   for (const auto& metric : metrics) {

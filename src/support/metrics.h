@@ -203,6 +203,19 @@ struct RegistrySnapshot {
   /// merge order (integer parts are order-free).
   void merge(const RegistrySnapshot& other);
 
+  /// The windowed view: what happened between `prev` (an earlier
+  /// snapshot of the SAME registry) and this one. Counters and histogram
+  /// buckets subtract key-aligned; gauges keep their CURRENT value (a
+  /// gauge is a level, not a rate). Metrics absent from `prev` are kept
+  /// verbatim (the series appeared during the window). Throws
+  /// std::invalid_argument when `prev` holds a key this snapshot lacks,
+  /// or when any counter/bucket went backwards — both mean `prev` came
+  /// from a different or restarted registry, and a silent negative rate
+  /// would poison every percentile computed from the delta. This is what
+  /// the SLO controller and interval-rate reporting consume: interval
+  /// p99s instead of lifetime aggregates.
+  [[nodiscard]] RegistrySnapshot delta(const RegistrySnapshot& prev) const;
+
   /// Lookup by name + labels; nullptr when absent.
   [[nodiscard]] const MetricSnapshot* find(
       std::string_view name, const MetricLabels& labels = {}) const noexcept;

@@ -112,6 +112,9 @@ void CircuitBreaker::bind_metrics(Counter trips) {
 }
 
 void CircuitBreaker::trip_locked() {
+  // A re-trip (failed half-open probe) extends the SAME recovery
+  // episode: the observed recovery time runs from the first trip.
+  if (state_ == State::kClosed) tripped_at_ns_ = clock_->now_ns();
   state_ = State::kOpen;
   open_until_ns_ = clock_->now_ns() + options_.cooldown_ns;
   probe_in_flight_ = false;
@@ -131,6 +134,8 @@ void CircuitBreaker::record_success() {
   if (state_ != State::kClosed) {
     // Probe succeeded (or a late success from before the trip — equally
     // good news): close and start clean.
+    ++recoveries_;
+    last_recovery_ns_ = clock_->now_ns() - tripped_at_ns_;
     state_ = State::kClosed;
     probe_in_flight_ = false;
     outcomes_.assign(options_.window, 0);
@@ -174,6 +179,24 @@ std::uint64_t CircuitBreaker::trips() const {
 std::uint64_t CircuitBreaker::rejections() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return rejections_;
+}
+
+void CircuitBreaker::set_cooldown_ns(std::uint64_t cooldown_ns) {
+  if (cooldown_ns == 0) {
+    throw std::invalid_argument("CircuitBreaker: cooldown_ns must be >= 1");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  options_.cooldown_ns = cooldown_ns;
+}
+
+std::uint64_t CircuitBreaker::recoveries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recoveries_;
+}
+
+std::uint64_t CircuitBreaker::last_recovery_ns() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_recovery_ns_;
 }
 
 const char* health_name(Health health) noexcept {
@@ -224,6 +247,10 @@ void AdmissionController::refill_locked() {
                        tokens_ + elapsed_sec * options_.refill_per_sec);
   }
   last_refill_ns_ = now;
+  // Keep the gauge honest on every refill path, not only admit():
+  // the SLO controller's setters refill too, and a stale gauge would
+  // desynchronize the scrape from tokens().
+  tokens_metric_.set(tokens_);
 }
 
 void AdmissionController::step_health_locked() {
@@ -307,6 +334,37 @@ AdmissionController::Decision AdmissionController::admit(double cost) {
   ++admitted_;
   admitted_metric_.inc();
   return Decision::kAdmit;
+}
+
+AdmissionOptions AdmissionController::options() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return options_;
+}
+
+void AdmissionController::set_refill_per_sec(double refill_per_sec) {
+  if (!(refill_per_sec >= 0.0)) {
+    throw std::invalid_argument(
+        "AdmissionController: refill_per_sec must be >= 0");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Settle the elapsed time at the old rate before the new one applies.
+  refill_locked();
+  options_.refill_per_sec = refill_per_sec;
+}
+
+void AdmissionController::set_degraded_below(double degraded_below) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!(options_.recover_above <= degraded_below &&
+        degraded_below < options_.healthy_above)) {
+    throw std::invalid_argument(
+        "AdmissionController: set_degraded_below needs recover_above <= "
+        "degraded_below < healthy_above");
+  }
+  options_.degraded_below = degraded_below;
+  // Re-judge the current fill against the moved threshold right away so
+  // the next admit() already sees the controller's intent.
+  refill_locked();
+  step_health_locked();
 }
 
 Health AdmissionController::health() {

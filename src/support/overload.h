@@ -177,6 +177,21 @@ class CircuitBreaker {
   /// registry-visible sink.
   void bind_metrics(Counter trips);
 
+  /// Replaces the open-state cooldown for every FUTURE trip (an already
+  /// running cooldown keeps its original expiry). The SLO controller's
+  /// actuator: it derives the cooldown from the observed recovery-time
+  /// EWMA instead of the static option. Throws std::invalid_argument on
+  /// zero.
+  void set_cooldown_ns(std::uint64_t cooldown_ns);
+
+  /// Completed recoveries (open/half-open -> closed) and how long the
+  /// most recent one took, measured from the FIRST trip of the episode
+  /// to the probe success that closed the breaker (re-trips of failed
+  /// probes extend the same episode). last_recovery_ns() is 0 until the
+  /// first recovery completes.
+  [[nodiscard]] std::uint64_t recoveries() const;
+  [[nodiscard]] std::uint64_t last_recovery_ns() const;
+
   static const char* state_name(State state) noexcept;
 
  private:
@@ -195,6 +210,9 @@ class CircuitBreaker {
   std::size_t failures_in_window_ = 0;
   std::uint64_t trips_ = 0;
   std::uint64_t rejections_ = 0;
+  std::uint64_t tripped_at_ns_ = 0;  ///< first trip of the open episode
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t last_recovery_ns_ = 0;
   Counter trips_metric_;
 };
 
@@ -269,6 +287,23 @@ class AdmissionController {
   /// and the bucket fill as the confcall_admission_tokens gauge (updated
   /// on every admit()). The registry must outlive the controller.
   void bind_metrics(MetricRegistry& registry);
+
+  /// A consistent copy of the current tuning (the SLO controller's
+  /// actuators mutate it at runtime, so options are state, not config).
+  [[nodiscard]] AdmissionOptions options() const;
+
+  /// Replaces the sustained token rate (>= 0). The bucket is refilled at
+  /// the OLD rate for the time already elapsed first, so a rate change
+  /// never retroactively rewrites history. Throws std::invalid_argument
+  /// on a negative rate.
+  void set_refill_per_sec(double refill_per_sec);
+
+  /// Moves the degrade threshold (the SLO controller's quality actuator:
+  /// raise it to degrade earlier under load, lower it to restore full
+  /// quality). Throws std::invalid_argument unless the hysteresis chain
+  /// recover_above <= degraded_below < healthy_above stays intact; the
+  /// health state is re-stepped against the new threshold immediately.
+  void set_degraded_below(double degraded_below);
 
  private:
   void refill_locked();

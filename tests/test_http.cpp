@@ -17,6 +17,7 @@
 
 #include "support/metrics.h"
 #include "support/overload.h"
+#include "support/slo_controller.h"
 #include "support/trace.h"
 
 namespace confcall::support {
@@ -166,7 +167,7 @@ TEST(ObservabilityRoutes, HealthzMapsAdmissionHealth) {
   const HttpClientResponse healthy =
       http_get("127.0.0.1", server.port(), "/healthz");
   EXPECT_EQ(healthy.status, 200);
-  EXPECT_EQ(healthy.body, "healthy\n");
+  EXPECT_EQ(healthy.body, "{\"health\": \"healthy\"}\n");
 
   // Drain the bucket below the shed threshold (default 15% of 64): the
   // health machine flips to shedding, which must map to 503.
@@ -175,7 +176,7 @@ TEST(ObservabilityRoutes, HealthzMapsAdmissionHealth) {
   const HttpClientResponse shedding =
       http_get("127.0.0.1", server.port(), "/healthz");
   EXPECT_EQ(shedding.status, 503);
-  EXPECT_EQ(shedding.body, "shedding\n");
+  EXPECT_EQ(shedding.body, "{\"health\": \"shedding\"}\n");
   server.stop();
 }
 
@@ -187,7 +188,55 @@ TEST(ObservabilityRoutes, HealthzWithoutAdmissionIsAlwaysHealthy) {
   const HttpClientResponse health =
       http_get("127.0.0.1", server.port(), "/healthz");
   EXPECT_EQ(health.status, 200);
-  EXPECT_EQ(health.body, "healthy\n");
+  EXPECT_EQ(health.body, "{\"health\": \"healthy\"}\n");
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, HealthzReportsSloVerdictAndFlipsPreBreach) {
+  MetricRegistry registry;
+  ManualClock clock;
+  AdmissionController admission(AdmissionOptions{}, clock);
+  const Histogram rounds = registry.histogram(
+      "confcall_locate_rounds", HistogramSpec::integers(16), "rounds");
+  SloOptions options;
+  options.target_p99_ns = 4'000'000;  // 4 ms at 1 ms/round
+  options.min_interval_calls = 4;
+  SloController slo(options, registry, admission, clock, 1'000'000);
+  HttpServer server;
+  install_observability_routes(server, &registry, nullptr, &admission,
+                               &slo);
+  server.start();
+
+  // Within SLO: 200, with the slo subdocument in the body.
+  for (int i = 0; i < 8; ++i) rounds.observe(2.0);
+  slo.step();
+  const HttpClientResponse ok =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("\"health\": \"healthy\""), std::string::npos);
+  EXPECT_NE(ok.body.find("\"slo\": {\"state\": \"ok\""), std::string::npos);
+  EXPECT_NE(ok.body.find("\"target_p99_ms\": 4"), std::string::npos);
+
+  // A rising trend that projects past the target flips /healthz to 503
+  // while the measured p99 is still within SLO: the pre-breach drain.
+  for (int i = 0; i < 8; ++i) rounds.observe(3.0);
+  slo.step();
+  ASSERT_EQ(slo.slo_health(), SloHealth::kDegrading);
+  const HttpClientResponse degrading =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(degrading.status, 503);
+  EXPECT_NE(degrading.body.find("\"state\": \"degrading\""),
+            std::string::npos);
+
+  // An actual breach stays 503 with the breached verdict.
+  for (int i = 0; i < 8; ++i) rounds.observe(8.0);
+  slo.step();
+  ASSERT_EQ(slo.slo_health(), SloHealth::kBreached);
+  const HttpClientResponse breached =
+      http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(breached.status, 503);
+  EXPECT_NE(breached.body.find("\"state\": \"breached\""),
+            std::string::npos);
   server.stop();
 }
 

@@ -319,6 +319,99 @@ TEST(RegistrySnapshotMerge, MismatchesThrow) {
   EXPECT_THROW(dm.merge(e.snapshot()), std::invalid_argument);
 }
 
+// ------------------------------------------------------------- delta
+
+TEST(RegistrySnapshotDelta, CountersAndBucketsSubtractGaugesStay) {
+  MetricRegistry registry;
+  const Counter calls = registry.counter("calls_total", "help");
+  const Gauge tokens = registry.gauge("tokens", "help");
+  const Histogram rounds =
+      registry.histogram("rounds", HistogramSpec::integers(4), "help");
+  calls.inc(3);
+  tokens.set(10.0);
+  rounds.observe(1.0);
+  const RegistrySnapshot before = registry.snapshot();
+  calls.inc(4);
+  tokens.set(2.5);
+  rounds.observe(1.0);
+  rounds.observe(3.0);
+
+  const RegistrySnapshot window = registry.snapshot().delta(before);
+  // Counters and histogram buckets are rates over the window; a gauge
+  // is a level and keeps its CURRENT value.
+  EXPECT_EQ(window.find("calls_total")->counter_value, 4u);
+  EXPECT_EQ(window.find("tokens")->gauge_value, 2.5);
+  const HistogramSnapshot& h = window.find("rounds")->histogram;
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 4.0);
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{0, 1, 0, 1, 0, 0}));
+}
+
+// Edge case: a series that appeared DURING the window (registered after
+// `prev` was cut — the SLO controller binds its own metrics after
+// taking its baseline) is kept verbatim, while a key `prev` holds that
+// the current snapshot lacks means the snapshots come from different
+// registries and must throw rather than fabricate a rate.
+TEST(RegistrySnapshotDelta, DisjointKeysAppearOrThrow) {
+  MetricRegistry registry;
+  registry.counter("early_total", "help").inc(2);
+  const RegistrySnapshot before = registry.snapshot();
+  registry.counter("late_total", "help").inc(7);
+  const RegistrySnapshot window = registry.snapshot().delta(before);
+  EXPECT_EQ(window.find("early_total")->counter_value, 0u);
+  EXPECT_EQ(window.find("late_total")->counter_value, 7u);
+
+  MetricRegistry other;
+  other.counter("other_total", "help").inc(1);
+  EXPECT_THROW((void)registry.snapshot().delta(other.snapshot()),
+               std::invalid_argument);
+}
+
+// Edge case: a counter or histogram that went BACKWARDS relative to
+// `prev` means the registry restarted between the snapshots; a silent
+// negative delta would poison every percentile computed from the
+// window, so delta refuses.
+TEST(RegistrySnapshotDelta, ResetRegistriesThrow) {
+  MetricRegistry before_registry;
+  before_registry.counter("calls_total", "help").inc(10);
+  const RegistrySnapshot before = before_registry.snapshot();
+  MetricRegistry restarted;
+  restarted.counter("calls_total", "help").inc(3);  // 3 < 10
+  EXPECT_THROW((void)restarted.snapshot().delta(before),
+               std::invalid_argument);
+
+  MetricRegistry h_before;
+  h_before.histogram("rounds", HistogramSpec::integers(4), "help")
+      .observe(2.0);
+  const RegistrySnapshot h_prev = h_before.snapshot();
+  MetricRegistry h_restarted;
+  h_restarted.histogram("rounds", HistogramSpec::integers(4), "help")
+      .observe(1.0);  // same count, but bucket 2 went 1 -> 0
+  EXPECT_THROW((void)h_restarted.snapshot().delta(h_prev),
+               std::invalid_argument);
+}
+
+TEST(RegistrySnapshotDelta, TypeMismatchThrows) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.counter("thing", "help").inc();
+  b.gauge("thing", "help").set(1.0);
+  EXPECT_THROW((void)b.snapshot().delta(a.snapshot()),
+               std::invalid_argument);
+}
+
+TEST(RegistrySnapshotDelta, IdenticalSnapshotsGiveZeroWindow) {
+  MetricRegistry registry;
+  registry.counter("calls_total", "help").inc(5);
+  registry.histogram("rounds", HistogramSpec::integers(2), "help")
+      .observe(1.0);
+  const RegistrySnapshot cut = registry.snapshot();
+  const RegistrySnapshot window = registry.snapshot().delta(cut);
+  EXPECT_EQ(window.find("calls_total")->counter_value, 0u);
+  EXPECT_EQ(window.find("rounds")->histogram.count, 0u);
+  EXPECT_EQ(window.find("rounds")->histogram.sum, 0.0);
+}
+
 // --------------------------------------------------------- exporters
 
 TEST(Exporters, JsonShapeAndStability) {

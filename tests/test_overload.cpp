@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+
+#include "support/metrics.h"
 
 namespace confcall::support {
 namespace {
@@ -326,6 +329,176 @@ TEST(AdmissionController, NonPositiveCostThrows) {
   AdmissionController admission(small_bucket(), clock);
   EXPECT_THROW((void)admission.admit(0.0), std::invalid_argument);
   EXPECT_THROW((void)admission.admit(-1.0), std::invalid_argument);
+}
+
+// Edge case: every threshold comparison is STRICT, so a fill landing
+// exactly on a boundary keeps the current state — the controller only
+// moves when the fill is clearly past the line. This is what lets the
+// SLO controller park degraded_below exactly at recover_above without
+// perturbing a recovering bucket.
+TEST(AdmissionController, ExactlyAtThresholdFillStaysPut) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  // Exactly at degraded_below (fill 5.0 of 10): still healthy.
+  for (int i = 0; i < 5; ++i) (void)admission.admit(1.0);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 5.0);
+  EXPECT_EQ(admission.health(), Health::kHealthy);
+  // One token below the line: degraded.
+  (void)admission.admit(1.0);
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+
+  // Refill to exactly healthy_above (7.5): still degraded (needs >).
+  clock.advance(3'500'000'000);  // fill 4 -> 7.5 at 1 token/sec
+  EXPECT_DOUBLE_EQ(admission.tokens(), 7.5);
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+  clock.advance(500'000'000);  // 8.0 > 7.5: now healthy
+  EXPECT_EQ(admission.health(), Health::kHealthy);
+
+  // Drain to shedding, refill to exactly recover_above (3.5): still
+  // shedding (needs >).
+  for (int i = 0; i < 8; ++i) (void)admission.admit(1.0);
+  ASSERT_EQ(admission.health(), Health::kShedding);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 1.0);
+  clock.advance(2'500'000'000);  // fill 1.0 -> 3.5
+  EXPECT_DOUBLE_EQ(admission.tokens(), 3.5);
+  EXPECT_EQ(admission.health(), Health::kShedding);
+  clock.advance(500'000'000);  // 4.0 > 3.5: one step up, to degraded
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+}
+
+// Edge case: after recovering to healthy, a fill that dips back into
+// the hysteresis gap (degraded_below, healthy_above] must NOT re-enter
+// degraded — healthy only leaves below degraded_below. Together with
+// HysteresisGapPreventsFlapping this pins both directions of the gap.
+TEST(AdmissionController, ReentryIntoTheGapDoesNotFlapBack) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 6; ++i) (void)admission.admit(1.0);  // fill 4
+  ASSERT_EQ(admission.health(), Health::kDegraded);
+  clock.advance(4'000'000'000);  // fill 8 > 7.5: recovered
+  ASSERT_EQ(admission.health(), Health::kHealthy);
+  const std::uint64_t transitions = admission.health_transitions();
+
+  // Dip to fill 6 — inside the gap (5, 7.5]: stays healthy, no flap.
+  (void)admission.admit(1.0);
+  (void)admission.admit(1.0);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 6.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(admission.health(), Health::kHealthy);
+  }
+  EXPECT_EQ(admission.health_transitions(), transitions);
+}
+
+// Edge case: the tokens gauge must match tokens() on EVERY path that
+// moves the bucket — admits, pure refills and the SLO controller's
+// setters — across a full degraded -> healthy round trip. A gauge only
+// updated on admit() would go stale the moment a setter refills.
+TEST(AdmissionController, TokenGaugeConsistentAcrossDegradeRoundTrip) {
+  ManualClock clock;
+  MetricRegistry registry;
+  AdmissionController admission(small_bucket(), clock);
+  admission.bind_metrics(registry);
+  const auto gauge = [&registry] {
+    return registry.snapshot().find("confcall_admission_tokens")
+        ->gauge_value;
+  };
+
+  for (int i = 0; i < 6; ++i) (void)admission.admit(1.0);  // fill 4
+  ASSERT_EQ(admission.health(), Health::kDegraded);
+  EXPECT_DOUBLE_EQ(gauge(), admission.tokens());
+
+  // A setter-driven refill (no admit in between) must refresh it too.
+  clock.advance(1'000'000'000);
+  admission.set_refill_per_sec(2.0);
+  EXPECT_DOUBLE_EQ(gauge(), 5.0);
+  EXPECT_DOUBLE_EQ(gauge(), admission.tokens());
+
+  clock.advance(2'000'000'000);  // fill 5 -> 9 at the new rate
+  ASSERT_EQ(admission.health(), Health::kHealthy);
+  EXPECT_DOUBLE_EQ(gauge(), 9.0);
+  EXPECT_DOUBLE_EQ(gauge(), admission.tokens());
+}
+
+TEST(AdmissionController, SetRefillSettlesElapsedTimeAtTheOldRate) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  for (int i = 0; i < 8; ++i) (void)admission.admit(1.0);  // fill 2
+  // Two seconds pass at the OLD 1 token/sec, then the rate changes:
+  // those two seconds must be worth 2 tokens, not 20.
+  clock.advance(2'000'000'000);
+  admission.set_refill_per_sec(10.0);
+  EXPECT_DOUBLE_EQ(admission.tokens(), 4.0);
+  EXPECT_DOUBLE_EQ(admission.options().refill_per_sec, 10.0);
+  clock.advance(500'000'000);  // half a second at the new rate: +5
+  EXPECT_DOUBLE_EQ(admission.tokens(), 9.0);
+  EXPECT_THROW(admission.set_refill_per_sec(-1.0), std::invalid_argument);
+}
+
+TEST(AdmissionController, SetDegradedBelowRejudgesAndStaysInTheChain) {
+  ManualClock clock;
+  AdmissionController admission(small_bucket(), clock);
+  // Outside recover_above <= v < healthy_above: refused, so the
+  // hysteresis ladder can never be broken by the actuator.
+  EXPECT_THROW(admission.set_degraded_below(0.3), std::invalid_argument);
+  EXPECT_THROW(admission.set_degraded_below(0.75), std::invalid_argument);
+
+  // Raising the threshold past the current fill re-judges immediately:
+  // fill 6 of 10 was healthy under degraded_below = 0.5, is degraded
+  // under 0.7 — without any admit() in between.
+  for (int i = 0; i < 4; ++i) (void)admission.admit(1.0);
+  ASSERT_EQ(admission.health(), Health::kHealthy);
+  admission.set_degraded_below(0.7);
+  EXPECT_EQ(admission.health(), Health::kDegraded);
+  EXPECT_DOUBLE_EQ(admission.options().degraded_below, 0.7);
+}
+
+TEST(CircuitBreaker, RecoveriesMeasureWholeEpisodes) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);  // cooldown 1000 ns
+  EXPECT_EQ(breaker.recoveries(), 0u);
+  EXPECT_EQ(breaker.last_recovery_ns(), 0u);
+
+  // First-probe recovery: the episode spans exactly the cooldown.
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.advance(1'000);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.recoveries(), 1u);
+  EXPECT_EQ(breaker.last_recovery_ns(), 1'000u);
+
+  // A failed probe re-trips WITHOUT restarting the episode clock: the
+  // next recovery measures from the episode's first trip.
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.advance(1'000);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();  // probe fails, cooldown restarts
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.advance(1'000);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.recoveries(), 2u);
+  EXPECT_EQ(breaker.last_recovery_ns(), 2'000u);
+}
+
+TEST(CircuitBreaker, SetCooldownAppliesToFutureTrips) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_breaker(), clock);  // cooldown 1000 ns
+  EXPECT_THROW(breaker.set_cooldown_ns(0), std::invalid_argument);
+
+  breaker.set_cooldown_ns(500);
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.advance(499);
+  EXPECT_FALSE(breaker.allow());
+  clock.advance(1);  // the shortened cooldown elapses
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
 }  // namespace

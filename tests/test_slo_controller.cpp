@@ -1,0 +1,309 @@
+// Unit tests for the closed-loop SLO controller
+// (support/slo_controller.h): option validation, the fixed control-
+// period grid under a ManualClock, the AIMD law on both admission
+// actuators (including every clamp), anti-windup on thin intervals, the
+// pre-breach trend projection, the breaker-cooldown EWMA, the metric
+// mirrors, and bit-exact reproducibility of a whole control trajectory.
+#include "support/slo_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/overload.h"
+
+namespace confcall::support {
+namespace {
+
+constexpr std::uint64_t kRoundNs = 1'000'000;  // 1 ms per paging round
+
+/// One test stand: registry + rounds sensor + admission + controller on
+/// a shared ManualClock.
+struct Stand {
+  explicit Stand(SloOptions options, AdmissionOptions admission_options = {})
+      : rounds(registry.histogram("confcall_locate_rounds",
+                                  HistogramSpec::integers(16), "rounds")),
+        admission(admission_options, clock),
+        slo(options, registry, admission, clock, kRoundNs) {}
+
+  /// Feeds `calls` admitted calls of `rounds_used` rounds each and runs
+  /// one control step.
+  void interval(int calls, double rounds_used) {
+    for (int i = 0; i < calls; ++i) rounds.observe(rounds_used);
+    slo.step();
+  }
+
+  MetricRegistry registry;
+  ManualClock clock;
+  Histogram rounds;
+  AdmissionController admission;
+  SloController slo;
+};
+
+SloOptions test_options() {
+  SloOptions options;
+  options.target_p99_ns = 4'000'000;  // 4 ms
+  options.control_period_ns = 100'000'000;
+  options.min_interval_calls = 4;
+  return options;
+}
+
+TEST(SloOptions, ValidatesEveryKnob) {
+  EXPECT_NO_THROW(SloOptions{}.validate());
+  SloOptions options;
+  options.target_p99_ns = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.control_period_ns = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.additive_increase = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.multiplicative_decrease = 1.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_refill_per_sec = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_refill_per_sec = 10.0;
+  options.max_refill_per_sec = 1.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.degrade_step = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_interval_calls = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.breach_horizon_periods = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.recovery_ewma_alpha = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.cooldown_recovery_multiplier = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_cooldown_ns = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.min_cooldown_ns = 10;
+  options.max_cooldown_ns = 1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(SloController, RejectsZeroRoundDuration) {
+  MetricRegistry registry;
+  ManualClock clock;
+  AdmissionController admission(AdmissionOptions{}, clock);
+  EXPECT_THROW(
+      SloController(test_options(), registry, admission, clock, 0),
+      std::invalid_argument);
+}
+
+TEST(SloController, MaybeStepLandsOnThePeriodGrid) {
+  Stand stand(test_options());
+  // Not yet: the first boundary is one full period after construction.
+  stand.clock.advance(99'000'000);
+  EXPECT_FALSE(stand.slo.maybe_step());
+  EXPECT_EQ(stand.slo.control_steps(), 0u);
+  // Crossing the boundary runs exactly one step, however late the poll.
+  stand.clock.advance(1'000'000);
+  EXPECT_TRUE(stand.slo.maybe_step());
+  EXPECT_EQ(stand.slo.control_steps(), 1u);
+  EXPECT_FALSE(stand.slo.maybe_step());
+  // A poll that skips several boundaries collapses them into ONE step
+  // and re-anchors on the grid (multiples of the period), so the number
+  // of steps depends on boundaries crossed, not poll cadence.
+  stand.clock.advance(250'000'000);  // now at t=350ms, boundaries 200, 300
+  EXPECT_TRUE(stand.slo.maybe_step());
+  EXPECT_EQ(stand.slo.control_steps(), 2u);
+  EXPECT_FALSE(stand.slo.maybe_step());
+  stand.clock.advance(50'000'000);  // t=400ms: the next grid point
+  EXPECT_TRUE(stand.slo.maybe_step());
+  EXPECT_EQ(stand.slo.control_steps(), 3u);
+}
+
+TEST(SloController, AimdCutsOnBreachAndRecoversInSlo) {
+  Stand stand(test_options());
+  const AdmissionOptions start = stand.admission.options();
+  ASSERT_DOUBLE_EQ(start.refill_per_sec, 64.0);
+  ASSERT_DOUBLE_EQ(start.degraded_below, 0.5);
+
+  // Breached interval (p99 = 8 ms > 4 ms): the token rate halves and
+  // degradation starts one step earlier — and both land on the
+  // admission controller, not just the controller's mirror.
+  stand.interval(8, 8.0);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kBreached);
+  EXPECT_EQ(stand.slo.breaches(), 1u);
+  EXPECT_EQ(stand.slo.observed_p99_ns(), 8 * kRoundNs);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 32.0);
+  EXPECT_DOUBLE_EQ(stand.slo.degrade_threshold(), 0.58);
+  EXPECT_DOUBLE_EQ(stand.admission.options().refill_per_sec, 32.0);
+  EXPECT_DOUBLE_EQ(stand.admission.options().degraded_below, 0.58);
+
+  stand.interval(8, 8.0);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 16.0);
+
+  // In-SLO intervals recover additively (+8/s per period) and relax the
+  // degrade threshold back down.
+  stand.interval(8, 1.0);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kOk);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 24.0);
+  EXPECT_DOUBLE_EQ(stand.admission.options().refill_per_sec, 24.0);
+  EXPECT_NEAR(stand.slo.degrade_threshold(), 0.58, 1e-12);
+}
+
+TEST(SloController, ActuatorsClampToTheirRanges) {
+  SloOptions options = test_options();
+  options.min_refill_per_sec = 10.0;
+  options.max_refill_per_sec = 80.0;
+  Stand stand(options);
+  const AdmissionOptions start = stand.admission.options();
+
+  // Keep breaching: the rate floors at min_refill_per_sec and the
+  // degrade threshold ceilings just under healthy_above, so the
+  // admission hysteresis chain's validation keeps holding.
+  for (int i = 0; i < 12; ++i) stand.interval(8, 8.0);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 10.0);
+  EXPECT_LT(stand.slo.degrade_threshold(), start.healthy_above);
+  EXPECT_GT(stand.slo.degrade_threshold(), start.healthy_above - 0.01);
+
+  // Keep meeting the SLO: the rate caps at max_refill_per_sec and the
+  // threshold floors at recover_above.
+  for (int i = 0; i < 20; ++i) stand.interval(8, 1.0);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 80.0);
+  EXPECT_DOUBLE_EQ(stand.slo.degrade_threshold(), start.recover_above);
+  EXPECT_DOUBLE_EQ(stand.admission.options().degraded_below,
+                   start.recover_above);
+}
+
+TEST(SloController, ThinIntervalsHoldEveryActuator) {
+  Stand stand(test_options());
+  stand.interval(8, 8.0);  // establish a breach first
+  const double refill = stand.slo.refill_per_sec();
+  const double degrade = stand.slo.degrade_threshold();
+
+  // Three calls < min_interval_calls (4): too thin to estimate a p99.
+  // The step counts but neither actuator nor the verdict moves — an
+  // idle window must not ramp the rate back up (anti-windup) and the
+  // standing breached signal must not be erased.
+  stand.interval(3, 1.0);
+  EXPECT_EQ(stand.slo.control_steps(), 2u);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), refill);
+  EXPECT_DOUBLE_EQ(stand.slo.degrade_threshold(), degrade);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kBreached);
+  EXPECT_EQ(stand.slo.observed_p99_ns(), 8 * kRoundNs);
+}
+
+TEST(SloController, PreBreachProjectionFlagsDegrading) {
+  Stand stand(test_options());  // horizon = 3 periods
+  stand.interval(8, 1.0);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kOk);
+
+  // p99 2 ms, slope +1 ms/period, projected 2 + 3*1 = 5 ms > 4 ms:
+  // degrading, while the measured p99 is still within SLO. The degrade
+  // threshold leans on the brake; the token rate is NOT cut.
+  const double refill_before = stand.slo.refill_per_sec();
+  const double degrade_before = stand.slo.degrade_threshold();
+  stand.interval(8, 2.0);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kDegrading);
+  EXPECT_EQ(stand.slo.pre_breach_signals(), 1u);
+  EXPECT_EQ(stand.slo.breaches(), 0u);
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), refill_before);
+  EXPECT_NEAR(stand.slo.degrade_threshold(), degrade_before + 0.08, 1e-12);
+
+  // A flat trend at the same safe level clears the signal.
+  stand.interval(8, 2.0);
+  EXPECT_EQ(stand.slo.slo_health(), SloHealth::kOk);
+  EXPECT_EQ(stand.slo.pre_breach_signals(), 1u);
+}
+
+TEST(SloController, BreakerCooldownTracksRecoveryEwma) {
+  SloOptions options = test_options();
+  options.min_cooldown_ns = 1'000'000;
+  Stand stand(options);
+  CircuitBreakerOptions breaker_options;  // cooldown 100 ms, min_samples 4
+  CircuitBreaker breaker(breaker_options, stand.clock);
+  stand.slo.add_breaker(&breaker);
+  EXPECT_EQ(stand.slo.breaker_cooldown_ns(), 0u);
+
+  // Trip, wait out the cooldown, recover on the first probe: the
+  // observed recovery is ~cooldown (100 ms), and the controller derives
+  // the new cooldown = 0.5 * EWMA = 50 ms on every attached breaker.
+  for (int i = 0; i < 4; ++i) breaker.record_failure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  stand.clock.advance(100'000'000);
+  ASSERT_TRUE(breaker.allow());  // half-open probe
+  breaker.record_success();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_EQ(breaker.recoveries(), 1u);
+  stand.slo.step();
+  EXPECT_EQ(stand.slo.breaker_cooldown_ns(), 50'000'000u);
+
+  // Second episode under the shorter cooldown, again first-probe: the
+  // sample is ~50 ms, EWMA = 0.3*50 + 0.7*100 = 85 ms, cooldown 42.5 ms
+  // — the loop probes downward when recoveries complete immediately.
+  for (int i = 0; i < 4; ++i) breaker.record_failure();
+  stand.clock.advance(50'000'000);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  stand.slo.step();
+  EXPECT_EQ(stand.slo.breaker_cooldown_ns(), 42'500'000u);
+}
+
+TEST(SloController, BindMetricsMirrorsSensorAndActuators) {
+  Stand stand(test_options());
+  stand.slo.bind_metrics(stand.registry);
+  const RegistrySnapshot initial = stand.registry.snapshot();
+  const MetricSnapshot* target = initial.find("confcall_slo_target_p99_ns");
+  ASSERT_NE(target, nullptr);
+  EXPECT_DOUBLE_EQ(target->gauge_value, 4'000'000.0);
+
+  stand.interval(8, 8.0);
+  const RegistrySnapshot after = stand.registry.snapshot();
+  EXPECT_DOUBLE_EQ(after.find("confcall_slo_observed_p99_ns")->gauge_value,
+                   8'000'000.0);
+  EXPECT_DOUBLE_EQ(after.find("confcall_slo_refill_per_sec")->gauge_value,
+                   stand.slo.refill_per_sec());
+  EXPECT_DOUBLE_EQ(
+      after.find("confcall_slo_degrade_threshold")->gauge_value,
+      stand.slo.degrade_threshold());
+  EXPECT_DOUBLE_EQ(after.find("confcall_slo_health")->gauge_value, 2.0);
+  EXPECT_EQ(after.find("confcall_slo_control_steps_total")->counter_value,
+            1u);
+  EXPECT_EQ(after.find("confcall_slo_breaches_total")->counter_value, 1u);
+}
+
+TEST(SloController, TrajectoryIsBitReproducible) {
+  // The same driven sequence must leave two independent stands in
+  // bit-identical states: the E17 determinism gate leans on this.
+  const auto drive = [](Stand& stand) {
+    const int loads[] = {8, 8, 12, 3, 8, 20, 8, 8, 5, 16};
+    const double rounds[] = {1, 3, 8, 8, 2, 1, 6, 8, 1, 2};
+    for (int i = 0; i < 10; ++i) {
+      stand.clock.advance(100'000'000);
+      for (int c = 0; c < loads[i]; ++c) stand.rounds.observe(rounds[i]);
+      (void)stand.slo.maybe_step();
+    }
+  };
+  Stand a(test_options());
+  Stand b(test_options());
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.slo.control_steps(), b.slo.control_steps());
+  EXPECT_EQ(a.slo.breaches(), b.slo.breaches());
+  EXPECT_EQ(a.slo.pre_breach_signals(), b.slo.pre_breach_signals());
+  EXPECT_EQ(a.slo.observed_p99_ns(), b.slo.observed_p99_ns());
+  EXPECT_EQ(a.slo.slo_health(), b.slo.slo_health());
+  // Bit-identical doubles, not just approximately equal.
+  EXPECT_EQ(a.slo.refill_per_sec(), b.slo.refill_per_sec());
+  EXPECT_EQ(a.slo.degrade_threshold(), b.slo.degrade_threshold());
+}
+
+}  // namespace
+}  // namespace confcall::support

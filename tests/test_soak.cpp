@@ -10,6 +10,10 @@
 //     through a trip; trip and rejection counters never go backwards)
 //   * admission health legality (never shedding -> healthy in one hop;
 //     the transitions counter accounts every observed change)
+//   * with the SLO controller in the loop: every actuator stays inside
+//     its clamp range and the admission options remain valid after each
+//     controller move (the feedback loop can never wedge the stack into
+//     an illegal configuration)
 //
 // The event count defaults to 10'000 and can be reduced for sanitizer CI
 // rows via the SOAK_EVENTS environment variable.
@@ -29,7 +33,9 @@
 #include "core/planner.h"
 #include "core/resilient_planner.h"
 #include "prob/rng.h"
+#include "support/metrics.h"
 #include "support/overload.h"
+#include "support/slo_controller.h"
 
 namespace confcall::cellular {
 namespace {
@@ -56,6 +62,10 @@ struct SoakCounters {
   std::uint64_t failovers = 0;
   std::uint64_t health_transitions = 0;
   std::uint64_t bursts = 0;
+  /// SLO-controller telemetry (zero when the soak runs without it).
+  std::uint64_t slo_steps = 0;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_pre_breach = 0;
 
   bool operator==(const SoakCounters&) const = default;
 };
@@ -66,8 +76,11 @@ constexpr std::uint64_t kDeadlineNs = 8 * kRoundNs; // 8 rounds per call
 
 /// Runs the pinned schedule, checking invariants after every event.
 /// `check` toggles the per-event EXPECTs so the determinism replay can
-/// run silently.
-SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
+/// run silently. `with_slo` closes the loop: an SloController reads the
+/// run's registry and adapts admission + breaker knobs while the chaos
+/// schedule plays.
+SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check,
+                      bool with_slo = false) {
   const GridTopology grid(8, 8, /*toroidal=*/true);
   const LocationAreas areas = LocationAreas::tiles(grid, 4, 4);
   const MarkovMobility mobility(grid, 0.5);
@@ -93,9 +106,11 @@ SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
       core::Objective::all_of(), /*node_limit=*/50'000));
   chain.push_back(std::make_unique<core::GreedyPlanner>());
   chain.push_back(std::make_unique<core::BlanketPlanner>());
-  const core::ResilientPlanner planner(std::move(chain),
-                                       core::ResilientPlanner::Budget{0.0},
-                                       clock, breaker_options);
+  support::MetricRegistry registry;
+  core::ResilientPlanner planner(std::move(chain),
+                                 core::ResilientPlanner::Budget{0.0},
+                                 clock, breaker_options,
+                                 with_slo ? &registry : nullptr);
 
   support::AdmissionOptions admission_options;
   admission_options.bucket_capacity = 48.0;
@@ -110,7 +125,22 @@ SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
   config.planner = &planner;
   config.clock = &clock;
   config.round_duration_ns = kRoundNs;
+  if (with_slo) config.metrics = ServiceMetrics::create(registry);
   LocationService service(grid, areas, mobility, config, cells);
+
+  support::SloOptions slo_options;
+  slo_options.target_p99_ns = 5 * kRoundNs;
+  slo_options.control_period_ns = 50 * kStepNs;  // 500 ms virtual
+  std::unique_ptr<support::SloController> slo;
+  if (with_slo) {
+    admission.bind_metrics(registry);
+    slo = std::make_unique<support::SloController>(
+        slo_options, registry, admission, clock, kRoundNs);
+    for (std::size_t i = 0; i + 1 < planner.num_tiers(); ++i) {
+      slo->add_breaker(&planner.mutable_breaker(i));
+    }
+    slo->bind_metrics(registry);
+  }
 
   FaultConfig fault_config;
   fault_config.cell_outage_rate = 0.02;
@@ -148,6 +178,7 @@ SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
       service.observe_move(static_cast<UserId>(u), cells[u]);
     }
     service.tick();
+    if (slo) (void)slo->maybe_step();
 
     const CallEvent call = generator.maybe_call(rng);
     if (!call.participants.empty()) {
@@ -230,6 +261,23 @@ SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
     }
     last_health = health;
     last_transitions = transitions;
+
+    // Invariant: the feedback loop can move the knobs, but never out of
+    // their clamp ranges, and never into an invalid admission config.
+    if (slo) {
+      EXPECT_GE(slo->refill_per_sec(), slo_options.min_refill_per_sec);
+      EXPECT_LE(slo->refill_per_sec(), slo_options.max_refill_per_sec);
+      EXPECT_GE(slo->degrade_threshold(), admission_options.recover_above);
+      EXPECT_LT(slo->degrade_threshold(), admission_options.healthy_above);
+      EXPECT_NO_THROW(admission.options().validate())
+          << "controller wedged admission into an illegal config at event "
+          << event;
+      const std::uint64_t cooldown = slo->breaker_cooldown_ns();
+      if (cooldown != 0) {
+        EXPECT_GE(cooldown, slo_options.min_cooldown_ns);
+        EXPECT_LE(cooldown, slo_options.max_cooldown_ns);
+      }
+    }
   }
 
   counters.breaker_trips = planner.breaker_trips();
@@ -237,6 +285,11 @@ SoakCounters run_soak(std::uint64_t seed, std::size_t events, bool check) {
   counters.failovers = planner.failovers();
   counters.health_transitions = admission.health_transitions();
   counters.bursts = generator.bursts_entered();
+  if (slo) {
+    counters.slo_steps = slo->control_steps();
+    counters.slo_breaches = slo->breaches();
+    counters.slo_pre_breach = slo->pre_breach_signals();
+  }
   return counters;
 }
 
@@ -257,6 +310,30 @@ TEST(Soak, InvariantsHoldOverRandomizedFaultBurstSchedule) {
     EXPECT_GT(counters.degraded_admits, 0u);
     EXPECT_GT(counters.health_transitions, 0u);
   }
+}
+
+TEST(Soak, SloControllerHoldsInvariantsUnderChaos) {
+  // The same chaos schedule with the feedback loop closed: all the base
+  // invariants plus the actuator-range checks hold after every event,
+  // and the controller actually runs (one step per 50 events).
+  const std::size_t events = soak_events();
+  const SoakCounters counters =
+      run_soak(/*seed=*/20020715, events, true, /*with_slo=*/true);
+  EXPECT_GT(counters.arrived, 0u);
+  EXPECT_GT(counters.completed, 0u);
+  EXPECT_EQ(counters.arrived,
+            counters.completed + counters.abandoned + counters.shed);
+  EXPECT_GE(counters.slo_steps, events / 50);
+}
+
+TEST(Soak, SloCountersAreBitIdenticalAcrossReplays) {
+  const std::size_t events = std::min<std::size_t>(soak_events(), 2'000);
+  const SoakCounters first =
+      run_soak(/*seed=*/7, events, false, /*with_slo=*/true);
+  const SoakCounters second =
+      run_soak(/*seed=*/7, events, false, /*with_slo=*/true);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.slo_steps, 0u);
 }
 
 TEST(Soak, CountersAreBitIdenticalAcrossReplays) {

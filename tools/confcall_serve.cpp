@@ -9,9 +9,14 @@
 //
 //   GET  /metrics   Prometheus text, one consistent registry snapshot
 //   GET  /vars      the same snapshot as JSON
-//   GET  /healthz   admission health: healthy/degraded -> 200,
-//                   shedding -> 503 (scenarios without admission
-//                   control always report healthy)
+//   GET  /healthz   JSON health: admission state plus, with
+//                   --slo-p99-ms, the SLO controller's verdict and
+//                   target vs observed p99. healthy/degraded -> 200,
+//                   shedding -> 503; a "degrading" controller verdict
+//                   (projected breach) also answers 503 so a load
+//                   balancer drains BEFORE the SLO is broken
+//                   (scenarios without admission control always
+//                   report healthy)
 //   GET  /traces    recent sampled spans, Chrome trace_event JSON
 //   POST /locate    serve one conference call right now and report the
 //                   outcome as JSON (503 when admission sheds it)
@@ -29,7 +34,15 @@
 //                  [--port P] [--port-file FILE] [--workers N]
 //                  [--steps N] [--step-ms MS]
 //                  [--trace-every N] [--trace-capacity N]
+//                  [--slo-p99-ms MS] [--control-period-ms MS]
 //                  [--seed S] [--snapshot-out FILE]
+//
+// --slo-p99-ms T attaches a closed-loop SloController (requires a
+// scenario with admission control, e.g. overloaded-urban): every
+// --control-period-ms of wall time it reads the registry's admitted-
+// rounds histogram delta and adapts the admission token rate, degrade
+// threshold and breaker cooldowns to hold an admitted-latency p99 of
+// T ms. 0 (the default) leaves the static thresholds in charge.
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // resolved port for scripts (the CI smoke test starts the daemon with an
@@ -56,6 +69,7 @@
 #include "support/http.h"
 #include "support/metrics.h"
 #include "support/overload.h"
+#include "support/slo_controller.h"
 #include "support/trace.h"
 
 namespace {
@@ -74,6 +88,7 @@ constexpr const char* kUsage =
     " [--port P] [--port-file FILE] [--workers N]"
     " [--steps N] [--step-ms MS]"
     " [--trace-every N] [--trace-capacity N]"
+    " [--slo-p99-ms MS] [--control-period-ms MS]"
     " [--seed S] [--snapshot-out FILE]\n"
     "\n"
     "Runs the location-management service as a daemon: a paced locate\n"
@@ -81,7 +96,10 @@ constexpr const char* kUsage =
     "(GET /metrics /vars /healthz /traces, POST /locate). --port 0 binds\n"
     "an ephemeral port (--port-file writes the resolved one); --steps 0\n"
     "serves until SIGINT/SIGTERM, which drain gracefully and dump a\n"
-    "final snapshot to --snapshot-out.\n";
+    "final snapshot to --snapshot-out. --slo-p99-ms T closes the loop:\n"
+    "an SloController holds the admitted-latency p99 at T ms by adapting\n"
+    "admission and breaker knobs every --control-period-ms (default\n"
+    "1000; needs a scenario with admission control).\n";
 
 cellular::Scenario find_scenario(const std::string& name,
                                  std::uint64_t seed) {
@@ -114,6 +132,9 @@ int main(int argc, char** argv) {
     const std::int64_t step_ms = cli.get_int("step-ms", 10);
     const std::int64_t trace_every = cli.get_int("trace-every", 64);
     const std::int64_t trace_capacity = cli.get_int("trace-capacity", 2048);
+    const std::int64_t slo_p99_ms = cli.get_int("slo-p99-ms", 0);
+    const std::int64_t control_period_ms =
+        cli.get_int("control-period-ms", 1000);
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     const std::string snapshot_out = cli.get_string("snapshot-out", "");
     for (const auto& flag : cli.unused()) {
@@ -123,6 +144,10 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--steps/--step-ms/--trace-every must be >= 0, "
           "--trace-capacity >= 1");
+    }
+    if (slo_p99_ms < 0 || control_period_ms < 1) {
+      throw std::invalid_argument(
+          "--slo-p99-ms must be >= 0, --control-period-ms >= 1");
     }
 
     const cellular::Scenario scenario = find_scenario(scenario_name, seed);
@@ -176,6 +201,31 @@ int main(int argc, char** argv) {
       service_cfg.round_duration_ns = overload.round_duration_ns;
       admission.emplace(overload.admission, clock);
       admission->bind_metrics(registry);
+    }
+    // The closed loop, on wall time: target and period scale from the
+    // simulator's virtual-ns defaults to the flags' milliseconds.
+    std::unique_ptr<support::SloController> slo;
+    if (slo_p99_ms > 0) {
+      if (!admission) {
+        throw std::invalid_argument(
+            "--slo-p99-ms needs a scenario with admission control "
+            "(e.g. overloaded-urban)");
+      }
+      support::SloOptions slo_options = overload.slo;
+      slo_options.enabled = true;
+      slo_options.target_p99_ns =
+          static_cast<std::uint64_t>(slo_p99_ms) * 1'000'000ULL;
+      slo_options.control_period_ns =
+          static_cast<std::uint64_t>(control_period_ms) * 1'000'000ULL;
+      slo = std::make_unique<support::SloController>(
+          slo_options, registry, *admission, clock,
+          overload.round_duration_ns);
+      if (resilient) {
+        for (std::size_t i = 0; i + 1 < resilient->num_tiers(); ++i) {
+          slo->add_breaker(&resilient->mutable_breaker(i));
+        }
+      }
+      slo->bind_metrics(registry);
     }
 
     cellular::LocationService service(grid, areas, mobility, service_cfg,
@@ -258,6 +308,9 @@ int main(int argc, char** argv) {
       const cellular::CallEvent event =
           bursty ? bursty->maybe_call(rng) : calls.maybe_call(rng);
       if (!event.participants.empty()) (void)serve_call(event, nullptr);
+      // Controller steps land on the wall-clock period grid; polling it
+      // every loop step is one clock read when no boundary passed.
+      if (slo) (void)slo->maybe_step();
     };
 
     // Warmup (movement only, unpaced) so the location database is warm
@@ -279,7 +332,7 @@ int main(int argc, char** argv) {
     support::HttpServer server(http_options);
     support::install_observability_routes(
         server, &registry, tracer.get(),
-        admission ? &*admission : nullptr);
+        admission ? &*admission : nullptr, slo.get());
     server.handle("POST", "/locate", [&](const support::HttpRequest&) {
       std::lock_guard<std::mutex> lock(sim_mutex);
       const cellular::CallEvent event = forced_calls.maybe_call(rng);
@@ -320,7 +373,12 @@ int main(int argc, char** argv) {
     }
     std::cout << "confcall_serve: scenario=" << scenario.name
               << " serving on 127.0.0.1:" << server.port()
-              << " (trace-every=" << trace_every << ")" << std::endl;
+              << " (trace-every=" << trace_every;
+    if (slo) {
+      std::cout << ", slo-p99-ms=" << slo_p99_ms
+                << ", control-period-ms=" << control_period_ms;
+    }
+    std::cout << ")" << std::endl;
 
     std::uint64_t steps_run = 0;
     while (!g_stop.load()) {
@@ -351,6 +409,11 @@ int main(int argc, char** argv) {
     if (tracer) {
       std::cout << ", sampled " << tracer->roots_sampled() << "/"
                 << tracer->roots_seen() << " traces";
+    }
+    if (slo) {
+      std::cout << ", ran " << slo->control_steps() << " control steps ("
+                << slo->breaches() << " breached, "
+                << slo->pre_breach_signals() << " pre-breach)";
     }
     std::cout << std::endl;
     return 0;
