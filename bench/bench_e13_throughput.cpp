@@ -368,6 +368,9 @@ int main(int argc, char** argv) {
        << "  \"experiment\": \"E13\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"parallel_gate_armed\": "
+       << (speedup_floor > 0.0 ? "true" : "false") << ",\n"
        << "  \"wide_pool_threads\": " << wide << ",\n"
        << "  \"plan_cache\": {\n"
        << "    \"hit_rate\": " << hit_rate << ",\n"

@@ -31,6 +31,7 @@
 #include "cellular/workload.h"
 #include "support/cli.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -207,6 +208,8 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"experiment\": \"E14\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << support::resolve_threads(0)
+       << ",\n"
        << "  \"replications\": " << replications << ",\n"
        << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {

@@ -8,9 +8,12 @@
 //   * Sampled-tracing overhead: locate() throughput on the E15 workload
 //     with metrics bound, untraced vs traced through a SamplingTracer at
 //     1 in 64 (the serving daemon's default). Sides are interleaved,
-//     best-of-N each, like E15. Gate: sampled-traced throughput >= 95%
-//     of untraced — the always-on budget E15's full tracer (~71% of
-//     untraced throughput, i.e. ~29% overhead) blows.
+//     best-of-N each, like E15. Gate: sampling costs <= 100 ns/call
+//     (absolute, derived from the untraced/sampled throughput
+//     difference; re-based from the original >= 95% ratio gate when
+//     E18's batched/SoA hot path made the protected call ~4x faster —
+//     the ratio is still recorded). The always-on budget E15's full
+//     every-call tracer blows by an order of magnitude.
 //   * Scrape fidelity: GET /metrics through the real HTTP server must be
 //     BYTE-IDENTICAL to to_prometheus(registry.snapshot()) taken
 //     in-process with no concurrent writers. The scrape is the same
@@ -20,6 +23,11 @@
 //     Gate is deliberately loose (<= 250 ms) — it catches lock-ordering
 //     accidents that would make scrapes block behind the hot path, not
 //     container jitter.
+//   * Batched POST /locate: arrays of 1/8/64 calls round-trip through
+//     the locate_api wire format and LocationService::locate_many on
+//     the same loaded server. Every response must be a 200 with one
+//     admitted outcome per call, and the round-trips share the scrape
+//     latency gate above.
 //
 // Flags (shared bench set): --smoke, --threads N (unused, accepted for
 // uniformity), --out FILE (default BENCH_E16.json).
@@ -29,15 +37,18 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cellular/locate_api.h"
 #include "cellular/service.h"
 #include "cellular/topology.h"
 #include "prob/rng.h"
 #include "support/cli.h"
 #include "support/http.h"
+#include "support/json.h"
 #include "support/metrics.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -144,7 +155,14 @@ int main(int argc, char** argv) {
   }
   const double sampled_ratio =
       best_untraced > 0.0 ? best_sampled / best_untraced : 0.0;
-  const bool overhead_ok = sampled_ratio >= 0.95;
+  // Absolute per-call cost, not a ratio — same rationale as E15's
+  // metrics gate (a ratio gate punishes speedups of the locate path
+  // itself and turns the margin into timing noise).
+  const double sampling_overhead_us_per_call =
+      best_untraced > 0.0 && best_sampled > 0.0
+          ? 1e6 * (1.0 / best_sampled - 1.0 / best_untraced)
+          : 1e9;
+  const bool overhead_ok = sampling_overhead_us_per_call <= 0.10;
 
   // ---- 2. Scrape fidelity: populate a registry, then compare the HTTP
   // scrape against the in-process render with no concurrent writers.
@@ -167,19 +185,69 @@ int main(int argc, char** argv) {
     server.stop();
   }
 
-  // ---- 3. Scrape latency under load: a writer thread hammers locate()
-  // into the registry while we time GET /metrics round-trips.
+  // ---- 3. Scrape + batched-locate latency under load: a writer thread
+  // hammers locate() into the registry while we time GET /metrics
+  // round-trips AND batched POST /locate round-trips (arrays of 1/8/64
+  // calls through cellular/locate_api + locate_many — the HTTP face of
+  // the batch API). Both share the same p99 <= 250 ms gate.
   double p50_ms = 0.0, p99_ms = 0.0;
+  constexpr std::size_t kBatchSizes[] = {1, 8, 64};
+  bool batch_ok = true;
+  double batch_p99_ms[3] = {0.0, 0.0, 0.0};
   {
     support::MetricRegistry registry;
     support::SamplingTracer tracer(kSampleEvery, 4096);
     Harness harness(registry, &tracer);
+    // The service and its rng are shared between the writer thread and
+    // the POST handler — same serialization as the serving daemon.
+    std::mutex sim_mutex;
     support::HttpServer server;
     support::install_observability_routes(server, &registry, &tracer);
+    server.handle("POST", "/locate", [&](const support::HttpRequest&
+                                             request) {
+      support::HttpResponse response;
+      response.content_type = "application/json";
+      cellular::LocateApiRequest api;
+      try {
+        api = cellular::parse_locate_body(request.body,
+                                          harness.cells.size());
+      } catch (const std::exception& error) {
+        response.status = 400;
+        response.body = "{\"error\": \"" +
+                        support::json_escape(error.what()) + "\"}\n";
+        return response;
+      }
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      std::vector<std::vector<cellular::CellId>> truths(api.calls.size());
+      std::vector<cellular::LocationService::LocateRequest> requests;
+      requests.reserve(api.calls.size());
+      for (std::size_t i = 0; i < api.calls.size(); ++i) {
+        const std::vector<cellular::UserId>& users = api.calls[i].users;
+        truths[i].reserve(users.size());
+        for (const cellular::UserId user : users) {
+          truths[i].push_back(harness.cells[user]);
+        }
+        requests.push_back({users, truths[i], {}});
+      }
+      const std::vector<cellular::LocationService::LocateOutcome> outcomes =
+          harness.service.locate_many(requests, harness.rng);
+      std::string body = "[";
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i > 0) body += ", ";
+        cellular::append_outcome_json(body, true, requests[i].users.size(),
+                                      &outcomes[i]);
+      }
+      body += "]\n";
+      response.body = std::move(body);
+      return response;
+    });
     server.start();
     std::atomic<bool> stop{false};
     std::thread writer([&] {
-      while (!stop.load(std::memory_order_relaxed)) harness.locate_once();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(sim_mutex);
+        harness.locate_once();
+      }
     });
     const std::size_t scrapes = smoke ? 50 : 200;
     std::vector<double> latencies_ms;
@@ -190,6 +258,57 @@ int main(int argc, char** argv) {
           support::http_get("127.0.0.1", server.port(), "/metrics");
       if (response.status == 200) {
         latencies_ms.push_back(seconds_since(start) * 1000.0);
+      }
+    }
+    // Batched POST /locate: call k of a batch pages users
+    // {3k, 3k+1, 3k+2} mod 96 — distinct within each call, so the
+    // request is always valid; the response must be a 200 with exactly
+    // one admitted outcome per call.
+    const std::size_t posts_per_size = smoke ? 5 : 20;
+    for (std::size_t s = 0; s < 3; ++s) {
+      const std::size_t batch = kBatchSizes[s];
+      std::string body = "[";
+      for (std::size_t k = 0; k < batch; ++k) {
+        if (k > 0) body += ", ";
+        body += "{\"users\": [" + std::to_string((3 * k) % 96) + ", " +
+                std::to_string((3 * k + 1) % 96) + ", " +
+                std::to_string((3 * k + 2) % 96) + "]}";
+      }
+      body += "]";
+      std::vector<double> post_ms;
+      post_ms.reserve(posts_per_size);
+      for (std::size_t i = 0; i < posts_per_size; ++i) {
+        const auto start = Clock::now();
+        const support::HttpClientResponse response = support::http_request(
+            "127.0.0.1", server.port(), "POST", "/locate", body);
+        const double elapsed_ms = seconds_since(start) * 1000.0;
+        bool round_trip_ok = response.status == 200;
+        if (round_trip_ok) {
+          try {
+            const support::JsonValue parsed =
+                support::JsonValue::parse(response.body);
+            round_trip_ok = parsed.is_array() &&
+                            parsed.as_array().size() == batch;
+            for (const support::JsonValue& outcome : parsed.as_array()) {
+              round_trip_ok =
+                  round_trip_ok && outcome.find("admitted") != nullptr &&
+                  outcome.find("admitted")->as_bool();
+            }
+          } catch (const support::JsonError&) {
+            round_trip_ok = false;
+          }
+        }
+        batch_ok = batch_ok && round_trip_ok;
+        if (round_trip_ok) {
+          post_ms.push_back(elapsed_ms);
+          latencies_ms.push_back(elapsed_ms);
+        }
+      }
+      std::sort(post_ms.begin(), post_ms.end());
+      if (!post_ms.empty()) {
+        batch_p99_ms[s] = post_ms[(post_ms.size() * 99) / 100];
+      } else {
+        batch_ok = false;
       }
     }
     stop.store(true);
@@ -212,37 +331,60 @@ int main(int argc, char** argv) {
                  support::TextTable::fmt(best_sampled, 0)});
   table.add_row({"sampled-trace throughput ratio",
                  support::TextTable::fmt(100.0 * sampled_ratio, 2) + "%"});
+  table.add_row(
+      {"sampling overhead/call",
+       support::TextTable::fmt(1000.0 * sampling_overhead_us_per_call, 0) +
+           " ns (gate <= 100)"});
   table.add_row({"scrape == in-process snapshot",
                  scrape_identical ? "yes" : "NO"});
   table.add_row({"scrape p50 under load",
                  support::TextTable::fmt(p50_ms, 2) + " ms"});
   table.add_row({"scrape p99 under load",
                  support::TextTable::fmt(p99_ms, 2) + " ms"});
+  for (std::size_t s = 0; s < 3; ++s) {
+    table.add_row({"POST /locate p99 (batch " +
+                       support::TextTable::fmt(kBatchSizes[s]) + ")",
+                   support::TextTable::fmt(batch_p99_ms[s], 2) + " ms"});
+  }
+  table.add_row({"batch POST round-trips ok", batch_ok ? "yes" : "NO"});
   std::cout << "\n" << table;
 
-  const bool ok = overhead_ok && scrape_identical && latency_ok;
-  std::cout << "\ninvariants (sampled tracing >= 95% of untraced, scrape "
-            << "byte-identical to the in-process snapshot, scrape p99 <= "
-            << "250 ms under load): " << (ok ? "PASS" : "FAIL (BUG)")
-            << "\n";
+  const bool ok =
+      overhead_ok && scrape_identical && latency_ok && batch_ok;
+  std::cout << "\ninvariants (sampling costs <= 100 ns/call over "
+            << "untraced, scrape byte-identical to the in-process "
+            << "snapshot, scrape + batch POST p99 <= 250 ms under load, "
+            << "batch POST 1/8/64 all admitted): "
+            << (ok ? "PASS" : "FAIL (BUG)") << "\n";
 
   // ---- Machine-readable trajectory record.
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"experiment\": \"E16\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << support::resolve_threads(0)
+       << ",\n"
        << "  \"locate_calls_per_side\": " << calls << ",\n"
        << "  \"sample_every\": " << kSampleEvery << ",\n"
        << "  \"overhead\": {\n"
        << "    \"locates_per_sec_untraced\": " << best_untraced << ",\n"
        << "    \"locates_per_sec_sampled\": " << best_sampled << ",\n"
-       << "    \"sampled_throughput_ratio\": " << sampled_ratio << "\n"
+       << "    \"sampled_throughput_ratio\": " << sampled_ratio << ",\n"
+       << "    \"sampling_overhead_us_per_call\": "
+       << sampling_overhead_us_per_call << "\n"
        << "  },\n"
        << "  \"scrape\": {\n"
        << "    \"byte_identical\": "
        << (scrape_identical ? "true" : "false") << ",\n"
        << "    \"p50_ms\": " << p50_ms << ",\n"
        << "    \"p99_ms\": " << p99_ms << "\n"
+       << "  },\n"
+       << "  \"locate_batch\": {\n"
+       << "    \"round_trips_ok\": " << (batch_ok ? "true" : "false")
+       << ",\n"
+       << "    \"p99_ms_batch1\": " << batch_p99_ms[0] << ",\n"
+       << "    \"p99_ms_batch8\": " << batch_p99_ms[1] << ",\n"
+       << "    \"p99_ms_batch64\": " << batch_p99_ms[2] << "\n"
        << "  },\n"
        << "  \"pass\": " << (ok ? "true" : "false") << "\n"
        << "}\n";

@@ -50,6 +50,7 @@
 #include "cellular/workload.h"
 #include "support/cli.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -277,6 +278,8 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"experiment\": \"E17\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << support::resolve_threads(0)
+       << ",\n"
        << "  \"replications\": " << replications << ",\n"
        << "  \"slo_target_p99_ms\": " << kSloTargetMs << ",\n"
        << "  \"cells\": [\n";

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
 #include <stdexcept>
 
 #include "cellular/profile.h"
@@ -45,23 +44,30 @@ ServiceMetrics ServiceMetrics::create(support::MetricRegistry& registry) {
       "confcall_locate_rounds", support::HistogramSpec::integers(128),
       "Paging rounds used per locate() call (unit buckets; quantile() "
       "agrees exactly with SimReport::rounds_percentile)");
+  metrics.batch_size = registry.histogram(
+      "confcall_locate_batch_size",
+      support::HistogramSpec::exponential(1.0, 2.0, 8),
+      "locate_many() batch sizes (one observation per batch)");
   return metrics;
 }
 
 namespace {
 
-/// FNV-1a over 64-bit words, used to fingerprint a planning input. A
-/// collision would silently serve a stale strategy; at 64 bits and a few
-/// thousand live signatures per service that risk is negligible for a
-/// simulation component (and the worst case is one suboptimally-ordered
-/// search, not an incorrect one — every strategy still pages every cell).
+/// Splitmix64-style chained mix over 64-bit words, used to fingerprint a
+/// planning input (word-at-a-time — ~5 ALU ops per word where the old
+/// byte-wise FNV-1a took 16; the signature runs on every planned locate(),
+/// so its cost is hot-path cost). A collision would silently serve a stale
+/// strategy; at 64 bits and a few thousand live signatures per service
+/// that risk is negligible for a simulation component (and the worst case
+/// is one suboptimally-ordered search, not an incorrect one — every
+/// strategy still pages every cell).
 class SignatureHasher {
  public:
   void add(std::uint64_t word) noexcept {
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash_ ^= (word >> shift) & 0xff;
-      hash_ *= 0x100000001b3ULL;
-    }
+    std::uint64_t x = hash_ + word + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    hash_ = x ^ (x >> 31);
   }
   void add(double value) noexcept { add(std::bit_cast<std::uint64_t>(value)); }
   [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
@@ -143,7 +149,16 @@ LocationService::LocationService(const GridTopology& grid,
                        std::vector<double>(grid_->num_cells(), 0.0));
   if (config_.profile_kind == ProfileKind::kStationary) {
     stationary_ = mobility_->stationary_distribution();
+    // The stationary profile is user-independent, so its per-area
+    // restriction can be computed once here instead of per callee per
+    // call (profile_for returns a copy of these rows).
+    stationary_area_.reserve(areas_->num_areas());
+    for (std::size_t area = 0; area < areas_->num_areas(); ++area) {
+      stationary_area_.push_back(
+          restrict_to_area(stationary_, areas_->cells_in(area)));
+    }
   }
+  plan_cache_.resize(areas_->num_areas());
 }
 
 void LocationService::attach_faults(FaultPlan* faults) {
@@ -204,7 +219,7 @@ prob::ProbabilityVector LocationService::profile_for(
       return profile_from_counts(visit_counts_.at(user), cells,
                                  config_.laplace_alpha);
     case ProfileKind::kStationary:
-      return restrict_to_area(stationary_, cells);
+      return stationary_area_.at(area);
     case ProfileKind::kLastSeen: {
       const std::size_t steps = std::min(db_.steps_since_report(user),
                                          config_.last_seen_horizon);
@@ -225,15 +240,15 @@ bool LocationService::page_answered(std::size_t cohabitants,
   return rng.next_double() < q;
 }
 
-std::uint64_t LocationService::plan_signature(const core::Instance& instance,
-                                              std::size_t area,
-                                              std::size_t d) const {
+std::uint64_t LocationService::plan_signature(
+    std::span<const prob::ProbabilityVector* const> rows,
+    std::size_t num_cells, std::size_t area, std::size_t d) const {
   SignatureHasher hasher;
   hasher.add(static_cast<std::uint64_t>(d));
-  hasher.add(static_cast<std::uint64_t>(instance.num_cells()));
-  hasher.add(static_cast<std::uint64_t>(instance.num_devices()));
-  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
-    for (const double p : instance.row(static_cast<core::DeviceId>(i))) {
+  hasher.add(static_cast<std::uint64_t>(num_cells));
+  hasher.add(static_cast<std::uint64_t>(rows.size()));
+  for (const prob::ProbabilityVector* row : rows) {
+    for (const double p : *row) {
       hasher.add(p);
     }
   }
@@ -255,7 +270,28 @@ std::uint64_t LocationService::plan_signature(const core::Instance& instance,
   return hasher.value();
 }
 
-core::Strategy LocationService::plan_area_strategy(
+namespace {
+
+/// Materializes the Instance a row-pointer set describes (rows may alias,
+/// e.g. every callee sharing one cached stationary profile). Equivalent to
+/// Instance::from_rows on the copied rows.
+core::Instance instance_from_row_ptrs(
+    std::span<const prob::ProbabilityVector* const> rows) {
+  const std::size_t cells = rows.front()->size();
+  std::vector<double> flat;
+  flat.reserve(rows.size() * cells);
+  for (const prob::ProbabilityVector* row : rows) {
+    if (row->size() != cells) {
+      throw std::invalid_argument("Instance: ragged rows");
+    }
+    flat.insert(flat.end(), row->begin(), row->end());
+  }
+  return core::Instance(rows.size(), cells, std::move(flat));
+}
+
+}  // namespace
+
+const core::Strategy* LocationService::plan_area_strategy(
     std::span<const UserId> group_users, std::size_t area,
     std::size_t num_cells, std::size_t d, bool plan_cheap,
     double* ep_out) const {
@@ -263,17 +299,31 @@ core::Strategy LocationService::plan_area_strategy(
     // Degraded health plans with the cheap tier directly: a blanket area
     // page costs zero planning work and one round, which is exactly what
     // an overloaded control plane can still afford.
-    return core::Strategy::blanket(num_cells);
+    scratch_.planned = core::Strategy::blanket(num_cells);
+    return &*scratch_.planned;
   }
-  std::vector<prob::ProbabilityVector> rows;
-  rows.reserve(group_users.size());
-  for (const UserId user : group_users) {
-    rows.push_back(profile_for(user, area));
+  // Stage one profile-row pointer per callee. Under the stationary
+  // profile every callee shares the area's cached row, so the hot
+  // cache-hit path does no profile work at all; other profile kinds
+  // materialize into the reused scratch rows.
+  auto& rows = scratch_.rows;
+  auto& row_ptrs = scratch_.row_ptrs;
+  rows.clear();
+  row_ptrs.clear();
+  if (config_.profile_kind == ProfileKind::kStationary) {
+    const prob::ProbabilityVector& shared = stationary_area_[area];
+    row_ptrs.assign(group_users.size(), &shared);
+  } else {
+    rows.reserve(group_users.size());
+    for (const UserId user : group_users) {
+      rows.push_back(profile_for(user, area));
+    }
+    for (const auto& row : rows) row_ptrs.push_back(&row);
   }
-  const core::Instance instance = core::Instance::from_rows(rows);
 
   if (config_.enable_plan_cache) {
-    const std::uint64_t signature = plan_signature(instance, area, d);
+    const std::uint64_t signature =
+        plan_signature(row_ptrs, num_cells, area, d);
     PlanCacheShard& shard = plan_cache_[area];
     for (PlanCacheEntry& entry : shard.entries) {
       if (entry.signature == signature) {
@@ -282,43 +332,47 @@ core::Strategy LocationService::plan_area_strategy(
         if (ep_out != nullptr) {
           // Lazily fill the cached EP: a cache populated before the EP
           // histogram was wanted (or by an uninstrumented service) holds
-          // the -1 sentinel until the first asking hit.
+          // the -1 sentinel until the first asking hit. Only this slow
+          // lane ever builds an Instance on a hit.
           if (entry.expected_paging < 0.0) {
-            entry.expected_paging =
-                core::expected_paging(instance, entry.strategy);
+            entry.expected_paging = core::expected_paging(
+                instance_from_row_ptrs(row_ptrs), entry.strategy);
           }
           *ep_out = entry.expected_paging;
         }
-        return entry.strategy;
+        return &entry.strategy;
       }
     }
+    const core::Instance instance = instance_from_row_ptrs(row_ptrs);
     core::Strategy strategy =
         config_.planner != nullptr
             ? config_.planner->plan(instance, d)
             : core::plan_greedy(instance, d).strategy;
-    PlanCacheEntry entry{signature, strategy, -1.0};
+    PlanCacheEntry entry{signature, std::move(strategy), -1.0};
     if (ep_out != nullptr) {
-      entry.expected_paging = core::expected_paging(instance, strategy);
+      entry.expected_paging = core::expected_paging(instance, entry.strategy);
       *ep_out = entry.expected_paging;
-    }
-    if (shard.entries.size() < PlanCacheShard::kCapacity) {
-      shard.entries.push_back(std::move(entry));
-    } else {
-      shard.entries[shard.next_slot] = std::move(entry);
-      shard.next_slot = (shard.next_slot + 1) % PlanCacheShard::kCapacity;
     }
     ++plan_cache_stats_.misses;
     config_.metrics.cache_misses.inc();
-    return strategy;
+    if (shard.entries.size() < PlanCacheShard::kCapacity) {
+      shard.entries.push_back(std::move(entry));
+      return &shard.entries.back().strategy;
+    }
+    const std::size_t slot = shard.next_slot;
+    shard.entries[slot] = std::move(entry);
+    shard.next_slot = (slot + 1) % PlanCacheShard::kCapacity;
+    return &shard.entries[slot].strategy;
   }
 
-  core::Strategy strategy = config_.planner != nullptr
-                                ? config_.planner->plan(instance, d)
-                                : core::plan_greedy(instance, d).strategy;
+  const core::Instance instance = instance_from_row_ptrs(row_ptrs);
+  scratch_.planned = config_.planner != nullptr
+                         ? config_.planner->plan(instance, d)
+                         : core::plan_greedy(instance, d).strategy;
   if (ep_out != nullptr) {
-    *ep_out = core::expected_paging(instance, strategy);
+    *ep_out = core::expected_paging(instance, *scratch_.planned);
   }
-  return strategy;
+  return &*scratch_.planned;
 }
 
 LocationService::AreaOutcome LocationService::execute_area_strategy(
@@ -493,28 +547,47 @@ LocationService::LocateOutcome LocationService::locate(
   LocateOutcome outcome;
 
   // Group callees by their last-reported location area — each group is
-  // one Conference Call instance over that area's cells.
-  std::map<std::size_t, std::vector<std::size_t>> by_area;  // -> indices
+  // one Conference Call instance over that area's cells. A stable sort of
+  // (area, index) pairs visits areas in ascending order with callees in
+  // request order inside each, exactly the iteration the old std::map
+  // grouping produced, without a node allocation per area.
+  auto& by_area = scratch_.area_of_index;
+  by_area.clear();
   for (std::size_t i = 0; i < users.size(); ++i) {
-    by_area[db_.reported_area(users[i])].push_back(i);
+    by_area.emplace_back(db_.reported_area(users[i]), i);
   }
+  std::stable_sort(by_area.begin(), by_area.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
-  std::vector<bool> area_paged_fully(areas_->num_areas(), false);
+  auto& area_paged_fully = scratch_.area_paged_fully;
+  area_paged_fully.assign(areas_->num_areas(), false);
   std::vector<std::size_t> missing;  // indices into users
   bool any_missed_detection = false;
-  for (const auto& [area, indices] : by_area) {
+  for (std::size_t begin = 0; begin < by_area.size();) {
+    const std::size_t area = by_area[begin].first;
+    std::size_t end = begin + 1;
+    while (end < by_area.size() && by_area[end].first == area) ++end;
+    const std::span<const std::pair<std::size_t, std::size_t>> group(
+        by_area.data() + begin, end - begin);
+    begin = end;
+
     const auto& cells = areas_->cells_in(area);
-    std::vector<UserId> group_users;
-    std::vector<CellId> group_cells;
-    for (const std::size_t i : indices) {
-      group_users.push_back(users[i]);
-      group_cells.push_back(true_cells[i]);
+    auto& group_users = scratch_.group_users;
+    auto& group_cells = scratch_.group_cells;
+    group_users.clear();
+    group_cells.clear();
+    for (const auto& pair : group) {
+      group_users.push_back(users[pair.second]);
+      group_cells.push_back(true_cells[pair.second]);
     }
 
     // Local (within-area) cell index per callee; kUnknownLocal = stale.
-    std::vector<std::size_t> local_of(indices.size(), kUnknownLocal);
+    auto& local_of = scratch_.local_of;
+    local_of.assign(group.size(), kUnknownLocal);
     bool all_present = true;
-    for (std::size_t k = 0; k < indices.size(); ++k) {
+    for (std::size_t k = 0; k < group.size(); ++k) {
       const auto it =
           std::find(cells.begin(), cells.end(), group_cells[k]);
       if (it == cells.end()) {
@@ -534,18 +607,19 @@ LocationService::LocateOutcome LocationService::locate(
       d = round_cap;
       outcome.deadline_limited = true;
     }
-    std::vector<bool> found(indices.size(), false);
+    auto& found = scratch_.found;
+    found.assign(group.size(), false);
     AreaOutcome area_outcome;
     if (d == 0) {
       area_outcome.ran_all_rounds = false;
     } else if (config_.paging_policy == PagingPolicy::kAdaptive &&
                all_present) {
-      std::vector<core::CellId> local_true(indices.size());
-      for (std::size_t k = 0; k < indices.size(); ++k) {
+      std::vector<core::CellId> local_true(group.size());
+      for (std::size_t k = 0; k < group.size(); ++k) {
         local_true[k] = static_cast<core::CellId>(local_of[k]);
       }
       std::vector<prob::ProbabilityVector> rows;
-      rows.reserve(indices.size());
+      rows.reserve(group.size());
       for (const UserId user : group_users) {
         rows.push_back(profile_for(user, area));
       }
@@ -554,10 +628,10 @@ LocationService::LocateOutcome LocationService::locate(
       area_outcome.pages = adaptive.cells_paged;
       area_outcome.rounds = adaptive.rounds_used;
       area_outcome.ran_all_rounds = adaptive.cells_paged == cells.size();
-      found.assign(indices.size(), true);
+      found.assign(group.size(), true);
     } else {
       double ep = -1.0;
-      const core::Strategy strategy = [&] {
+      const core::Strategy* strategy = [&] {
         const support::Span plan_span(config_.tracer, "plan");
         return plan_area_strategy(
             group_users, area, cells.size(), d, context.plan_cheap,
@@ -565,7 +639,7 @@ LocationService::LocateOutcome LocationService::locate(
       }();
       if (ep >= 0.0) config_.metrics.ep_predicted.observe(ep);
       const support::Span page_span(config_.tracer, "page_rounds");
-      area_outcome = execute_area_strategy(strategy, group_users,
+      area_outcome = execute_area_strategy(*strategy, group_users,
                                            group_cells, local_of, found,
                                            outcome, rng);
     }
@@ -574,13 +648,13 @@ LocationService::LocateOutcome LocationService::locate(
         std::max(outcome.rounds_used, area_outcome.rounds);
     area_paged_fully[area] = area_outcome.ran_all_rounds;
 
-    for (std::size_t k = 0; k < indices.size(); ++k) {
+    for (std::size_t k = 0; k < group.size(); ++k) {
       if (found[k]) {
         // A found callee answered a base station: implicit location
         // report, free of uplink-report cost (rides on the response).
         db_.record_report(group_users[k], group_cells[k]);
       } else {
-        missing.push_back(indices[k]);
+        missing.push_back(group[k].second);
         if (local_of[k] != kUnknownLocal) any_missed_detection = true;
       }
     }
@@ -609,6 +683,26 @@ LocationService::LocateOutcome LocationService::locate(
   if (outcome.abandoned) config_.metrics.abandoned.inc();
   if (outcome.deadline_limited) config_.metrics.deadline_limited.inc();
   return outcome;
+}
+
+std::vector<LocationService::LocateOutcome> LocationService::locate_many(
+    std::span<const LocateRequest> requests, prob::Rng& rng) {
+  std::vector<LocateOutcome> outcomes;
+  if (requests.empty()) return outcomes;
+  // One span roots the whole batch; the per-call locate spans nest under
+  // it, so a sampled trace shows the batch boundary. The requests run
+  // sequentially against the shared rng, which is what makes the
+  // outcomes bit-identical to issuing the same locate() calls one by
+  // one — batching amortizes scratch, cache and wire-layer cost, never
+  // reorders randomness.
+  const support::Span batch_span(config_.tracer, "locate_batch");
+  config_.metrics.batch_size.observe(static_cast<double>(requests.size()));
+  outcomes.reserve(requests.size());
+  for (const LocateRequest& request : requests) {
+    outcomes.push_back(
+        locate(request.users, request.true_cells, rng, request.context));
+  }
+  return outcomes;
 }
 
 }  // namespace confcall::cellular

@@ -29,9 +29,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cellular/faults.h"
@@ -114,6 +114,9 @@ struct ServiceMetrics {
   /// observed `pages` histogram so predicted and realized paging cost
   /// compare directly.
   support::Histogram ep_predicted;    ///< confcall_locate_ep_predicted
+  /// Distribution of locate_many() batch sizes (single locate() calls do
+  /// not observe it, so the histogram counts batches, not calls).
+  support::Histogram batch_size;      ///< confcall_locate_batch_size
 
   /// Registers the confcall_locate_* family on `registry` (idempotent)
   /// and returns bound handles. The registry must outlive every service
@@ -292,6 +295,24 @@ class LocationService {
                        std::span<const CellId> true_cells, prob::Rng& rng,
                        const LocateContext& context);
 
+  /// One call of a locate_many() batch. The spans are views: the caller
+  /// keeps the user/cell arrays alive for the duration of the call.
+  struct LocateRequest {
+    std::span<const UserId> users;
+    std::span<const CellId> true_cells;
+    LocateContext context{};
+  };
+
+  /// Serves a batch of locate requests in order on one warm footing: one
+  /// `locate_batch` span instead of per-call trace roots, one batch-size
+  /// histogram observation, and every per-call scratch structure (plan
+  /// rows, grouping buffers, the evaluator arena) stays hot across the
+  /// whole batch. Outcomes are bit-identical to calling locate() once per
+  /// request in the same order with the same rng — batching changes the
+  /// cost, never the result. An empty batch returns an empty vector.
+  std::vector<LocateOutcome> locate_many(std::span<const LocateRequest> requests,
+                                         prob::Rng& rng);
+
   /// The location profile the service would use for `user` over the cells
   /// of `area` right now (exposed for inspection and tests).
   [[nodiscard]] prob::ProbabilityVector profile_for(UserId user,
@@ -336,14 +357,20 @@ class LocationService {
   /// the returned strategy (or stays untouched on the blanket/cheap path,
   /// which never builds an instance). The value is cached alongside the
   /// strategy, so attaching the EP histogram does not re-run the
-  /// evaluator on cache hits.
-  core::Strategy plan_area_strategy(std::span<const UserId> group_users,
-                                    std::size_t area, std::size_t num_cells,
-                                    std::size_t d, bool plan_cheap,
-                                    double* ep_out = nullptr) const;
-  [[nodiscard]] std::uint64_t plan_signature(const core::Instance& instance,
-                                             std::size_t area,
-                                             std::size_t d) const;
+  /// evaluator on cache hits. Returns a pointer (never null) into either
+  /// the plan cache or scratch_.planned; it is valid until the next
+  /// plan_area_strategy call on this service.
+  const core::Strategy* plan_area_strategy(std::span<const UserId> group_users,
+                                           std::size_t area,
+                                           std::size_t num_cells,
+                                           std::size_t d, bool plan_cheap,
+                                           double* ep_out = nullptr) const;
+  /// Signs the planning inputs straight off the profile rows (one pointer
+  /// per device — rows may alias, e.g. the shared per-area stationary
+  /// profile), so the hot cache-hit path never materializes an Instance.
+  [[nodiscard]] std::uint64_t plan_signature(
+      std::span<const prob::ProbabilityVector* const> rows,
+      std::size_t num_cells, std::size_t area, std::size_t d) const;
   void run_recovery(std::span<const UserId> users,
                     std::span<const CellId> true_cells,
                     std::vector<std::size_t> missing,
@@ -359,6 +386,11 @@ class LocationService {
   std::size_t reports_lost_ = 0;
   std::vector<std::vector<double>> visit_counts_;  // per user, per cell
   std::vector<double> stationary_;  // cached when profile kind needs it
+  /// Stationary profile restricted to each area, computed once at
+  /// construction under ProfileKind::kStationary: the row is identical
+  /// for every user, so the planning path shares one cached vector per
+  /// area instead of rebuilding it per callee per call.
+  std::vector<prob::ProbabilityVector> stationary_area_;
 
   /// A cached strategy plus the signature of the planning inputs it was
   /// built from, and its Lemma 2.1 expected paging (-1 until someone
@@ -380,8 +412,31 @@ class LocationService {
     std::vector<PlanCacheEntry> entries;
     std::size_t next_slot = 0;
   };
-  mutable std::map<std::size_t, PlanCacheShard> plan_cache_;
+  /// One shard per location area, index-addressed (areas are dense
+  /// 0..num_areas-1): the hot path replaces a std::map walk with one
+  /// vector index.
+  mutable std::vector<PlanCacheShard> plan_cache_;
   mutable PlanCacheStats plan_cache_stats_;
+
+  /// Per-call scratch reused across locate() calls (and across a whole
+  /// locate_many() batch): grouping buffers, per-area working vectors and
+  /// the planning-row staging. Only sized, never shrunk, so a steady
+  /// workload stops allocating after the first call. Mutable because the
+  /// const planning path stages rows here; LocationService was never
+  /// concurrently callable (locate() writes the database), so this adds
+  /// no new threading constraint.
+  struct LocateScratch {
+    std::vector<std::pair<std::size_t, std::size_t>> area_of_index;
+    std::vector<UserId> group_users;
+    std::vector<CellId> group_cells;
+    std::vector<std::size_t> local_of;
+    std::vector<bool> found;
+    std::vector<bool> area_paged_fully;
+    std::vector<prob::ProbabilityVector> rows;
+    std::vector<const prob::ProbabilityVector*> row_ptrs;
+    std::optional<core::Strategy> planned;  ///< uncached / blanket plans
+  };
+  mutable LocateScratch scratch_;
 };
 
 }  // namespace confcall::cellular

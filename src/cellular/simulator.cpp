@@ -291,8 +291,14 @@ SimReport run_simulation(const SimConfig& config) {
     for (const UserId user : event.participants) {
       true_cells.push_back(user_cells[user]);
     }
+    // Served through the batch API (a batch of one arrival per step):
+    // locate_many is outcome-identical to locate() by contract, so the
+    // report is unchanged while every simulated call exercises the same
+    // entry point the batched HTTP path uses.
+    const LocationService::LocateRequest request{event.participants,
+                                                 true_cells, context};
     const LocationService::LocateOutcome outcome =
-        service.locate(event.participants, true_cells, rng, context);
+        service.locate_many({&request, 1}, rng).front();
     if (!record) return;
 
     ++report.calls_served;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "prob/stats.h"
+#include "support/arena.h"
 
 namespace confcall::core {
 
@@ -15,6 +16,20 @@ void check_compatible(const Instance& instance, const Strategy& strategy) {
     throw std::invalid_argument(
         "evaluator: strategy covers a different number of cells than the "
         "instance");
+  }
+}
+
+// One prefix sweep shared by the double (KahanSum) reference path and the
+// exact Rational path: fold one round's cells into the per-device prefix
+// masses q_i = P_i(L_r). Acc is prob::KahanSum or prob::Rational; Inst is
+// the matching Instance/RationalInstance.
+template <typename Inst, typename Acc>
+void accumulate_group(const Inst& instance, std::span<const CellId> group,
+                      std::vector<Acc>& prefix) {
+  for (const CellId cell : group) {
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
+    }
   }
 }
 
@@ -29,24 +44,58 @@ std::vector<double> stop_by_round(const Instance& instance,
   // Validate k against m up front (throws for bad k).
   (void)objective.required(m);
 
-  // Compensated accumulation of q_i = P_i(L_r): the running sums stay
+  // Compensated accumulation of q_i = P_i(L_r) in structure-of-arrays
+  // form: one sums lane and one compensation lane per device, fed from the
+  // instance's contiguous probability columns. The lanes are independent,
+  // so the inner loop vectorizes without reassociating any sum — every
+  // device runs the exact KahanSum::add sequence the scalar path runs,
+  // which is what makes the two paths bit-identical. The running sums stay
   // unclamped (so no drift is baked into later rounds) and the clamp is
   // applied only to the value handed to the objective.
+  auto& arena = support::ScratchArena::local();
+  const support::ScratchArena::Scope scope(arena);
+  const std::span<double> sums = arena.alloc<double>(m, 0.0);
+  const std::span<double> comps = arena.alloc<double>(m, 0.0);
+  const std::span<double> clamped = arena.alloc<double>(m, 0.0);
+  std::vector<double> by_round(d, 0.0);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (const CellId cell : strategy.group(r)) {
+      const std::span<const double> column = instance.column(cell);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double y = column[i] - comps[i];
+        const double t = sums[i] + y;
+        comps[i] = (t - sums[i]) - y;
+        sums[i] = t;
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      clamped[i] = std::min(sums[i], 1.0);
+    }
+    by_round[r] = objective.stop_probability(clamped);
+  }
+  by_round[d - 1] = 1.0;  // every cell has been paged
+  return by_round;
+}
+
+std::vector<double> stop_by_round_scalar(const Instance& instance,
+                                         const Strategy& strategy,
+                                         const Objective& objective) {
+  check_compatible(instance, strategy);
+  const std::size_t m = instance.num_devices();
+  const std::size_t d = strategy.num_rounds();
+  (void)objective.required(m);
+
   std::vector<prob::KahanSum> prefix(m);
   std::vector<double> clamped(m, 0.0);
   std::vector<double> by_round(d, 0.0);
   for (std::size_t r = 0; r < d; ++r) {
-    for (const CellId cell : strategy.group(r)) {
-      for (std::size_t i = 0; i < m; ++i) {
-        prefix[i].add(instance.prob(static_cast<DeviceId>(i), cell));
-      }
-    }
+    accumulate_group(instance, strategy.group(r), prefix);
     for (std::size_t i = 0; i < m; ++i) {
       clamped[i] = std::min(prefix[i].value(), 1.0);
     }
     by_round[r] = objective.stop_probability(clamped);
   }
-  by_round[d - 1] = 1.0;  // every cell has been paged
+  by_round[d - 1] = 1.0;
   return by_round;
 }
 
@@ -62,15 +111,31 @@ std::vector<double> stop_at_round(const Instance& instance,
   return by_round;
 }
 
-double expected_paging(const Instance& instance, const Strategy& strategy,
-                       const Objective& objective) {
-  const std::vector<double> by_round =
-      stop_by_round(instance, strategy, objective);
+namespace {
+
+double paging_from_stop_curve(const Instance& instance,
+                              const Strategy& strategy,
+                              const std::vector<double>& by_round) {
   double ep = static_cast<double>(instance.num_cells());
   for (std::size_t r = 0; r + 1 < strategy.num_rounds(); ++r) {
     ep -= static_cast<double>(strategy.group(r + 1).size()) * by_round[r];
   }
   return ep;
+}
+
+}  // namespace
+
+double expected_paging(const Instance& instance, const Strategy& strategy,
+                       const Objective& objective) {
+  return paging_from_stop_curve(instance, strategy,
+                                stop_by_round(instance, strategy, objective));
+}
+
+double expected_paging_scalar(const Instance& instance,
+                              const Strategy& strategy,
+                              const Objective& objective) {
+  return paging_from_stop_curve(
+      instance, strategy, stop_by_round_scalar(instance, strategy, objective));
 }
 
 double expected_rounds(const Instance& instance, const Strategy& strategy,
@@ -251,11 +316,7 @@ prob::Rational expected_paging_exact(const RationalInstance& instance,
   std::vector<prob::Rational> prefix(m);  // P_i(L_r)
   prob::Rational ep(static_cast<std::int64_t>(instance.num_cells()));
   for (std::size_t r = 0; r + 1 < d; ++r) {
-    for (const CellId cell : strategy.group(r)) {
-      for (std::size_t i = 0; i < m; ++i) {
-        prefix[i] += instance.prob(static_cast<DeviceId>(i), cell);
-      }
-    }
+    accumulate_group(instance, strategy.group(r), prefix);
     prob::Rational product(1);
     for (const auto& q : prefix) product *= q;
     ep -= prob::Rational(

@@ -18,9 +18,21 @@ namespace confcall::core {
 /// Pr[the search stops on or before round r] for r = 0..d-1 (the paper's
 /// Pr[F_{r+1}]). The last entry is always 1: a strategy pages every cell,
 /// so the objective is met with certainty by the final round.
+///
+/// Production path: structure-of-arrays Kahan lanes over the instance's
+/// contiguous probability columns (auto-vectorized; bit-identical to the
+/// scalar reference below because every device's compensated sum performs
+/// the same operations in the same order).
 std::vector<double> stop_by_round(const Instance& instance,
                                   const Strategy& strategy,
                                   const Objective& objective);
+
+/// Checked reference for stop_by_round: one prob::KahanSum per device,
+/// swept with the same templated prefix helper as the exact Rational path.
+/// Tests assert the SoA path returns bit-identical values.
+std::vector<double> stop_by_round_scalar(const Instance& instance,
+                                         const Strategy& strategy,
+                                         const Objective& objective);
 
 /// Pr[the search stops exactly at round r], r = 0..d-1.
 std::vector<double> stop_at_round(const Instance& instance,
@@ -33,6 +45,13 @@ std::vector<double> stop_at_round(const Instance& instance,
 /// instance.
 double expected_paging(const Instance& instance, const Strategy& strategy,
                        const Objective& objective = Objective::all_of());
+
+/// expected_paging on the scalar (vector-of-KahanSum) reference sweep.
+/// Bit-identical to expected_paging by construction; kept callable so the
+/// equivalence is a test assertion, not an assumption.
+double expected_paging_scalar(
+    const Instance& instance, const Strategy& strategy,
+    const Objective& objective = Objective::all_of());
 
 /// Expected number of paging rounds used (the delay actually incurred).
 double expected_rounds(const Instance& instance, const Strategy& strategy,

@@ -7,7 +7,7 @@
 #include <stdexcept>
 
 #include "core/evaluator.h"
-#include "prob/stats.h"
+#include "support/arena.h"
 
 namespace confcall::core {
 
@@ -30,29 +30,29 @@ std::vector<double> stop_by_prefix(const Instance& instance,
   if (order.size() != c) {
     throw std::invalid_argument("stop_by_prefix: order length != cells");
   }
-  // Gather the probability columns in paging order once, transposed: the
-  // j-th step then reads one contiguous m-run instead of m strided loads
-  // across the row-major matrix.
-  std::vector<double> columns(m * c);
-  for (std::size_t j = 0; j < c; ++j) {
-    const CellId cell = order[j];
-    for (std::size_t i = 0; i < m; ++i) {
-      columns[j * m + i] = instance.prob(static_cast<DeviceId>(i), cell);
-    }
-  }
-
-  // Compensated per-device prefix mass, clamped only at the point of use
-  // so no drift is carried into later prefixes (large-c instances used to
-  // saturate q_i above 1 and flatten the tail of F).
-  std::vector<prob::KahanSum> prefix(m);
-  std::vector<double> clamped(m, 0.0);
+  // Compensated per-device prefix mass in structure-of-arrays lanes
+  // (sums/comps), fed straight from the instance's column-major mirror —
+  // the j-th step reads one contiguous m-run, no per-call gather copy.
+  // Lanes are independent, so the loop vectorizes without reassociating
+  // any device's compensated sum (bit-identical to the KahanSum path).
+  // Clamping happens only at the point of use so no drift is carried into
+  // later prefixes (large-c instances used to saturate q_i above 1 and
+  // flatten the tail of F).
+  auto& arena = support::ScratchArena::local();
+  const support::ScratchArena::Scope arena_scope(arena);
+  const std::span<double> sums = arena.alloc<double>(m, 0.0);
+  const std::span<double> comps = arena.alloc<double>(m, 0.0);
+  const std::span<double> clamped = arena.alloc<double>(m, 0.0);
   std::vector<double> stop(c + 1, 0.0);
   stop[0] = objective.stop_probability(clamped);  // 0 for every objective
   for (std::size_t j = 0; j < c; ++j) {
-    const double* column = columns.data() + j * m;
+    const std::span<const double> column = instance.column(order[j]);
     for (std::size_t i = 0; i < m; ++i) {
-      prefix[i].add(column[i]);
-      clamped[i] = std::min(prefix[i].value(), 1.0);
+      const double y = column[i] - comps[i];
+      const double t = sums[i] + y;
+      comps[i] = (t - sums[i]) - y;
+      sums[i] = t;
+      clamped[i] = std::min(t, 1.0);
     }
     stop[j + 1] = objective.stop_probability(clamped);
   }
@@ -102,9 +102,12 @@ PlanResult plan_dp_over_order(const Instance& instance,
   // space — where the old vector-of-vectors kept d doubled rows plus d
   // size_t rows behind separate allocations.
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> prev(c + 1, kInf);  // row l-1 of E
-  std::vector<double> cur(c + 1, kInf);   // row l being filled
-  std::vector<std::uint32_t> choice(d * (c + 1), 0);
+  auto& arena = support::ScratchArena::local();
+  const support::ScratchArena::Scope arena_scope(arena);
+  std::span<double> prev = arena.alloc<double>(c + 1, kInf);  // row l-1 of E
+  std::span<double> cur = arena.alloc<double>(c + 1, kInf);   // row l filled
+  const std::span<std::uint32_t> choice =
+      arena.alloc<std::uint32_t>(d * (c + 1), std::uint32_t{0});
   for (std::size_t k = 1; k <= c; ++k) {
     if (k <= cap) {
       prev[k] = static_cast<double>(k);

@@ -32,6 +32,12 @@ Instance::Instance(std::size_t num_devices, std::size_t num_cells,
                                   ", expected 1");
     }
   }
+  cols_.resize(probs_.size());
+  for (std::size_t i = 0; i < devices_; ++i) {
+    for (std::size_t j = 0; j < cells_; ++j) {
+      cols_[j * devices_ + i] = probs_[i * cells_ + j];
+    }
+  }
 }
 
 Instance Instance::from_rows(const std::vector<prob::ProbabilityVector>& rows) {

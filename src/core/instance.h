@@ -59,6 +59,16 @@ class Instance {
     return {probs_.data() + static_cast<std::size_t>(device) * cells_, cells_};
   }
 
+  /// The probability column of one cell: P[device i in `cell`] for every i,
+  /// contiguous. The evaluator/DP inner loops sweep per-device lanes over
+  /// one cell at a time; this column-major mirror (built once at
+  /// construction) turns those sweeps into unit-stride loads the compiler
+  /// auto-vectorizes, where prob(i, cell) strides by c.
+  [[nodiscard]] std::span<const double> column(CellId cell) const {
+    return {cols_.data() + static_cast<std::size_t>(cell) * devices_,
+            devices_};
+  }
+
   /// Expected number of sought devices in cell j: sum_i p(i, j). This is
   /// the score by which the paper's heuristic (Section 4) orders cells.
   [[nodiscard]] double cell_weight(CellId cell) const;
@@ -85,6 +95,7 @@ class Instance {
   std::size_t devices_;
   std::size_t cells_;
   std::vector<double> probs_;  // row-major m x c
+  std::vector<double> cols_;   // column-major mirror (c x m) of probs_
 };
 
 /// Exact-rational counterpart of Instance, for proofs-by-computation.

@@ -22,6 +22,13 @@ class KahanSum {
     sum_ = t;
   }
 
+  /// add() spelled as an accumulator operator, so generic sweeps can use
+  /// KahanSum and exact types (prob::Rational) interchangeably.
+  KahanSum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
   [[nodiscard]] double value() const noexcept { return sum_; }
 
  private:

@@ -1,0 +1,50 @@
+#include "support/arena.h"
+
+namespace confcall::support {
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+std::size_t ScratchArena::bytes_in_use() const noexcept {
+  std::size_t used = offset_;
+  for (std::size_t i = 0; i < chunk_ && i < chunks_.size(); ++i) {
+    used += chunks_[i].size;
+  }
+  return used;
+}
+
+std::size_t ScratchArena::bytes_reserved() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+void* ScratchArena::allocate_bytes(std::size_t bytes, std::size_t align) {
+  for (;;) {
+    if (chunk_ < chunks_.size()) {
+      const Chunk& chunk = chunks_[chunk_];
+      const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+      const std::uintptr_t aligned =
+          (base + offset_ + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+      if (aligned + bytes <= base + chunk.size) {
+        offset_ = static_cast<std::size_t>(aligned - base) + bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // The current chunk's tail is too small: skip to the next chunk.
+      // The skipped tail stays owned and is reclaimed on scope exit.
+      ++chunk_;
+      offset_ = 0;
+      continue;
+    }
+    const std::size_t grown =
+        chunks_.empty() ? initial_bytes_ : chunks_.back().size * 2;
+    const std::size_t need = bytes + align;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(
+                                grown > need ? grown : need),
+                            grown > need ? grown : need});
+  }
+}
+
+}  // namespace confcall::support

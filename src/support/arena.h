@@ -1,0 +1,125 @@
+// Thread-local bump arena for per-call scratch rows.
+//
+// The evaluator and the Fig. 1 DP need a handful of short-lived arrays per
+// call (per-device prefix/compensation/clamped rows, the DP's ping-pong
+// value rows and backtrack table). Before this arena each evaluate/plan
+// call heap-allocated them afresh — at hundreds of thousands of locate()
+// calls per second the allocator, not the arithmetic, dominated. A bump
+// arena turns each of those allocations into a pointer increment, and the
+// memory is reused call after call instead of churning the heap.
+//
+// Lifetime rules (also DESIGN.md §12):
+//
+//   * Scratch only. Allocations are raw uninitialized (or value-filled)
+//     trivially-destructible storage; nothing is ever destructed, so only
+//     PODs (double, std::uint32_t, ...) may live here.
+//   * Scoped. Callers open a ScratchArena::Scope; every alloc() made while
+//     the scope is open is released — as one pointer move, not per
+//     allocation — when it closes. Scopes nest (evaluate inside plan
+//     inside locate), restoring the exact watermark of the enclosing
+//     scope, so a callee's scratch never outlives its frame while the
+//     caller's survives untouched.
+//   * Thread-local. ScratchArena::local() hands each thread its own
+//     arena, so parallel_for workers (Monte-Carlo shards, sim batches)
+//     bump without synchronization. Never hand a span from one thread's
+//     arena to another thread that outlives the scope.
+//   * Chunks are retained. reset()/scope-exit recycles the high-water
+//     memory instead of freeing it; a steady workload stops calling the
+//     allocator entirely after the first call at peak size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace confcall::support {
+
+class ScratchArena {
+ public:
+  /// The first chunk is sized `initial_bytes` (rounded up to a minimum)
+  /// and allocated lazily on first use.
+  explicit ScratchArena(std::size_t initial_bytes = 1 << 16)
+      : initial_bytes_(initial_bytes < kMinChunk ? kMinChunk
+                                                 : initial_bytes) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialized storage for `count` Ts. T must be trivially
+  /// destructible (nothing here is ever destructed) and trivially
+  /// copyable (nothing here is ever constructed either).
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "ScratchArena holds raw POD scratch only");
+    return {static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T))),
+            count};
+  }
+
+  /// Storage for `count` Ts, every element set to `fill`.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count, T fill) {
+    const std::span<T> out = alloc<T>(count);
+    for (T& value : out) value = fill;
+    return out;
+  }
+
+  /// Releases everything allocated since construction (memory retained).
+  void reset() noexcept {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bytes currently live (spans handed out under open scopes).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept;
+
+  /// Bytes owned across all retained chunks (the high-water footprint).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept;
+
+  /// RAII frame: releases (as one watermark restore) every allocation
+  /// made on the arena while this scope was open. Nest freely.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena) noexcept
+        : arena_(&arena),
+          saved_chunk_(arena.chunk_),
+          saved_offset_(arena.offset_) {}
+    ~Scope() {
+      arena_->chunk_ = saved_chunk_;
+      arena_->offset_ = saved_offset_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena* arena_;
+    std::size_t saved_chunk_;
+    std::size_t saved_offset_;
+  };
+
+  /// This thread's arena (constructed on first use, lives for the
+  /// thread). The hot paths all share it, which is exactly the point:
+  /// one warm chunk serves every evaluate/plan/locate on the thread.
+  [[nodiscard]] static ScratchArena& local();
+
+ private:
+  static constexpr std::size_t kMinChunk = 4096;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align);
+
+  std::size_t initial_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   ///< index of the chunk being bumped
+  std::size_t offset_ = 0;  ///< bump offset within that chunk
+};
+
+}  // namespace confcall::support

@@ -1,0 +1,363 @@
+#include "support/json.h"
+
+#include <charconv>
+#include <cstdint>
+
+namespace confcall::support {
+
+namespace {
+
+/// Appends a Unicode code point to `out` as UTF-8. Input is already
+/// range-checked by the \u parser (<= 0x10FFFF, no lone surrogates).
+void append_utf8(std::string& out, std::uint32_t code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      throw JsonError("trailing characters after JSON document", pos_);
+    }
+    return value;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message, pos_);
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal");
+    }
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting too deep");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        expect_literal("null");
+        return JsonValue::make_null();
+      case 't':
+        expect_literal("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::make_bool(false);
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue::Array items;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a \uDC00–\uDFFF low half must follow.
+            if (text_.substr(pos_, 2) != "\\u") {
+              fail("lone high surrogate");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    // Integer part: 0, or a nonzero digit followed by digits.
+    if (at_end() || peek() < '0' || peek() > '9') fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+      // Grammar already validated; only overflow can land here.
+      throw JsonError("number out of range", start);
+    }
+    return JsonValue::make_number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+};
+
+[[noreturn]] void type_mismatch(const char* wanted) {
+  throw JsonError(std::string("JSON value is not ") + wanted, 0);
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_mismatch("a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_mismatch("a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_mismatch("a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_mismatch("an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::kObject) type_mismatch("an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) type_mismatch("an object");
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array value) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object value) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(value);
+  return v;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace confcall::support

@@ -1,0 +1,110 @@
+// Minimal recursive-descent JSON parser — the read side of the wire.
+//
+// The repo has long had JSON *writers* (metric snapshots, trace events,
+// bench reports) but no reader, because nothing accepted JSON input.
+// The batched POST /locate endpoint (tools/confcall_serve) changes
+// that: clients submit call batches as JSON and malformed input must be
+// answered with a 400, not silently ignored. The parser exists for that
+// endpoint, so it is deliberately small:
+//
+//   * Strict RFC 8259 subset: null/true/false, numbers, strings
+//     (including \uXXXX escapes with surrogate pairs, re-encoded as
+//     UTF-8), arrays, objects. No comments, no trailing commas, no
+//     NaN/Infinity literals.
+//   * One pass, no allocations beyond the value tree itself.
+//   * Every failure throws JsonError carrying the byte offset, so the
+//     endpoint's 400 body can point at the problem.
+//   * A nesting-depth cap (default 64) bounds recursion on adversarial
+//     input — the HTTP layer already caps body size.
+//
+// Object members keep their source order (vector of pairs, not a map):
+// callers that care about duplicates can see them, and `find` returns
+// the first match like every mainstream parser.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace confcall::support {
+
+/// Parse or access error; `offset` is the byte position in the input
+/// where parsing failed (0 for type-mismatch accessor errors).
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message), offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value. Default-constructed = null.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an
+  /// error. Throws JsonError (with byte offset) on malformed input or
+  /// nesting deeper than `max_depth`.
+  [[nodiscard]] static JsonValue parse(std::string_view text,
+                                       std::size_t max_depth = 64);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// First object member named `key`, or nullptr when absent. Throws
+  /// JsonError when this value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Builders (used by the parser; handy in tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array(Array value);
+  static JsonValue make_object(Object value);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by handlers that hand-build
+/// small JSON error bodies.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace confcall::support

@@ -196,7 +196,6 @@ void Histogram::observe(double value) const noexcept {
   const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
   const auto index = static_cast<std::size_t>(it - bounds.begin());
   cell_->counts[index].fetch_add(1, std::memory_order_relaxed);
-  cell_->count.fetch_add(1, std::memory_order_relaxed);
   cell_->sum.fetch_add(value, std::memory_order_relaxed);
 }
 
@@ -441,8 +440,10 @@ RegistrySnapshot MetricRegistry::snapshot() const {
             metric.histogram.counts.push_back(
                 bucket.load(std::memory_order_relaxed));
           }
-          metric.histogram.count =
-              entry.histogram->count.load(std::memory_order_relaxed);
+          metric.histogram.count = 0;
+          for (const std::uint64_t bucket : metric.histogram.counts) {
+            metric.histogram.count += bucket;
+          }
           metric.histogram.sum =
               entry.histogram->sum.load(std::memory_order_relaxed);
           break;

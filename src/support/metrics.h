@@ -91,12 +91,14 @@ struct HistogramCell {
   explicit HistogramCell(HistogramSpec spec);
   HistogramSpec spec;
   // Lock-free: one relaxed fetch_add per field keeps observe() cheap
-  // enough for the locate hot path (the E15 <5% overhead gate). A
-  // snapshot mid-observation may see count/sum/bucket slightly out of
-  // step; single-threaded runs (each simulation replication owns its
+  // enough for the locate hot path (the E15 overhead gate). The total
+  // count is NOT kept as its own atomic — every observe lands in
+  // exactly one bucket, so snapshots derive it by summing the buckets,
+  // saving one locked RMW per observe on the hot path. A snapshot
+  // mid-observation may see sum/bucket slightly out of step;
+  // single-threaded runs (each simulation replication owns its
   // registry) snapshot exactly.
   std::vector<std::atomic<std::uint64_t>> counts;  // +1 overflow bucket
-  std::atomic<std::uint64_t> count{0};
   std::atomic<double> sum{0.0};
 };
 }  // namespace detail

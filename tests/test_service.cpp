@@ -559,5 +559,77 @@ TEST_F(ServiceTest, PlannerOverrideRejectedUnderAdaptive) {
   EXPECT_THROW(make_service(config), std::invalid_argument);
 }
 
+// ---- locate_many batch transparency ---------------------------------
+
+bool outcomes_equal(const LocationService::LocateOutcome& a,
+                    const LocationService::LocateOutcome& b) {
+  return a.cells_paged == b.cells_paged && a.rounds_used == b.rounds_used &&
+         a.fallback_pages == b.fallback_pages &&
+         a.missed_detections == b.missed_detections &&
+         a.outage_pages == b.outage_pages &&
+         a.dropped_rounds == b.dropped_rounds && a.retries == b.retries &&
+         a.backoff_rounds == b.backoff_rounds &&
+         a.forced_registrations == b.forced_registrations &&
+         a.budget_exhausted == b.budget_exhausted &&
+         a.degraded == b.degraded && a.abandoned == b.abandoned &&
+         a.deadline_limited == b.deadline_limited;
+}
+
+class LocateManyTest : public ServiceTest,
+                       public ::testing::WithParamInterface<bool> {};
+
+TEST_P(LocateManyTest, MatchesSingleLocatesWithSameSeeds) {
+  // Same request stream through N single locate() calls and through one
+  // locate_many on an identically seeded twin service: outcomes must be
+  // field-identical, plan cache on or off (the test parameter).
+  LocationService::Config config;
+  config.enable_plan_cache = GetParam();
+  // Imperfect detection makes locate consume rng draws, so this also
+  // pins the draw ORDER inside the batch, not just the plan.
+  config.detection_probability = 0.7;
+  LocationService single = make_service(config);
+  LocationService batched = make_service(config);
+  prob::Rng rng_single(99);
+  prob::Rng rng_batched(99);
+
+  const std::vector<std::vector<UserId>> groups = {
+      {0, 1}, {2, 3}, {0, 2, 3}, {1}, {0, 1, 2, 3}, {3, 1}};
+  const CellId cells[] = {0, 7, 20, 35};  // where the users registered
+
+  std::vector<LocationService::LocateOutcome> single_outcomes;
+  std::vector<std::vector<CellId>> truths;
+  for (const std::vector<UserId>& users : groups) {
+    std::vector<CellId> truth;
+    for (const UserId user : users) truth.push_back(cells[user]);
+    truths.push_back(std::move(truth));
+    single_outcomes.push_back(
+        single.locate(users, truths.back(), rng_single));
+  }
+
+  std::vector<LocationService::LocateRequest> requests;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    requests.push_back({groups[i], truths[i], {}});
+  }
+  const std::vector<LocationService::LocateOutcome> batched_outcomes =
+      batched.locate_many(requests, rng_batched);
+
+  ASSERT_EQ(batched_outcomes.size(), single_outcomes.size());
+  for (std::size_t i = 0; i < single_outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes_equal(single_outcomes[i], batched_outcomes[i]))
+        << "call " << i;
+  }
+  // The rng streams stayed in lockstep too.
+  EXPECT_EQ(rng_single.next_u64(), rng_batched.next_u64());
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanCacheOnOff, LocateManyTest,
+                         ::testing::Bool());
+
+TEST_F(ServiceTest, LocateManyEmptyBatchIsANoOp) {
+  LocationService service = make_service({});
+  prob::Rng rng(5);
+  EXPECT_TRUE(service.locate_many({}, rng).empty());
+}
+
 }  // namespace
 }  // namespace confcall::cellular

@@ -10,9 +10,15 @@
 //                 [--planner greedy|blanket|exact|typed|cap<N>|resilient]
 //                 [--objective all|any|k] [--k K]
 //                 [--format text|csv]
-//                 [--deadline-ms D]
+//                 [--deadline-ms D] [--batch N]
 //                 [--mc TRIALS] [--threads N] [--mc-seed S]
 //                 [--metrics[=json|prom]] [--trace-out FILE]
+//
+// --batch N replans the same instance N times back to back on one warm
+// footing (thread-local arena scratch, planner state) and reports the
+// batch throughput — the CLI face of the batched locate path. Every
+// repeat must reproduce the reported strategy exactly; a mismatch is an
+// error (planning is deterministic).
 //
 // --mc TRIALS cross-checks the analytic expected paging with a sharded
 // Monte-Carlo execution of the strategy on --threads N workers (0 = all
@@ -37,6 +43,7 @@
 //
 // Example:
 //   ./tools/confcall_plan --instance area.txt --rounds 3 --planner greedy
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -102,6 +109,7 @@ int main(int argc, char** argv) {
     const auto mc_seed =
         static_cast<std::uint64_t>(cli.get_int("mc-seed", 1));
     const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+    const std::int64_t batch = cli.get_int("batch", 0);
     const std::string trace_out = cli.get_string("trace-out", "");
     const bool want_metrics = cli.has("metrics");
     const std::string metrics_format =
@@ -117,13 +125,16 @@ int main(int argc, char** argv) {
       std::cerr << "usage: confcall_plan --instance FILE --rounds D "
                    "[--planner greedy|blanket|exact|typed|cap<N>|resilient] "
                    "[--objective all|any|k] [--k K] [--format text|csv] "
-                   "[--deadline-ms D] "
+                   "[--deadline-ms D] [--batch N] "
                    "[--mc TRIALS] [--threads N] [--mc-seed S] "
                    "[--metrics[=json|prom]] [--trace-out FILE]\n";
       return 2;
     }
     if (mc_trials < 0 || threads < 0) {
       throw std::invalid_argument("--mc and --threads must be >= 0");
+    }
+    if (batch < 0) {
+      throw std::invalid_argument("--batch must be >= 0");
     }
     if (deadline_ms < 0) {
       throw std::invalid_argument("--deadline-ms must be >= 0");
@@ -176,6 +187,25 @@ int main(int argc, char** argv) {
     const double stddev =
         std::sqrt(core::paging_variance(instance, strategy, objective));
 
+    // --batch: replan back to back on one warm footing (thread-local
+    // arena scratch stays hot) and report the throughput. Determinism
+    // check included: every repeat must reproduce the strategy above.
+    double batch_plans_per_sec = 0.0;
+    if (batch > 0) {
+      using Clock = std::chrono::steady_clock;
+      const auto start = Clock::now();
+      for (std::int64_t i = 0; i < batch; ++i) {
+        if (planner->plan(instance, rounds) != strategy) {
+          throw std::logic_error(
+              "--batch: repeat plan diverged from the reported strategy");
+        }
+      }
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      batch_plans_per_sec =
+          seconds > 0.0 ? static_cast<double>(batch) / seconds : 0.0;
+    }
+
     std::optional<core::MonteCarloEstimate> mc;
     if (mc_trials > 0) {
       const support::Span span(tracer.get(), "monte_carlo");
@@ -224,6 +254,12 @@ int main(int argc, char** argv) {
                                support::TextTable::fmt(mc->std_error, 6),
                                support::TextTable::fmt(mc->trials)});
       }
+      if (batch > 0) {
+        header.insert(header.end(), {"batch_plans", "batch_plans_per_sec"});
+        row.insert(row.end(),
+                   {support::TextTable::fmt(static_cast<std::size_t>(batch)),
+                    support::TextTable::fmt(batch_plans_per_sec, 0)});
+      }
       support::TextTable table(header);
       table.add_row(row);
       std::cout << table.to_csv();
@@ -241,6 +277,11 @@ int main(int argc, char** argv) {
       if (mc) {
         std::cout << "monte carlo     : " << mc->mean << " +/- "
                   << mc->std_error << " (" << mc->trials << " trials)\n";
+      }
+      if (batch > 0) {
+        std::cout << "batch replan    : " << batch << " plans, "
+                  << static_cast<std::uint64_t>(batch_plans_per_sec)
+                  << " plans/sec (all identical)\n";
       }
       if (resilient != nullptr) {
         if (deadline_ms > 0) {

@@ -18,8 +18,14 @@
 //                   (scenarios without admission control always
 //                   report healthy)
 //   GET  /traces    recent sampled spans, Chrome trace_event JSON
-//   POST /locate    serve one conference call right now and report the
-//                   outcome as JSON (503 when admission sheds it)
+//   POST /locate    serve conference calls right now and report the
+//                   outcomes as JSON. The body grammar lives in
+//                   cellular/locate_api.h: empty body or one object =
+//                   one call (503 when admission sheds it); a JSON
+//                   array = a batch served through
+//                   LocationService::locate_many (200 with per-element
+//                   "admitted" verdicts). Malformed bodies get 400
+//                   with a JSON error.
 //
 // Tracing is always on at a deterministic 1-in-N sample (--trace-every,
 // default 64; 0 disables) through support::SamplingTracer, so /traces
@@ -60,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "cellular/locate_api.h"
 #include "cellular/simulator.h"
 #include "cellular/workload.h"
 #include "core/planner.h"
@@ -67,6 +74,7 @@
 #include "prob/rng.h"
 #include "support/cli.h"
 #include "support/http.h"
+#include "support/json.h"
 #include "support/metrics.h"
 #include "support/overload.h"
 #include "support/slo_controller.h"
@@ -333,30 +341,99 @@ int main(int argc, char** argv) {
     support::install_observability_routes(
         server, &registry, tracer.get(),
         admission ? &*admission : nullptr, slo.get());
-    server.handle("POST", "/locate", [&](const support::HttpRequest&) {
-      std::lock_guard<std::mutex> lock(sim_mutex);
-      const cellular::CallEvent event = forced_calls.maybe_call(rng);
-      cellular::LocationService::LocateOutcome outcome;
-      const bool admitted = serve_call(event, &outcome);
+    server.handle("POST", "/locate", [&](const support::HttpRequest&
+                                             http_request) {
       support::HttpResponse response;
       response.content_type = "application/json";
-      std::ostringstream os;
-      if (!admitted) {
-        response.status = 503;
-        os << "{\"admitted\": false, \"participants\": "
-           << event.participants.size() << "}\n";
-      } else {
-        os << "{\"admitted\": true, \"participants\": "
-           << event.participants.size()
-           << ", \"cells_paged\": " << outcome.cells_paged
-           << ", \"rounds_used\": " << outcome.rounds_used
-           << ", \"retries\": " << outcome.retries
-           << ", \"abandoned\": " << (outcome.abandoned ? "true" : "false")
-           << ", \"degraded\": " << (outcome.degraded ? "true" : "false")
-           << ", \"deadline_limited\": "
-           << (outcome.deadline_limited ? "true" : "false") << "}\n";
+      // Parse outside the sim lock: malformed input never touches (or
+      // blocks) the simulation state.
+      cellular::LocateApiRequest api;
+      try {
+        api = cellular::parse_locate_body(http_request.body,
+                                          config.num_users);
+      } catch (const std::exception& error) {
+        response.status = 400;
+        response.body = "{\"error\": \"" +
+                        support::json_escape(error.what()) + "\"}\n";
+        return response;
       }
-      response.body = os.str();
+
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      // One admission pass over the whole batch, then a single
+      // locate_many over the admitted calls — the batch amortizes the
+      // span root, the batch-size histogram and every per-call scratch
+      // structure inside the service.
+      struct PendingCall {
+        std::vector<cellular::UserId> users;
+        std::vector<cellular::CellId> true_cells;
+        cellular::LocationService::LocateContext context;
+        bool admitted = false;
+      };
+      std::vector<PendingCall> pending;
+      pending.reserve(api.calls.size());
+      std::vector<cellular::LocationService::LocateRequest> admitted;
+      admitted.reserve(api.calls.size());
+      for (const cellular::LocateCallSpec& spec : api.calls) {
+        PendingCall call;
+        call.users = spec.users.empty()
+                         ? forced_calls.maybe_call(rng).participants
+                         : spec.users;
+        arrivals_metric.inc();
+        call.admitted = true;
+        if (admission) {
+          const support::AdmissionController::Decision decision =
+              admission->admit(static_cast<double>(call.users.size()));
+          if (decision == support::AdmissionController::Decision::kShed) {
+            shed_metric.inc();
+            call.admitted = false;
+          } else if (decision ==
+                     support::AdmissionController::Decision::
+                         kAdmitDegraded) {
+            call.context.plan_cheap = true;
+          }
+          if (call.admitted && overload.call_deadline_ns != 0) {
+            call.context.deadline = support::Deadline::after(
+                overload.call_deadline_ns, clock);
+          }
+        }
+        if (call.admitted) {
+          call.true_cells.reserve(call.users.size());
+          for (const cellular::UserId user : call.users) {
+            call.true_cells.push_back(user_cells[user]);
+          }
+        }
+        pending.push_back(std::move(call));
+      }
+      for (const PendingCall& call : pending) {
+        if (!call.admitted) continue;
+        admitted.push_back({call.users, call.true_cells, call.context});
+      }
+      const std::vector<cellular::LocationService::LocateOutcome> outcomes =
+          service.locate_many(admitted, rng);
+
+      std::string body;
+      std::size_t next_outcome = 0;
+      if (api.batch) {
+        body += "[";
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          if (i > 0) body += ", ";
+          const PendingCall& call = pending[i];
+          cellular::append_outcome_json(
+              body, call.admitted, call.users.size(),
+              call.admitted ? &outcomes[next_outcome] : nullptr);
+          if (call.admitted) ++next_outcome;
+        }
+        body += "]\n";
+      } else {
+        // Single-call contract (empty body or one object): 503 on shed.
+        const PendingCall& call = pending.front();
+        if (!call.admitted) response.status = 503;
+        cellular::append_outcome_json(
+            body, call.admitted, call.users.size(),
+            call.admitted ? &outcomes.front() : nullptr);
+        body += "\n";
+      }
+      response.body = std::move(body);
       return response;
     });
 
