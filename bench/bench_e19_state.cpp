@@ -1,0 +1,460 @@
+// Experiment E19 — crash-safe serving: durable checkpoints and warm
+// restart.
+//
+// PR8 added the versioned, checksummed state_io checkpoint format and
+// threaded save_state / restore_state through LocationService, the
+// SloController and confcall_serve. This harness gates the four claims
+// that make the crash-safety story real, and emits BENCH_E19.json:
+//
+//   * Warm restart recovers the SLO faster than a cold start. A plant
+//     model on a ManualClock closes the loop around a REAL
+//     SloController + AdmissionController: the plant's p99 is 8 ms
+//     while the admission token rate is above its capacity knee and
+//     2 ms once the rate has been cut below it (target 4 ms). A cold
+//     start at the deployment default rate needs several AIMD halvings
+//     to reach the knee; a warm start restores the converged actuators
+//     from a checkpoint and must re-attain the SLO within <= 2 control
+//     periods (the ISSUE gate), strictly faster than cold.
+//   * Checkpointing is cheap: the E18 batched locate loop with a
+//     checkpoint written on a 100 ms wall-clock grid (the daemon's
+//     --checkpoint-every-ms model) must keep >= 95% of the
+//     checkpoint-free throughput (checkpoint_throughput_ratio).
+//   * Checkpoints are a pure function of state: after an identical
+//     deterministic drive, serializing from ThreadPool sizes 1/2/8
+//     (every task under the same mutex the daemon uses) must produce
+//     byte-identical files across tasks AND across pool sizes.
+//   * The loader rejects damage: a truncation + bit-flip + magic +
+//     version sweep over a real checkpoint file must come back 100%
+//     rejected as typed cold starts — never a crash, never a silent
+//     acceptance.
+//
+// Flags (shared bench set): --smoke, --threads N (unused, accepted for
+// uniformity), --out FILE (default BENCH_E19.json).
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cellular/service.h"
+#include "cellular/topology.h"
+#include "prob/rng.h"
+#include "support/cli.h"
+#include "support/metrics.h"
+#include "support/overload.h"
+#include "support/slo_controller.h"
+#include "support/state_io.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace confcall;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---- 1. Warm vs cold SLO recovery (plant model, ManualClock). ---------
+
+constexpr std::uint64_t kRoundNs = 1'000'000;          // 1 ms per round
+constexpr std::uint64_t kTargetP99Ns = 4'000'000;      // 4 ms SLO
+constexpr std::uint64_t kControlPeriodNs = 100'000'000;  // 100 ms
+/// The plant's capacity knee: token rates above this overload it.
+constexpr double kKneeRefillPerSec = 17.0;
+/// The deployment-default token rate a cold start boots with.
+constexpr double kColdRefillPerSec = 256.0;
+
+/// One control stand: a real controller + admission pair around a
+/// synthetic plant whose p99 is a function of the token-rate actuator.
+struct Stand {
+  explicit Stand(double initial_refill)
+      : rounds(registry.histogram("confcall_locate_rounds",
+                                  support::HistogramSpec::integers(16),
+                                  "rounds")),
+        admission(make_admission(initial_refill), clock),
+        slo(make_options(), registry, admission, clock, kRoundNs) {}
+
+  static support::AdmissionOptions make_admission(double refill) {
+    support::AdmissionOptions options;
+    options.refill_per_sec = refill;
+    return options;
+  }
+
+  static support::SloOptions make_options() {
+    support::SloOptions options;
+    options.target_p99_ns = kTargetP99Ns;
+    options.control_period_ns = kControlPeriodNs;
+    options.min_interval_calls = 4;
+    return options;
+  }
+
+  /// Overloaded above the knee (8 ms p99, breach), healthy below it
+  /// (2 ms, within SLO).
+  double plant_rounds() const {
+    return slo.refill_per_sec() > kKneeRefillPerSec ? 8.0 : 2.0;
+  }
+
+  /// Runs control periods until the measured interval p99 is within the
+  /// SLO; returns how many periods that took. When `checkpoint_out` is
+  /// given, captures the controller state at the START of the recovered
+  /// period — the converged operating point a steady-state daemon
+  /// checkpoint records.
+  std::size_t periods_to_slo(std::size_t max_periods,
+                             std::string* checkpoint_out = nullptr) {
+    for (std::size_t period = 1; period <= max_periods; ++period) {
+      const std::string before = slo.save_state();
+      const double rounds_used = plant_rounds();
+      for (int call = 0; call < 32; ++call) rounds.observe(rounds_used);
+      clock.advance(kControlPeriodNs);
+      slo.step();
+      if (slo.observed_p99_ns() <= kTargetP99Ns) {
+        if (checkpoint_out != nullptr) *checkpoint_out = before;
+        return period;
+      }
+    }
+    return max_periods + 1;  // never recovered
+  }
+
+  support::MetricRegistry registry;
+  support::ManualClock clock;
+  support::Histogram rounds;
+  support::AdmissionController admission;
+  support::SloController slo;
+};
+
+// ---- 2/3. Checkpoint overhead + byte-identity on the E18 harness. -----
+
+struct Harness {
+  cellular::GridTopology grid{12, 12, true,
+                              cellular::Neighborhood::kVonNeumann};
+  cellular::LocationAreas areas = cellular::LocationAreas::tiles(grid, 3, 3);
+  cellular::MarkovMobility mobility{grid, 0.9};
+  prob::Rng rng{1313};
+  std::vector<cellular::CellId> cells;
+  cellular::LocationService service;
+
+  explicit Harness(support::MetricRegistry& registry)
+      : cells(make_cells(rng, grid)),
+        service(grid, areas, mobility, make_config(registry), cells) {}
+
+  static std::vector<cellular::CellId> make_cells(
+      prob::Rng& rng, const cellular::GridTopology& grid) {
+    std::vector<cellular::CellId> cells(96);
+    for (auto& cell : cells) {
+      cell = static_cast<cellular::CellId>(rng.next_below(grid.num_cells()));
+    }
+    return cells;
+  }
+
+  static cellular::LocationService::Config make_config(
+      support::MetricRegistry& registry) {
+    cellular::LocationService::Config config;
+    config.profile_kind = cellular::ProfileKind::kStationary;
+    config.max_paging_rounds = 3;
+    config.enable_plan_cache = true;
+    config.metrics = cellular::ServiceMetrics::create(registry);
+    return config;
+  }
+};
+
+struct CallFixture {
+  std::array<cellular::UserId, 3> users;
+  std::array<cellular::CellId, 3> truth;
+};
+
+/// Locates/sec through locate_many at batch size 8 (the E18 throughput
+/// shape). When `checkpoint_path` is non-empty, a full service
+/// checkpoint is written through save_state_file on a `period_ms`
+/// wall-clock grid, exactly like the daemon's --checkpoint-every-ms
+/// loop; `checkpoints_out` / `bytes_out` report what was written.
+double run_locate_loop(std::size_t n_calls, const std::string& checkpoint_path,
+                       double period_ms, std::size_t* checkpoints_out,
+                       std::size_t* bytes_out) {
+  constexpr std::size_t kBatch = 8;
+  support::MetricRegistry registry;
+  Harness harness(registry);
+  std::vector<CallFixture> fixtures(kBatch);
+  std::vector<cellular::LocationService::LocateRequest> requests(kBatch);
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    requests[b] = {fixtures[b].users, fixtures[b].truth, {}};
+  }
+  std::size_t done = 0;
+  std::size_t checkpoints = 0;
+  std::size_t bytes = 0;
+  const auto start = Clock::now();
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(std::max(period_ms, 1.0)));
+  auto next_checkpoint = start + period;  // daemon grid: one period in
+  std::size_t batches = 0;
+  while (done < n_calls) {
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        fixtures[b].users[i] = static_cast<cellular::UserId>(
+            i * 32 + harness.rng.next_below(32));
+        fixtures[b].truth[i] = harness.cells[fixtures[b].users[i]];
+      }
+    }
+    (void)harness.service.locate_many(requests, harness.rng);
+    done += kBatch;
+    // Poll the grid every 16 batches: a clock read per batch is loop
+    // overhead the daemon (which checkpoints per serve step) never pays.
+    if (checkpoint_path.empty() || (++batches & 15) != 0) continue;
+    if (Clock::now() >= next_checkpoint) {
+      while (Clock::now() >= next_checkpoint) next_checkpoint += period;
+      support::StateBundle bundle;
+      bundle.add(cellular::LocationService::kStateSection,
+                 cellular::LocationService::kStateVersion,
+                 harness.service.save_state());
+      bytes = support::save_state_file(checkpoint_path, bundle);
+      ++checkpoints;
+    }
+  }
+  const double elapsed = seconds_since(start);
+  if (checkpoints_out != nullptr) *checkpoints_out = checkpoints;
+  if (bytes_out != nullptr) *bytes_out = bytes;
+  return static_cast<double>(done) / elapsed;
+}
+
+/// Drives a fresh harness through a fixed deterministic request stream
+/// so its post-drive state is reproducible run over run.
+void deterministic_drive(Harness& harness, std::size_t n_calls) {
+  constexpr std::size_t kBatch = 8;
+  prob::Rng fixture_rng(4242);
+  std::vector<CallFixture> fixtures(kBatch);
+  std::vector<cellular::LocationService::LocateRequest> requests(kBatch);
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    requests[b] = {fixtures[b].users, fixtures[b].truth, {}};
+  }
+  for (std::size_t done = 0; done < n_calls; done += kBatch) {
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        fixtures[b].users[i] = static_cast<cellular::UserId>(
+            i * 32 + fixture_rng.next_below(32));
+        fixtures[b].truth[i] = harness.cells[fixtures[b].users[i]];
+      }
+    }
+    (void)harness.service.locate_many(requests, harness.rng);
+  }
+}
+
+/// After identical drives, checkpoint files produced from ThreadPool
+/// sizes 1/2/8 (every serialization under one mutex, the daemon's
+/// sim_mutex discipline) must be byte-identical across tasks and across
+/// pool sizes.
+bool check_thread_byte_identity(std::size_t drive_calls,
+                                const std::string& path_prefix,
+                                std::string* reference_file_out) {
+  std::string reference;
+  bool identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    support::MetricRegistry registry;
+    Harness harness(registry);
+    deterministic_drive(harness, drive_calls);
+    std::vector<std::string> blobs(threads);
+    std::mutex sim_mutex;
+    support::ThreadPool pool(threads);
+    pool.parallel_for(threads, [&](std::size_t task) {
+      std::lock_guard<std::mutex> lock(sim_mutex);
+      support::StateBundle bundle;
+      bundle.add(cellular::LocationService::kStateSection,
+                 cellular::LocationService::kStateVersion,
+                 harness.service.save_state());
+      const std::string path =
+          path_prefix + "." + std::to_string(threads) + "." +
+          std::to_string(task) + ".bin";
+      (void)support::save_state_file(path, bundle);
+      std::ifstream in(path, std::ios::binary);
+      blobs[task] = std::string(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+      (void)std::remove(path.c_str());
+    });
+    for (const std::string& blob : blobs) {
+      if (reference.empty()) {
+        reference = blob;
+        continue;
+      }
+      identical = identical && blob == reference;
+    }
+  }
+  if (reference_file_out != nullptr) *reference_file_out = reference;
+  return identical && !reference.empty();
+}
+
+// ---- 4. Corruption sweep over a real checkpoint file. -----------------
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Every damaged variant must load as a typed failure. Returns how many
+/// of `total` variants were correctly rejected (pass needs all).
+std::size_t corruption_sweep(const std::string& path, const std::string& whole,
+                             bool smoke, std::size_t* total_out) {
+  std::size_t total = 0;
+  std::size_t rejected = 0;
+  const auto probe = [&](const std::string& bytes) {
+    write_raw(path, bytes);
+    ++total;
+    if (!support::load_state_file(path).ok()) ++rejected;
+  };
+  const std::size_t stride = smoke ? 31 : 7;
+  for (std::size_t len = 0; len < whole.size(); len += stride) {
+    probe(whole.substr(0, len));  // torn write / truncation
+  }
+  for (std::size_t pos = 0; pos < whole.size(); pos += stride) {
+    std::string bent = whole;
+    bent[pos] = static_cast<char>(bent[pos] ^ (1 << (pos % 8)));
+    probe(bent);  // single-bit flip
+  }
+  probe(std::string("NOTCONFC") + whole.substr(8));  // foreign magic
+  {
+    std::string bent = whole;
+    bent[8] = static_cast<char>(support::kStateFileVersion + 1);
+    probe(bent);  // version skew
+  }
+  probe(whole + "x");  // trailing garbage
+  // And the pristine bytes must still load (counted separately: an
+  // over-eager loader that rejects everything would "pass" the sweep).
+  write_raw(path, whole);
+  const bool pristine_ok = support::load_state_file(path).ok();
+  (void)std::remove(path.c_str());
+  *total_out = total;
+  return pristine_ok ? rejected : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::BenchFlags flags;
+  try {
+    flags = support::parse_bench_flags(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_e19_state: " << error.what() << "\n";
+    return 2;
+  }
+  const bool smoke = flags.smoke;
+  const std::string out_path =
+      flags.out.empty() ? "BENCH_E19.json" : flags.out;
+  const std::string scratch =
+      "bench_e19_scratch_" + std::to_string(::getpid());
+  std::cout << "E19: crash-safe serving — durable checkpoints, warm restart"
+            << (smoke ? " (smoke)" : "") << "\n";
+
+  // ---- 1. Warm vs cold recovery (always gated).
+  Stand cold(kColdRefillPerSec);
+  std::string converged_checkpoint;
+  const std::size_t cold_periods =
+      cold.periods_to_slo(64, &converged_checkpoint);
+
+  Stand warm(kColdRefillPerSec);
+  const bool restored = warm.slo.restore_state(
+      converged_checkpoint, support::SloController::kStateVersion);
+  const std::size_t warm_periods =
+      restored ? warm.periods_to_slo(64) : std::size_t{65};
+  const bool recovery_ok =
+      restored && warm_periods <= 2 && cold_periods > warm_periods;
+
+  // ---- 2. Checkpoint overhead on the E18 batched locate loop
+  // (best-of-3 interleaved passes, same noise defence as E18). The run
+  // must span several 100 ms checkpoint windows, or one checkpoint's
+  // fixed cost dominates a run shorter than its amortization period.
+  const std::size_t n = smoke ? 300000 : 600000;
+  double best_plain = 0.0;
+  double best_checkpointed = 0.0;
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_bytes = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    best_plain = std::max(best_plain,
+                          run_locate_loop(n, "", 0.0, nullptr, nullptr));
+    std::size_t written = 0;
+    std::size_t bytes = 0;
+    best_checkpointed = std::max(
+        best_checkpointed,
+        run_locate_loop(n, scratch + ".ckpt.bin", 100.0, &written, &bytes));
+    checkpoints_written = std::max(checkpoints_written, written);
+    if (bytes != 0) checkpoint_bytes = bytes;
+  }
+  (void)std::remove((scratch + ".ckpt.bin").c_str());
+  const double ratio = best_checkpointed / best_plain;
+  const bool overhead_ok = ratio >= 0.95 && checkpoints_written >= 1;
+
+  // ---- 3. Byte-identity across ThreadPool sizes 1/2/8.
+  std::string reference_file;
+  const bool threads_identical = check_thread_byte_identity(
+      smoke ? 512 : 4096, scratch, &reference_file);
+
+  // ---- 4. Corruption sweep over the reference checkpoint.
+  std::size_t corrupt_total = 0;
+  const std::size_t corrupt_rejected = corruption_sweep(
+      scratch + ".sweep.bin", reference_file, smoke, &corrupt_total);
+  const bool corruption_ok =
+      corrupt_total > 0 && corrupt_rejected == corrupt_total;
+
+  // ---- Report.
+  support::TextTable table({"metric", "value"});
+  table.add_row({"cold-start recovery (control periods)",
+                 support::TextTable::fmt(cold_periods)});
+  table.add_row({"warm-restart recovery (control periods)",
+                 support::TextTable::fmt(warm_periods) + " (need <= 2)"});
+  table.add_row(
+      {"locates/sec (no checkpoints)", support::TextTable::fmt(best_plain, 0)});
+  table.add_row({"locates/sec (100 ms checkpoint grid)",
+                 support::TextTable::fmt(best_checkpointed, 0)});
+  table.add_row({"checkpoint throughput ratio",
+                 support::TextTable::fmt(ratio, 3) + "x (need >= 0.95x)"});
+  table.add_row({"checkpoints written / bytes each",
+                 support::TextTable::fmt(checkpoints_written) + " / " +
+                     support::TextTable::fmt(checkpoint_bytes)});
+  table.add_row({"checkpoint bytes identical @1/2/8 threads",
+                 threads_identical ? "yes" : "NO"});
+  table.add_row({"corrupt variants rejected",
+                 support::TextTable::fmt(corrupt_rejected) + " / " +
+                     support::TextTable::fmt(corrupt_total)});
+  std::cout << "\n" << table;
+
+  const bool ok =
+      recovery_ok && overhead_ok && threads_identical && corruption_ok;
+  std::cout << "\ninvariants (warm restart <= 2 periods and faster than "
+            << "cold, checkpointing keeps >= 95% throughput, checkpoints "
+            << "byte-identical across thread counts, all damage rejected): "
+            << (ok ? "PASS" : "FAIL (BUG)") << "\n";
+
+  // ---- Machine-readable trajectory record.
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"experiment\": \"E19\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"recovery\": {\n"
+       << "    \"cold_recovery_periods\": " << cold_periods << ",\n"
+       << "    \"warm_recovery_periods\": " << warm_periods << ",\n"
+       << "    \"restore_applied\": " << (restored ? "true" : "false")
+       << "\n  },\n"
+       << "  \"checkpointing\": {\n"
+       << "    \"locates_per_sec_plain\": " << best_plain << ",\n"
+       << "    \"locates_per_sec_checkpointed\": " << best_checkpointed
+       << ",\n"
+       << "    \"checkpoints_written\": " << checkpoints_written << ",\n"
+       << "    \"checkpoint_bytes\": " << checkpoint_bytes << "\n  },\n"
+       << "  \"checkpoint_throughput_ratio\": " << ratio << ",\n"
+       << "  \"warm_recovery_periods\": " << warm_periods << ",\n"
+       << "  \"byte_identical_across_threads\": "
+       << (threads_identical ? "true" : "false") << ",\n"
+       << "  \"corrupt_files_rejected\": " << corrupt_rejected << ",\n"
+       << "  \"corrupt_files_total\": " << corrupt_total << ",\n"
+       << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  return ok ? 0 : 1;
+}

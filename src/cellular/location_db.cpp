@@ -58,4 +58,11 @@ void LocationDatabase::record_report(UserId user, CellId cell) {
   steps_since_report_.at(user) = 0;
 }
 
+void LocationDatabase::restore_record(UserId user, CellId cell,
+                                      std::size_t steps) {
+  reported_cell_.at(user) = cell;
+  reported_area_.at(user) = areas_->area_of(cell);
+  steps_since_report_.at(user) = steps;
+}
+
 }  // namespace confcall::cellular

@@ -65,6 +65,11 @@ class LocationDatabase {
   /// reports its location (it answered a base station).
   void record_report(UserId user, CellId cell);
 
+  /// Overwrites one device's record wholesale — checkpoint restore. The
+  /// reported area is re-derived from the cell (the class invariant).
+  /// Throws std::out_of_range on an unknown user or cell.
+  void restore_record(UserId user, CellId cell, std::size_t steps);
+
  private:
   const LocationAreas* areas_;
   std::vector<std::size_t> reported_area_;

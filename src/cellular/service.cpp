@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 #include "cellular/profile.h"
@@ -9,6 +10,7 @@
 #include "core/evaluator.h"
 #include "core/greedy.h"
 #include "core/planner.h"
+#include "support/state_io.h"
 
 namespace confcall::cellular {
 
@@ -703,6 +705,146 @@ std::vector<LocationService::LocateOutcome> LocationService::locate_many(
         locate(request.users, request.true_cells, rng, request.context));
   }
   return outcomes;
+}
+
+std::string LocationService::save_state() const {
+  support::StateWriter writer;
+  // Shape guard: everything the payload's interpretation depends on. A
+  // restore against a different topology or policy set must reject
+  // before touching a single record.
+  writer.put_u64(num_users());
+  writer.put_u64(grid_->num_cells());
+  writer.put_u64(areas_->num_areas());
+  writer.put_u8(static_cast<std::uint8_t>(config_.report_policy));
+  writer.put_u8(static_cast<std::uint8_t>(config_.paging_policy));
+  writer.put_u8(static_cast<std::uint8_t>(config_.profile_kind));
+  writer.put_u64(config_.max_paging_rounds);
+
+  // Location database: the reported area re-derives from the cell.
+  for (UserId user = 0; user < num_users(); ++user) {
+    writer.put_u32(db_.reported_cell(user));
+    writer.put_u64(db_.steps_since_report(user));
+  }
+
+  // Visit statistics — the learned empirical distribution the paper's
+  // planner quality rides on.
+  for (const std::vector<double>& row : visit_counts_) {
+    for (const double count : row) writer.put_f64(count);
+  }
+
+  // Plan cache: per-area shards with every live entry. Entries carry
+  // their input signature, so restored entries self-invalidate on lookup
+  // when planning inputs drifted since the checkpoint.
+  for (const PlanCacheShard& shard : plan_cache_) {
+    writer.put_u64(shard.next_slot);
+    writer.put_u64(shard.entries.size());
+    for (const PlanCacheEntry& entry : shard.entries) {
+      writer.put_u64(entry.signature);
+      writer.put_f64(entry.expected_paging);
+      writer.put_u64(entry.strategy.num_cells());
+      const auto& groups = entry.strategy.groups();
+      writer.put_u64(groups.size());
+      for (const std::vector<CellId>& group : groups) {
+        writer.put_u64(group.size());
+        for (const CellId cell : group) writer.put_u32(cell);
+      }
+    }
+  }
+  return std::move(writer).take();
+}
+
+bool LocationService::restore_state(std::string_view payload,
+                                    std::uint32_t version) {
+  if (version != kStateVersion) return false;
+  try {
+    support::StateReader reader(payload);
+
+    // Shape guard first: any mismatch is a clean cold start.
+    if (reader.get_u64() != num_users()) return false;
+    if (reader.get_u64() != grid_->num_cells()) return false;
+    if (reader.get_u64() != areas_->num_areas()) return false;
+    if (reader.get_u8() != static_cast<std::uint8_t>(config_.report_policy)) {
+      return false;
+    }
+    if (reader.get_u8() != static_cast<std::uint8_t>(config_.paging_policy)) {
+      return false;
+    }
+    if (reader.get_u8() != static_cast<std::uint8_t>(config_.profile_kind)) {
+      return false;
+    }
+    if (reader.get_u64() != config_.max_paging_rounds) return false;
+
+    // Parse everything into temporaries and validate before committing:
+    // a payload rejected halfway must not leave the service half-warm.
+    const std::size_t users = num_users();
+    const std::size_t cells = grid_->num_cells();
+    std::vector<std::pair<CellId, std::size_t>> records;
+    records.reserve(users);
+    for (std::size_t user = 0; user < users; ++user) {
+      const CellId cell = reader.get_u32();
+      if (cell >= cells) return false;
+      const std::uint64_t steps = reader.get_u64();
+      records.emplace_back(cell, static_cast<std::size_t>(steps));
+    }
+
+    std::vector<std::vector<double>> visits(users);
+    for (std::size_t user = 0; user < users; ++user) {
+      visits[user].reserve(cells);
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        const double count = reader.get_f64();
+        if (!std::isfinite(count) || count < 0.0) return false;
+        visits[user].push_back(count);
+      }
+    }
+
+    std::vector<PlanCacheShard> cache(areas_->num_areas());
+    for (std::size_t area = 0; area < cache.size(); ++area) {
+      PlanCacheShard& shard = cache[area];
+      const std::uint64_t next_slot =
+          reader.get_count(PlanCacheShard::kCapacity);
+      shard.next_slot = static_cast<std::size_t>(next_slot);
+      const std::uint64_t entries =
+          reader.get_count(PlanCacheShard::kCapacity);
+      const std::size_t area_cells = areas_->cells_in(area).size();
+      for (std::uint64_t i = 0; i < entries; ++i) {
+        PlanCacheEntry entry{0, core::Strategy::blanket(1), -1.0};
+        entry.signature = reader.get_u64();
+        entry.expected_paging = reader.get_f64();
+        if (std::isnan(entry.expected_paging)) return false;
+        const std::uint64_t num_cells = reader.get_u64();
+        if (num_cells != area_cells) return false;
+        const std::uint64_t num_groups = reader.get_count(num_cells);
+        std::vector<std::vector<CellId>> groups(num_groups);
+        for (std::uint64_t g = 0; g < num_groups; ++g) {
+          const std::uint64_t group_size = reader.get_count(num_cells);
+          groups[g].reserve(group_size);
+          for (std::uint64_t c = 0; c < group_size; ++c) {
+            groups[g].push_back(reader.get_u32());
+          }
+        }
+        // from_groups re-checks every strategy invariant (partition,
+        // ranges, non-empty groups) — a forged payload that survives the
+        // checksum still cannot install a malformed strategy.
+        entry.strategy = core::Strategy::from_groups(
+            std::move(groups), static_cast<std::size_t>(num_cells));
+        shard.entries.push_back(std::move(entry));
+      }
+    }
+    if (!reader.at_end()) return false;
+
+    // Commit.
+    for (std::size_t user = 0; user < users; ++user) {
+      db_.restore_record(static_cast<UserId>(user), records[user].first,
+                         records[user].second);
+    }
+    visit_counts_ = std::move(visits);
+    plan_cache_ = std::move(cache);
+    return true;
+  } catch (const support::StateFormatError&) {
+    return false;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
 }
 
 }  // namespace confcall::cellular

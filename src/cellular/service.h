@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -337,6 +339,31 @@ class LocationService {
 
   /// The database record, for inspection.
   [[nodiscard]] const LocationDatabase& database() const { return db_; }
+
+  /// Section name + version for checkpoint bundles (see
+  /// support/state_io.h).
+  static constexpr const char* kStateSection = "location_service";
+  static constexpr std::uint32_t kStateVersion = 1;
+
+  /// Serializes the service's learned state — the location database
+  /// records, per-user visit statistics, and every plan-cache entry
+  /// (signature, strategy, expected paging) — prefixed with a shape
+  /// guard (user/cell/area counts and the policy knobs the bytes depend
+  /// on). Pure function of the logical state: identical state yields
+  /// identical bytes regardless of thread count.
+  [[nodiscard]] std::string save_state() const;
+
+  /// Restores a kStateSection payload written by save_state against a
+  /// freshly constructed service over the SAME topology and config.
+  /// All-or-nothing: the payload is fully parsed and validated (shape
+  /// guard, cell ranges, strategy invariants via Strategy::from_groups)
+  /// before any field is touched, so a rejected payload leaves the
+  /// service in its cold-start state. Returns false on any mismatch or
+  /// malformed payload; NEVER throws on bad input. Restored plan-cache
+  /// entries are still signature-checked on lookup, so an entry whose
+  /// planning inputs changed since the checkpoint simply misses.
+  [[nodiscard]] bool restore_state(std::string_view payload,
+                                   std::uint32_t version);
 
  private:
   bool page_answered(std::size_t cohabitants, prob::Rng& rng) const;

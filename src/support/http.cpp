@@ -11,8 +11,10 @@
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "support/metrics.h"
 #include "support/slo_controller.h"
@@ -62,14 +64,19 @@ void arm_send_timeout(int fd, std::uint64_t budget_ns) {
   (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-void send_all(int fd, const std::string& data) {
+// Returns false when the peer stopped reading (EPIPE/ECONNRESET/send
+// timeout) — the caller counts it; there is nobody left to answer.
+// MSG_NOSIGNAL keeps a dead peer an errno, never a SIGPIPE.
+[[nodiscard]] bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away or timed out; nothing to do
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 std::string render_response(const HttpResponse& response) {
@@ -83,8 +90,8 @@ std::string render_response(const HttpResponse& response) {
   return os.str();
 }
 
-void send_response(int fd, const HttpResponse& response) {
-  send_all(fd, render_response(response));
+[[nodiscard]] bool send_response(int fd, const HttpResponse& response) {
+  return send_all(fd, render_response(response));
 }
 
 HttpResponse plain_status(int status, const std::string& body) {
@@ -92,6 +99,21 @@ HttpResponse plain_status(int status, const std::string& body) {
   response.status = status;
   response.body = body + "\n";
   return response;
+}
+
+// Strict Content-Length: decimal digits only, no sign, no whitespace,
+// no trailing junk, bounded width. std::stoul would accept "+5", " 5"
+// and "5x" — exactly the ambiguity request-smuggling rides on.
+[[nodiscard]] bool parse_content_length(const std::string& text,
+                                        std::size_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
 }
 
 /// Reads one request; returns false (with `error` filled) on a
@@ -125,7 +147,11 @@ bool read_request(int fd, const HttpServerOptions& options,
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
     if (buffer.size() > options.max_request_bytes) {
-      *error = plain_status(431, "request too large");
+      // Before the blank line this is a runaway header block (431);
+      // after it, body bytes pushed past the cap (413).
+      *error = header_end == std::string::npos
+                   ? plain_status(431, "header block too large")
+                   : plain_status(413, "request body too large");
       return false;
     }
     if (header_end == std::string::npos) {
@@ -161,18 +187,21 @@ bool read_request(int fd, const HttpServerOptions& options,
     request->query = query_pos == std::string::npos
                          ? std::string{}
                          : target.substr(query_pos + 1);
+    // Missing Content-Length means an empty body (every scraper GET and
+    // the bodyless curl -X POST smoke path); a present but non-numeric
+    // one is malformed, not zero.
     std::size_t content_length = 0;
     const std::string length_header = request->header("content-length");
-    if (!length_header.empty()) {
-      try {
-        content_length = std::stoul(length_header);
-      } catch (const std::exception&) {
-        *error = plain_status(400, "bad Content-Length");
-        return false;
-      }
+    if (!length_header.empty() &&
+        !parse_content_length(length_header, &content_length)) {
+      *error = plain_status(400, "bad Content-Length");
+      return false;
     }
-    if (header_end + 4 + content_length > options.max_request_bytes) {
-      *error = plain_status(431, "request too large");
+    if (content_length > options.max_request_bytes ||
+        header_end + 4 + content_length > options.max_request_bytes) {
+      // The headers fit; the declared payload does not. Reject from the
+      // declaration alone — never read a body the cap already rules out.
+      *error = plain_status(413, "request body too large");
       return false;
     }
     if (buffer.size() >= header_end + 4 + content_length) {
@@ -201,6 +230,7 @@ const char* http_status_reason(int status) noexcept {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -332,8 +362,11 @@ void HttpServer::accept_loop() {
     }
     if (shed) {
       connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      reject_queue_full_.inc();
       arm_send_timeout(fd, options_.read_deadline_ns);
-      send_response(fd, plain_status(503, "connection queue full"));
+      if (!send_response(fd, plain_status(503, "connection queue full"))) {
+        send_failed_metric_.inc();
+      }
       ::close(fd);
     } else {
       queue_cv_.notify_one();
@@ -369,7 +402,8 @@ void HttpServer::serve_connection(int fd) {
   HttpRequest request;
   HttpResponse error;
   if (!read_request(fd, options_, &request, &error)) {
-    send_response(fd, error);
+    count_rejection(error.status);
+    if (!send_response(fd, error)) send_failed_metric_.inc();
     ::close(fd);
     return;
   }
@@ -395,14 +429,61 @@ void HttpServer::serve_connection(int fd) {
                           : plain_status(404, "not found");
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  send_response(fd, response);
+  if (!send_response(fd, response)) send_failed_metric_.inc();
   ::close(fd);
+}
+
+void HttpServer::count_rejection(int status) const noexcept {
+  switch (status) {
+    case 400: reject_malformed_.inc(); break;
+    case 408: reject_slow_client_.inc(); break;
+    case 413: reject_body_too_large_.inc(); break;
+    case 431: reject_header_too_large_.inc(); break;
+    case 503: reject_queue_full_.inc(); break;
+    default: break;
+  }
+}
+
+void HttpServer::bind_metrics(MetricRegistry& registry) {
+  if (running_) {
+    throw std::logic_error("HttpServer: bind_metrics before start()");
+  }
+  const std::string help =
+      "Hostile or malformed connections rejected at the protocol layer, "
+      "by reject class";
+  reject_malformed_ = registry.counter("confcall_http_rejections_total",
+                                       help, {{"class", "malformed"}});
+  reject_slow_client_ = registry.counter("confcall_http_rejections_total",
+                                         help, {{"class", "slow_client"}});
+  reject_body_too_large_ = registry.counter(
+      "confcall_http_rejections_total", help, {{"class", "body_too_large"}});
+  reject_header_too_large_ =
+      registry.counter("confcall_http_rejections_total", help,
+                       {{"class", "header_too_large"}});
+  reject_queue_full_ = registry.counter("confcall_http_rejections_total",
+                                        help, {{"class", "queue_full"}});
+  send_failed_metric_ = registry.counter(
+      "confcall_http_send_failed_total",
+      "Responses the peer stopped reading mid-write (EPIPE, ECONNRESET "
+      "or send timeout on a half-written response)");
+}
+
+const char* readiness_name(Readiness state) noexcept {
+  switch (state) {
+    case Readiness::kStarting: return "starting";
+    case Readiness::kRestoring: return "restoring";
+    case Readiness::kWarmup: return "warmup";
+    case Readiness::kReady: return "ready";
+    case Readiness::kDraining: return "draining";
+  }
+  return "?";
 }
 
 void install_observability_routes(HttpServer& server, MetricRegistry* registry,
                                   Tracer* tracer,
                                   AdmissionController* admission,
-                                  SloController* slo) {
+                                  SloController* slo,
+                                  ReadinessGate* readiness) {
   if (registry == nullptr) {
     throw std::invalid_argument(
         "install_observability_routes: registry is required");
@@ -445,6 +526,20 @@ void install_observability_routes(HttpServer& server, MetricRegistry* registry,
     }
     os << "}\n";
     response.body = os.str();
+    return response;
+  });
+  server.handle("GET", "/readyz", [readiness](const HttpRequest&) {
+    // Readiness, not liveness: /healthz says "the process is sound",
+    // this says "send me traffic". A warm restart keeps /readyz at 503
+    // through restore and warmup while /healthz is already 200.
+    const Readiness state =
+        readiness == nullptr ? Readiness::kReady : readiness->state();
+    HttpResponse response;
+    response.status = state == Readiness::kReady ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = std::string("{\"ready\": ") +
+                    (state == Readiness::kReady ? "true" : "false") +
+                    ", \"state\": \"" + readiness_name(state) + "\"}\n";
     return response;
   });
   server.handle("GET", "/traces", [tracer](const HttpRequest&) {
@@ -528,6 +623,219 @@ HttpClientResponse http_get(const std::string& host, std::uint16_t port,
                             const std::string& target,
                             std::uint64_t timeout_ns) {
   return http_request(host, port, "GET", target, "", timeout_ns);
+}
+
+const char* socket_fault_class_name(SocketFaultClass fault) noexcept {
+  switch (fault) {
+    case SocketFaultClass::kTornWrite: return "torn_write";
+    case SocketFaultClass::kMidBodyDisconnect: return "mid_body_disconnect";
+    case SocketFaultClass::kSlowLorisHeaders: return "slow_loris_headers";
+    case SocketFaultClass::kOversizedHeaders: return "oversized_headers";
+    case SocketFaultClass::kOversizedBody: return "oversized_body";
+    case SocketFaultClass::kGarbagePipelining: return "garbage_pipelining";
+  }
+  return "?";
+}
+
+namespace {
+
+// Reads whatever the server answers until EOF or the deadline; fills
+// status (when the bytes parse as an HTTP status line), raw, and
+// clean_close (an orderly FIN, not an error or injector timeout).
+void drain_reaction(int fd, const Deadline& deadline,
+                    SocketFaultInjector::Outcome* outcome) {
+  char chunk[4096];
+  while (true) {
+    const std::uint64_t remaining =
+        deadline.remaining_ns(SteadyClockSource::shared());
+    if (remaining == 0) break;  // server never reacted within patience
+    arm_recv_timeout(fd, remaining);
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-check
+      // ECONNRESET and friends: not a clean close, but bytes already
+      // drained (a response followed by a reset — the flood classes,
+      // where the server closes on unread abuse) still parse below.
+      break;
+    }
+    if (n == 0) {
+      outcome->clean_close = true;
+      break;
+    }
+    outcome->raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (outcome->raw.rfind("HTTP/1.", 0) == 0) {
+    const std::size_t space = outcome->raw.find(' ');
+    if (space != std::string::npos && space + 4 <= outcome->raw.size()) {
+      int status = 0;
+      bool digits = true;
+      for (std::size_t i = space + 1; i < space + 4; ++i) {
+        const char c = outcome->raw[i];
+        if (c < '0' || c > '9') {
+          digits = false;
+          break;
+        }
+        status = status * 10 + (c - '0');
+      }
+      if (digits) outcome->status = status;
+    }
+  }
+}
+
+// Best-effort send that never throws: the server closing on us
+// mid-abuse is a reaction, not an injector failure.
+bool send_ignoring_failure(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// True when response bytes are already waiting (the server reacted
+// while the injector was still misbehaving).
+bool reaction_pending(int fd) {
+  char probe;
+  const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n > 0) return true;
+  if (n == 0) return true;  // orderly close is a reaction too
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
+}  // namespace
+
+std::uint64_t SocketFaultInjector::next_u64() noexcept {
+  // splitmix64: tiny, seedable, and good enough to vary cut points and
+  // garbage bytes deterministically.
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+SocketFaultInjector::Outcome SocketFaultInjector::run(
+    const std::string& host, std::uint16_t port, SocketFaultClass fault,
+    std::uint64_t patience_ns) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("SocketFaultInjector: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("SocketFaultInjector: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("SocketFaultInjector: connect");
+  }
+  arm_send_timeout(fd, patience_ns);
+  const Deadline deadline =
+      Deadline::after(patience_ns, SteadyClockSource::shared());
+
+  Outcome outcome;
+  switch (fault) {
+    case SocketFaultClass::kTornWrite: {
+      // A complete, valid POST cut at a random interior byte, then a
+      // half-close: the server sees EOF mid-request -> 400.
+      std::string body(32, 'x');
+      const std::string request =
+          "POST /locate HTTP/1.1\r\nHost: h\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body;
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(next_u64() % (request.size() - 1));
+      (void)send_ignoring_failure(fd,
+                                  std::string_view(request).substr(0, cut));
+      (void)::shutdown(fd, SHUT_WR);
+      break;
+    }
+    case SocketFaultClass::kMidBodyDisconnect: {
+      // Headers promise 64 body bytes; a random short prefix arrives,
+      // then EOF -> 400.
+      const std::size_t sent_bytes =
+          static_cast<std::size_t>(next_u64() % 32);
+      std::string partial;
+      for (std::size_t i = 0; i < sent_bytes; ++i) {
+        partial.push_back(static_cast<char>('a' + (next_u64() % 26)));
+      }
+      (void)send_ignoring_failure(
+          fd,
+          "POST /locate HTTP/1.1\r\nHost: h\r\nContent-Length: 64\r\n\r\n" +
+              partial);
+      (void)::shutdown(fd, SHUT_WR);
+      break;
+    }
+    case SocketFaultClass::kSlowLorisHeaders: {
+      // One byte at a time, never finishing the header block, until the
+      // server's read deadline answers 408 (or patience runs out).
+      std::string drip = "GET / HTTP/1.1\r\n";
+      while (!deadline.expired(SteadyClockSource::shared())) {
+        if (reaction_pending(fd)) break;
+        if (drip.empty()) {
+          drip = "X-Slow-" +
+                 std::to_string(next_u64() % 1000) + ": trickle\r\n";
+        }
+        if (!send_ignoring_failure(fd, std::string_view(&drip[0], 1))) {
+          break;  // server gave up on us — go read its parting words
+        }
+        drip.erase(0, 1);
+        timespec nap{0, 1'000'000};  // 1 ms between bytes
+        (void)::nanosleep(&nap, nullptr);
+      }
+      break;
+    }
+    case SocketFaultClass::kOversizedHeaders: {
+      // A header block that never ends, shipped in chunks until the
+      // server's size cap answers 431. Stop the moment it reacts so its
+      // response is read before any RST can discard it.
+      (void)send_ignoring_failure(fd, "GET / HTTP/1.1\r\nHost: h\r\n");
+      const std::string filler_line =
+          "X-Filler: " + std::string(4000, 'f') + "\r\n";
+      // 1024 lines ~ 4 MB, far past any configured cap.
+      for (int i = 0; i < 1024; ++i) {
+        if (reaction_pending(fd)) break;
+        if (!send_ignoring_failure(fd, filler_line)) break;
+        if (deadline.expired(SteadyClockSource::shared())) break;
+      }
+      break;
+    }
+    case SocketFaultClass::kOversizedBody: {
+      // Honest headers declaring a payload past any sane cap; the
+      // server must reject from the declaration alone (413), never
+      // swallow gigabytes first. No body byte is ever sent.
+      (void)send_ignoring_failure(
+          fd,
+          "POST /locate HTTP/1.1\r\nHost: h\r\n"
+          "Content-Length: 1073741824\r\n\r\n");
+      break;
+    }
+    case SocketFaultClass::kGarbagePipelining: {
+      // A garbage request line (random bytes, no CR/LF) terminated like
+      // a real header block, with a second request pipelined behind it:
+      // the garbage earns 400 and the connection closes (one request
+      // per connection), so the pipelined request must never be served.
+      std::string garbage;
+      for (int i = 0; i < 64; ++i) {
+        garbage.push_back(
+            static_cast<char>('!' + (next_u64() % 94)));  // printable
+      }
+      garbage += "\r\n\r\n";
+      garbage += "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n";
+      (void)send_ignoring_failure(fd, garbage);
+      (void)::shutdown(fd, SHUT_WR);
+      break;
+    }
+  }
+
+  drain_reaction(fd, deadline, &outcome);
+  ::close(fd);
+  return outcome;
 }
 
 }  // namespace confcall::support

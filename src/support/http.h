@@ -41,12 +41,12 @@
 #include <utility>
 #include <vector>
 
+#include "support/metrics.h"
 #include "support/overload.h"
 #include "support/thread_pool.h"
 
 namespace confcall::support {
 
-class MetricRegistry;
 class Tracer;
 class AdmissionController;
 class SloController;
@@ -132,10 +132,23 @@ class HttpServer {
     return connections_shed_.load(std::memory_order_relaxed);
   }
 
+  /// Registers the server's hostile-network counters on `registry` and
+  /// binds them (see docs/OBSERVABILITY.md):
+  ///   confcall_http_rejections_total{class=...}  one series per reject
+  ///     class — malformed (400), slow_client (408), body_too_large
+  ///     (413), header_too_large (431), queue_full (503);
+  ///   confcall_http_send_failed_total  responses the peer stopped
+  ///     reading mid-write (EPIPE/ECONNRESET/send timeout) — previously
+  ///     swallowed silently.
+  /// Call before start(); unbound handles no-op, so an unmetered server
+  /// behaves identically. The registry must outlive the server.
+  void bind_metrics(MetricRegistry& registry);
+
  private:
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
+  void count_rejection(int status) const noexcept;
 
   HttpServerOptions options_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
@@ -149,6 +162,47 @@ class HttpServer {
   std::vector<int> pending_;
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_shed_{0};
+  // Hostile-network telemetry (unbound until bind_metrics).
+  Counter send_failed_metric_;
+  Counter reject_malformed_;       ///< class="malformed"        (400)
+  Counter reject_slow_client_;     ///< class="slow_client"      (408)
+  Counter reject_body_too_large_;  ///< class="body_too_large"   (413)
+  Counter reject_header_too_large_;  ///< class="header_too_large" (431)
+  Counter reject_queue_full_;      ///< class="queue_full"       (503)
+};
+
+/// Readiness phases of a serving process, ordered by lifecycle. Only
+/// kReady answers /readyz with 200 — a balancer holds traffic through
+/// restore and warmup (warm restart) and releases the backend before
+/// drain completes (graceful shutdown).
+enum class Readiness {
+  kStarting,   ///< process up, state not yet examined
+  kRestoring,  ///< loading/validating a --state-in checkpoint
+  kWarmup,     ///< serving loop warming (cold or warm) before steady state
+  kReady,      ///< take traffic
+  kDraining,   ///< shutting down; finish in-flight work, accept nothing new
+};
+
+[[nodiscard]] const char* readiness_name(Readiness state) noexcept;
+
+/// Shared readiness flag between the serving loop (writer) and the
+/// /readyz handler (reader). Plain atomic — transitions are rare and
+/// monotonicity is the caller's business (a warm restart walks
+/// kStarting -> kRestoring -> kWarmup -> kReady -> kDraining).
+class ReadinessGate {
+ public:
+  void set(Readiness state) noexcept {
+    state_.store(state, std::memory_order_release);
+  }
+  [[nodiscard]] Readiness state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool ready() const noexcept {
+    return state() == Readiness::kReady;
+  }
+
+ private:
+  std::atomic<Readiness> state_{Readiness::kStarting};
 };
 
 /// Wires the standard observability surface onto `server` (all GET):
@@ -162,6 +216,11 @@ class HttpServer {
 ///             the status ALSO flips to 503 on a "degrading" verdict
 ///             (projected breach) so traffic drains BEFORE the SLO is
 ///             broken, not after. No admission controller: always 200.
+///   /readyz   readiness, distinct from /healthz liveness: 200 only in
+///             the kReady phase, 503 during restore, warmup and drain —
+///             the balancer signal that holds traffic through a warm
+///             restart. Without a gate, /readyz is always 200 (a server
+///             with no lifecycle is trivially ready).
 ///   /traces   recent sampled spans as Chrome trace_event JSON (no
 ///             tracer: an empty trace)
 /// The pointees must outlive the server; registry is required.
@@ -170,7 +229,8 @@ void install_observability_routes(HttpServer& server,
                                   MetricRegistry* registry,
                                   Tracer* tracer = nullptr,
                                   AdmissionController* admission = nullptr,
-                                  SloController* slo = nullptr);
+                                  SloController* slo = nullptr,
+                                  ReadinessGate* readiness = nullptr);
 
 /// A minimal blocking client for tests, benches and smoke checks: one
 /// request, reads to connection close. Throws std::runtime_error on
@@ -186,5 +246,62 @@ struct HttpClientResponse {
 [[nodiscard]] HttpClientResponse http_get(
     const std::string& host, std::uint16_t port, const std::string& target,
     std::uint64_t timeout_ns = 5'000'000'000);
+
+/// Hostile-client behaviours the fault injector can aim at a server.
+/// Each class has a documented contract (the status the server must
+/// answer, or a clean close) — see docs/DESIGN.md §13.
+enum class SocketFaultClass {
+  kTornWrite,          ///< request cut mid-bytes, half-closed -> 400
+  kMidBodyDisconnect,  ///< full headers, partial body, half-closed -> 400
+  kSlowLorisHeaders,   ///< byte-at-a-time headers, never finishing -> 408
+  kOversizedHeaders,   ///< header block past max_request_bytes -> 431
+  kOversizedBody,      ///< Content-Length past max_request_bytes -> 413
+  kGarbagePipelining,  ///< binary garbage + pipelined junk -> 400
+};
+
+[[nodiscard]] const char* socket_fault_class_name(
+    SocketFaultClass fault) noexcept;
+
+inline constexpr SocketFaultClass kAllSocketFaultClasses[] = {
+    SocketFaultClass::kTornWrite,       SocketFaultClass::kMidBodyDisconnect,
+    SocketFaultClass::kSlowLorisHeaders, SocketFaultClass::kOversizedHeaders,
+    SocketFaultClass::kOversizedBody,   SocketFaultClass::kGarbagePipelining,
+};
+
+/// A deterministic hostile HTTP client: connects to a real server and
+/// misbehaves in one of the SocketFaultClass ways, then reports how the
+/// server reacted. All randomness (cut points, garbage bytes) comes from
+/// an internal splitmix64 stream seeded at construction, so a sweep with
+/// the same seed sends byte-identical abuse — the fd-leak and
+/// status-code invariants in the tests are reproducible, not flaky.
+class SocketFaultInjector {
+ public:
+  explicit SocketFaultInjector(std::uint64_t seed) : state_(seed) {}
+
+  struct Outcome {
+    /// Status the server answered with; 0 when it closed without a
+    /// response.
+    int status = 0;
+    /// The connection ended in an orderly FIN (recv saw EOF) rather
+    /// than an error or an injector-side timeout.
+    bool clean_close = false;
+    /// Raw bytes received, for assertions on the response shape.
+    std::string raw;
+  };
+
+  /// Runs one fault against host:port. `patience_ns` bounds how long
+  /// the injector waits for the server's reaction (keep it above the
+  /// server's read deadline for the slow-loris class). Throws
+  /// std::runtime_error only on injector-side setup failures (socket /
+  /// connect); everything the server does is reported in the Outcome.
+  [[nodiscard]] Outcome run(const std::string& host, std::uint16_t port,
+                            SocketFaultClass fault,
+                            std::uint64_t patience_ns = 5'000'000'000);
+
+ private:
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  std::uint64_t state_;
+};
 
 }  // namespace confcall::support

@@ -1,6 +1,7 @@
 #include "support/slo_controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -242,6 +243,80 @@ void SloController::step_locked() {
   admission_->set_degraded_below(degrade_threshold_);
   refill_metric_.set(refill_per_sec_);
   degrade_metric_.set(degrade_threshold_);
+}
+
+std::string SloController::save_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StateWriter writer;
+  writer.put_f64(refill_per_sec_);
+  writer.put_f64(degrade_threshold_);
+  writer.put_f64(recovery_ewma_ns_);
+  writer.put_u64(cooldown_ns_);
+  writer.put_u64(observed_p99_ns_);
+  writer.put_u64(previous_p99_ns_);
+  writer.put_u8(have_measurement_ ? 1 : 0);
+  writer.put_u8(have_previous_ ? 1 : 0);
+  return std::move(writer).take();
+}
+
+bool SloController::restore_state(std::string_view payload,
+                                  std::uint32_t version) {
+  if (version != kStateVersion) return false;
+  try {
+    StateReader reader(payload);
+    const double refill = reader.get_f64();
+    const double degrade = reader.get_f64();
+    const double ewma = reader.get_f64();
+    const std::uint64_t cooldown = reader.get_u64();
+    const std::uint64_t observed = reader.get_u64();
+    const std::uint64_t previous = reader.get_u64();
+    const bool have_measurement = reader.get_u8() != 0;
+    const bool have_previous = reader.get_u8() != 0;
+    if (!reader.at_end()) return false;
+    // Non-finite actuators would poison every subsequent AIMD step; a
+    // checkpoint carrying them is corrupt in a way the checksum cannot
+    // see (it was written that way), so reject here.
+    if (!std::isfinite(refill) || !std::isfinite(degrade) ||
+        !std::isfinite(ewma) || ewma < 0.0) {
+      return false;
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Clamp back into THIS build's configured ranges: a checkpoint from
+    // a run with wider limits must not install an out-of-range actuator.
+    refill_per_sec_ = std::clamp(refill, options_.min_refill_per_sec,
+                                 options_.max_refill_per_sec);
+    degrade_threshold_ = std::clamp(degrade, degrade_lo_, degrade_hi_);
+    recovery_ewma_ns_ = ewma;
+    cooldown_ns_ = cooldown == 0
+                       ? 0
+                       : std::clamp(cooldown, options_.min_cooldown_ns,
+                                    options_.max_cooldown_ns);
+    observed_p99_ns_ = observed;
+    previous_p99_ns_ = previous;
+    have_measurement_ = have_measurement;
+    have_previous_ = have_previous;
+
+    // Re-apply the warm operating point to the actuators themselves —
+    // restoring only the controller's bookkeeping would leave the
+    // admission controller cold until the first post-restart step.
+    admission_->set_refill_per_sec(refill_per_sec_);
+    admission_->set_degraded_below(degrade_threshold_);
+    if (cooldown_ns_ > 0) {
+      for (CircuitBreaker* breaker : breakers_) {
+        breaker->set_cooldown_ns(cooldown_ns_);
+      }
+    }
+    refill_metric_.set(refill_per_sec_);
+    degrade_metric_.set(degrade_threshold_);
+    observed_metric_.set(static_cast<double>(observed_p99_ns_));
+    if (cooldown_ns_ > 0) {
+      cooldown_metric_.set(static_cast<double>(cooldown_ns_));
+    }
+    return true;
+  } catch (const StateFormatError&) {
+    return false;
+  }
 }
 
 void SloController::bind_metrics(MetricRegistry& registry) {

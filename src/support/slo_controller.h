@@ -53,6 +53,7 @@
 
 #include "support/metrics.h"
 #include "support/overload.h"
+#include "support/state_io.h"
 
 namespace confcall::support {
 
@@ -171,6 +172,26 @@ class SloController {
   [[nodiscard]] const SloOptions& options() const noexcept {
     return options_;
   }
+
+  /// Section name + version for checkpoint bundles (see state_io.h).
+  static constexpr const char* kStateSection = "slo_controller";
+  static constexpr std::uint32_t kStateVersion = 1;
+
+  /// Serializes the actuator + sensor state (token refill rate, degrade
+  /// threshold, recovery-time EWMA, breaker cooldown, p99 history) as a
+  /// kStateSection payload. Pure function of the controller state —
+  /// identical state yields identical bytes.
+  [[nodiscard]] std::string save_state() const;
+
+  /// Restores a kStateSection payload written by save_state: every
+  /// actuator is clamped back into the configured ranges and re-applied
+  /// to the attached admission controller and breakers, so the very next
+  /// control step runs from the warm operating point. Returns false —
+  /// leaving the controller in its cold-start state — on a version this
+  /// build does not speak or a malformed payload; NEVER throws on bad
+  /// input.
+  [[nodiscard]] bool restore_state(std::string_view payload,
+                                   std::uint32_t version);
 
  private:
   void step_locked();

@@ -8,12 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "support/metrics.h"
 #include "support/overload.h"
@@ -267,6 +271,278 @@ TEST(ObservabilityRoutes, TracesServeSampledSpans) {
   bare.stop();
   EXPECT_EQ(empty.body,
             "{\"traceEvents\": [], \"displayTimeUnit\": \"ns\"}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-network behaviour: the fault injector sweep, send-failure
+// accounting, readiness, and protocol edge cases.
+
+namespace {
+
+/// Open fds of this process — the leak invariant the sweep asserts.
+std::size_t count_open_fds() {
+  std::size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;  // includes '.', '..' and the dirfd itself — consistent
+}
+
+/// Sends raw bytes to the server, half-closes, reads the full reaction.
+std::string raw_exchange(std::uint16_t port, const std::string& bytes,
+                         bool trickle = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  if (trickle) {
+    // Byte-at-a-time delivery: the server's read loop must reassemble an
+    // arbitrarily fragmented request (and ride out the EINTR-sized reads
+    // that come with it) without misparsing.
+    for (const char c : bytes) {
+      EXPECT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+    }
+  } else {
+    EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  (void)::shutdown(fd, SHUT_WR);
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
+}  // namespace
+
+TEST(FaultInjector, EveryClassGetsItsDocumentedStatusWithoutFdLeaks) {
+  HttpServerOptions options;
+  options.read_deadline_ns = 200'000'000;  // keep slow-loris runs short
+  MetricRegistry registry;  // before the server: counters must outlive it
+  HttpServer server(options);
+  server.bind_metrics(registry);
+  server.handle("POST", "/locate", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+
+  struct Expectation {
+    SocketFaultClass fault;
+    int status;
+    const char* metric_class;
+  };
+  const Expectation expectations[] = {
+      {SocketFaultClass::kTornWrite, 400, "malformed"},
+      {SocketFaultClass::kMidBodyDisconnect, 400, "malformed"},
+      {SocketFaultClass::kSlowLorisHeaders, 408, "slow_client"},
+      {SocketFaultClass::kOversizedHeaders, 431, "header_too_large"},
+      {SocketFaultClass::kOversizedBody, 413, "body_too_large"},
+      {SocketFaultClass::kGarbagePipelining, 400, "malformed"},
+  };
+
+  const std::size_t fds_before = count_open_fds();
+  SocketFaultInjector injector(0x5eed);
+  for (const Expectation& expected : expectations) {
+    for (int round = 0; round < 3; ++round) {
+      const SocketFaultInjector::Outcome outcome = injector.run(
+          "127.0.0.1", server.port(), expected.fault, 3'000'000'000);
+      EXPECT_EQ(outcome.status, expected.status)
+          << socket_fault_class_name(expected.fault) << " round " << round
+          << " raw: " << outcome.raw.substr(0, 120);
+      // The header flood is the one class where the server rightly
+      // closes on top of unread abuse, so the response arrives with an
+      // RST rather than a FIN; everywhere else the close is orderly.
+      if (expected.fault != SocketFaultClass::kOversizedHeaders) {
+        EXPECT_TRUE(outcome.clean_close)
+            << socket_fault_class_name(expected.fault) << " round "
+            << round;
+      }
+    }
+  }
+
+  // Every worker released its connection fd. Brief settle loop: the last
+  // worker may still be between our EOF-drain and its close().
+  std::size_t fds_after = count_open_fds();
+  for (int i = 0; i < 100 && fds_after > fds_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fds_after = count_open_fds();
+  }
+  EXPECT_EQ(fds_after, fds_before);
+
+  // And each class landed on its labelled rejection counter.
+  server.stop();
+  const RegistrySnapshot snapshot = registry.snapshot();
+  for (const Expectation& expected : expectations) {
+    bool found = false;
+    for (const MetricSnapshot& metric : snapshot.metrics) {
+      if (metric.name != "confcall_http_rejections_total") continue;
+      for (const auto& label : metric.labels) {
+        if (label.second == expected.metric_class) {
+          found = true;
+          EXPECT_GE(metric.counter_value, 3u) << expected.metric_class;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << expected.metric_class;
+  }
+}
+
+TEST(HttpServer, PeerResetDuringResponseIsCountedNotFatal) {
+  MetricRegistry registry;  // before the server: counters must outlive it
+  HttpServer server;
+  server.bind_metrics(registry);
+  install_observability_routes(server, &registry);
+  server.handle("GET", "/slow", [](const HttpRequest&) {
+    // Give the client time to vanish before the response is written.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    HttpResponse response;
+    response.body = std::string(1 << 20, 'x');  // larger than socket buffers
+    return response;
+  });
+  server.start();
+
+  // Ask, then slam the door: SO_LINGER(0) close sends an RST, so the
+  // worker's send hits ECONNRESET/EPIPE on a half-written response. The
+  // contract: counted, never a crash (a SIGPIPE would kill the process)
+  // and never a wedged worker.
+  for (int i = 0; i < 3; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request = "GET /slow HTTP/1.1\r\nHost: t\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+    struct linger hard_close {1, 0};
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                           sizeof(hard_close)),
+              0);
+    ::close(fd);
+  }
+
+  // The server is still fully alive for well-behaved clients...
+  std::uint64_t send_failed = 0;
+  for (int i = 0; i < 100; ++i) {
+    const HttpClientResponse probe =
+        http_get("127.0.0.1", server.port(), "/metrics");
+    ASSERT_EQ(probe.status, 200);
+    // Newline-anchored: the HELP line repeats the metric name.
+    const std::size_t at =
+        probe.body.find("\nconfcall_http_send_failed_total ");
+    ASSERT_NE(at, std::string::npos);
+    send_failed = static_cast<std::uint64_t>(
+        std::stoull(probe.body.substr(at + 33)));
+    if (send_failed >= 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // ...and every torn-off peer was counted.
+  EXPECT_GE(send_failed, 3u);
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, ReadyzTracksTheRestartLifecycle) {
+  MetricRegistry registry;
+  ReadinessGate readiness;
+  HttpServer server;
+  install_observability_routes(server, &registry, nullptr, nullptr, nullptr,
+                               &readiness);
+  server.start();
+
+  // A simulated restart walks the whole lifecycle. Liveness (/healthz)
+  // stays 200 throughout — the process is fine — while readiness
+  // (/readyz) only opens in kReady: a balancer must not route to a
+  // backend that is restoring or draining.
+  const struct {
+    Readiness state;
+    int expected;
+  } phases[] = {
+      {Readiness::kStarting, 503}, {Readiness::kRestoring, 503},
+      {Readiness::kWarmup, 503},   {Readiness::kReady, 200},
+      {Readiness::kDraining, 503},
+  };
+  for (const auto& phase : phases) {
+    readiness.set(phase.state);
+    const HttpClientResponse ready =
+        http_get("127.0.0.1", server.port(), "/readyz");
+    EXPECT_EQ(ready.status, phase.expected)
+        << readiness_name(phase.state);
+    EXPECT_NE(ready.body.find(readiness_name(phase.state)),
+              std::string::npos);
+    EXPECT_EQ(
+        http_get("127.0.0.1", server.port(), "/healthz").status, 200)
+        << readiness_name(phase.state);
+  }
+  server.stop();
+}
+
+TEST(HttpServer, ContentLengthEdgeCasesGetSpecificStatuses) {
+  HttpServerOptions options;
+  options.max_request_bytes = 4096;
+  HttpServer server(options);
+  server.handle("POST", "/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // Missing Content-Length on a POST = empty body, still a valid request
+  // (the CI smoke's bodyless locate depends on this).
+  EXPECT_EQ(raw_exchange(port, "POST /echo HTTP/1.1\r\nHost: t\r\n\r\n")
+                .rfind("HTTP/1.1 200", 0),
+            0u);
+  // Non-numeric, negative, or absurdly long Content-Length values are
+  // malformed — 400, not a crash and not a smuggling vector.
+  EXPECT_EQ(raw_exchange(
+                port,
+                "POST /echo HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+                .rfind("HTTP/1.1 400", 0),
+            0u);
+  EXPECT_EQ(
+      raw_exchange(port, "POST /echo HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+          .rfind("HTTP/1.1 400", 0),
+      0u);
+  EXPECT_EQ(raw_exchange(port,
+                         "POST /echo HTTP/1.1\r\nContent-Length: "
+                         "99999999999999999999\r\n\r\n")
+                .rfind("HTTP/1.1 400", 0),
+            0u);
+  // A declaration past the cap is rejected from the header alone — the
+  // server must not read (or wait for) a body it will never accept.
+  EXPECT_EQ(raw_exchange(port,
+                         "POST /echo HTTP/1.1\r\nContent-Length: "
+                         "1000000\r\n\r\n")
+                .rfind("HTTP/1.1 413", 0),
+            0u);
+  // A header block that overruns the cap before the blank line is 431.
+  EXPECT_EQ(raw_exchange(port,
+                         "GET /echo HTTP/1.1\r\nX-Big: " +
+                             std::string(8192, 'x') + "\r\n\r\n")
+                .rfind("HTTP/1.1 431", 0),
+            0u);
+  // Byte-at-a-time delivery of a valid request still parses to 200.
+  EXPECT_EQ(raw_exchange(port,
+                         "POST /echo HTTP/1.1\r\nContent-Length: "
+                         "2\r\n\r\nhi",
+                         /*trickle=*/true)
+                .rfind("HTTP/1.1 200", 0),
+            0u);
+  server.stop();
 }
 
 }  // namespace

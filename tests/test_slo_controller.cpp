@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/metrics.h"
@@ -303,6 +306,85 @@ TEST(SloController, TrajectoryIsBitReproducible) {
   // Bit-identical doubles, not just approximately equal.
   EXPECT_EQ(a.slo.refill_per_sec(), b.slo.refill_per_sec());
   EXPECT_EQ(a.slo.degrade_threshold(), b.slo.degrade_threshold());
+}
+
+TEST(SloControllerState, SaveRestoreReappliesActuators) {
+  // Converge one stand to a non-default operating point, carry its
+  // save_state() into a fresh stand, and the fresh stand's actuators —
+  // including the admission controller itself, not just the mirror —
+  // must land on the same position without re-paying the transient.
+  Stand warm(test_options());
+  for (int i = 0; i < 3; ++i) warm.interval(8, 8.0);  // 64 -> 8 /s
+  warm.interval(8, 1.0);                              // recover to 16 /s
+  const std::string payload = warm.slo.save_state();
+
+  Stand fresh(test_options());
+  ASSERT_DOUBLE_EQ(fresh.slo.refill_per_sec(), 64.0);
+  ASSERT_TRUE(fresh.slo.restore_state(payload, SloController::kStateVersion));
+  EXPECT_EQ(fresh.slo.refill_per_sec(), warm.slo.refill_per_sec());
+  EXPECT_EQ(fresh.slo.degrade_threshold(), warm.slo.degrade_threshold());
+  EXPECT_EQ(fresh.slo.observed_p99_ns(), warm.slo.observed_p99_ns());
+  EXPECT_DOUBLE_EQ(fresh.admission.options().refill_per_sec,
+                   warm.slo.refill_per_sec());
+  EXPECT_DOUBLE_EQ(fresh.admission.options().degraded_below,
+                   warm.slo.degrade_threshold());
+
+  // Round trip is exact: the restored controller re-saves identical
+  // bytes (the E19 byte-identity gate leans on this).
+  EXPECT_EQ(fresh.slo.save_state(), payload);
+}
+
+TEST(SloControllerState, RestoreClampsIntoThisBuildsRanges) {
+  // A checkpoint converged under wide limits must not install an
+  // out-of-range actuator into a build configured with narrow ones.
+  Stand wide(test_options());
+  for (int i = 0; i < 25; ++i) wide.interval(8, 1.0);  // ramp to the cap
+  ASSERT_GT(wide.slo.refill_per_sec(), 100.0);
+  const std::string payload = wide.slo.save_state();
+
+  SloOptions narrow = test_options();
+  narrow.min_refill_per_sec = 10.0;
+  narrow.max_refill_per_sec = 80.0;
+  Stand stand(narrow);
+  ASSERT_TRUE(stand.slo.restore_state(payload, SloController::kStateVersion));
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), 80.0);
+  EXPECT_DOUBLE_EQ(stand.admission.options().refill_per_sec, 80.0);
+}
+
+TEST(SloControllerState, RestoreRejectsDamageWithoutSideEffects) {
+  Stand donor(test_options());
+  donor.interval(8, 8.0);
+  const std::string good = donor.slo.save_state();
+
+  Stand stand(test_options());
+  const double refill_before = stand.slo.refill_per_sec();
+
+  // Version skew.
+  EXPECT_FALSE(
+      stand.slo.restore_state(good, SloController::kStateVersion + 1));
+  // Truncated at every prefix length.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(stand.slo.restore_state(
+        std::string_view(good).substr(0, len), SloController::kStateVersion))
+        << "prefix " << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(stand.slo.restore_state(good + "x",
+                                       SloController::kStateVersion));
+  // Non-finite actuator positions (NaN refill).
+  std::string nan_payload = good;
+  StateWriter nan_writer;
+  nan_writer.put_f64(std::numeric_limits<double>::quiet_NaN());
+  nan_payload.replace(0, 8, nan_writer.bytes());
+  EXPECT_FALSE(stand.slo.restore_state(nan_payload,
+                                       SloController::kStateVersion));
+
+  // Every rejection left the controller untouched.
+  EXPECT_DOUBLE_EQ(stand.slo.refill_per_sec(), refill_before);
+  EXPECT_EQ(stand.slo.control_steps(), 0u);
+
+  // And the undamaged payload still restores.
+  EXPECT_TRUE(stand.slo.restore_state(good, SloController::kStateVersion));
 }
 
 }  // namespace

@@ -43,6 +43,7 @@ LOWER_IS_BETTER = (
     "trips",
     "skips",
     "deadline_limited",
+    "recovery_periods",
 )
 HIGHER_IS_BETTER = (
     "per_sec",

@@ -33,7 +33,24 @@
 //
 // Shutdown is graceful: SIGINT/SIGTERM stop the locate loop, drain the
 // HTTP server (accepted connections are still answered), dump a final
-// registry snapshot (--snapshot-out, JSON), and exit 0.
+// registry snapshot (--snapshot-out, JSON, written atomically), and
+// exit 0.
+//
+// Crash safety (DESIGN.md §13): --state-out F checkpoints the learned
+// serving state — the location database, visit statistics, plan cache
+// and SLO actuator positions — through support/state_io's atomic
+// versioned+checksummed writer, every --checkpoint-every-ms on the
+// clock's period grid plus once at shutdown. --state-in F restores a
+// checkpoint at startup; a valid one skips warmup entirely (warm
+// restart: the DB, cache and controller resume at their converged
+// operating point), while a missing, torn, corrupt or version-skewed
+// file is REJECTED into a counted cold start
+// (confcall_state_restore_total{result=...}) — never a crash. GET
+// /readyz stays 503 through restore and warmup so a balancer holds
+// traffic until the process is actually warm. --supervise wraps the
+// whole daemon in a fork/exec supervisor: the child is restarted on any
+// unclean exit with exponential backoff and a bounded crash-loop budget
+// (--max-restarts, reset after a healthy run).
 //
 //   confcall_serve [--scenario dense-urban|campus|highway|degraded-urban|
 //                              overloaded-urban]
@@ -42,6 +59,9 @@
 //                  [--trace-every N] [--trace-capacity N]
 //                  [--slo-p99-ms MS] [--control-period-ms MS]
 //                  [--seed S] [--snapshot-out FILE]
+//                  [--state-in FILE] [--state-out FILE]
+//                  [--checkpoint-every-ms MS]
+//                  [--supervise] [--max-restarts N]
 //
 // --slo-p99-ms T attaches a closed-loop SloController (requires a
 // scenario with admission control, e.g. overloaded-urban): every
@@ -54,6 +74,10 @@
 // resolved port for scripts (the CI smoke test starts the daemon with an
 // ephemeral port, reads the file, curls /healthz and /metrics, then
 // SIGTERMs and asserts a clean exit). --steps 0 runs until a signal.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -78,6 +102,7 @@
 #include "support/metrics.h"
 #include "support/overload.h"
 #include "support/slo_controller.h"
+#include "support/state_io.h"
 #include "support/trace.h"
 
 namespace {
@@ -89,6 +114,117 @@ std::atomic<bool> g_stop{false};
 
 void on_signal(int /*signum*/) { g_stop.store(true); }
 
+// Supervisor state: the live child's pid for signal forwarding.
+std::atomic<pid_t> g_child{0};
+std::atomic<bool> g_supervisor_stop{false};
+
+void on_supervisor_signal(int signum) {
+  g_supervisor_stop.store(true);
+  const pid_t child = g_child.load();
+  if (child > 0) (void)::kill(child, signum);  // async-signal-safe
+}
+
+/// --supervise: fork/exec the same command line (minus the supervisor
+/// flags) and keep it alive. A clean child exit (status 0) ends the
+/// supervisor; any crash or unclean exit earns an exponential-backoff
+/// restart from a bounded crash-loop budget. A child that stays up past
+/// the healthy threshold refills the budget, so a daemon that crashes
+/// once a day restarts forever while a boot-loop dies fast and loudly.
+/// SIGINT/SIGTERM are forwarded to the child so graceful drain still
+/// works through the supervisor.
+int run_supervisor(int argc, char** argv, std::int64_t max_restarts) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--supervise" || arg.rfind("--supervise=", 0) == 0 ||
+        arg.rfind("--max-restarts=", 0) == 0) {
+      continue;
+    }
+    if (arg == "--max-restarts") {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+      continue;
+    }
+    args.push_back(arg);
+  }
+
+  (void)std::signal(SIGINT, on_supervisor_signal);
+  (void)std::signal(SIGTERM, on_supervisor_signal);
+
+  constexpr std::uint64_t kHealthyRunNs = 10'000'000'000;  // 10 s
+  constexpr std::uint64_t kBackoffStartMs = 100;
+  constexpr std::uint64_t kBackoffCapMs = 5'000;
+  const support::ClockSource& clock = support::SteadyClockSource::shared();
+  std::int64_t restarts_left = max_restarts;
+  std::uint64_t backoff_ms = kBackoffStartMs;
+
+  while (true) {
+    const std::uint64_t started_ns = clock.now_ns();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "confcall_serve: supervisor fork failed\n";
+      return 1;
+    }
+    if (pid == 0) {
+      std::vector<char*> child_argv;
+      child_argv.reserve(args.size() + 1);
+      for (const std::string& a : args) {
+        child_argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      child_argv.push_back(nullptr);
+      // /proc/self/exe instead of argv[0]: execv does not search PATH,
+      // and the supervisor must relaunch THIS binary regardless of how
+      // it was invoked.
+      (void)::execv("/proc/self/exe", child_argv.data());
+      ::_exit(127);  // exec failed; plain exit would re-run atexit state
+    }
+    g_child.store(pid);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+      if (errno != EINTR) {
+        status = -1;
+        break;
+      }
+    }
+    g_child.store(0);
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      std::cout << "confcall_serve: supervised child exited cleanly"
+                << std::endl;
+      return 0;
+    }
+    const std::string how =
+        WIFSIGNALED(status)
+            ? "killed by signal " + std::to_string(WTERMSIG(status))
+            : "exited with status " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                   : -1);
+    if (g_supervisor_stop.load()) {
+      // We asked it to stop; an unclean death during drain is still the
+      // end of the line, not a restart.
+      std::cerr << "confcall_serve: supervised child " << how
+                << " during shutdown\n";
+      return 1;
+    }
+    if (clock.now_ns() - started_ns >= kHealthyRunNs) {
+      restarts_left = max_restarts;
+      backoff_ms = kBackoffStartMs;
+    }
+    if (restarts_left <= 0) {
+      std::cerr << "confcall_serve: supervised child " << how
+                << "; crash-loop budget exhausted, giving up\n";
+      return 1;
+    }
+    --restarts_left;
+    std::cout << "confcall_serve: supervised child " << how
+              << "; restarting in " << backoff_ms << " ms ("
+              << restarts_left << " restarts left)" << std::endl;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    if (g_supervisor_stop.load()) return 1;
+    backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+  }
+}
+
 constexpr const char* kUsage =
     "usage: confcall_serve"
     " [--scenario dense-urban|campus|highway|degraded-urban|"
@@ -97,17 +233,28 @@ constexpr const char* kUsage =
     " [--steps N] [--step-ms MS]"
     " [--trace-every N] [--trace-capacity N]"
     " [--slo-p99-ms MS] [--control-period-ms MS]"
-    " [--seed S] [--snapshot-out FILE]\n"
+    " [--seed S] [--snapshot-out FILE]"
+    " [--state-in FILE] [--state-out FILE] [--checkpoint-every-ms MS]"
+    " [--supervise] [--max-restarts N]\n"
     "\n"
     "Runs the location-management service as a daemon: a paced locate\n"
     "loop over the chosen scenario plus an HTTP observability surface\n"
-    "(GET /metrics /vars /healthz /traces, POST /locate). --port 0 binds\n"
-    "an ephemeral port (--port-file writes the resolved one); --steps 0\n"
-    "serves until SIGINT/SIGTERM, which drain gracefully and dump a\n"
-    "final snapshot to --snapshot-out. --slo-p99-ms T closes the loop:\n"
-    "an SloController holds the admitted-latency p99 at T ms by adapting\n"
-    "admission and breaker knobs every --control-period-ms (default\n"
-    "1000; needs a scenario with admission control).\n";
+    "(GET /metrics /vars /healthz /readyz /traces, POST /locate).\n"
+    "--port 0 binds an ephemeral port (--port-file writes the resolved\n"
+    "one); --steps 0 serves until SIGINT/SIGTERM, which drain gracefully\n"
+    "and dump a final snapshot to --snapshot-out. --slo-p99-ms T closes\n"
+    "the loop: an SloController holds the admitted-latency p99 at T ms\n"
+    "by adapting admission and breaker knobs every --control-period-ms\n"
+    "(default 1000; needs a scenario with admission control).\n"
+    "\n"
+    "Crash safety: --state-out F writes an atomic, checksummed\n"
+    "checkpoint of the learned serving state every --checkpoint-every-ms\n"
+    "(0 = only at shutdown) and --state-in F restores one at startup —\n"
+    "a valid checkpoint skips warmup (warm restart), a damaged one is a\n"
+    "counted cold start, never a crash. /readyz answers 503 until the\n"
+    "process is warm. --supervise runs the daemon under a fork/exec\n"
+    "supervisor with exponential-backoff restarts bounded by\n"
+    "--max-restarts (default 5, refilled after a 10 s healthy run).\n";
 
 cellular::Scenario find_scenario(const std::string& name,
                                  std::uint64_t seed) {
@@ -131,6 +278,13 @@ int main(int argc, char** argv) {
       std::cout << kUsage;
       return 0;
     }
+    if (cli.has("supervise")) {
+      const std::int64_t max_restarts = cli.get_int("max-restarts", 5);
+      if (max_restarts < 0) {
+        throw std::invalid_argument("--max-restarts must be >= 0");
+      }
+      return run_supervisor(argc, argv, max_restarts);
+    }
     const std::string scenario_name =
         cli.get_string("scenario", "dense-urban");
     const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
@@ -145,8 +299,19 @@ int main(int argc, char** argv) {
         cli.get_int("control-period-ms", 1000);
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     const std::string snapshot_out = cli.get_string("snapshot-out", "");
+    const std::string state_in = cli.get_string("state-in", "");
+    const std::string state_out = cli.get_string("state-out", "");
+    const std::int64_t checkpoint_every_ms =
+        cli.get_int("checkpoint-every-ms", 0);
+    (void)cli.get_int("max-restarts", 5);  // consumed by the supervisor
     for (const auto& flag : cli.unused()) {
       throw std::invalid_argument("unknown flag --" + flag);
+    }
+    if (checkpoint_every_ms < 0) {
+      throw std::invalid_argument("--checkpoint-every-ms must be >= 0");
+    }
+    if (checkpoint_every_ms > 0 && state_out.empty()) {
+      throw std::invalid_argument("--checkpoint-every-ms needs --state-out");
     }
     if (steps < 0 || step_ms < 0 || trace_every < 0 || trace_capacity < 1) {
       throw std::invalid_argument(
@@ -269,6 +434,91 @@ int main(int argc, char** argv) {
     // and stay readable by the scrape handlers without it.
     std::mutex sim_mutex;
 
+    // Crash-safety surface: the readiness gate the balancer watches, the
+    // checkpoint/restore metrics, and the daemon's own state section
+    // (ground-truth user cells — without them a restored location
+    // database would describe users the freshly randomized world
+    // contradicts, and every warm locate would fall into recovery).
+    support::ReadinessGate readiness;
+    const support::Counter checkpoints_metric = registry.counter(
+        "confcall_state_checkpoints_total",
+        "State checkpoints written successfully");
+    const support::Counter checkpoint_failed_metric = registry.counter(
+        "confcall_state_checkpoint_failed_total",
+        "State checkpoint writes that failed (I/O)");
+    const support::Gauge checkpoint_bytes_metric = registry.gauge(
+        "confcall_state_checkpoint_bytes",
+        "Size of the last checkpoint file written");
+    const auto count_restore = [&registry](const std::string& result) {
+      registry
+          .counter("confcall_state_restore_total",
+                   "Startup state-restore attempts by result: restored, "
+                   "or the cold-start cause",
+                   {{"result", result}})
+          .inc();
+    };
+
+    constexpr const char* kDaemonSection = "serve_daemon";
+    constexpr std::uint32_t kDaemonVersion = 1;
+    const auto save_daemon_state = [&user_cells] {
+      support::StateWriter writer;
+      writer.put_u64(user_cells.size());
+      for (const cellular::CellId cell : user_cells) writer.put_u32(cell);
+      return std::move(writer).take();
+    };
+    const auto restore_daemon_state = [&](std::string_view payload,
+                                          std::uint32_t version) {
+      if (version != kDaemonVersion) return false;
+      try {
+        support::StateReader reader(payload);
+        if (reader.get_u64() != user_cells.size()) return false;
+        std::vector<cellular::CellId> cells;
+        cells.reserve(user_cells.size());
+        for (std::size_t u = 0; u < user_cells.size(); ++u) {
+          const cellular::CellId cell = reader.get_u32();
+          if (cell >= grid.num_cells()) return false;
+          cells.push_back(cell);
+        }
+        if (!reader.at_end()) return false;
+        user_cells = std::move(cells);
+        return true;
+      } catch (const support::StateFormatError&) {
+        return false;
+      }
+    };
+
+    std::uint64_t checkpoints_written = 0;
+    const auto write_checkpoint = [&] {
+      support::StateBundle bundle;
+      {
+        // The sim lock covers service + user cells; the SLO controller
+        // is internally locked and snapshots itself outside it.
+        std::lock_guard<std::mutex> lock(sim_mutex);
+        bundle.add(cellular::LocationService::kStateSection,
+                   cellular::LocationService::kStateVersion,
+                   service.save_state());
+        bundle.add(kDaemonSection, kDaemonVersion, save_daemon_state());
+      }
+      if (slo) {
+        bundle.add(support::SloController::kStateSection,
+                   support::SloController::kStateVersion, slo->save_state());
+      }
+      try {
+        const std::size_t bytes =
+            support::save_state_file(state_out, bundle);
+        checkpoints_metric.inc();
+        checkpoint_bytes_metric.set(static_cast<double>(bytes));
+        ++checkpoints_written;
+        return true;
+      } catch (const std::exception& error) {
+        // A full disk must degrade durability, never serving.
+        checkpoint_failed_metric.inc();
+        std::cerr << "confcall_serve: checkpoint failed: " << error.what()
+                  << "\n";
+        return false;
+      }
+    };
+
     // One paced step: move everyone, then maybe serve one arriving call.
     // Returns false when the call was shed.
     const auto serve_call = [&](const cellular::CallEvent& event,
@@ -321,26 +571,14 @@ int main(int argc, char** argv) {
       if (slo) (void)slo->maybe_step();
     };
 
-    // Warmup (movement only, unpaced) so the location database is warm
-    // before the first scrape or locate.
-    for (std::size_t t = 0; t < config.warmup_steps; ++t) {
-      std::lock_guard<std::mutex> lock(sim_mutex);
-      faults.begin_step();
-      for (std::size_t u = 0; u < config.num_users; ++u) {
-        user_cells[u] = mobility.step(user_cells[u], rng);
-        (void)service.observe_move(static_cast<cellular::UserId>(u),
-                                   user_cells[u]);
-      }
-      service.tick();
-    }
-
     support::HttpServerOptions http_options;
     http_options.port = port;
     http_options.workers = workers;
     support::HttpServer server(http_options);
+    server.bind_metrics(registry);
     support::install_observability_routes(
         server, &registry, tracer.get(),
-        admission ? &*admission : nullptr, slo.get());
+        admission ? &*admission : nullptr, slo.get(), &readiness);
     server.handle("POST", "/locate", [&](const support::HttpRequest&
                                              http_request) {
       support::HttpResponse response;
@@ -457,32 +695,126 @@ int main(int argc, char** argv) {
     }
     std::cout << ")" << std::endl;
 
+    // Warm restart or cold start. The server is already answering, but
+    // /readyz holds 503 through restore and warmup so a balancer does
+    // not route to a half-warm backend. A valid checkpoint stands in for
+    // the whole warmup phase: the location database, visit statistics,
+    // plan cache and SLO actuators resume where the previous process
+    // left them.
+    bool restored = false;
+    if (!state_in.empty()) {
+      readiness.set(support::Readiness::kRestoring);
+      const support::StateLoadResult loaded =
+          support::load_state_file(state_in);
+      if (!loaded.ok()) {
+        count_restore(std::string("cold_") +
+                      support::state_load_status_name(loaded.status));
+        std::cout << "confcall_serve: state: cold start ("
+                  << support::state_load_status_name(loaded.status) << ": "
+                  << loaded.message << ")" << std::endl;
+      } else {
+        bool sections_ok = true;
+        {
+          std::lock_guard<std::mutex> lock(sim_mutex);
+          const support::StateSection* svc =
+              loaded.bundle.find(cellular::LocationService::kStateSection);
+          sections_ok = svc != nullptr &&
+                        service.restore_state(svc->payload, svc->version);
+          const support::StateSection* daemon =
+              loaded.bundle.find(kDaemonSection);
+          sections_ok = sections_ok && daemon != nullptr &&
+                        restore_daemon_state(daemon->payload,
+                                             daemon->version);
+        }
+        if (sections_ok && slo) {
+          const support::StateSection* section =
+              loaded.bundle.find(support::SloController::kStateSection);
+          sections_ok = section != nullptr &&
+                        slo->restore_state(section->payload,
+                                           section->version);
+        }
+        if (sections_ok) {
+          restored = true;
+          count_restore("restored");
+          std::cout << "confcall_serve: state: restored from " << state_in
+                    << " (" << loaded.bundle.sections().size()
+                    << " sections)" << std::endl;
+        } else {
+          count_restore("cold_section_mismatch");
+          std::cout << "confcall_serve: state: cold start (section "
+                       "missing, version skew, or shape mismatch)"
+                    << std::endl;
+        }
+      }
+    }
+    if (!restored) {
+      // Warmup (movement only, unpaced) so the location database is
+      // warm before the first routed locate.
+      readiness.set(support::Readiness::kWarmup);
+      for (std::size_t t = 0; t < config.warmup_steps; ++t) {
+        std::lock_guard<std::mutex> lock(sim_mutex);
+        faults.begin_step();
+        for (std::size_t u = 0; u < config.num_users; ++u) {
+          user_cells[u] = mobility.step(user_cells[u], rng);
+          (void)service.observe_move(static_cast<cellular::UserId>(u),
+                                     user_cells[u]);
+        }
+        service.tick();
+      }
+    }
+    readiness.set(support::Readiness::kReady);
+
+    // Checkpoints land on a fixed period grid from here, like the SLO
+    // controller's steps: however late a loop iteration polls, the next
+    // boundary stays a multiple of the period.
+    const std::uint64_t checkpoint_period_ns =
+        static_cast<std::uint64_t>(checkpoint_every_ms) * 1'000'000ULL;
+    std::uint64_t next_checkpoint_ns =
+        checkpoint_period_ns == 0 ? 0
+                                  : clock.now_ns() + checkpoint_period_ns;
+
     std::uint64_t steps_run = 0;
     while (!g_stop.load()) {
       if (steps > 0 && steps_run >= static_cast<std::uint64_t>(steps)) break;
       step_once();
       ++steps_run;
+      if (checkpoint_period_ns != 0) {
+        const std::uint64_t now = clock.now_ns();
+        if (now >= next_checkpoint_ns) {
+          while (next_checkpoint_ns <= now) {
+            next_checkpoint_ns += checkpoint_period_ns;
+          }
+          (void)write_checkpoint();
+        }
+      }
       if (step_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
       }
     }
 
-    // Graceful drain: the listener closes first, accepted connections
-    // are still answered, then the final snapshot is cut.
+    // Graceful drain: readiness drops first (the balancer stops routing),
+    // the listener closes, accepted connections are still answered, then
+    // the final checkpoint and snapshot are cut.
+    readiness.set(support::Readiness::kDraining);
     server.stop();
+    if (!state_out.empty()) (void)write_checkpoint();
     const support::RegistrySnapshot snapshot = registry.snapshot();
     if (!snapshot_out.empty()) {
-      std::ofstream out(snapshot_out);
-      if (!out) {
-        throw std::runtime_error("cannot write snapshot file '" +
-                                 snapshot_out + "'");
+      // Atomic temp+rename: a crash mid-dump must never leave a torn
+      // snapshot where a complete one is expected.
+      std::string error;
+      if (!support::write_file_atomic(snapshot_out,
+                                      support::to_json(snapshot), &error)) {
+        throw std::runtime_error("cannot write snapshot file: " + error);
       }
-      out << support::to_json(snapshot);
     }
     std::cout << "confcall_serve: stopped after " << steps_run
               << " steps, served " << server.requests_served()
               << " http requests (" << server.connections_shed()
               << " shed)";
+    if (!state_out.empty()) {
+      std::cout << ", wrote " << checkpoints_written << " checkpoints";
+    }
     if (tracer) {
       std::cout << ", sampled " << tracer->roots_sampled() << "/"
                 << tracer->roots_seen() << " traces";
