@@ -15,14 +15,28 @@ namespace {
 }
 
 LocateCallSpec parse_call_object(const support::JsonValue& value,
-                                 std::size_t num_users) {
+                                 std::size_t num_users,
+                                 std::size_t num_areas) {
   if (!value.is_object()) {
     reject("each call must be a JSON object");
   }
   LocateCallSpec spec;
   for (const auto& [key, member] : value.as_object()) {
+    if (key == "area") {
+      if (!member.is_number()) {
+        reject("\"area\" must be a number");
+      }
+      const double raw = member.as_number();
+      if (raw < 0 || raw != std::floor(raw) ||
+          raw >= static_cast<double>(num_areas)) {
+        reject("area out of range [0, " + std::to_string(num_areas) + ")");
+      }
+      spec.area = static_cast<std::size_t>(raw);
+      continue;
+    }
     if (key != "users") {
-      reject("unknown call member '" + key + "' (only \"users\" is known)");
+      reject("unknown call member '" + key +
+             "' (only \"users\" and \"area\" are known)");
     }
     if (!member.is_array()) {
       reject("\"users\" must be an array of user ids");
@@ -51,7 +65,8 @@ LocateCallSpec parse_call_object(const support::JsonValue& value,
 }  // namespace
 
 LocateApiRequest parse_locate_body(std::string_view body,
-                                   std::size_t num_users) {
+                                   std::size_t num_users,
+                                   std::size_t num_areas) {
   LocateApiRequest request;
   // Historical contract: an empty body serves one synthetic call.
   const bool blank =
@@ -70,12 +85,13 @@ LocateApiRequest parse_locate_body(std::string_view body,
   if (document.is_array()) {
     request.batch = true;
     for (const support::JsonValue& element : document.as_array()) {
-      request.calls.push_back(parse_call_object(element, num_users));
+      request.calls.push_back(
+          parse_call_object(element, num_users, num_areas));
     }
     return request;
   }
   if (document.is_object()) {
-    request.calls.push_back(parse_call_object(document, num_users));
+    request.calls.push_back(parse_call_object(document, num_users, num_areas));
     return request;
   }
   reject("request body must be a call object or an array of call objects");

@@ -9,8 +9,10 @@
 //                         of a bare `curl -X POST`, kept so existing
 //                         smoke scripts stay valid)
 //   {...}                 one call; the optional "users" member names
-//                         the participants explicitly:
-//                            {"users": [3, 17, 41]}
+//                         the participants explicitly, and the optional
+//                         "area" member picks the serving fleet area
+//                         (default 0):
+//                            {"users": [3, 17, 41], "area": 2}
 //                         an empty object (or omitted "users") asks the
 //                         server to synthesize the call from its
 //                         workload model
@@ -45,6 +47,11 @@ namespace confcall::cellular {
 /// server-side from the workload's call generator.
 struct LocateCallSpec {
   std::vector<UserId> users;
+  /// Which fleet area serves the call (the optional "area" member).
+  /// Single-service deployments have exactly one area, 0; the fleet
+  /// daemon (--shards) routes by it. Bounded by parse_locate_body's
+  /// num_areas.
+  std::size_t area = 0;
 };
 
 /// A parsed POST /locate body.
@@ -58,10 +65,14 @@ struct LocateApiRequest {
 };
 
 /// Parses a POST /locate request body; see the grammar above.
-/// `num_users` bounds the valid user-id range [0, num_users).
-/// Throws std::invalid_argument on malformed input.
+/// `num_users` bounds the valid user-id range [0, num_users) and
+/// `num_areas` the optional "area" member's range [0, num_areas) — the
+/// default 1 keeps the single-service contract, where only area 0 (or
+/// an omitted member) is accepted. Throws std::invalid_argument on
+/// malformed input.
 [[nodiscard]] LocateApiRequest parse_locate_body(std::string_view body,
-                                                 std::size_t num_users);
+                                                 std::size_t num_users,
+                                                 std::size_t num_areas = 1);
 
 /// Appends one call's JSON response object to `out`. `outcome` may be
 /// null only when `admitted` is false.

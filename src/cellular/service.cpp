@@ -14,42 +14,46 @@
 
 namespace confcall::cellular {
 
-ServiceMetrics ServiceMetrics::create(support::MetricRegistry& registry) {
+ServiceMetrics ServiceMetrics::create(support::MetricRegistry& registry,
+                                      const support::MetricLabels& labels) {
   ServiceMetrics metrics;
   metrics.calls = registry.counter("confcall_locate_calls_total",
-                                   "locate() calls served");
+                                   "locate() calls served", labels);
   metrics.cache_hits =
       registry.counter("confcall_locate_plan_cache_hits_total",
-                       "Planned searches answered from the plan cache");
+                       "Planned searches answered from the plan cache",
+                       labels);
   metrics.cache_misses =
       registry.counter("confcall_locate_plan_cache_misses_total",
-                       "Planned searches that ran the planner");
+                       "Planned searches that ran the planner", labels);
   metrics.retries = registry.counter(
       "confcall_locate_retries_total",
-      "Recovery sweeps run across all locate() calls");
+      "Recovery sweeps run across all locate() calls", labels);
   metrics.abandoned = registry.counter(
       "confcall_locate_abandoned_total",
-      "locate() calls that force-registered at least one callee unfound");
+      "locate() calls that force-registered at least one callee unfound",
+      labels);
   metrics.deadline_limited = registry.counter(
       "confcall_locate_deadline_limited_total",
-      "locate() calls truncated by their propagated deadline");
+      "locate() calls truncated by their propagated deadline", labels);
   // Pages and EP share one bucket layout so the realized paging cost and
   // the paper's Lemma 2.1 prediction compare bucket-for-bucket.
   const support::HistogramSpec paging_spec =
       support::HistogramSpec::exponential(1.0, 2.0, 12);
   metrics.pages = registry.histogram("confcall_locate_pages", paging_spec,
-                                     "Cells paged per locate() call");
+                                     "Cells paged per locate() call", labels);
   metrics.ep_predicted = registry.histogram(
       "confcall_locate_ep_predicted", paging_spec,
-      "Lemma 2.1 expected paging of each planned per-area strategy");
+      "Lemma 2.1 expected paging of each planned per-area strategy", labels);
   metrics.rounds = registry.histogram(
       "confcall_locate_rounds", support::HistogramSpec::integers(128),
       "Paging rounds used per locate() call (unit buckets; quantile() "
-      "agrees exactly with SimReport::rounds_percentile)");
+      "agrees exactly with SimReport::rounds_percentile)",
+      labels);
   metrics.batch_size = registry.histogram(
       "confcall_locate_batch_size",
       support::HistogramSpec::exponential(1.0, 2.0, 8),
-      "locate_many() batch sizes (one observation per batch)");
+      "locate_many() batch sizes (one observation per batch)", labels);
   return metrics;
 }
 
@@ -345,11 +349,40 @@ const core::Strategy* LocationService::plan_area_strategy(
         return &entry.strategy;
       }
     }
+    if (config_.shared_plan_table != nullptr) {
+      // Local miss: before paying the planner, ask the process-wide
+      // signature table whether another service (another fleet area,
+      // usually on another shard) already planned these exact inputs.
+      // The copy lands in the local cache so subsequent hits stay on
+      // the lock-free local path.
+      if (std::optional<core::Strategy> shared_strategy =
+              config_.shared_plan_table->lookup(signature)) {
+        PlanCacheEntry entry{signature, std::move(*shared_strategy), -1.0};
+        if (ep_out != nullptr) {
+          entry.expected_paging = core::expected_paging(
+              instance_from_row_ptrs(row_ptrs), entry.strategy);
+          *ep_out = entry.expected_paging;
+        }
+        ++plan_cache_stats_.hits;
+        config_.metrics.cache_hits.inc();
+        if (shard.entries.size() < PlanCacheShard::kCapacity) {
+          shard.entries.push_back(std::move(entry));
+          return &shard.entries.back().strategy;
+        }
+        const std::size_t slot = shard.next_slot;
+        shard.entries[slot] = std::move(entry);
+        shard.next_slot = (slot + 1) % PlanCacheShard::kCapacity;
+        return &shard.entries[slot].strategy;
+      }
+    }
     const core::Instance instance = instance_from_row_ptrs(row_ptrs);
     core::Strategy strategy =
         config_.planner != nullptr
             ? config_.planner->plan(instance, d)
             : core::plan_greedy(instance, d).strategy;
+    if (config_.shared_plan_table != nullptr) {
+      (void)config_.shared_plan_table->insert(signature, strategy);
+    }
     PlanCacheEntry entry{signature, std::move(strategy), -1.0};
     if (ep_out != nullptr) {
       entry.expected_paging = core::expected_paging(instance, entry.strategy);

@@ -43,6 +43,7 @@
 #include "core/strategy.h"
 #include "prob/distribution.h"
 #include "prob/rng.h"
+#include "support/fleet.h"
 #include "support/metrics.h"
 #include "support/overload.h"
 #include "support/trace.h"
@@ -121,9 +122,13 @@ struct ServiceMetrics {
   support::Histogram batch_size;      ///< confcall_locate_batch_size
 
   /// Registers the confcall_locate_* family on `registry` (idempotent)
-  /// and returns bound handles. The registry must outlive every service
-  /// holding the handles.
-  [[nodiscard]] static ServiceMetrics create(support::MetricRegistry& registry);
+  /// and returns bound handles. `labels` attach to every series —
+  /// ServiceFleet passes {{"shard", "<s>"}} so each lane exports its own
+  /// locate family; the default keeps the historical unlabelled series
+  /// (which the SLO controller senses). The registry must outlive every
+  /// service holding the handles.
+  [[nodiscard]] static ServiceMetrics create(
+      support::MetricRegistry& registry, const support::MetricLabels& labels = {});
 };
 
 /// A network-side location management service over one cell grid.
@@ -183,6 +188,18 @@ class LocationService {
     /// root keeps throughput within 5% of untraced (E16) and never
     /// tears a trace.
     support::Tracer* tracer = nullptr;
+    /// Optional process-wide signature -> strategy table shared across
+    /// services (non-owning; must outlive the service). On a local
+    /// plan-cache miss the table is consulted before the planner, and a
+    /// freshly planned strategy is published back — identically
+    /// distributed areas then plan once per PROCESS instead of once per
+    /// service (see cellular/service_fleet.h). Consulted only with
+    /// enable_plan_cache on (a shared hit is copied into the local
+    /// cache, which is what makes later hits free). Results are
+    /// unchanged with or without the table: a shared hit returns
+    /// exactly the strategy the deterministic planner would produce for
+    /// the same signed inputs.
+    support::SignatureTable<core::Strategy>* shared_plan_table = nullptr;
 
     /// Consolidated validation with one specific message per rejection.
     /// Called by the constructor; exposed so SimConfig and tests can

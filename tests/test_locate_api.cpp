@@ -38,6 +38,41 @@ TEST(LocateApi, ExplicitUsersParsed) {
             (std::vector<UserId>{3u, 17u, 41u}));
 }
 
+TEST(LocateApi, AreaMemberRoutesTheCall) {
+  const LocateApiRequest request = parse_locate_body(
+      "{\"users\": [3], \"area\": 5}", kNumUsers, /*num_areas=*/8);
+  ASSERT_EQ(request.calls.size(), 1u);
+  EXPECT_EQ(request.calls[0].area, 5u);
+  EXPECT_EQ(request.calls[0].users, (std::vector<UserId>{3u}));
+}
+
+TEST(LocateApi, AreaDefaultsToZero) {
+  const LocateApiRequest request =
+      parse_locate_body("{\"users\": [3]}", kNumUsers, /*num_areas=*/8);
+  ASSERT_EQ(request.calls.size(), 1u);
+  EXPECT_EQ(request.calls[0].area, 0u);
+}
+
+TEST(LocateApi, AreaRejectedOutsideTheFleet) {
+  // Single-service deployments (the num_areas = 1 default) accept only
+  // area 0; everything else is a 400, not a silent clamp.
+  EXPECT_NO_THROW((void)parse_locate_body("{\"area\": 0}", kNumUsers));
+  const char* bad[] = {
+      "{\"area\": 1}",          // out of range at the default num_areas
+      "{\"area\": -1}",         // negative
+      "{\"area\": 1.5}",        // non-integer
+      "{\"area\": \"2\"}",      // non-numeric
+  };
+  for (const char* body : bad) {
+    EXPECT_THROW((void)parse_locate_body(body, kNumUsers),
+                 std::invalid_argument)
+        << "accepted: " << body;
+  }
+  EXPECT_THROW((void)parse_locate_body("{\"area\": 8}", kNumUsers,
+                                       /*num_areas=*/8),
+               std::invalid_argument);
+}
+
 TEST(LocateApi, ArrayIsABatch) {
   const LocateApiRequest request = parse_locate_body(
       "[{\"users\": [1, 2]}, {}, {\"users\": [95]}]", kNumUsers);

@@ -52,10 +52,26 @@
 // unclean exit with exponential backoff and a bounded crash-loop budget
 // (--max-restarts, reset after a healthy run).
 //
+// Fleet serving (DESIGN.md §14): --shards N|auto swaps the single
+// LocationService for a cellular::ServiceFleet — N per-core shard lanes
+// executing --fleet-areas independent serving areas (default 4 per
+// shard), each a full location-management domain over the scenario's
+// topology. Requests route by area (POST /locate accepts an "area"
+// member; loop arrivals rotate areas round-robin), shards steal work
+// when a lane backs up, and every area's planner shares one process-wide
+// signature -> strategy table. Metrics grow a `shard` label
+// (confcall_locate_*{shard=...}, confcall_fleet_*); checkpoints carry
+// one section per area and /readyz stays 503 until EVERY area restored
+// (the restore is all-or-nothing across the fleet). --slo-p99-ms is
+// rejected with --shards: the SLO controller senses the unlabelled
+// rounds histogram, which the fleet's per-shard series replace — see
+// ROADMAP.
+//
 //   confcall_serve [--scenario dense-urban|campus|highway|degraded-urban|
 //                              overloaded-urban]
 //                  [--port P] [--port-file FILE] [--workers N]
 //                  [--steps N] [--step-ms MS]
+//                  [--shards N|auto] [--fleet-areas N]
 //                  [--trace-every N] [--trace-capacity N]
 //                  [--slo-p99-ms MS] [--control-period-ms MS]
 //                  [--seed S] [--snapshot-out FILE]
@@ -91,6 +107,7 @@
 #include <vector>
 
 #include "cellular/locate_api.h"
+#include "cellular/service_fleet.h"
 #include "cellular/simulator.h"
 #include "cellular/workload.h"
 #include "core/planner.h"
@@ -231,6 +248,7 @@ constexpr const char* kUsage =
     "overloaded-urban]"
     " [--port P] [--port-file FILE] [--workers N]"
     " [--steps N] [--step-ms MS]"
+    " [--shards N|auto] [--fleet-areas N]"
     " [--trace-every N] [--trace-capacity N]"
     " [--slo-p99-ms MS] [--control-period-ms MS]"
     " [--seed S] [--snapshot-out FILE]"
@@ -254,7 +272,36 @@ constexpr const char* kUsage =
     "counted cold start, never a crash. /readyz answers 503 until the\n"
     "process is warm. --supervise runs the daemon under a fork/exec\n"
     "supervisor with exponential-backoff restarts bounded by\n"
-    "--max-restarts (default 5, refilled after a 10 s healthy run).\n";
+    "--max-restarts (default 5, refilled after a 10 s healthy run).\n"
+    "\n"
+    "Fleet serving: --shards N (or 'auto' = hardware threads) runs a\n"
+    "ServiceFleet of --fleet-areas independent serving areas (default\n"
+    "4 per shard) on N per-core lanes with work stealing and a\n"
+    "process-wide shared plan table. POST /locate gains an \"area\"\n"
+    "member; metrics gain a shard label; checkpoints restore\n"
+    "all-or-nothing across every area before /readyz goes 200.\n"
+    "Incompatible with --slo-p99-ms (the controller senses the\n"
+    "unlabelled locate series).\n";
+
+/// Resolves --shards: absent/"0" = legacy single-service path, "auto" =
+/// one shard per hardware thread, otherwise a positive count.
+std::size_t parse_shards_flag(const std::string& raw) {
+  if (raw.empty() || raw == "0") return 0;
+  if (raw == "auto") {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(raw, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--shards must be a positive count or 'auto'");
+  }
+  if (pos != raw.size() || value == 0) {
+    throw std::invalid_argument("--shards must be a positive count or 'auto'");
+  }
+  return static_cast<std::size_t>(value);
+}
 
 cellular::Scenario find_scenario(const std::string& name,
                                  std::uint64_t seed) {
@@ -303,6 +350,9 @@ int main(int argc, char** argv) {
     const std::string state_out = cli.get_string("state-out", "");
     const std::int64_t checkpoint_every_ms =
         cli.get_int("checkpoint-every-ms", 0);
+    const std::size_t num_shards =
+        parse_shards_flag(cli.get_string("shards", ""));
+    const std::int64_t fleet_areas_flag = cli.get_int("fleet-areas", 0);
     (void)cli.get_int("max-restarts", 5);  // consumed by the supervisor
     for (const auto& flag : cli.unused()) {
       throw std::invalid_argument("unknown flag --" + flag);
@@ -322,10 +372,366 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--slo-p99-ms must be >= 0, --control-period-ms >= 1");
     }
+    if (fleet_areas_flag < 0) {
+      throw std::invalid_argument("--fleet-areas must be >= 0");
+    }
+    if (fleet_areas_flag > 0 && num_shards == 0) {
+      throw std::invalid_argument("--fleet-areas needs --shards");
+    }
+    if (num_shards > 0 && slo_p99_ms > 0) {
+      throw std::invalid_argument(
+          "--slo-p99-ms cannot be combined with --shards: the SLO "
+          "controller senses the unlabelled confcall_locate_rounds "
+          "series, which the fleet's per-shard labelled series replace "
+          "(fleet-aware SLO sensing is a ROADMAP item)");
+    }
 
     const cellular::Scenario scenario = find_scenario(scenario_name, seed);
     const cellular::SimConfig& config = scenario.config;
     config.validate();
+
+    if (num_shards > 0) {
+      // ---- Fleet serving path (DESIGN.md §14). Independent of the
+      // single-service path below: a ServiceFleet of num_areas serving
+      // domains on num_shards per-core lanes. Per-call tracing and the
+      // resilient-planner chain are not threaded through the fleet yet
+      // (ROADMAP); admission control, checkpointing and the readiness
+      // lifecycle are.
+      const std::size_t num_areas =
+          fleet_areas_flag > 0 ? static_cast<std::size_t>(fleet_areas_flag)
+                               : num_shards * 4;
+
+      const support::ClockSource& clock =
+          support::SteadyClockSource::shared();
+      const cellular::GridTopology grid(config.grid_rows, config.grid_cols,
+                                        config.toroidal,
+                                        config.neighborhood);
+      const cellular::LocationAreas areas = cellular::LocationAreas::tiles(
+          grid, config.la_tile_rows, config.la_tile_cols);
+      const cellular::MarkovMobility mobility(grid,
+                                              config.stay_probability);
+      // Every area starts from the same initial cells (drawn exactly as
+      // the single-service path draws them); divergence comes from the
+      // fleet's per-area mobility substreams.
+      prob::Rng rng(config.seed);
+      std::vector<cellular::CellId> user_cells;
+      user_cells.reserve(config.num_users);
+      for (std::size_t u = 0; u < config.num_users; ++u) {
+        user_cells.push_back(static_cast<cellular::CellId>(
+            rng.next_below(grid.num_cells())));
+      }
+
+      support::MetricRegistry registry;
+      const cellular::OverloadConfig& overload = config.overload;
+      std::optional<support::AdmissionController> admission;
+      cellular::LocationService::Config service_cfg =
+          config.service_config();
+      service_cfg.planner = nullptr;  // fleet areas plan with Fig. 1
+      service_cfg.tracer = nullptr;
+      if (overload.enabled) {
+        service_cfg.clock = &clock;
+        service_cfg.round_duration_ns = overload.round_duration_ns;
+        admission.emplace(overload.admission, clock);
+        admission->bind_metrics(registry);
+      }
+
+      cellular::FleetConfig fleet_cfg;
+      fleet_cfg.num_shards = num_shards;
+      fleet_cfg.num_areas = num_areas;
+      fleet_cfg.seed = config.seed;
+      fleet_cfg.registry = &registry;
+      fleet_cfg.pin_threads = true;
+      cellular::ServiceFleet fleet(grid, areas, mobility, service_cfg,
+                                   user_cells, fleet_cfg);
+
+      const cellular::CallGenerator calls(config.call_rate,
+                                          config.num_users,
+                                          config.group_min,
+                                          config.group_max);
+      const cellular::CallGenerator forced_calls(1.0, config.num_users,
+                                                 config.group_min,
+                                                 config.group_max);
+
+      const support::Counter steps_metric = registry.counter(
+          "confcall_serve_steps_total", "Locate-loop steps the daemon ran");
+      const support::Counter arrivals_metric = registry.counter(
+          "confcall_serve_calls_arrived_total",
+          "Conference-call arrivals (loop traffic plus POST /locate)");
+      const support::Counter shed_metric = registry.counter(
+          "confcall_serve_calls_shed_total",
+          "Arrivals rejected by admission control");
+      const support::Counter checkpoints_metric = registry.counter(
+          "confcall_state_checkpoints_total",
+          "State checkpoints written successfully");
+      const support::Counter checkpoint_failed_metric = registry.counter(
+          "confcall_state_checkpoint_failed_total",
+          "State checkpoint writes that failed (I/O)");
+      const support::Gauge checkpoint_bytes_metric = registry.gauge(
+          "confcall_state_checkpoint_bytes",
+          "Size of the last checkpoint file written");
+      const auto count_restore = [&registry](const std::string& result) {
+        registry
+            .counter("confcall_state_restore_total",
+                     "Startup state-restore attempts by result: restored, "
+                     "or the cold-start cause",
+                     {{"result", result}})
+            .inc();
+      };
+
+      // One mutex serializes every fleet dispatch (loop vs POST /locate
+      // vs checkpoints); parallelism happens INSIDE a dispatch, across
+      // the fleet's shard lanes.
+      std::mutex sim_mutex;
+      support::ReadinessGate readiness;
+
+      std::uint64_t checkpoints_written = 0;
+      const auto write_checkpoint = [&] {
+        support::StateBundle bundle;
+        {
+          std::lock_guard<std::mutex> lock(sim_mutex);
+          fleet.add_state_sections(bundle);
+        }
+        try {
+          const std::size_t bytes =
+              support::save_state_file(state_out, bundle);
+          checkpoints_metric.inc();
+          checkpoint_bytes_metric.set(static_cast<double>(bytes));
+          ++checkpoints_written;
+          return true;
+        } catch (const std::exception& error) {
+          checkpoint_failed_metric.inc();
+          std::cerr << "confcall_serve: checkpoint failed: " << error.what()
+                    << "\n";
+          return false;
+        }
+      };
+
+      // Synthesized arrivals rotate areas round-robin so every serving
+      // domain sees loop traffic.
+      std::uint64_t area_rotor = 0;
+      const auto admit = [&](std::size_t participants,
+                             cellular::LocationService::LocateContext*
+                                 context) {
+        if (!admission) return true;
+        const support::AdmissionController::Decision decision =
+            admission->admit(static_cast<double>(participants));
+        if (decision == support::AdmissionController::Decision::kShed) {
+          shed_metric.inc();
+          return false;
+        }
+        if (decision ==
+            support::AdmissionController::Decision::kAdmitDegraded) {
+          context->plan_cheap = true;
+        }
+        if (overload.call_deadline_ns != 0) {
+          context->deadline =
+              support::Deadline::after(overload.call_deadline_ns, clock);
+        }
+        return true;
+      };
+
+      const auto step_once = [&] {
+        std::lock_guard<std::mutex> lock(sim_mutex);
+        fleet.step_all();
+        steps_metric.inc();
+        const cellular::CallEvent event = calls.maybe_call(rng);
+        if (!event.participants.empty()) {
+          arrivals_metric.inc();
+          cellular::ServiceFleet::Request request;
+          request.area = area_rotor++ % num_areas;
+          request.users = event.participants;
+          if (admit(request.users.size(), &request.context)) {
+            (void)fleet.locate_many({&request, 1});
+          }
+        }
+      };
+
+      support::HttpServerOptions http_options;
+      http_options.port = port;
+      http_options.workers = workers;
+      support::HttpServer server(http_options);
+      server.bind_metrics(registry);
+      support::install_observability_routes(
+          server, &registry, nullptr, admission ? &*admission : nullptr,
+          nullptr, &readiness);
+      server.handle("POST", "/locate", [&](const support::HttpRequest&
+                                               http_request) {
+        support::HttpResponse response;
+        response.content_type = "application/json";
+        cellular::LocateApiRequest api;
+        try {
+          api = cellular::parse_locate_body(http_request.body,
+                                            config.num_users, num_areas);
+        } catch (const std::exception& error) {
+          response.status = 400;
+          response.body = "{\"error\": \"" +
+                          support::json_escape(error.what()) + "\"}\n";
+          return response;
+        }
+
+        std::lock_guard<std::mutex> lock(sim_mutex);
+        struct PendingCall {
+          cellular::ServiceFleet::Request request;
+          bool admitted = false;
+        };
+        std::vector<PendingCall> pending;
+        pending.reserve(api.calls.size());
+        std::vector<cellular::ServiceFleet::Request> admitted;
+        admitted.reserve(api.calls.size());
+        for (const cellular::LocateCallSpec& spec : api.calls) {
+          PendingCall call;
+          call.request.area = spec.area;
+          call.request.users =
+              spec.users.empty()
+                  ? forced_calls.maybe_call(rng).participants
+                  : spec.users;
+          arrivals_metric.inc();
+          call.admitted =
+              admit(call.request.users.size(), &call.request.context);
+          pending.push_back(std::move(call));
+        }
+        for (const PendingCall& call : pending) {
+          if (call.admitted) admitted.push_back(call.request);
+        }
+        const std::vector<cellular::LocationService::LocateOutcome>
+            outcomes = fleet.locate_many(admitted);
+
+        std::string body;
+        std::size_t next_outcome = 0;
+        if (api.batch) {
+          body += "[";
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (i > 0) body += ", ";
+            const PendingCall& call = pending[i];
+            cellular::append_outcome_json(
+                body, call.admitted, call.request.users.size(),
+                call.admitted ? &outcomes[next_outcome] : nullptr);
+            if (call.admitted) ++next_outcome;
+          }
+          body += "]\n";
+        } else {
+          const PendingCall& call = pending.front();
+          if (!call.admitted) response.status = 503;
+          cellular::append_outcome_json(
+              body, call.admitted, call.request.users.size(),
+              call.admitted ? &outcomes.front() : nullptr);
+          body += "\n";
+        }
+        response.body = std::move(body);
+        return response;
+      });
+
+      (void)std::signal(SIGINT, on_signal);
+      (void)std::signal(SIGTERM, on_signal);
+      server.start();
+      if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out) {
+          throw std::runtime_error("cannot write port file '" + port_file +
+                                   "'");
+        }
+        out << server.port() << "\n";
+      }
+      std::cout << "confcall_serve: scenario=" << scenario.name
+                << " serving on 127.0.0.1:" << server.port()
+                << " (fleet: " << num_shards << " shards, " << num_areas
+                << " areas)" << std::endl;
+
+      // Warm restart or cold start, fleet-wide. /readyz holds 503 until
+      // EVERY area has restored (the fleet restore is all-or-nothing) or
+      // the whole fleet has warmed up.
+      bool restored = false;
+      if (!state_in.empty()) {
+        readiness.set(support::Readiness::kRestoring);
+        const support::StateLoadResult loaded =
+            support::load_state_file(state_in);
+        if (!loaded.ok()) {
+          count_restore(std::string("cold_") +
+                        support::state_load_status_name(loaded.status));
+          std::cout << "confcall_serve: state: cold start ("
+                    << support::state_load_status_name(loaded.status)
+                    << ": " << loaded.message << ")" << std::endl;
+        } else {
+          bool sections_ok = false;
+          {
+            std::lock_guard<std::mutex> lock(sim_mutex);
+            sections_ok = fleet.restore_state_sections(loaded.bundle);
+          }
+          if (sections_ok) {
+            restored = true;
+            count_restore("restored");
+            std::cout << "confcall_serve: state: restored all "
+                      << num_areas << " fleet areas from " << state_in
+                      << std::endl;
+          } else {
+            count_restore("cold_section_mismatch");
+            std::cout << "confcall_serve: state: cold start (fleet "
+                         "section missing, version skew, or shape "
+                         "mismatch)"
+                      << std::endl;
+          }
+        }
+      }
+      if (!restored) {
+        readiness.set(support::Readiness::kWarmup);
+        for (std::size_t t = 0; t < config.warmup_steps; ++t) {
+          std::lock_guard<std::mutex> lock(sim_mutex);
+          fleet.step_all();
+        }
+      }
+      readiness.set(support::Readiness::kReady);
+
+      const std::uint64_t checkpoint_period_ns =
+          static_cast<std::uint64_t>(checkpoint_every_ms) * 1'000'000ULL;
+      std::uint64_t next_checkpoint_ns =
+          checkpoint_period_ns == 0 ? 0
+                                    : clock.now_ns() + checkpoint_period_ns;
+
+      std::uint64_t steps_run = 0;
+      while (!g_stop.load()) {
+        if (steps > 0 && steps_run >= static_cast<std::uint64_t>(steps)) {
+          break;
+        }
+        step_once();
+        ++steps_run;
+        if (checkpoint_period_ns != 0) {
+          const std::uint64_t now = clock.now_ns();
+          if (now >= next_checkpoint_ns) {
+            while (next_checkpoint_ns <= now) {
+              next_checkpoint_ns += checkpoint_period_ns;
+            }
+            (void)write_checkpoint();
+          }
+        }
+        if (step_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+        }
+      }
+
+      readiness.set(support::Readiness::kDraining);
+      server.stop();
+      if (!state_out.empty()) (void)write_checkpoint();
+      const support::RegistrySnapshot snapshot = registry.snapshot();
+      if (!snapshot_out.empty()) {
+        std::string error;
+        if (!support::write_file_atomic(
+                snapshot_out, support::to_json(snapshot), &error)) {
+          throw std::runtime_error("cannot write snapshot file: " + error);
+        }
+      }
+      const cellular::ServiceFleet::FleetStats& fleet_stats = fleet.stats();
+      std::cout << "confcall_serve: stopped after " << steps_run
+                << " steps, served " << server.requests_served()
+                << " http requests (" << server.connections_shed()
+                << " shed), fleet ran " << fleet_stats.tasks
+                << " area-tasks (" << fleet_stats.steals << " stolen, "
+                << fleet_stats.overflows << " overflowed)";
+      if (!state_out.empty()) {
+        std::cout << ", wrote " << checkpoints_written << " checkpoints";
+      }
+      std::cout << std::endl;
+      return 0;
+    }
 
     // The simulator's stack, assembled on the REAL clock: token refill,
     // call deadlines and breaker cooldowns all track wall time here,

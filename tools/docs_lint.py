@@ -1,11 +1,23 @@
 #!/usr/bin/env python3
-"""Markdown link lint: fail on dead intra-repo links.
+"""Docs lint: dead links, phantom bench targets, phantom metrics.
 
-Scans the repo's top-level markdown plus docs/*.md for inline links
-[text](target) and checks every relative target (after stripping any
-#anchor) against the working tree. External links (http/https/mailto)
-are ignored — CI must not depend on the network. Exit code 1 lists
-every dead link as file:line.
+Three checks, all offline (CI must not depend on the network):
+
+1. Dead intra-repo links. Scans the repo's top-level markdown plus
+   docs/*.md for inline links [text](target) and checks every relative
+   target (after stripping any #anchor) against the working tree.
+   External links (http/https/mailto) are ignored.
+2. Phantom bench targets. Every `bench_eNN_*` / `bench_aNN_*` name
+   mentioned in EXPERIMENTS.md must be an add_executable target in
+   bench/CMakeLists.txt — an experiment doc that names a harness that
+   does not build is a dead reproduction recipe.
+3. Phantom metrics. Every backticked `confcall_*` metric name in
+   docs/OBSERVABILITY.md must appear somewhere under src/, tools/,
+   bench/ or tests/ — the catalogue may not describe series nothing
+   can emit. (tests/test_observability.cpp gates the opposite
+   direction: every emitted metric must be catalogued.)
+
+Exit code 1 lists every violation as file:line.
 
 Usage: python3 tools/docs_lint.py [repo_root]
 """
@@ -19,8 +31,15 @@ import sys
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 EXTERNAL = ("http://", "https://", "mailto:")
 
+BENCH_TARGET_RE = re.compile(r"\b(bench_[ea]\d{2}_[a-z0-9_]+)\b")
+# A catalogued metric: a backticked name with the confcall_ prefix.
+# Label-carrying rows (`name{label="v"}`) contribute the name prefix.
+METRIC_RE = re.compile(r"`(confcall_[a-z0-9_]+)[`{]")
+SOURCE_DIRS = ("src", "tools", "bench", "tests")
+SOURCE_EXTS = (".h", ".cpp", ".cc", ".py")
 
-def lint_file(path, root):
+
+def lint_links(path, root):
     errors = []
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
@@ -35,6 +54,66 @@ def lint_file(path, root):
     return errors
 
 
+def cmake_bench_targets(root):
+    """add_executable names declared by bench/CMakeLists.txt (both the
+    foreach list and standalone add_executable calls)."""
+    path = os.path.join(root, "bench", "CMakeLists.txt")
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        return set(BENCH_TARGET_RE.findall(handle.read()))
+
+
+def lint_bench_targets(root):
+    """Check 2: EXPERIMENTS.md may only name bench targets that build."""
+    path = os.path.join(root, "EXPERIMENTS.md")
+    if not os.path.exists(path):
+        return []
+    declared = cmake_bench_targets(root)
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            for target in BENCH_TARGET_RE.findall(line):
+                if target not in declared:
+                    errors.append(
+                        "%s:%d: bench target '%s' is not declared in "
+                        "bench/CMakeLists.txt" %
+                        (os.path.relpath(path, root), lineno, target))
+    return errors
+
+
+def source_tree_text(root):
+    chunks = []
+    for subdir in SOURCE_DIRS:
+        for dirpath, _, filenames in os.walk(os.path.join(root, subdir)):
+            for name in filenames:
+                if name.endswith(SOURCE_EXTS):
+                    with open(os.path.join(dirpath, name),
+                              encoding="utf-8", errors="replace") as handle:
+                        chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def lint_metric_catalogue(root):
+    """Check 3: every metric docs/OBSERVABILITY.md catalogues must be
+    emittable — its name must appear in the source tree."""
+    path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(path):
+        return []
+    source = source_tree_text(root)
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            for metric in METRIC_RE.findall(line):
+                if metric not in source:
+                    errors.append(
+                        "%s:%d: metric '%s' is catalogued but appears "
+                        "nowhere under %s" %
+                        (os.path.relpath(path, root), lineno, metric,
+                         "/".join(SOURCE_DIRS)))
+    return errors
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
                            os.path.join(os.path.dirname(__file__), os.pardir))
@@ -46,12 +125,16 @@ def main():
         return 1
     errors = []
     for path in files:
-        errors.extend(lint_file(path, root))
+        errors.extend(lint_links(path, root))
+    errors.extend(lint_bench_targets(root))
+    errors.extend(lint_metric_catalogue(root))
     for error in errors:
         print(error)
-    print("docs_lint: %d file(s), %d dead link(s)" % (len(files), len(errors)))
+    print("docs_lint: %d file(s), %d violation(s)" % (len(files), len(errors)))
     return 1 if errors else 0
 
 
 if __name__ == "__main__":
     sys.exit(main())
+
+
