@@ -714,6 +714,12 @@ LocationService::LocateOutcome LocationService::locate(
   }
   config_.metrics.pages.observe(static_cast<double>(outcome.cells_paged));
   config_.metrics.rounds.observe(static_cast<double>(outcome.rounds_used));
+  // Exemplar: when this call's trace was sampled (nonzero span id), pin
+  // its trace id on the rounds bucket it landed in — the metric→trace
+  // bridge a high-p99 investigation follows. Unsampled calls pass a
+  // zero id, which annotate() ignores without taking the exemplar lock.
+  config_.metrics.rounds.annotate(static_cast<double>(outcome.rounds_used),
+                                  locate_span.id());
   if (outcome.retries > 0) config_.metrics.retries.inc(outcome.retries);
   if (outcome.abandoned) config_.metrics.abandoned.inc();
   if (outcome.deadline_limited) config_.metrics.deadline_limited.inc();

@@ -109,6 +109,12 @@ std::uint64_t ServiceFleet::area_seed(std::size_t area) const noexcept {
 std::unique_ptr<ServiceFleet::AreaState> ServiceFleet::build_area(
     std::size_t area) const {
   auto state = std::make_unique<AreaState>();
+  // The copy carries base_config_.tracer into every area: one tracer is
+  // shared by all shards. That is safe by the trace.h fleet-lane audit —
+  // the root-sampling counter is atomic (exactly 1-in-N fleet-wide), the
+  // parent/suppression stacks are thread_local and an area-task runs to
+  // completion on one pool thread, and ring appends are mutex'd. The
+  // Fleet tracing storm test pins this under TSan.
   LocationService::Config cfg = base_config_;
   if (config_.registry != nullptr) {
     // Per-SHARD label on the locate family: areas sharing a lane share a
@@ -287,6 +293,7 @@ void ServiceFleet::add_state_sections(support::StateBundle& bundle) const {
 }
 
 bool ServiceFleet::restore_state_sections(const support::StateBundle& bundle) {
+  areas_restored_.store(0, std::memory_order_relaxed);
   const support::StateSection* master = bundle.find(kStateSection);
   if (master == nullptr || master->version != kStateVersion) return false;
   std::vector<std::unique_ptr<AreaState>> fresh;
@@ -313,6 +320,7 @@ bool ServiceFleet::restore_state_sections(const support::StateBundle& bundle) {
         return false;
       }
       fresh.push_back(std::move(state));
+      areas_restored_.store(fresh.size(), std::memory_order_relaxed);
     }
     if (!reader.at_end()) return false;
   } catch (const support::StateFormatError&) {

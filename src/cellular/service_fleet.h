@@ -39,6 +39,7 @@
 // Fig. 1 DP.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -185,6 +186,15 @@ class ServiceFleet {
   /// bad input.
   [[nodiscard]] bool restore_state_sections(const support::StateBundle& bundle);
 
+  /// Areas validated so far by an in-flight restore_state_sections call
+  /// (monotone 0 → num_areas within one attempt; reset when the next
+  /// attempt starts). Readable from any thread — the daemon's /readyz
+  /// handler renders it while the dispatcher thread is mid-restore, so
+  /// operators can watch a partial restore progress.
+  [[nodiscard]] std::size_t areas_restored() const noexcept {
+    return areas_restored_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Everything one area owns. Heap-allocated so hot per-area state
   /// never false-shares across the areas a dispatch runs in parallel.
@@ -234,6 +244,7 @@ class ServiceFleet {
   std::uint64_t exported_shared_misses_ = 0;
 
   FleetStats stats_;
+  std::atomic<std::size_t> areas_restored_{0};
 
   /// Dispatch scratch, reused across locate_many calls (single
   /// dispatcher, so no locking): per-area request-index groups and the

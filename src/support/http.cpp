@@ -8,13 +8,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 
 #include "support/metrics.h"
 #include "support/slo_controller.h"
@@ -483,18 +486,36 @@ void install_observability_routes(HttpServer& server, MetricRegistry* registry,
                                   Tracer* tracer,
                                   AdmissionController* admission,
                                   SloController* slo,
-                                  ReadinessGate* readiness) {
+                                  ReadinessGate* readiness,
+                                  ObservabilityOptions options) {
   if (registry == nullptr) {
     throw std::invalid_argument(
         "install_observability_routes: registry is required");
   }
-  server.handle("GET", "/metrics", [registry](const HttpRequest&) {
+  const Gauge scrape_bytes = registry->gauge(
+      "confcall_scrape_bytes",
+      "Payload size of the PREVIOUS /metrics scrape (label-cardinality "
+      "growth shows up here first; 0 until the second scrape)");
+  // The gauge is set from the previous scrape's size BEFORE rendering,
+  // never after: setting it post-render would make every in-process
+  // to_prometheus(snapshot()) taken after a scrape disagree with that
+  // scrape's body by exactly this gauge — breaking the E16 byte-identity
+  // contract. One scrape of lag is the price of self-consistency.
+  const auto last_scrape_bytes = std::make_shared<std::atomic<std::size_t>>(0);
+  const PrometheusOptions exposition{options.exemplars};
+  server.handle("GET", "/metrics",
+                [registry, scrape_bytes, last_scrape_bytes,
+                 exposition](const HttpRequest&) {
+    scrape_bytes.set(static_cast<double>(
+        last_scrape_bytes->load(std::memory_order_relaxed)));
     HttpResponse response;
     // One consistent cut: the scrape is byte-identical to what an
     // in-process to_prometheus(snapshot()) at the same instant renders
     // (the E16 gate).
-    response.body = to_prometheus(registry->snapshot());
+    response.body = to_prometheus(registry->snapshot(), exposition);
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    last_scrape_bytes->store(response.body.size(),
+                             std::memory_order_relaxed);
     return response;
   });
   server.handle("GET", "/vars", [registry](const HttpRequest&) {
@@ -528,7 +549,9 @@ void install_observability_routes(HttpServer& server, MetricRegistry* registry,
     response.body = os.str();
     return response;
   });
-  server.handle("GET", "/readyz", [readiness](const HttpRequest&) {
+  server.handle("GET", "/readyz",
+                [readiness, detail = std::move(options.readyz_detail)](
+                    const HttpRequest&) {
     // Readiness, not liveness: /healthz says "the process is sound",
     // this says "send me traffic". A warm restart keeps /readyz at 503
     // through restore and warmup while /healthz is already 200.
@@ -537,9 +560,17 @@ void install_observability_routes(HttpServer& server, MetricRegistry* registry,
     HttpResponse response;
     response.status = state == Readiness::kReady ? 200 : 503;
     response.content_type = "application/json";
-    response.body = std::string("{\"ready\": ") +
-                    (state == Readiness::kReady ? "true" : "false") +
-                    ", \"state\": \"" + readiness_name(state) + "\"}\n";
+    std::string body = std::string("{\"ready\": ") +
+                       (state == Readiness::kReady ? "true" : "false") +
+                       ", \"state\": \"" + readiness_name(state) + "\"";
+    if (detail) {
+      // Caller-supplied members (the fleet daemon's per-area restore /
+      // warmup progress), rendered fresh per request.
+      const std::string extra = detail();
+      if (!extra.empty()) body += ", " + extra;
+    }
+    body += "}\n";
+    response.body = std::move(body);
     return response;
   });
   server.handle("GET", "/traces", [tracer](const HttpRequest&) {

@@ -205,8 +205,29 @@ class ReadinessGate {
   std::atomic<Readiness> state_{Readiness::kStarting};
 };
 
+/// Extra knobs for install_observability_routes, all default-off so the
+/// plain call keeps the exact exposition prior releases served.
+struct ObservabilityOptions {
+  /// Emit OpenMetrics exemplar suffixes (`# {trace_id="..."} value`) on
+  /// /metrics _bucket samples. Off by default: the default scrape must
+  /// stay byte-identical release over release (the E16 gate), and
+  /// strict Prometheus-format consumers may not expect the suffix.
+  bool exemplars = false;
+  /// Extra JSON members for the /readyz body, rendered per request:
+  /// return a fragment like `"areas_ready": 3, "areas_total": 8` (no
+  /// surrounding braces) or an empty string. The fleet daemon reports
+  /// per-area restore/warmup progress through this.
+  std::function<std::string()> readyz_detail;
+};
+
 /// Wires the standard observability surface onto `server` (all GET):
-///   /metrics  Prometheus text from ONE consistent registry snapshot
+///   /metrics  Prometheus text from ONE consistent registry snapshot.
+///             Registers and maintains the confcall_scrape_bytes gauge
+///             (the PREVIOUS scrape's payload size — set before
+///             rendering so scrapes stay byte-identical to an
+///             in-process render, the E16 contract). With
+///             ObservabilityOptions::exemplars, _bucket samples carry
+///             OpenMetrics exemplar suffixes.
 ///   /vars     the same snapshot as JSON
 ///   /healthz  a small JSON document: the admission health state, and —
 ///             when an SloController is attached — its verdict, target
@@ -220,7 +241,10 @@ class ReadinessGate {
 ///             the kReady phase, 503 during restore, warmup and drain —
 ///             the balancer signal that holds traffic through a warm
 ///             restart. Without a gate, /readyz is always 200 (a server
-///             with no lifecycle is trivially ready).
+///             with no lifecycle is trivially ready). The JSON body can
+///             carry caller-supplied members (the fleet daemon's
+///             areas_ready/areas_total restore progress) through
+///             ObservabilityOptions::readyz_detail.
 ///   /traces   recent sampled spans as Chrome trace_event JSON (no
 ///             tracer: an empty trace)
 /// The pointees must outlive the server; registry is required.
@@ -230,7 +254,8 @@ void install_observability_routes(HttpServer& server,
                                   Tracer* tracer = nullptr,
                                   AdmissionController* admission = nullptr,
                                   SloController* slo = nullptr,
-                                  ReadinessGate* readiness = nullptr);
+                                  ReadinessGate* readiness = nullptr,
+                                  ObservabilityOptions options = {});
 
 /// A minimal blocking client for tests, benches and smoke checks: one
 /// request, reads to connection close. Throws std::runtime_error on

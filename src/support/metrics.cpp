@@ -130,6 +130,29 @@ std::string prom_number(double v) {
   return os.str();
 }
 
+// 16-hex-digit zero-padded span id — the same rendering /traces uses,
+// so an exemplar's trace_id greps straight into the trace export.
+std::string trace_id_hex(std::uint64_t id) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << id;
+  return os.str();
+}
+
+// Exemplar fold for merges: first operand wins when both buckets carry
+// one (deterministic given the merge order, matching the documented
+// floating-point-sum contract). Either side may be entirely empty —
+// histograms that were never annotated snapshot without exemplars.
+void fold_exemplars(HistogramSnapshot& mine, const HistogramSnapshot& theirs) {
+  if (theirs.exemplars.empty()) return;
+  if (mine.exemplars.empty()) {
+    mine.exemplars = theirs.exemplars;
+    return;
+  }
+  for (std::size_t i = 0; i < mine.exemplars.size(); ++i) {
+    if (!mine.exemplars[i].valid()) mine.exemplars[i] = theirs.exemplars[i];
+  }
+}
+
 }  // namespace
 
 const char* metric_type_name(MetricType type) noexcept {
@@ -186,7 +209,9 @@ void HistogramSpec::validate() const {
 
 namespace detail {
 HistogramCell::HistogramCell(HistogramSpec spec_in)
-    : spec(std::move(spec_in)), counts(spec.upper_bounds.size() + 1) {}
+    : spec(std::move(spec_in)),
+      counts(spec.upper_bounds.size() + 1),
+      exemplars(spec.upper_bounds.size() + 1) {}
 }  // namespace detail
 
 void Histogram::observe(double value) const noexcept {
@@ -197,6 +222,15 @@ void Histogram::observe(double value) const noexcept {
   const auto index = static_cast<std::size_t>(it - bounds.begin());
   cell_->counts[index].fetch_add(1, std::memory_order_relaxed);
   cell_->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::annotate(double value, std::uint64_t trace_id) const noexcept {
+  if (cell_ == nullptr || trace_id == 0) return;
+  const auto& bounds = cell_->spec.upper_bounds;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds.begin());
+  std::lock_guard<std::mutex> lock(cell_->exemplar_mutex);
+  cell_->exemplars[index] = Exemplar{value, trace_id};
 }
 
 double HistogramSnapshot::quantile(double p) const noexcept {
@@ -254,6 +288,7 @@ void RegistrySnapshot::merge(const RegistrySnapshot& other) {
         }
         mine.count += theirs.histogram.count;
         mine.sum += theirs.histogram.sum;
+        fold_exemplars(mine, theirs.histogram);
         break;
       }
     }
@@ -321,6 +356,41 @@ RegistrySnapshot RegistrySnapshot::delta(const RegistrySnapshot& prev) const {
     }
   }
   return out;
+}
+
+RegistrySnapshot RegistrySnapshot::erase_labels(
+    const std::vector<std::string>& keys) const {
+  RegistrySnapshot out;
+  for (const MetricSnapshot& metric : metrics) {
+    RegistrySnapshot one;
+    one.metrics.push_back(metric);
+    MetricLabels& labels = one.metrics.front().labels;
+    labels.erase(std::remove_if(labels.begin(), labels.end(),
+                                [&keys](const auto& label) {
+                                  return std::find(keys.begin(), keys.end(),
+                                                   label.first) != keys.end();
+                                }),
+                 labels.end());
+    // merge() supplies the collision semantics: series that collapse
+    // onto the same key after the erasure fold exactly like cross-thread
+    // replication merges (and throw on type/bucket disagreements).
+    out.merge(one);
+  }
+  return out;
+}
+
+std::optional<MetricSnapshot> RegistrySnapshot::sum_by(
+    std::string_view name) const {
+  RegistrySnapshot acc;
+  for (const MetricSnapshot& metric : metrics) {
+    if (metric.name != name) continue;
+    RegistrySnapshot one;
+    one.metrics.push_back(metric);
+    one.metrics.front().labels.clear();
+    acc.merge(one);
+  }
+  if (acc.metrics.empty()) return std::nullopt;
+  return std::move(acc.metrics.front());
 }
 
 const MetricSnapshot* RegistrySnapshot::find(
@@ -446,6 +516,17 @@ RegistrySnapshot MetricRegistry::snapshot() const {
           }
           metric.histogram.sum =
               entry.histogram->sum.load(std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> exemplar_lock(
+                entry.histogram->exemplar_mutex);
+            const auto& cells = entry.histogram->exemplars;
+            // Never-annotated histograms snapshot with an empty exemplar
+            // vector, keeping the common path allocation-free.
+            if (std::any_of(cells.begin(), cells.end(),
+                            [](const Exemplar& e) { return e.valid(); })) {
+              metric.histogram.exemplars = cells;
+            }
+          }
           break;
         }
       }
@@ -505,6 +586,11 @@ std::string to_json(const RegistrySnapshot& snapshot) {
 }
 
 std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  return to_prometheus(snapshot, PrometheusOptions{});
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot,
+                          const PrometheusOptions& options) {
   std::ostringstream os;
   // HELP/TYPE are per metric family (name), emitted once even when many
   // label sets share the name; the sorted snapshot groups them already.
@@ -535,13 +621,27 @@ std::string to_prometheus(const RegistrySnapshot& snapshot) {
           std::sort(labels.begin(), labels.end());
           return metric_key(metric.name + "_bucket", labels);
         };
+        // OpenMetrics exemplar suffix on _bucket samples only, behind
+        // the opt-in: the default exposition must stay byte-identical
+        // release over release (the E16 scrape gate).
+        auto bucket_exemplar = [&](std::size_t i) {
+          if (!options.exemplars || i >= h.exemplars.size() ||
+              !h.exemplars[i].valid()) {
+            return;
+          }
+          os << " # {trace_id=\"" << trace_id_hex(h.exemplars[i].trace_id)
+             << "\"} " << prom_number(h.exemplars[i].value);
+        };
         for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
           cumulative += h.counts[i];
-          os << bucket_key(prom_number(h.upper_bounds[i])) << " " << cumulative
-             << "\n";
+          os << bucket_key(prom_number(h.upper_bounds[i])) << " " << cumulative;
+          bucket_exemplar(i);
+          os << "\n";
         }
         cumulative += h.counts.back();
-        os << bucket_key("+Inf") << " " << cumulative << "\n";
+        os << bucket_key("+Inf") << " " << cumulative;
+        bucket_exemplar(h.counts.size() - 1);
+        os << "\n";
         os << metric_key(metric.name + "_sum", metric.labels) << " "
            << prom_number(h.sum) << "\n";
         os << metric_key(metric.name + "_count", metric.labels) << " "

@@ -44,6 +44,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -80,6 +81,16 @@ struct HistogramSpec {
   void validate() const;
 };
 
+/// OpenMetrics-style exemplar: the trace id of one recent observation
+/// that landed in a bucket, bridging a metric percentile to the trace
+/// that produced it. trace_id == 0 means "no exemplar recorded" (span
+/// ids are never 0 for sampled traces).
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t trace_id = 0;
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
 namespace detail {
 struct CounterCell {
   std::atomic<std::uint64_t> value{0};
@@ -100,6 +111,11 @@ struct HistogramCell {
   // registry) snapshot exactly.
   std::vector<std::atomic<std::uint64_t>> counts;  // +1 overflow bucket
   std::atomic<double> sum{0.0};
+  // Exemplars are mutex-guarded, NOT lock-free: annotate() runs only
+  // for traced-and-sampled calls (1-in-N of observes), so the lock is
+  // off the common path and observe() stays three relaxed adds.
+  std::mutex exemplar_mutex;
+  std::vector<Exemplar> exemplars;  // parallel to counts, overflow last
 };
 }  // namespace detail
 
@@ -151,6 +167,14 @@ class Histogram {
  public:
   constexpr Histogram() noexcept = default;
   void observe(double value) const noexcept;
+  /// Records `trace_id` as the exemplar of the bucket `value` lands in
+  /// (latest annotation wins — a hot bucket naturally carries the trace
+  /// id of its most recent sampled observation). Call AFTER observe(),
+  /// only when the observation's trace was actually sampled; a zero
+  /// trace_id (unsampled span) is a no-op, as is an unbound handle.
+  /// Takes a per-histogram mutex — rare by construction (1-in-N
+  /// sampling), so the locate hot path never sees the lock.
+  void annotate(double value, std::uint64_t trace_id) const noexcept;
   [[nodiscard]] bool bound() const noexcept { return cell_ != nullptr; }
 
  private:
@@ -167,6 +191,13 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  ///< per bucket, overflow last
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Per-bucket exemplars (parallel to counts, overflow last), or empty
+  /// when the histogram has never been annotated. Merges keep the
+  /// first-operand exemplar when both sides have one (deterministic
+  /// given the merge order, like the floating-point sums); deltas keep
+  /// the current side's exemplars verbatim (an annotation is a level,
+  /// not a rate).
+  std::vector<Exemplar> exemplars;
 
   /// Smallest bucket upper bound with at least `p` of the observation
   /// mass at or below it; 0 when empty; the last finite bound for mass
@@ -217,6 +248,30 @@ struct RegistrySnapshot {
   /// the SLO controller and interval-rate reporting consume: interval
   /// p99s instead of lifetime aggregates.
   [[nodiscard]] RegistrySnapshot delta(const RegistrySnapshot& prev) const;
+
+  /// Label algebra: `sum without (keys)` in PromQL terms. Returns a
+  /// new snapshot with the named label keys stripped from every series;
+  /// series whose keys collide after the erasure fold together with the
+  /// merge() semantics (counters/buckets integer-add, gauges/sums
+  /// double-add, histograms bucket-wise so quantiles over the view stay
+  /// consistent). Erasing the "shard" key turns per-shard fleet series
+  /// into the fleet-wide totals — and because the series are cuts of
+  /// one workload, the erased view is INVARIANT across shard counts
+  /// (resharding redistributes labels, never totals), which is what
+  /// makes fleet SLO control deterministic at shards 1/2/8. Throws
+  /// std::invalid_argument if collapsing series disagree on type or
+  /// bucket layout.
+  [[nodiscard]] RegistrySnapshot erase_labels(
+      const std::vector<std::string>& keys) const;
+
+  /// `sum by ()` over one family: every series named `name`, all labels
+  /// erased, folded into a single label-less snapshot (histograms merge
+  /// bucket-wise). nullopt when no series has that name. This is the
+  /// fleet SLO sensor: sum_by("confcall_locate_rounds") over a delta
+  /// window reads the fleet-wide interval rounds distribution whether
+  /// the daemon runs unlabelled single-service or {shard="s"} series.
+  [[nodiscard]] std::optional<MetricSnapshot> sum_by(
+      std::string_view name) const;
 
   /// Lookup by name + labels; nullptr when absent.
   [[nodiscard]] const MetricSnapshot* find(
@@ -288,8 +343,18 @@ class MetricRegistry {
 /// snapshot feeds the existing artifact-comparison flow unchanged.
 [[nodiscard]] std::string to_json(const RegistrySnapshot& snapshot);
 
+/// Exposition options. Defaults render the classic Prometheus text
+/// format byte-identically to every prior release (the E16 scrape
+/// byte-identity gate pins this); exemplars opt in to the OpenMetrics
+/// `... # {trace_id="<16-hex>"} value` suffix on _bucket samples.
+struct PrometheusOptions {
+  bool exemplars = false;
+};
+
 /// Renders a snapshot in the Prometheus text exposition format
 /// (# HELP / # TYPE lines, cumulative `le` buckets, +Inf, _sum/_count).
 [[nodiscard]] std::string to_prometheus(const RegistrySnapshot& snapshot);
+[[nodiscard]] std::string to_prometheus(const RegistrySnapshot& snapshot,
+                                        const PrometheusOptions& options);
 
 }  // namespace confcall::support

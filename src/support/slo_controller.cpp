@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -132,15 +133,21 @@ void SloController::step_locked() {
   const RegistrySnapshot interval = current.delta(prev_);
   prev_ = std::move(current);
 
-  const MetricSnapshot* rounds = interval.find(rounds_histogram_);
-  const std::uint64_t interval_calls =
-      rounds == nullptr ? 0 : rounds->histogram.count;
+  // Label-summed sensing: sum_by folds every series of the family into
+  // one label-erased histogram, so the same controller reads the single
+  // unlabelled series (one service) or the fleet-wide {shard="s"} union
+  // identically. Because the label-erased sum is invariant under
+  // resharding, the control trajectory — and with it every admission
+  // decision — is bit-identical at shards 1/2/8 (the E21 gate).
+  const std::optional<MetricSnapshot> rounds =
+      interval.sum_by(rounds_histogram_);
+  const std::uint64_t interval_calls = rounds ? rounds->histogram.count : 0;
 
   // Shed fraction of the interval's arrivals (admitted + degraded +
   // shed), for /healthz and the windowed gauge.
   const auto interval_counter = [&interval](const char* name) {
-    const MetricSnapshot* metric = interval.find(name);
-    return metric == nullptr ? std::uint64_t{0} : metric->counter_value;
+    const std::optional<MetricSnapshot> metric = interval.sum_by(name);
+    return metric ? metric->counter_value : std::uint64_t{0};
   };
   const std::uint64_t shed =
       interval_counter("confcall_admission_shed_total");

@@ -116,9 +116,15 @@ class SloController {
  public:
   /// `registry`, `admission` and `clock` must outlive the controller.
   /// `round_duration_ns` converts the rounds histogram into latency
-  /// (> 0); `rounds_histogram` names the registry series the sensor
-  /// reads (admitted-call rounds, unit buckets). Throws
-  /// std::invalid_argument on bad options or a zero round duration.
+  /// (> 0); `rounds_histogram` names the registry FAMILY the sensor
+  /// reads (admitted-call rounds, unit buckets). The sensor is
+  /// label-summed (RegistrySnapshot::sum_by): every label set of the
+  /// family folds into one fleet-wide interval histogram, so the same
+  /// controller senses a single unlabelled service or a ServiceFleet's
+  /// per-shard {shard="s"} series — and because the label-erased sum is
+  /// invariant under resharding, the control trajectory is identical at
+  /// any shard count. Throws std::invalid_argument on bad options or a
+  /// zero round duration.
   SloController(SloOptions options, MetricRegistry& registry,
                 AdmissionController& admission, const ClockSource& clock,
                 std::uint64_t round_duration_ns,

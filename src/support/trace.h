@@ -25,6 +25,18 @@
 // suppressed through a thread-local depth counter, so a retained trace
 // is always a complete tree (never torn) and an unsampled call pays no
 // clock read and no lock, only a thread-local increment.
+//
+// Fleet-lane audit (one tracer shared by every ServiceFleet shard):
+//   * the root-sampling decision is a single relaxed fetch_add on
+//     roots_seen_ — atomic across lanes, so exactly 1 in N roots is
+//     kept fleet-wide regardless of which shard threads race;
+//   * the parent stack and the suppressed-depth counter are
+//     thread_local, and fleet tasks run each locate to completion on
+//     one pool thread (spans never migrate mid-trace), so a lane's
+//     span tree can neither parent into nor suppress another lane's;
+//   * ring appends and span-id allocation are mutex'd / atomic.
+// The Fleet tracing storm test runs under the TSan CI row to keep this
+// audit honest.
 #pragma once
 
 #include <atomic>

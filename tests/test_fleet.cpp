@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,9 @@
 #include "cellular/topology.h"
 #include "prob/rng.h"
 #include "support/fleet.h"
+#include "support/metrics.h"
 #include "support/state_io.h"
+#include "support/trace.h"
 
 namespace confcall::cellular {
 namespace {
@@ -305,6 +308,46 @@ TEST(Fleet, ConcurrentLocateStormIsRaceFreeAndDeterministic) {
   EXPECT_TRUE(same_outcomes(wide_outcomes, narrow_outcomes));
   EXPECT_EQ(save_bytes(wide), save_bytes(narrow));
   EXPECT_GT(wide.stats().tasks, 0u);
+}
+
+TEST(Fleet, TracedConcurrentStormSamplesAndAnnotatesRaceFree) {
+  // The tracing TSan row: ONE SamplingTracer shared by every lane while
+  // 8 shards storm 16 areas with a steal limit of zero — the sampling
+  // counter, the span ring and histogram exemplar annotation all take
+  // maximal concurrent traffic. Paging outcomes must still match the
+  // untraced 1-shard run (tracing observes, never steers).
+  const FleetWorld world;
+  support::MetricRegistry registry;
+  support::SamplingTracer tracer(2, 256);
+  LocationService::Config traced = FleetWorld::service_config();
+  traced.tracer = &tracer;
+  FleetConfig config;
+  config.num_shards = 8;
+  config.num_areas = 16;
+  config.steal_limit = 0;
+  config.seed = 7;
+  config.registry = &registry;
+  ServiceFleet wide(world.grid, world.areas, world.mobility, traced,
+                    world.initial_cells, config);
+  ServiceFleet narrow = world.make_fleet(1, /*num_areas=*/16,
+                                         /*steal_limit=*/0);
+  const auto wide_outcomes = drive(wide, 8);
+  const auto narrow_outcomes = drive(narrow, 8);
+  EXPECT_TRUE(same_outcomes(wide_outcomes, narrow_outcomes));
+  EXPECT_GT(tracer.roots_seen(), 0u);
+  EXPECT_GT(tracer.roots_sampled(), 0u);
+  EXPECT_LE(tracer.roots_sampled(), tracer.roots_seen());
+
+  // Sampled lanes annotated the per-shard rounds family: the label-
+  // summed view carries at least one live exemplar.
+  const std::optional<support::MetricSnapshot> rounds =
+      registry.snapshot().sum_by("confcall_locate_rounds");
+  ASSERT_TRUE(rounds.has_value());
+  bool any_exemplar = false;
+  for (const support::Exemplar& exemplar : rounds->histogram.exemplars) {
+    any_exemplar = any_exemplar || exemplar.valid();
+  }
+  EXPECT_TRUE(any_exemplar);
 }
 
 }  // namespace

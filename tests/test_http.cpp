@@ -489,6 +489,94 @@ TEST(ObservabilityRoutes, ReadyzTracksTheRestartLifecycle) {
   server.stop();
 }
 
+TEST(ObservabilityRoutes, ScrapeBytesGaugeLagsOneScrapeBehind) {
+  // confcall_scrape_bytes reports the PREVIOUS scrape's size: the gauge
+  // is set before rendering, so each response stays byte-identical to
+  // an in-process render of the same cut (the E16 gate) instead of
+  // chasing its own length.
+  MetricRegistry registry;
+  registry.counter("confcall_test_calls_total", "calls").inc(1);
+  HttpServer server;
+  install_observability_routes(server, &registry);
+  server.start();
+
+  const HttpClientResponse first =
+      http_get("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(first.body.find("confcall_scrape_bytes 0\n"),
+            std::string::npos)
+      << first.body;
+
+  const HttpClientResponse second =
+      http_get("127.0.0.1", server.port(), "/metrics");
+  EXPECT_NE(second.body.find("confcall_scrape_bytes " +
+                             std::to_string(first.body.size()) + "\n"),
+            std::string::npos)
+      << second.body;
+  // Still byte-identical to the renderer on the post-scrape snapshot.
+  EXPECT_EQ(second.body, to_prometheus(registry.snapshot()));
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, ReadyzDetailMergesIntoTheBody) {
+  MetricRegistry registry;
+  ReadinessGate readiness;
+  ObservabilityOptions options;
+  options.readyz_detail = [] {
+    return std::string("\"areas_ready\": 3, \"areas_total\": 8");
+  };
+  HttpServer server;
+  install_observability_routes(server, &registry, nullptr, nullptr, nullptr,
+                               &readiness, options);
+  server.start();
+
+  readiness.set(Readiness::kRestoring);
+  const HttpClientResponse restoring =
+      http_get("127.0.0.1", server.port(), "/readyz");
+  EXPECT_EQ(restoring.status, 503);
+  EXPECT_NE(restoring.body.find("\"areas_ready\": 3"), std::string::npos)
+      << restoring.body;
+
+  readiness.set(Readiness::kReady);
+  const HttpClientResponse ready =
+      http_get("127.0.0.1", server.port(), "/readyz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_NE(ready.body.find("\"areas_total\": 8"), std::string::npos)
+      << ready.body;
+  server.stop();
+}
+
+TEST(ObservabilityRoutes, MetricsExemplarsFollowTheOption) {
+  MetricRegistry registry;
+  const Histogram lat = registry.histogram(
+      "confcall_test_lat_ns", HistogramSpec::integers(4), "latency");
+  lat.observe(2.0);
+  lat.annotate(2.0, 0xfeedULL);
+
+  // Default routes: annotations never reach the wire.
+  HttpServer plain_server;
+  install_observability_routes(plain_server, &registry);
+  plain_server.start();
+  const HttpClientResponse plain =
+      http_get("127.0.0.1", plain_server.port(), "/metrics");
+  plain_server.stop();
+  EXPECT_EQ(plain.body.find("trace_id"), std::string::npos);
+
+  // Opted in: the bucket line grows the OpenMetrics exemplar suffix.
+  ObservabilityOptions options;
+  options.exemplars = true;
+  HttpServer exemplar_server;
+  install_observability_routes(exemplar_server, &registry, nullptr, nullptr,
+                               nullptr, nullptr, options);
+  exemplar_server.start();
+  const HttpClientResponse annotated =
+      http_get("127.0.0.1", exemplar_server.port(), "/metrics");
+  exemplar_server.stop();
+  EXPECT_NE(
+      annotated.body.find("# {trace_id=\"000000000000feed\"} 2"),
+      std::string::npos)
+      << annotated.body;
+}
+
 TEST(HttpServer, ContentLengthEdgeCasesGetSpecificStatuses) {
   HttpServerOptions options;
   options.max_request_bytes = 4096;

@@ -412,6 +412,240 @@ TEST(RegistrySnapshotDelta, IdenticalSnapshotsGiveZeroWindow) {
   EXPECT_EQ(window.find("rounds")->histogram.sum, 0.0);
 }
 
+// Labelled series appearing or disappearing between windows (areas come
+// and go, a fleet restarts a lane): an appearing series is kept
+// verbatim with its labels, every surviving series subtracts
+// key-aligned, and nothing in the window may ever be negative.
+TEST(RegistrySnapshotDelta, LabelledSeriesAppearWithoutNegativeDeltas) {
+  MetricRegistry registry;
+  registry.counter("calls_total", "help", {{"shard", "0"}}).inc(5);
+  const RegistrySnapshot before = registry.snapshot();
+  registry.counter("calls_total", "help", {{"shard", "0"}}).inc(2);
+  registry.counter("calls_total", "help", {{"shard", "1"}}).inc(9);
+  const RegistrySnapshot window = registry.snapshot().delta(before);
+  EXPECT_EQ(window.find("calls_total", {{"shard", "0"}})->counter_value,
+            2u);
+  EXPECT_EQ(window.find("calls_total", {{"shard", "1"}})->counter_value,
+            9u);
+  for (const MetricSnapshot& metric : window.metrics) {
+    if (metric.type == MetricType::kCounter) {
+      EXPECT_GE(metric.counter_value, 0u);
+    }
+  }
+}
+
+// A labelled series present in `prev` but absent now means the
+// registries differ (a shard's series cannot unregister): delta must
+// throw, never fabricate a window.
+TEST(RegistrySnapshotDelta, LabelledSeriesDisappearThrows) {
+  MetricRegistry wide;
+  wide.counter("calls_total", "help", {{"shard", "0"}}).inc(1);
+  wide.counter("calls_total", "help", {{"shard", "1"}}).inc(1);
+  const RegistrySnapshot before = wide.snapshot();
+  MetricRegistry narrow;
+  narrow.counter("calls_total", "help", {{"shard", "0"}}).inc(2);
+  EXPECT_THROW((void)narrow.snapshot().delta(before),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- label algebra
+
+TEST(RegistrySnapshotLabelAlgebra, EraseLabelsFoldsCollidingSeries) {
+  MetricRegistry registry;
+  registry.counter("calls_total", "help", {{"shard", "0"}}).inc(3);
+  registry.counter("calls_total", "help", {{"shard", "1"}}).inc(4);
+  registry.gauge("depth", "help", {{"shard", "0"}}).set(1.5);
+  registry.gauge("depth", "help", {{"shard", "1"}}).set(2.0);
+  const HistogramSpec spec = HistogramSpec::integers(4);
+  registry.histogram("rounds", spec, "help", {{"shard", "0"}}).observe(1.0);
+  registry.histogram("rounds", spec, "help", {{"shard", "1"}}).observe(3.0);
+
+  const RegistrySnapshot view =
+      registry.snapshot().erase_labels({"shard"});
+  ASSERT_EQ(view.metrics.size(), 3u);
+  EXPECT_EQ(view.find("calls_total")->counter_value, 7u);
+  EXPECT_EQ(view.find("depth")->gauge_value, 3.5);
+  const HistogramSnapshot& h = view.find("rounds")->histogram;
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{0, 1, 0, 1, 0, 0}));
+}
+
+// `sum without (keys)` keeps the labels it was not asked to erase:
+// {shard, result} minus shard folds to per-result series.
+TEST(RegistrySnapshotLabelAlgebra, EraseLabelsKeepsOtherKeys) {
+  MetricRegistry registry;
+  registry
+      .counter("ops_total", "help", {{"result", "ok"}, {"shard", "0"}})
+      .inc(1);
+  registry
+      .counter("ops_total", "help", {{"result", "ok"}, {"shard", "1"}})
+      .inc(2);
+  registry
+      .counter("ops_total", "help", {{"result", "err"}, {"shard", "1"}})
+      .inc(5);
+  const RegistrySnapshot view =
+      registry.snapshot().erase_labels({"shard"});
+  ASSERT_EQ(view.metrics.size(), 2u);
+  EXPECT_EQ(view.find("ops_total", {{"result", "ok"}})->counter_value, 3u);
+  EXPECT_EQ(view.find("ops_total", {{"result", "err"}})->counter_value,
+            5u);
+}
+
+TEST(RegistrySnapshotLabelAlgebra, EraseUnknownKeyIsIdentity) {
+  MetricRegistry registry;
+  registry.counter("calls_total", "help", {{"shard", "0"}}).inc(3);
+  registry.histogram("rounds", HistogramSpec::integers(2), "help")
+      .observe(1.0);
+  const RegistrySnapshot original = registry.snapshot();
+  const RegistrySnapshot view = original.erase_labels({"nonexistent"});
+  EXPECT_EQ(to_json(view), to_json(original));
+}
+
+TEST(RegistrySnapshotLabelAlgebra, SumByFoldsWholeFamily) {
+  MetricRegistry registry;
+  const HistogramSpec spec = HistogramSpec::integers(4);
+  registry.histogram("rounds", spec, "help", {{"shard", "0"}}).observe(1.0);
+  registry.histogram("rounds", spec, "help", {{"shard", "1"}}).observe(1.0);
+  registry.histogram("rounds", spec, "help", {{"shard", "1"}}).observe(3.0);
+  registry.counter("unrelated_total", "help").inc(9);
+
+  const std::optional<MetricSnapshot> summed =
+      registry.snapshot().sum_by("rounds");
+  ASSERT_TRUE(summed.has_value());
+  EXPECT_TRUE(summed->labels.empty());
+  EXPECT_EQ(summed->histogram.count, 3u);
+  EXPECT_EQ(summed->histogram.counts,
+            (std::vector<std::uint64_t>{0, 2, 0, 1, 0, 0}));
+  EXPECT_FALSE(registry.snapshot().sum_by("missing").has_value());
+}
+
+// The invariance the fleet-wide SLO sensor rests on: however the same
+// observations are split across label sets, the label-summed family is
+// the same histogram — so quantiles over it cannot depend on the shard
+// count.
+TEST(RegistrySnapshotLabelAlgebra, SumByIsShardingInvariant) {
+  const HistogramSpec spec = HistogramSpec::integers(4);
+  const std::vector<double> observations{1.0, 1.0, 2.0, 3.0, 3.0, 3.0};
+
+  MetricRegistry one;
+  for (const double v : observations) {
+    one.histogram("rounds", spec, "help", {{"shard", "0"}}).observe(v);
+  }
+  MetricRegistry three;
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    three
+        .histogram("rounds", spec, "help",
+                   {{"shard", std::to_string(i % 3)}})
+        .observe(observations[i]);
+  }
+  const std::optional<MetricSnapshot> a = one.snapshot().sum_by("rounds");
+  const std::optional<MetricSnapshot> b =
+      three.snapshot().sum_by("rounds");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->histogram.counts, b->histogram.counts);
+  EXPECT_EQ(a->histogram.count, b->histogram.count);
+  EXPECT_EQ(a->histogram.sum, b->histogram.sum);
+  EXPECT_EQ(a->histogram.quantile(0.99), b->histogram.quantile(0.99));
+}
+
+// Unlabelled families degenerate gracefully: sum_by of a single
+// label-less series is that series (what the SLO controller reads on
+// the single-service path).
+TEST(RegistrySnapshotLabelAlgebra, SumByOfUnlabelledSeriesIsIdentity) {
+  MetricRegistry registry;
+  registry.histogram("rounds", HistogramSpec::integers(2), "help")
+      .observe(1.0);
+  const std::optional<MetricSnapshot> summed =
+      registry.snapshot().sum_by("rounds");
+  ASSERT_TRUE(summed.has_value());
+  EXPECT_EQ(summed->histogram.count, 1u);
+}
+
+// ---------------------------------------------------------- exemplars
+
+TEST(HistogramExemplars, AnnotateRecordsBucketExemplar) {
+  MetricRegistry registry;
+  const Histogram rounds =
+      registry.histogram("rounds", HistogramSpec::integers(4), "help");
+  rounds.observe(2.0);
+  rounds.annotate(2.0, 0xabcdULL);
+  rounds.observe(9.0);           // overflow bucket
+  rounds.annotate(9.0, 0x99ULL);
+  const HistogramSnapshot h = registry.snapshot().find("rounds")->histogram;
+  ASSERT_EQ(h.exemplars.size(), h.counts.size());
+  EXPECT_EQ(h.exemplars[2].trace_id, 0xabcdULL);
+  EXPECT_EQ(h.exemplars[2].value, 2.0);
+  EXPECT_EQ(h.exemplars.back().trace_id, 0x99ULL);  // +Inf bucket
+  EXPECT_FALSE(h.exemplars[0].valid());
+}
+
+// trace_id 0 means "this call was not sampled": annotate must be a
+// no-op, and a histogram never annotated snapshots with an EMPTY
+// exemplar vector (the common path stays allocation-free).
+TEST(HistogramExemplars, ZeroTraceIdAndUnannotatedStayEmpty) {
+  MetricRegistry registry;
+  const Histogram rounds =
+      registry.histogram("rounds", HistogramSpec::integers(4), "help");
+  rounds.observe(1.0);
+  rounds.annotate(1.0, 0);
+  EXPECT_TRUE(registry.snapshot().find("rounds")->histogram.exemplars
+                  .empty());
+}
+
+TEST(HistogramExemplars, MergeKeepsFirstOperandAndFillsGaps) {
+  MetricRegistry a;
+  MetricRegistry b;
+  const HistogramSpec spec = HistogramSpec::integers(4);
+  a.histogram("rounds", spec, "help").observe(1.0);
+  a.histogram("rounds", spec, "help").annotate(1.0, 0x1ULL);
+  b.histogram("rounds", spec, "help").observe(1.0);
+  b.histogram("rounds", spec, "help").annotate(1.0, 0x2ULL);
+  b.histogram("rounds", spec, "help").observe(3.0);
+  b.histogram("rounds", spec, "help").annotate(3.0, 0x3ULL);
+
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot& h = merged.find("rounds")->histogram;
+  ASSERT_FALSE(h.exemplars.empty());
+  EXPECT_EQ(h.exemplars[1].trace_id, 0x1ULL);  // first operand wins
+  EXPECT_EQ(h.exemplars[3].trace_id, 0x3ULL);  // gap filled from second
+}
+
+TEST(Exporters, PrometheusExemplarsAreOptIn) {
+  MetricRegistry registry;
+  const Histogram lat =
+      registry.histogram("confcall_lat_ns", HistogramSpec{{1.0, 2.0}},
+                         "latency");
+  lat.observe(1.5);
+  const std::string before_annotation = to_prometheus(registry.snapshot());
+  lat.annotate(1.5, 0xdeadbeefULL);
+
+  // Default exposition: byte-for-byte identical to the pre-annotation
+  // render — the E16 scrape-identity gate must not notice annotations.
+  const std::string plain = to_prometheus(registry.snapshot());
+  EXPECT_EQ(plain, before_annotation);
+  EXPECT_EQ(plain.find("trace_id"), std::string::npos);
+
+  lat.observe(9.0);
+  lat.annotate(9.0, 0x7ULL);
+
+  PrometheusOptions options;
+  options.exemplars = true;
+  const std::string annotated =
+      to_prometheus(registry.snapshot(), options);
+  EXPECT_NE(annotated.find(
+                "confcall_lat_ns_bucket{le=\"2\"} 1 "
+                "# {trace_id=\"00000000deadbeef\"} 1.5"),
+            std::string::npos)
+      << annotated;
+  EXPECT_NE(annotated.find(
+                "confcall_lat_ns_bucket{le=\"+Inf\"} 2 "
+                "# {trace_id=\"0000000000000007\"} 9"),
+            std::string::npos)
+      << annotated;
+}
+
 // --------------------------------------------------------- exporters
 
 TEST(Exporters, JsonShapeAndStability) {

@@ -387,5 +387,43 @@ TEST(SloControllerState, RestoreRejectsDamageWithoutSideEffects) {
   EXPECT_TRUE(stand.slo.restore_state(good, SloController::kStateVersion));
 }
 
+// Fleet-wide sensing: the controller reads the LABEL-SUMMED rounds
+// family (RegistrySnapshot::sum_by), so a registry whose observations
+// are split across {shard="..."} series must drive the exact same
+// control trajectory as one unlabelled series holding the same
+// observations. This is the unit-level half of the E21 sharding-
+// invariance gate.
+TEST(SloController, SensesLabelSummedFleetWindow) {
+  Stand flat(test_options());
+
+  MetricRegistry registry;
+  ManualClock clock;
+  std::vector<Histogram> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(registry.histogram(
+        "confcall_locate_rounds", HistogramSpec::integers(16), "rounds",
+        {{"shard", std::to_string(s)}}));
+  }
+  AdmissionController admission(AdmissionOptions{}, clock);
+  SloController slo(test_options(), registry, admission, clock, kRoundNs);
+
+  const auto drive = [&](int calls, double rounds_used) {
+    flat.interval(calls, rounds_used);
+    for (int i = 0; i < calls; ++i) shards[i % 3].observe(rounds_used);
+    slo.step();
+    EXPECT_DOUBLE_EQ(slo.refill_per_sec(), flat.slo.refill_per_sec());
+    EXPECT_DOUBLE_EQ(slo.degrade_threshold(),
+                     flat.slo.degrade_threshold());
+    EXPECT_EQ(slo.breaches(), flat.slo.breaches());
+    EXPECT_EQ(slo.pre_breach_signals(), flat.slo.pre_breach_signals());
+  };
+  drive(32, 8.0);  // 8 ms p99 against the 4 ms target: breach, cut
+  drive(32, 8.0);  // still breaching: cut again
+  drive(32, 1.0);  // back inside SLO: additive recovery
+  drive(32, 1.0);
+  EXPECT_GT(slo.breaches(), 0u);
+  EXPECT_EQ(slo.control_steps(), flat.slo.control_steps());
+}
+
 }  // namespace
 }  // namespace confcall::support

@@ -62,10 +62,17 @@
 // signature -> strategy table. Metrics grow a `shard` label
 // (confcall_locate_*{shard=...}, confcall_fleet_*); checkpoints carry
 // one section per area and /readyz stays 503 until EVERY area restored
-// (the restore is all-or-nothing across the fleet). --slo-p99-ms is
-// rejected with --shards: the SLO controller senses the unlabelled
-// rounds histogram, which the fleet's per-shard series replace — see
-// ROADMAP.
+// (the restore is all-or-nothing across the fleet; the /readyz body
+// reports areas_ready/areas_total while a restore is in flight).
+// --slo-p99-ms composes with --shards: the controller senses the
+// label-summed fleet-wide rounds window (RegistrySnapshot::sum_by), so
+// one controller sees the same admitted-latency distribution at every
+// shard count and drives bit-identical control trajectories (the E21
+// gate at shard counts 1/2/8). GET /fleetz renders a per-shard JSON
+// drill-down (queue depth, steals, task p99, plan-cache hits, exemplar
+// trace ids); --metrics-exemplars opts /metrics into OpenMetrics
+// exemplar suffixes that carry a sampled trace id on each latency
+// bucket (off by default so the exposition stays byte-identical).
 //
 //   confcall_serve [--scenario dense-urban|campus|highway|degraded-urban|
 //                              overloaded-urban]
@@ -74,6 +81,7 @@
 //                  [--shards N|auto] [--fleet-areas N]
 //                  [--trace-every N] [--trace-capacity N]
 //                  [--slo-p99-ms MS] [--control-period-ms MS]
+//                  [--metrics-exemplars]
 //                  [--seed S] [--snapshot-out FILE]
 //                  [--state-in FILE] [--state-out FILE]
 //                  [--checkpoint-every-ms MS]
@@ -98,6 +106,7 @@
 #include <chrono>
 #include <csignal>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -251,13 +260,15 @@ constexpr const char* kUsage =
     " [--shards N|auto] [--fleet-areas N]"
     " [--trace-every N] [--trace-capacity N]"
     " [--slo-p99-ms MS] [--control-period-ms MS]"
+    " [--metrics-exemplars]"
     " [--seed S] [--snapshot-out FILE]"
     " [--state-in FILE] [--state-out FILE] [--checkpoint-every-ms MS]"
     " [--supervise] [--max-restarts N]\n"
     "\n"
     "Runs the location-management service as a daemon: a paced locate\n"
     "loop over the chosen scenario plus an HTTP observability surface\n"
-    "(GET /metrics /vars /healthz /readyz /traces, POST /locate).\n"
+    "(GET /metrics /vars /healthz /readyz /traces — plus /fleetz with\n"
+    "--shards — and POST /locate).\n"
     "--port 0 binds an ephemeral port (--port-file writes the resolved\n"
     "one); --steps 0 serves until SIGINT/SIGTERM, which drain gracefully\n"
     "and dump a final snapshot to --snapshot-out. --slo-p99-ms T closes\n"
@@ -279,9 +290,13 @@ constexpr const char* kUsage =
     "4 per shard) on N per-core lanes with work stealing and a\n"
     "process-wide shared plan table. POST /locate gains an \"area\"\n"
     "member; metrics gain a shard label; checkpoints restore\n"
-    "all-or-nothing across every area before /readyz goes 200.\n"
-    "Incompatible with --slo-p99-ms (the controller senses the\n"
-    "unlabelled locate series).\n";
+    "all-or-nothing across every area before /readyz goes 200 (the\n"
+    "/readyz body reports areas_ready/areas_total meanwhile). GET\n"
+    "/fleetz renders a per-shard JSON drill-down. --slo-p99-ms composes\n"
+    "with --shards: the controller senses the label-summed fleet-wide\n"
+    "rounds window, so control trajectories are bit-identical at every\n"
+    "shard count. --metrics-exemplars opts /metrics into OpenMetrics\n"
+    "exemplar suffixes (sampled trace ids on latency buckets).\n";
 
 /// Resolves --shards: absent/"0" = legacy single-service path, "auto" =
 /// one shard per hardware thread, otherwise a positive count.
@@ -344,6 +359,7 @@ int main(int argc, char** argv) {
     const std::int64_t slo_p99_ms = cli.get_int("slo-p99-ms", 0);
     const std::int64_t control_period_ms =
         cli.get_int("control-period-ms", 1000);
+    const bool metrics_exemplars = cli.has("metrics-exemplars");
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     const std::string snapshot_out = cli.get_string("snapshot-out", "");
     const std::string state_in = cli.get_string("state-in", "");
@@ -378,13 +394,6 @@ int main(int argc, char** argv) {
     if (fleet_areas_flag > 0 && num_shards == 0) {
       throw std::invalid_argument("--fleet-areas needs --shards");
     }
-    if (num_shards > 0 && slo_p99_ms > 0) {
-      throw std::invalid_argument(
-          "--slo-p99-ms cannot be combined with --shards: the SLO "
-          "controller senses the unlabelled confcall_locate_rounds "
-          "series, which the fleet's per-shard labelled series replace "
-          "(fleet-aware SLO sensing is a ROADMAP item)");
-    }
 
     const cellular::Scenario scenario = find_scenario(scenario_name, seed);
     const cellular::SimConfig& config = scenario.config;
@@ -393,10 +402,11 @@ int main(int argc, char** argv) {
     if (num_shards > 0) {
       // ---- Fleet serving path (DESIGN.md §14). Independent of the
       // single-service path below: a ServiceFleet of num_areas serving
-      // domains on num_shards per-core lanes. Per-call tracing and the
-      // resilient-planner chain are not threaded through the fleet yet
-      // (ROADMAP); admission control, checkpointing and the readiness
-      // lifecycle are.
+      // domains on num_shards per-core lanes. Admission control, SLO
+      // control (sensing the label-summed fleet-wide rounds window),
+      // per-call tracing, checkpointing and the readiness lifecycle are
+      // all threaded through; only the resilient-planner chain remains
+      // single-service-only (ROADMAP — fleet areas plan with Fig. 1).
       const std::size_t num_areas =
           fleet_areas_flag > 0 ? static_cast<std::size_t>(fleet_areas_flag)
                                : num_shards * 4;
@@ -422,17 +432,49 @@ int main(int argc, char** argv) {
       }
 
       support::MetricRegistry registry;
+      // One process-wide tracer shared by every area: root sampling is a
+      // single atomic counter (exactly 1-in-N fleet-wide) and span stacks
+      // are thread_local, so shard lanes trace safely (trace.h audit).
+      std::unique_ptr<support::SamplingTracer> tracer;
+      if (trace_every > 0) {
+        tracer = std::make_unique<support::SamplingTracer>(
+            static_cast<std::size_t>(trace_every),
+            static_cast<std::size_t>(trace_capacity), clock);
+      }
       const cellular::OverloadConfig& overload = config.overload;
       std::optional<support::AdmissionController> admission;
       cellular::LocationService::Config service_cfg =
           config.service_config();
       service_cfg.planner = nullptr;  // fleet areas plan with Fig. 1
-      service_cfg.tracer = nullptr;
+      service_cfg.tracer = tracer.get();  // carried into every area
       if (overload.enabled) {
         service_cfg.clock = &clock;
         service_cfg.round_duration_ns = overload.round_duration_ns;
         admission.emplace(overload.admission, clock);
         admission->bind_metrics(registry);
+      }
+      // The fleet-wide closed loop: ONE controller over ONE shared
+      // admission throttle. It senses sum_by("confcall_locate_rounds") —
+      // the label-erased union of every shard's window — which is
+      // invariant under resharding, so the control trajectory is
+      // bit-identical at every shard count (the E21 gate).
+      std::unique_ptr<support::SloController> slo;
+      if (slo_p99_ms > 0) {
+        if (!admission) {
+          throw std::invalid_argument(
+              "--slo-p99-ms needs a scenario with admission control "
+              "(e.g. overloaded-urban)");
+        }
+        support::SloOptions slo_options = overload.slo;
+        slo_options.enabled = true;
+        slo_options.target_p99_ns =
+            static_cast<std::uint64_t>(slo_p99_ms) * 1'000'000ULL;
+        slo_options.control_period_ns =
+            static_cast<std::uint64_t>(control_period_ms) * 1'000'000ULL;
+        slo = std::make_unique<support::SloController>(
+            slo_options, registry, *admission, clock,
+            overload.round_duration_ns);
+        slo->bind_metrics(registry);
       }
 
       cellular::FleetConfig fleet_cfg;
@@ -491,6 +533,11 @@ int main(int argc, char** argv) {
           std::lock_guard<std::mutex> lock(sim_mutex);
           fleet.add_state_sections(bundle);
         }
+        if (slo) {
+          bundle.add(support::SloController::kStateSection,
+                     support::SloController::kStateVersion,
+                     slo->save_state());
+        }
         try {
           const std::size_t bytes =
               support::save_state_file(state_out, bundle);
@@ -544,6 +591,9 @@ int main(int argc, char** argv) {
             (void)fleet.locate_many({&request, 1});
           }
         }
+        // Controller steps land on the wall-clock period grid; polling
+        // it every loop step is one clock read when no boundary passed.
+        if (slo) (void)slo->maybe_step();
       };
 
       support::HttpServerOptions http_options;
@@ -551,9 +601,137 @@ int main(int argc, char** argv) {
       http_options.workers = workers;
       support::HttpServer server(http_options);
       server.bind_metrics(registry);
+      // Restore progress in the /readyz body: a balancer (or operator)
+      // polling through a warm restart sees how many areas validated so
+      // far, not just a bare 503.
+      support::ObservabilityOptions observability;
+      observability.exemplars = metrics_exemplars;
+      observability.readyz_detail = [&fleet, &readiness, num_areas] {
+        const support::Readiness phase = readiness.state();
+        std::size_t ready = 0;
+        if (phase == support::Readiness::kReady ||
+            phase == support::Readiness::kDraining) {
+          ready = num_areas;
+        } else if (phase == support::Readiness::kRestoring) {
+          ready = fleet.areas_restored();
+        }
+        return "\"areas_ready\": " + std::to_string(ready) +
+               ", \"areas_total\": " + std::to_string(num_areas);
+      };
       support::install_observability_routes(
-          server, &registry, nullptr, admission ? &*admission : nullptr,
-          nullptr, &readiness);
+          server, &registry, tracer.get(),
+          admission ? &*admission : nullptr, slo.get(), &readiness,
+          observability);
+      // Fleet drill-down: ONE consistent registry snapshot rendered as
+      // per-shard JSON — queue depth, work stealing, task latency, plan
+      // cache traffic and the exemplar trace ids that bridge the rounds
+      // histogram to /traces. Counters come from the snapshot rather
+      // than FleetStats: the snapshot is a race-free consistent cut the
+      // dispatcher thread never has to pause for.
+      server.handle("GET", "/fleetz", [&](const support::HttpRequest&) {
+        support::HttpResponse response;
+        response.content_type = "application/json";
+        const support::RegistrySnapshot snap = registry.snapshot();
+        const auto find = [&snap](std::string_view name,
+                                  const std::string& shard)
+            -> const support::MetricSnapshot* {
+          for (const support::MetricSnapshot& metric : snap.metrics) {
+            if (metric.name != name) continue;
+            if (shard.empty() && metric.labels.empty()) return &metric;
+            for (const auto& label : metric.labels) {
+              if (label.first == "shard" && label.second == shard) {
+                return &metric;
+              }
+            }
+          }
+          return nullptr;
+        };
+        const auto counter = [&find](std::string_view name,
+                                     const std::string& shard) {
+          const support::MetricSnapshot* metric = find(name, shard);
+          return metric ? metric->counter_value : std::uint64_t{0};
+        };
+        const auto hex16 = [](std::uint64_t id) {
+          std::ostringstream os;
+          os << std::hex << std::setfill('0') << std::setw(16) << id;
+          return os.str();
+        };
+        const support::Readiness phase = readiness.state();
+        std::size_t areas_ready = 0;
+        if (phase == support::Readiness::kReady ||
+            phase == support::Readiness::kDraining) {
+          areas_ready = num_areas;
+        } else if (phase == support::Readiness::kRestoring) {
+          areas_ready = fleet.areas_restored();
+        }
+        std::ostringstream body;
+        body << "{\"shards\": " << num_shards
+             << ", \"areas\": " << num_areas
+             << ", \"areas_ready\": " << areas_ready
+             << ", \"phase\": \"" << support::readiness_name(phase)
+             << "\", \"dispatches\": "
+             << counter("confcall_fleet_dispatches_total", "")
+             << ", \"requests\": "
+             << counter("confcall_fleet_requests_total", "")
+             << ", \"queue_overflows\": "
+             << counter("confcall_fleet_queue_overflow_total", "");
+        const support::MetricSnapshot* entries =
+            find("confcall_fleet_shared_plan_entries", "");
+        body << ", \"shared_plan\": {\"hits\": "
+             << counter("confcall_fleet_shared_plan_hits_total", "")
+             << ", \"misses\": "
+             << counter("confcall_fleet_shared_plan_misses_total", "")
+             << ", \"entries\": "
+             << (entries != nullptr
+                     ? static_cast<std::uint64_t>(entries->gauge_value)
+                     : 0)
+             << "}, \"per_shard\": [";
+        for (std::size_t s = 0; s < num_shards; ++s) {
+          const std::string shard = std::to_string(s);
+          if (s > 0) body << ", ";
+          const support::MetricSnapshot* depth =
+              find("confcall_fleet_queue_depth", shard);
+          const support::MetricSnapshot* task_ns =
+              find("confcall_fleet_task_ns", shard);
+          const support::MetricSnapshot* rounds =
+              find("confcall_locate_rounds", shard);
+          body << "{\"shard\": " << s << ", \"queue_depth\": "
+               << (depth != nullptr
+                       ? static_cast<std::uint64_t>(depth->gauge_value)
+                       : 0)
+               << ", \"tasks\": "
+               << counter("confcall_fleet_tasks_total", shard)
+               << ", \"steals\": "
+               << counter("confcall_fleet_steals_total", shard)
+               << ", \"task_p99_ns\": "
+               << (task_ns != nullptr ? task_ns->histogram.quantile(0.99)
+                                      : 0.0)
+               << ", \"locate_calls\": "
+               << counter("confcall_locate_calls_total", shard)
+               << ", \"plan_cache_hits\": "
+               << counter("confcall_locate_plan_cache_hits_total", shard)
+               << ", \"plan_cache_misses\": "
+               << counter("confcall_locate_plan_cache_misses_total", shard)
+               << ", \"rounds_p99\": "
+               << (rounds != nullptr ? rounds->histogram.quantile(0.99)
+                                     : 0.0)
+               << ", \"exemplar_trace_ids\": [";
+          bool first = true;
+          if (rounds != nullptr) {
+            for (const support::Exemplar& exemplar :
+                 rounds->histogram.exemplars) {
+              if (!exemplar.valid()) continue;
+              if (!first) body << ", ";
+              first = false;
+              body << "\"" << hex16(exemplar.trace_id) << "\"";
+            }
+          }
+          body << "]}";
+        }
+        body << "]}\n";
+        response.body = body.str();
+        return response;
+      });
       server.handle("POST", "/locate", [&](const support::HttpRequest&
                                                http_request) {
         support::HttpResponse response;
@@ -635,7 +813,12 @@ int main(int argc, char** argv) {
       std::cout << "confcall_serve: scenario=" << scenario.name
                 << " serving on 127.0.0.1:" << server.port()
                 << " (fleet: " << num_shards << " shards, " << num_areas
-                << " areas)" << std::endl;
+                << " areas";
+      if (slo) {
+        std::cout << ", slo-p99-ms=" << slo_p99_ms
+                  << ", control-period-ms=" << control_period_ms;
+      }
+      std::cout << ")" << std::endl;
 
       // Warm restart or cold start, fleet-wide. /readyz holds 503 until
       // EVERY area has restored (the fleet restore is all-or-nothing) or
@@ -656,6 +839,15 @@ int main(int argc, char** argv) {
           {
             std::lock_guard<std::mutex> lock(sim_mutex);
             sections_ok = fleet.restore_state_sections(loaded.bundle);
+          }
+          if (sections_ok && slo) {
+            // Controller actuators resume at their converged operating
+            // point together with the fleet state they converged on.
+            const support::StateSection* section =
+                loaded.bundle.find(support::SloController::kStateSection);
+            sections_ok = section != nullptr &&
+                          slo->restore_state(section->payload,
+                                             section->version);
           }
           if (sections_ok) {
             restored = true;
@@ -728,6 +920,15 @@ int main(int argc, char** argv) {
                 << fleet_stats.overflows << " overflowed)";
       if (!state_out.empty()) {
         std::cout << ", wrote " << checkpoints_written << " checkpoints";
+      }
+      if (tracer) {
+        std::cout << ", sampled " << tracer->roots_sampled() << "/"
+                  << tracer->roots_seen() << " traces";
+      }
+      if (slo) {
+        std::cout << ", ran " << slo->control_steps() << " control steps ("
+                  << slo->breaches() << " breached, "
+                  << slo->pre_breach_signals() << " pre-breach)";
       }
       std::cout << std::endl;
       return 0;
@@ -982,9 +1183,12 @@ int main(int argc, char** argv) {
     http_options.workers = workers;
     support::HttpServer server(http_options);
     server.bind_metrics(registry);
+    support::ObservabilityOptions observability;
+    observability.exemplars = metrics_exemplars;
     support::install_observability_routes(
         server, &registry, tracer.get(),
-        admission ? &*admission : nullptr, slo.get(), &readiness);
+        admission ? &*admission : nullptr, slo.get(), &readiness,
+        observability);
     server.handle("POST", "/locate", [&](const support::HttpRequest&
                                              http_request) {
       support::HttpResponse response;

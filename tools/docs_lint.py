@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Docs lint: dead links, phantom bench targets, phantom metrics.
+"""Docs lint: dead links, phantom bench targets, phantom metrics,
+endpoint-table drift.
 
-Three checks, all offline (CI must not depend on the network):
+Four checks, all offline (CI must not depend on the network):
 
 1. Dead intra-repo links. Scans the repo's top-level markdown plus
    docs/*.md for inline links [text](target) and checks every relative
@@ -16,6 +17,12 @@ Three checks, all offline (CI must not depend on the network):
    bench/ or tests/ — the catalogue may not describe series nothing
    can emit. (tests/test_observability.cpp gates the opposite
    direction: every emitted metric must be catalogued.)
+4. Endpoint-table drift, both directions. Every route registered with
+   server.handle("METHOD", "/path") in src/support/http.cpp or
+   tools/confcall_serve.cpp must have a row in docs/OBSERVABILITY.md's
+   Endpoints table, and every `METHOD /path` row in that table must be
+   registered by one of those files — the endpoint catalogue may
+   neither lag the server nor promise routes that 404.
 
 Exit code 1 lists every violation as file:line.
 
@@ -114,6 +121,55 @@ def lint_metric_catalogue(root):
     return errors
 
 
+# A registered route: method + literal path in one handle() call.
+ROUTE_HANDLE_RE = re.compile(
+    r'server\.handle\("(GET|POST)",\s*"(/[A-Za-z0-9_]+)"')
+# A documented route: a backticked `METHOD /path` inside a table row.
+DOC_ROUTE_RE = re.compile(r"`(GET|POST) (/[A-Za-z0-9_]+)`")
+ROUTE_SOURCES = (os.path.join("src", "support", "http.cpp"),
+                 os.path.join("tools", "confcall_serve.cpp"))
+
+
+def lint_endpoints(root):
+    """Check 4: docs/OBSERVABILITY.md's Endpoints table and the routes
+    the server registers must agree, both directions."""
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(doc_path):
+        return []
+    routed = {}
+    for rel in ROUTE_SOURCES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                for method, route in ROUTE_HANDLE_RE.findall(line):
+                    routed.setdefault((method, route),
+                                      "%s:%d" % (rel, lineno))
+    documented = {}
+    in_endpoints = False
+    with open(doc_path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if line.startswith("## "):
+                in_endpoints = line.strip() == "## Endpoints"
+            if in_endpoints and line.startswith("| `"):
+                for method, route in DOC_ROUTE_RE.findall(line):
+                    documented.setdefault((method, route), lineno)
+    errors = []
+    rel_doc = os.path.relpath(doc_path, root)
+    for key in sorted(routed):
+        if key not in documented:
+            errors.append(
+                "%s: route '%s %s' (registered at %s) has no row in the "
+                "Endpoints table" % (rel_doc, key[0], key[1], routed[key]))
+    for key in sorted(documented):
+        if key not in routed:
+            errors.append(
+                "%s:%d: endpoint '%s %s' is documented but nothing "
+                "registers it" % (rel_doc, documented[key], key[0], key[1]))
+    return errors
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
                            os.path.join(os.path.dirname(__file__), os.pardir))
@@ -128,6 +184,7 @@ def main():
         errors.extend(lint_links(path, root))
     errors.extend(lint_bench_targets(root))
     errors.extend(lint_metric_catalogue(root))
+    errors.extend(lint_endpoints(root))
     for error in errors:
         print(error)
     print("docs_lint: %d file(s), %d violation(s)" % (len(files), len(errors)))

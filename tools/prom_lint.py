@@ -11,13 +11,17 @@ text exposition format the way a scraper would parse it:
   * every sample name is covered by a preceding # TYPE (histogram
     samples may extend the family name with _bucket/_sum/_count)
   * # TYPE declares a known type and no family is declared twice
+  * NOTHING follows the value — unless --exemplars, which accepts the
+    OpenMetrics exemplar suffix  # {labels} value  but ONLY on _bucket
+    samples of histogram families (an exemplar anywhere else is a bug)
   * at least one sample exists (an empty scrape means the daemon wired
     no registry)
 
 Exit code 1 lists every violation as line:N. Used by CI's confcall_serve
-smoke step: curl /metrics | python3 tools/prom_lint.py -
+smoke steps: curl /metrics | python3 tools/prom_lint.py -  (and with
+--exemplars when the daemon runs --metrics-exemplars).
 
-Usage: python3 tools/prom_lint.py FILE|-
+Usage: python3 tools/prom_lint.py [--exemplars] FILE|-
 """
 import re
 import sys
@@ -25,6 +29,10 @@ import sys
 NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 # One label: name="value" with only escaped \ " and n inside the quotes.
 LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+# OpenMetrics exemplar suffix:  # {label="v",...} value
+EXEMPLAR_RE = re.compile(
+    r'# \{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*",?)*)\} '
+    r"(\S+)$")
 TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
 HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
 
@@ -41,10 +49,39 @@ def family_of(sample_name, types):
     return None
 
 
-def lint(text):
+def check_trailer(number, name, trailer, types, allow_exemplars, errors):
+    """Validates whatever followed the sample value on this line."""
+    if not trailer:
+        return
+    if not allow_exemplars:
+        errors.append(
+            f"line:{number} trailing content after value "
+            f"(exemplar without --exemplars?): {trailer!r}")
+        return
+    match = EXEMPLAR_RE.fullmatch(trailer)
+    if match is None:
+        errors.append(f"line:{number} malformed exemplar: {trailer!r}")
+        return
+    try:
+        float(match.group(2))
+    except ValueError:
+        errors.append(
+            f"line:{number} unparseable exemplar value "
+            f"{match.group(2)!r}")
+        return
+    if not name.endswith("_bucket") or \
+            family_of(name, types) is None or \
+            types.get(family_of(name, types)) != "histogram":
+        errors.append(
+            f"line:{number} exemplar on non-histogram-bucket sample "
+            f"{name}")
+
+
+def lint(text, allow_exemplars=False):
     errors = []
     types = {}
     samples = 0
+    exemplars = 0
     for number, line in enumerate(text.split("\n"), start=1):
         if not line:
             continue
@@ -77,35 +114,48 @@ def lint(text):
                 errors.append(
                     f"line:{number} malformed labels (bad escaping?): "
                     f"{labels!r}")
-        value = rest.strip().split(" ")[0]
+        fields = rest.strip().split(" ", 1)
+        value = fields[0]
         try:
             float(value)
         except ValueError:
             errors.append(f"line:{number} unparseable value {value!r}")
             continue
+        trailer = fields[1].strip() if len(fields) > 1 else ""
+        if trailer:
+            before = len(errors)
+            check_trailer(number, name, trailer, types, allow_exemplars,
+                          errors)
+            if len(errors) == before:
+                exemplars += 1
         if family_of(name, types) is None:
             errors.append(f"line:{number} sample {name} has no # TYPE")
         samples += 1
     if samples == 0:
         errors.append("no samples at all: empty or comment-only scrape")
-    return errors, samples, len(types)
+    return errors, samples, len(types), exemplars
 
 
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    allow_exemplars = "--exemplars" in args
+    args = [a for a in args if a != "--exemplars"]
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    if sys.argv[1] == "-":
+    if args[0] == "-":
         text = sys.stdin.read()
     else:
-        with open(sys.argv[1]) as handle:
+        with open(args[0]) as handle:
             text = handle.read()
-    errors, samples, families = lint(text)
+    errors, samples, families, exemplars = lint(text, allow_exemplars)
     if errors:
         for error in errors:
             print(error)
         return 1
-    print(f"prom_lint: OK ({samples} samples, {families} families)")
+    suffix = f", {exemplars} exemplars" if allow_exemplars else ""
+    print(f"prom_lint: OK ({samples} samples, {families} families"
+          f"{suffix})")
     return 0
 
 
